@@ -1,0 +1,73 @@
+//! Ablations A1 and A2 — the storage and bound design choices.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use silc::mbr_baseline::ColorMbrIndex;
+use silc::spmap::ShortestPathMap;
+use silc::DistanceBrowser;
+use silc_bench::{StandardWorkload, WorkloadConfig};
+use silc_network::VertexId;
+
+fn bench_ablations(c: &mut Criterion) {
+    let w = StandardWorkload::build(WorkloadConfig { vertices: 1000, ..Default::default() });
+    let source = VertexId(123);
+    let map = ShortestPathMap::compute(&w.network, source).unwrap();
+    let mbr = ColorMbrIndex::build(&map, w.network.positions());
+    let probes: Vec<_> = w.network.positions().iter().step_by(7).copied().collect();
+    let codes: Vec<_> = (0..w.network.vertex_count())
+        .step_by(7)
+        .map(|v| w.index.vertex_code(VertexId(v as u32)))
+        .collect();
+
+    // A1: next-hop lookup, MBR candidates vs quadtree block.
+    let mut group = c.benchmark_group("ablation_a1_lookup");
+    group.sample_size(30);
+    group.bench_function("mbr_candidates", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for p in &probes {
+                total += mbr.lookup(p).len();
+            }
+            std::hint::black_box(total)
+        })
+    });
+    group.bench_function("quadtree_lookup", |b| {
+        b.iter(|| {
+            for code in &codes {
+                std::hint::black_box(w.index.entry(source, *code));
+            }
+        })
+    });
+    group.finish();
+    println!(
+        "\n# ablation A1: MBR ambiguity over all vertices = {:.1}% (quadtree: 0%)",
+        100.0 * mbr.ambiguity_rate(w.network.positions())
+    );
+
+    // A2: region lower bound, per-block λ vs global ratio. Probe a region
+    // in the quadrant opposite the source so the Euclidean gap is nonzero.
+    let spos = w.network.position(source);
+    let b = w.network.bounds();
+    let rect = if spos.x < b.center().x {
+        silc_geom::Rect::new(b.center().x + b.width() * 0.2, b.min_y, b.max_x, b.max_y)
+    } else {
+        silc_geom::Rect::new(b.min_x, b.min_y, b.center().x - b.width() * 0.2, b.max_y)
+    };
+    let mut group = c.benchmark_group("ablation_a2_region_bound");
+    group.sample_size(30);
+    group.bench_function("per_block_lambda", |b| {
+        b.iter(|| std::hint::black_box(w.index.region_lower_bound(source, &rect)))
+    });
+    group.bench_function("global_ratio", |b| {
+        b.iter(|| {
+            let e = rect.min_distance(&w.network.position(source));
+            std::hint::black_box(w.index.global_min_ratio() * e)
+        })
+    });
+    group.finish();
+    let sharp = w.index.region_lower_bound(source, &rect);
+    let loose = w.index.global_min_ratio() * rect.min_distance(&w.network.position(source));
+    println!("# ablation A2: bound sharpness {sharp:.1} vs {loose:.1} (higher is tighter)");
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

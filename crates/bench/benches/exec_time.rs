@@ -1,0 +1,59 @@
+//! Figure p.33 — execution time of INE, IER, INN, kNN, kNN-I, kNN-M.
+//!
+//! Benchmarks all six algorithms at the paper's default operating point
+//! (k = 10, S = 0.07·N) and at a high-k point (k = 100) where the variants
+//! overtake plain kNN.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use silc_bench::{StandardWorkload, WorkloadConfig};
+use silc_network::VertexId;
+use silc_query::{ier, ine, inn, knn, KnnVariant};
+
+fn bench_exec_time(c: &mut Criterion) {
+    let w = StandardWorkload::build(WorkloadConfig { vertices: 1500, ..Default::default() });
+    let objects = w.objects(0.07, 0);
+    let queries: Vec<VertexId> = w.queries(4, 0);
+
+    for k in [10usize, 100] {
+        let mut group = c.benchmark_group(format!("figure_p33_exec_time_k{k}"));
+        group.sample_size(20);
+        group.bench_function(BenchmarkId::new("INE", k), |b| {
+            b.iter(|| {
+                for &q in &queries {
+                    std::hint::black_box(ine(&w.network, &objects, q, k));
+                }
+            })
+        });
+        group.bench_function(BenchmarkId::new("IER", k), |b| {
+            b.iter(|| {
+                for &q in &queries {
+                    std::hint::black_box(ier(&w.network, &objects, q, k));
+                }
+            })
+        });
+        group.bench_function(BenchmarkId::new("INN", k), |b| {
+            b.iter(|| {
+                for &q in &queries {
+                    std::hint::black_box(inn(&w.index, &objects, q, k));
+                }
+            })
+        });
+        for (name, variant) in [
+            ("KNN", KnnVariant::Basic),
+            ("KNN-I", KnnVariant::EarlyEstimate),
+            ("KNN-M", KnnVariant::MinDist),
+        ] {
+            group.bench_function(BenchmarkId::new(name, k), |b| {
+                b.iter(|| {
+                    for &q in &queries {
+                        std::hint::black_box(knn(&w.index, &objects, q, k, variant));
+                    }
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_exec_time);
+criterion_main!(benches);

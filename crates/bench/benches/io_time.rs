@@ -1,0 +1,70 @@
+//! Figure p.38 — query time against the disk-resident index (LRU cache =
+//! 5 % of pages), where I/O dominates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use silc::{disk, DiskSilcIndex};
+use silc_bench::{StandardWorkload, WorkloadConfig};
+use silc_query::{inn, knn, KnnVariant};
+
+fn bench_io_time(c: &mut Criterion) {
+    let w = StandardWorkload::build(WorkloadConfig { vertices: 1500, ..Default::default() });
+    let dir = std::env::temp_dir().join("silc-bench-io-criterion");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.idx");
+    disk::write_index(&w.index, &path).unwrap();
+    let disk_index = DiskSilcIndex::open(&path, w.network.clone(), 0.05).unwrap();
+    let objects = w.objects(0.07, 0);
+    let queries = w.queries(4, 0);
+    let k = 10;
+
+    let mut group = c.benchmark_group("figure_p38_io_time");
+    group.sample_size(10);
+    group.bench_function("INN_disk", |b| {
+        b.iter(|| {
+            disk_index.clear_cache();
+            for &q in &queries {
+                std::hint::black_box(inn(&disk_index, &objects, q, k));
+            }
+        })
+    });
+    for (name, variant) in [
+        ("KNN_disk", KnnVariant::Basic),
+        ("KNN-I_disk", KnnVariant::EarlyEstimate),
+        ("KNN-M_disk", KnnVariant::MinDist),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                disk_index.clear_cache();
+                for &q in &queries {
+                    std::hint::black_box(knn(&disk_index, &objects, q, k, variant));
+                }
+            })
+        });
+    }
+    // The in-memory counterpart, for the I/O-share comparison.
+    group.bench_function("KNN_memory", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                std::hint::black_box(knn(&w.index, &objects, q, k, KnnVariant::Basic));
+            }
+        })
+    });
+    group.finish();
+
+    disk_index.reset_io_stats();
+    disk_index.clear_cache();
+    for &q in &queries {
+        let _ = knn(&disk_index, &objects, q, k, KnnVariant::Basic);
+    }
+    let io = disk_index.io_stats();
+    println!(
+        "\n# figure p.38 I/O profile (KNN, cold cache): {} reads, {:.1} KiB, hit rate {:.0}%",
+        io.misses,
+        io.bytes_read as f64 / 1024.0,
+        100.0 * io.hit_rate()
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_io_time);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Extension X1 — PCP distance-oracle build and query latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use silc_network::generate::{road_network, RoadConfig};
+use silc_network::VertexId;
+use silc_pcp::DistanceOracle;
+
+fn bench_pcp(c: &mut Criterion) {
+    let g = road_network(&RoadConfig { vertices: 400, seed: 2008, ..Default::default() });
+
+    let mut group = c.benchmark_group("x1_pcp_oracle_build");
+    group.sample_size(10);
+    for s in [2.0f64, 4.0] {
+        group.bench_with_input(BenchmarkId::new("build", s as u32), &s, |b, &s| {
+            b.iter(|| std::hint::black_box(DistanceOracle::build(&g, 10, s)))
+        });
+    }
+    group.finish();
+
+    let oracle = DistanceOracle::build(&g, 10, 4.0);
+    println!(
+        "\n# X1: oracle s=4 stores {} pairs, ε ≈ {:.2}",
+        oracle.pair_count(),
+        oracle.epsilon()
+    );
+    let pairs: Vec<(VertexId, VertexId)> =
+        (0..32).map(|i| (VertexId(i * 11 % 400), VertexId((i * 29 + 50) % 400))).collect();
+    let mut group = c.benchmark_group("x1_pcp_oracle_query");
+    group.sample_size(30);
+    group.bench_function("distance", |b| {
+        b.iter(|| {
+            for &(u, v) in &pairs {
+                std::hint::black_box(oracle.distance(u, v));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pcp);
+criterion_main!(benches);

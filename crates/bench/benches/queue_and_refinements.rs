@@ -1,0 +1,81 @@
+//! Figures p.34–p.37 — queue sizes, refinement counts, KMINDIST pruning,
+//! and estimate quality.
+//!
+//! These figures plot *counters*, not times; the bench times the counter-
+//! dominant code paths (INN vs the pruned variants) and prints the counter
+//! series alongside, so `cargo bench` regenerates both.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use silc_bench::stats::mean;
+use silc_bench::{StandardWorkload, WorkloadConfig};
+use silc_query::{inn, knn, KnnVariant};
+
+fn bench_counters(c: &mut Criterion) {
+    let w = StandardWorkload::build(WorkloadConfig { vertices: 1500, ..Default::default() });
+    let objects = w.objects(0.07, 0);
+    let queries = w.queries(6, 0);
+    let k = 10;
+
+    // Counter series for the four figures.
+    let mut inn_queue = Vec::new();
+    let mut knn_queue = Vec::new();
+    let mut inn_refines = Vec::new();
+    let mut knn_refines = Vec::new();
+    let mut m_refines = Vec::new();
+    let mut pruned = Vec::new();
+    let mut d0k_pct = Vec::new();
+    let mut kmin_pct = Vec::new();
+    for &q in &queries {
+        let ri = inn(&w.index, &objects, q, k);
+        inn_queue.push(ri.stats.max_queue as f64);
+        inn_refines.push(ri.stats.refinements as f64);
+        let rk = knn(&w.index, &objects, q, k, KnnVariant::Basic);
+        knn_queue.push(rk.stats.max_queue as f64);
+        knn_refines.push(rk.stats.refinements as f64);
+        let rm = knn(&w.index, &objects, q, k, KnnVariant::MinDist);
+        m_refines.push(rm.stats.refinements as f64);
+        pruned.push(100.0 * rm.stats.kmindist_pruned as f64 / k as f64);
+        if rm.stats.dk_final > 0.0 {
+            if let Some(d) = rm.stats.d0k {
+                d0k_pct.push(100.0 * d / rm.stats.dk_final);
+            }
+            if let Some(m) = rm.stats.kmindist_final {
+                kmin_pct.push(100.0 * m / rm.stats.dk_final);
+            }
+        }
+    }
+    println!("\n# figure p.34: max |Q| — KNN {:.0}% of INN", 100.0 * mean(&knn_queue) / mean(&inn_queue));
+    println!("# figure p.35: refinements — KNN {:.0}% / KNN-M {:.0}% of INN",
+        100.0 * mean(&knn_refines) / mean(&inn_refines),
+        100.0 * mean(&m_refines) / mean(&inn_refines));
+    println!("# figure p.36: {:.0}% of neighbors pruned against KMINDIST", mean(&pruned));
+    println!("# figure p.37: D0k = {:.0}% of Dk, KMINDIST = {:.0}% of Dk", mean(&d0k_pct), mean(&kmin_pct));
+
+    let mut group = c.benchmark_group("figures_p34_p37_counter_paths");
+    group.sample_size(20);
+    group.bench_function("INN_k10", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                std::hint::black_box(inn(&w.index, &objects, q, k));
+            }
+        })
+    });
+    group.bench_function("KNN_k10", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                std::hint::black_box(knn(&w.index, &objects, q, k, KnnVariant::Basic));
+            }
+        })
+    });
+    group.bench_function("KNN-M_k10", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                std::hint::black_box(knn(&w.index, &objects, q, k, KnnVariant::MinDist));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_counters);
+criterion_main!(benches);

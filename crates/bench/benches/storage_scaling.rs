@@ -1,0 +1,37 @@
+//! Figure p.16 — SILC precomputation and storage scaling.
+//!
+//! Times the per-network-size precompute (Dijkstra + quadtree build for all
+//! sources) and prints the measured Morton-block counts whose log-log slope
+//! the paper reports as ≈ 1.5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use silc::index::count_total_blocks;
+use silc_network::generate::{road_network, RoadConfig};
+
+fn bench_storage_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_p16_storage_scaling");
+    group.sample_size(10);
+    let mut table = Vec::new();
+    for &n in &[500usize, 1000, 2000] {
+        let g = road_network(&RoadConfig { vertices: n, seed: 2008, ..Default::default() });
+        let blocks = count_total_blocks(&g, 11, 0).expect("count blocks");
+        table.push((n, blocks));
+        group.bench_with_input(BenchmarkId::new("precompute", n), &g, |b, g| {
+            b.iter(|| count_total_blocks(g, 11, 0).expect("count blocks"))
+        });
+    }
+    group.finish();
+    println!("\n# figure p.16 series (n, morton blocks):");
+    for (n, m) in &table {
+        println!("#   {n:>6} {m:>10}   (m/n = {:.1})", *m as f64 / *n as f64);
+    }
+    let slope = {
+        let x: Vec<f64> = table.iter().map(|(n, _)| (*n as f64).ln()).collect();
+        let y: Vec<f64> = table.iter().map(|(_, m)| (*m as f64).ln()).collect();
+        silc_bench::stats::slope(&x, &y)
+    };
+    println!("# log-log slope = {slope:.3} (paper: ~1.5)");
+}
+
+criterion_group!(benches, bench_storage_scaling);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Table p.11 — per-approach path and distance query latency (the storage
+//! column is printed by `figures -- table1`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use silc::prelude::*;
+use silc_network::generate::{road_network, RoadConfig};
+use silc_network::{dijkstra, VertexId};
+use silc_pcp::DistanceOracle;
+use std::sync::Arc;
+
+fn bench_tradeoffs(c: &mut Criterion) {
+    let g = Arc::new(road_network(&RoadConfig { vertices: 500, seed: 2008, ..Default::default() }));
+    let idx = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 10, threads: 0 }).unwrap();
+    let oracle = DistanceOracle::build(&g, 10, 4.0);
+    let pairs: Vec<(VertexId, VertexId)> =
+        (0..16).map(|i| (VertexId(i * 7 % 500), VertexId((i * 31 + 100) % 500))).collect();
+
+    let mut group = c.benchmark_group("table_p11_query_latency");
+    group.sample_size(20);
+    group.bench_function("dijkstra_path", |b| {
+        b.iter(|| {
+            for &(s, d) in &pairs {
+                std::hint::black_box(dijkstra::point_to_point(&g, s, d));
+            }
+        })
+    });
+    group.bench_function("silc_path", |b| {
+        b.iter(|| {
+            for &(s, d) in &pairs {
+                std::hint::black_box(silc::path::shortest_path(&idx, s, d).unwrap());
+            }
+        })
+    });
+    group.bench_function("silc_distance_refined", |b| {
+        b.iter(|| {
+            for &(s, d) in &pairs {
+                let mut r = RefinableDistance::new(&idx, s, d);
+                std::hint::black_box(r.refine_until_exact(&idx));
+            }
+        })
+    });
+    group.bench_function("silc_distance_interval_only", |b| {
+        b.iter(|| {
+            for &(s, d) in &pairs {
+                std::hint::black_box(idx.interval(s, d));
+            }
+        })
+    });
+    group.bench_function("oracle_distance_approx", |b| {
+        b.iter(|| {
+            for &(s, d) in &pairs {
+                std::hint::black_box(oracle.distance(s, d));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tradeoffs);
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! Ablations of the design choices the paper motivates.
+//!
+//! * **A1 (MBR storage)** — paper p.13: storing the shortest-path map as
+//!   per-color minimum bounding rectangles (Wagner & Willhalm) leaves
+//!   lookups ambiguous; the disjoint quadtree never is.
+//! * **A2 (per-block λ bounds)** — the quadtree stores `[λ−, λ+]` per
+//!   block; replacing the regional λ− bound by the global
+//!   weight/Euclidean ratio shows how much pruning power the per-block
+//!   bounds buy during kNN search.
+
+use crate::experiments::Report;
+use crate::stats::mean;
+use crate::workloads::StandardWorkload;
+use silc::sp_quadtree::CellRect;
+use silc::spmap::ShortestPathMap;
+use silc::{mbr_baseline::ColorMbrIndex, BlockEntry, DistanceBrowser};
+use silc_geom::GridMapper;
+use silc_morton::MortonCode;
+use silc_network::{SpatialNetwork, VertexId};
+use silc_query::{knn, KnnVariant};
+use std::time::Instant;
+
+/// A1: ambiguity of MBR-based next-hop lookup vs the quadtree.
+pub fn ablation_mbr(w: &StandardWorkload, sources: usize) -> Report {
+    let g = &w.network;
+    let mut r = Report::new("Ablation A1 (paper p.13): MBR storage vs shortest-path quadtree");
+    let mut ambiguity = Vec::new();
+    let mut candidates = Vec::new();
+    let step = (g.vertex_count() / sources.max(1)).max(1);
+    for s in (0..g.vertex_count()).step_by(step) {
+        let source = VertexId(s as u32);
+        let map = ShortestPathMap::compute(g, source).expect("connected network");
+        let mbr = ColorMbrIndex::build(&map, g.positions());
+        ambiguity.push(100.0 * mbr.ambiguity_rate(g.positions()));
+        let mean_candidates = g
+            .positions()
+            .iter()
+            .map(|p| mbr.lookup(p).len() as f64)
+            .sum::<f64>()
+            / g.vertex_count() as f64;
+        candidates.push(mean_candidates);
+    }
+    r.line(format!("{:>28}{:>16}{:>16}", "storage", "% ambiguous", "candidates"));
+    r.line(format!(
+        "{:>28}{:>16.1}{:>16.2}",
+        "per-color MBRs",
+        mean(&ambiguity),
+        mean(&candidates)
+    ));
+    r.line(format!("{:>28}{:>16.1}{:>16.2}", "shortest-path quadtree", 0.0, 1.0));
+    r.line("the quadtree's disjoint blocks always identify the next hop uniquely;".to_string());
+    r.line("ambiguous MBR lookups are why the paper rejects bounding boxes".to_string());
+    r
+}
+
+/// A wrapper index whose regional λ− bound is degraded to the global
+/// weight/Euclidean ratio. Object intervals stay sharp; only block
+/// (region) lower bounds lose the per-block λ.
+struct GlobalRatioOnly<'a, B: DistanceBrowser>(&'a B);
+
+impl<B: DistanceBrowser> DistanceBrowser for GlobalRatioOnly<'_, B> {
+    fn network(&self) -> &SpatialNetwork {
+        self.0.network()
+    }
+    fn mapper(&self) -> &GridMapper {
+        self.0.mapper()
+    }
+    fn vertex_code(&self, v: VertexId) -> MortonCode {
+        self.0.vertex_code(v)
+    }
+    fn entry(&self, u: VertexId, code: MortonCode) -> Option<BlockEntry> {
+        self.0.entry(u, code)
+    }
+    fn min_lambda(&self, _u: VertexId, _rect: &CellRect) -> Option<f64> {
+        None // always fall back to the global ratio
+    }
+    fn global_min_ratio(&self) -> f64 {
+        self.0.global_min_ratio()
+    }
+}
+
+/// A2: value of the per-block λ− region bounds during kNN.
+pub fn ablation_lambda(w: &StandardWorkload, density: f64, k: usize, trials: u64, queries: usize) -> Report {
+    let mut r = Report::new(
+        "Ablation A2: per-block λ− region bounds vs global-ratio bounds (kNN)",
+    );
+    let degraded = GlobalRatioOnly(&w.index);
+    let mut sharp_t = Vec::new();
+    let mut degr_t = Vec::new();
+    let mut sharp_q = Vec::new();
+    let mut degr_q = Vec::new();
+    let mut sharp_ref = Vec::new();
+    let mut degr_ref = Vec::new();
+    for trial in 0..trials {
+        let objects = w.objects(density, trial);
+        let k = k.min(objects.len());
+        for &q in &w.queries(queries, trial) {
+            let t = Instant::now();
+            let a = knn(&w.index, &objects, q, k, KnnVariant::Basic);
+            sharp_t.push(t.elapsed().as_secs_f64() * 1e3);
+            sharp_q.push(a.stats.max_queue as f64);
+            sharp_ref.push(a.stats.refinements as f64);
+
+            let t = Instant::now();
+            let b = knn(&degraded, &objects, q, k, KnnVariant::Basic);
+            degr_t.push(t.elapsed().as_secs_f64() * 1e3);
+            degr_q.push(b.stats.max_queue as f64);
+            degr_ref.push(b.stats.refinements as f64);
+
+            assert_eq!(a.object_ids(), b.object_ids(), "ablation changed the answer");
+        }
+    }
+    r.line(format!(
+        "{:>28}{:>12}{:>12}{:>14}",
+        "region bound", "time ms", "max |Q|", "refinements"
+    ));
+    r.line(format!(
+        "{:>28}{:>12.3}{:>12.1}{:>14.1}",
+        "per-block λ−",
+        mean(&sharp_t),
+        mean(&sharp_q),
+        mean(&sharp_ref)
+    ));
+    r.line(format!(
+        "{:>28}{:>12.3}{:>12.1}{:>14.1}",
+        "global ratio only",
+        mean(&degr_t),
+        mean(&degr_q),
+        mean(&degr_ref)
+    ));
+    r.line("identical answers; per-block bounds shrink the queue, though the λ-descent".to_string());
+    r.line("cost can outweigh the savings on CPU-resident runs of this size — the win".to_string());
+    r.line("is in avoided block expansions, which matter when blocks live on disk".to_string());
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::WorkloadConfig;
+
+    #[test]
+    fn mbr_ablation_shows_ambiguity() {
+        let w = StandardWorkload::build(WorkloadConfig { vertices: 200, ..Default::default() });
+        let r = ablation_mbr(&w, 10);
+        let mbr_row = r.lines.iter().find(|l| l.contains("per-color MBRs")).unwrap();
+        let ambiguous: f64 = mbr_row.split_whitespace().nth(2).unwrap().parse().unwrap_or(0.0);
+        assert!(ambiguous > 0.0, "MBR storage should be ambiguous somewhere");
+    }
+
+    #[test]
+    fn lambda_ablation_preserves_answers() {
+        let w = StandardWorkload::build(WorkloadConfig { vertices: 200, ..Default::default() });
+        // The assert inside the experiment is the test.
+        let r = ablation_lambda(&w, 0.1, 3, 2, 3);
+        assert!(r.lines.len() >= 4);
+    }
+}

@@ -1,0 +1,72 @@
+//! Extension X1 (paper pp.28–29): the PCP / well-separated-pair distance
+//! oracle — size and accuracy as the separation factor grows.
+
+use crate::experiments::Report;
+use crate::stats::mean;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use silc_network::generate::{road_network, RoadConfig};
+use silc_network::{dijkstra, VertexId};
+use silc_pcp::DistanceOracle;
+use std::time::Instant;
+
+/// Builds oracles for each separation factor and reports size, build time,
+/// query latency, and observed relative error against Dijkstra ground
+/// truth.
+pub fn pcp_tradeoff(vertices: usize, separations: &[f64], seed: u64) -> Report {
+    let g = road_network(&RoadConfig { vertices, seed, ..Default::default() });
+    let n = g.vertex_count() as u32;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_5EED);
+    let sample: Vec<(VertexId, VertexId)> = (0..80)
+        .map(|_| (VertexId(rng.gen_range(0..n)), VertexId(rng.gen_range(0..n))))
+        .filter(|(a, b)| a != b)
+        .collect();
+    let truths: Vec<f64> = sample
+        .iter()
+        .map(|&(a, b)| dijkstra::distance(&g, a, b).expect("connected"))
+        .collect();
+
+    let mut r = Report::new(format!(
+        "Extension X1 (pp.28–29): PCP distance oracle trade-off, n = {vertices}"
+    ));
+    r.line(format!(
+        "{:>6}{:>10}{:>12}{:>12}{:>14}{:>14}",
+        "s", "pairs", "build s", "query µs", "mean err %", "max err %"
+    ));
+    for &s in separations {
+        let t = Instant::now();
+        let oracle = DistanceOracle::build(&g, 10, s);
+        let build = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let mut errors = Vec::with_capacity(sample.len());
+        for (&(a, b), &truth) in sample.iter().zip(&truths) {
+            let approx = oracle.distance(a, b);
+            errors.push(100.0 * (approx - truth).abs() / truth.max(1e-12));
+        }
+        let query_us = t.elapsed().as_secs_f64() * 1e6 / sample.len() as f64;
+        let max_err = errors.iter().copied().fold(0.0f64, f64::max);
+        r.line(format!(
+            "{:>6}{:>10}{:>12.2}{:>12.3}{:>14.2}{:>14.2}",
+            s,
+            oracle.pair_count(),
+            build,
+            query_us,
+            mean(&errors),
+            max_err
+        ));
+    }
+    r.line("pairs grow O(s²n) while error falls ∝ 1/s — the ε-approximate".to_string());
+    r.line("distance-oracle rows of table p.11".to_string());
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tradeoff_report_has_a_row_per_separation() {
+        let r = pcp_tradeoff(120, &[2.0, 4.0], 5);
+        assert_eq!(r.lines.len(), 1 + 2 + 2);
+    }
+}

@@ -1,0 +1,13 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each experiment in [`experiments`] corresponds to one artifact of the
+//! paper's evaluation (see `DESIGN.md` for the full index) and returns
+//! structured rows that the `figures` binary prints. The same functions are
+//! wrapped by the Criterion benches, so `cargo bench` and
+//! `cargo run --bin figures` measure identical code paths.
+
+pub mod experiments;
+pub mod stats;
+pub mod workloads;
+
+pub use workloads::{StandardWorkload, WorkloadConfig};

@@ -1,0 +1,464 @@
+//! The disk-resident SILC index.
+//!
+//! The paper's experiments (p.32, p.38) run the quadtrees from disk with an
+//! LRU cache holding 5 % of the pages, and find that I/O time dominates
+//! query time because every refinement may touch a different vertex's
+//! quadtree. This module serializes an index into a real page file and
+//! serves lookups through `silc_storage::BufferPool`, so those experiments
+//! measure genuine page reads.
+//!
+//! ## File layout
+//!
+//! ```text
+//! header   magic "SILCIDX1", n, q, world bounds, global min ratio,
+//!          entry-region offset
+//! codes    n × u64   — per-vertex grid-cell Morton codes
+//! directory n × (u64, u32) — first entry index + entry count per vertex
+//! entries  one 19-byte record per Morton block, all vertices concatenated:
+//!          block base u64 | level u8 | color u16 | λ− f32 | λ+ f32
+//! ```
+//!
+//! Header, codes and directory are small and held in memory (they are the
+//! "directory" any disk index keeps pinned); only the entry region — the
+//! `O(N√N)` part — goes through the buffer pool. λ bounds are narrowed to
+//! `f32` with outward rounding, so disk intervals are never tighter than the
+//! exact ones (correctness is preserved; bounds may be a hair looser).
+
+use crate::browser::DistanceBrowser;
+use crate::error::BuildError;
+use crate::index::SilcIndex;
+use crate::sp_quadtree::{BlockEntry, CellRect};
+use bytes::{Buf, BufMut};
+use silc_geom::{GridMapper, Rect};
+use silc_morton::{MortonBlock, MortonCode};
+use silc_network::{SpatialNetwork, VertexId};
+use silc_storage::{BufferPool, FilePageStore, PageId, PageStore, PAGE_SIZE};
+use std::path::Path;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 8] = b"SILCIDX1";
+/// Bytes per serialized block entry.
+pub const ENTRY_BYTES: usize = 19;
+
+/// Rounds toward −∞ when narrowing to `f32`.
+fn f32_down(x: f64) -> f32 {
+    let f = x as f32;
+    if f as f64 > x {
+        f.next_down()
+    } else {
+        f
+    }
+}
+
+/// Rounds toward +∞ when narrowing to `f32`.
+fn f32_up(x: f64) -> f32 {
+    let f = x as f32;
+    if (f as f64) < x {
+        f.next_up()
+    } else {
+        f
+    }
+}
+
+/// Serializes `index` into a page file at `path`.
+pub fn write_index<P: AsRef<Path>>(index: &SilcIndex, path: P) -> Result<(), BuildError> {
+    let g = index.network();
+    let n = g.vertex_count();
+    let mut directory: Vec<(u64, u32)> = Vec::with_capacity(n);
+    let mut next_entry = 0u64;
+    for v in g.vertices() {
+        let count = index.tree(v).block_count() as u32;
+        directory.push((next_entry, count));
+        next_entry += count as u64;
+    }
+
+    let header_len = 8 + 4 + 4 + 32 + 8 + 8;
+    let meta_len = header_len + n * 8 + n * 12;
+    let entries_base = meta_len as u64;
+
+    let mut buf = Vec::with_capacity(meta_len + next_entry as usize * ENTRY_BYTES);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(n as u32);
+    buf.put_u32_le(index.mapper().q());
+    let b = index.mapper().bounds();
+    buf.put_f64_le(b.min_x);
+    buf.put_f64_le(b.min_y);
+    buf.put_f64_le(b.max_x);
+    buf.put_f64_le(b.max_y);
+    buf.put_f64_le(index.global_min_ratio());
+    buf.put_u64_le(entries_base);
+    for v in g.vertices() {
+        buf.put_u64_le(index.vertex_code(v).value());
+    }
+    for &(start, count) in &directory {
+        buf.put_u64_le(start);
+        buf.put_u32_le(count);
+    }
+    debug_assert_eq!(buf.len(), meta_len);
+    for v in g.vertices() {
+        for e in index.tree(v).entries() {
+            buf.put_u64_le(e.block.start());
+            buf.put_u8(e.block.level());
+            buf.put_u16_le(e.color);
+            buf.put_f32_le(f32_down(e.lambda_lo));
+            buf.put_f32_le(f32_up(e.lambda_hi));
+        }
+    }
+    FilePageStore::create(path, &buf)?;
+    Ok(())
+}
+
+/// A SILC index served from a page file through an LRU buffer pool.
+pub struct DiskSilcIndex {
+    network: Arc<SpatialNetwork>,
+    mapper: GridMapper,
+    codes: Vec<MortonCode>,
+    directory: Vec<(u64, u32)>,
+    entries_base: u64,
+    min_ratio: f64,
+    pool: BufferPool<FilePageStore>,
+}
+
+impl DiskSilcIndex {
+    /// Opens an index file, pairing it with the network it was built for.
+    ///
+    /// `cache_fraction` sizes the buffer pool relative to the file's page
+    /// count; the paper uses 0.05.
+    pub fn open<P: AsRef<Path>>(
+        path: P,
+        network: Arc<SpatialNetwork>,
+        cache_fraction: f64,
+    ) -> Result<Self, BuildError> {
+        let store = FilePageStore::open(&path)?;
+        let corrupt = |msg: &str| BuildError::Corrupt(msg.to_string());
+
+        // Read the metadata region directly (header, codes, directory).
+        let read_bytes = |store: &FilePageStore, from: usize, len: usize| -> Result<Vec<u8>, BuildError> {
+            let mut out = Vec::with_capacity(len);
+            let mut page = from / PAGE_SIZE;
+            let mut off = from % PAGE_SIZE;
+            while out.len() < len {
+                let data = store.read_page(PageId(page as u64)).map_err(BuildError::Io)?;
+                let take = (len - out.len()).min(PAGE_SIZE - off);
+                out.extend_from_slice(&data[off..off + take]);
+                page += 1;
+                off = 0;
+            }
+            Ok(out)
+        };
+
+        let header_len = 8 + 4 + 4 + 32 + 8 + 8;
+        if (store.page_count() as usize) * PAGE_SIZE < header_len {
+            return Err(corrupt("file too small for header"));
+        }
+        let header = read_bytes(&store, 0, header_len)?;
+        let mut h = &header[..];
+        let mut magic = [0u8; 8];
+        h.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let n = h.get_u32_le() as usize;
+        if n != network.vertex_count() {
+            return Err(corrupt("index vertex count does not match network"));
+        }
+        let q = h.get_u32_le();
+        if !(1..=16).contains(&q) {
+            return Err(corrupt("grid exponent out of range"));
+        }
+        let bounds = Rect::new(h.get_f64_le(), h.get_f64_le(), h.get_f64_le(), h.get_f64_le());
+        let min_ratio = h.get_f64_le();
+        let entries_base = h.get_u64_le();
+
+        let meta = read_bytes(&store, header_len, n * 8 + n * 12)?;
+        let mut m = &meta[..];
+        let mut codes = Vec::with_capacity(n);
+        for _ in 0..n {
+            codes.push(MortonCode(m.get_u64_le()));
+        }
+        let mut directory = Vec::with_capacity(n);
+        let mut total_entries = 0u64;
+        for _ in 0..n {
+            let start = m.get_u64_le();
+            let count = m.get_u32_le();
+            if start != total_entries {
+                return Err(corrupt("directory entries are not contiguous"));
+            }
+            total_entries += count as u64;
+            directory.push((start, count));
+        }
+        let needed = entries_base + total_entries * ENTRY_BYTES as u64;
+        if needed > store.page_count() * PAGE_SIZE as u64 {
+            return Err(corrupt("entry region extends past end of file"));
+        }
+
+        let pool = BufferPool::with_fraction(store, cache_fraction);
+        Ok(DiskSilcIndex {
+            mapper: GridMapper::new(bounds, q),
+            network,
+            codes,
+            directory,
+            entries_base,
+            min_ratio,
+            pool,
+        })
+    }
+
+    /// I/O counters of the buffer pool.
+    pub fn io_stats(&self) -> silc_storage::IoStats {
+        self.pool.stats()
+    }
+
+    /// Zeroes the I/O counters.
+    pub fn reset_io_stats(&self) {
+        self.pool.reset_stats()
+    }
+
+    /// Drops all cached pages (cold start).
+    pub fn clear_cache(&self) {
+        self.pool.clear()
+    }
+
+    /// Number of pages in the index file.
+    pub fn page_count(&self) -> u64 {
+        self.pool.store().page_count()
+    }
+
+    /// Fetches the whole shortest-path quadtree of `u` from the buffer
+    /// pool — the paper's access pattern ("retrieve the shortest-path
+    /// quadtree Qs", p.17). Per-vertex quadtrees average `O(√n)` entries,
+    /// typically well under one page, so this is one sequential page read
+    /// when cold and pure memory when cached.
+    ///
+    /// # Panics
+    /// Panics on I/O errors — a query against a vanished index file is not
+    /// recoverable mid-flight.
+    fn load_entries(&self, u: VertexId) -> Vec<BlockEntry> {
+        let (start, count) = self.directory[u.index()];
+        let byte_lo = self.entries_base + start * ENTRY_BYTES as u64;
+        let byte_hi = byte_lo + count as u64 * ENTRY_BYTES as u64;
+        let mut raw = Vec::with_capacity((byte_hi - byte_lo) as usize);
+        if count > 0 {
+            let page_lo = byte_lo / PAGE_SIZE as u64;
+            let page_hi = (byte_hi - 1) / PAGE_SIZE as u64;
+            for page in page_lo..=page_hi {
+                let data = self.pool.get(PageId(page)).expect("index page read failed");
+                let lo = byte_lo.max(page * PAGE_SIZE as u64) - page * PAGE_SIZE as u64;
+                let hi = byte_hi.min((page + 1) * PAGE_SIZE as u64) - page * PAGE_SIZE as u64;
+                raw.extend_from_slice(&data[lo as usize..hi as usize]);
+            }
+        }
+        let mut r = &raw[..];
+        let mut entries = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let base = r.get_u64_le();
+            let level = r.get_u8();
+            let color = r.get_u16_le();
+            let lambda_lo = (r.get_f32_le() as f64).max(0.0);
+            let lambda_hi = r.get_f32_le() as f64;
+            entries.push(BlockEntry {
+                block: MortonBlock::new(MortonCode(base), level),
+                color,
+                lambda_lo,
+                lambda_hi,
+            });
+        }
+        entries
+    }
+
+    fn min_lambda_walk(
+        entries: &[BlockEntry],
+        block: MortonBlock,
+        rect: &CellRect,
+        best: &mut Option<f64>,
+    ) {
+        if !rect.intersects_block(&block) {
+            return;
+        }
+        if matches!(*best, Some(b) if b == 0.0) {
+            return;
+        }
+        let idx = entries.partition_point(|e| e.block.end() <= block.start());
+        let Some(e) = entries.get(idx) else { return };
+        if e.block.start() >= block.end() {
+            return;
+        }
+        if e.block.start() <= block.start() && e.block.end() >= block.end() {
+            let lambda =
+                if e.color == crate::sp_quadtree::COLOR_SOURCE { 0.0 } else { e.lambda_lo };
+            *best = Some(best.map_or(lambda, |b| b.min(lambda)));
+            return;
+        }
+        for child in block.children() {
+            Self::min_lambda_walk(entries, child, rect, best);
+        }
+    }
+}
+
+impl DistanceBrowser for DiskSilcIndex {
+    fn network(&self) -> &SpatialNetwork {
+        &self.network
+    }
+
+    fn mapper(&self) -> &GridMapper {
+        &self.mapper
+    }
+
+    fn vertex_code(&self, v: VertexId) -> MortonCode {
+        self.codes[v.index()]
+    }
+
+    fn entry(&self, u: VertexId, code: MortonCode) -> Option<BlockEntry> {
+        let entries = self.load_entries(u);
+        let idx = entries.partition_point(|e| e.block.end() <= code.0);
+        entries.get(idx).filter(|e| e.block.contains_code(code)).copied()
+    }
+
+    fn min_lambda(&self, u: VertexId, rect: &CellRect) -> Option<f64> {
+        let entries = self.load_entries(u);
+        let mut best = None;
+        Self::min_lambda_walk(&entries, MortonBlock::root(self.mapper.q()), rect, &mut best);
+        best
+    }
+
+    fn global_min_ratio(&self) -> f64 {
+        self.min_ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::BuildConfig;
+    use crate::path;
+    use silc_network::dijkstra;
+    use silc_network::generate::{grid_network, GridConfig};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("silc-disk-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn build_pair(name: &str) -> (SilcIndex, DiskSilcIndex) {
+        let g = Arc::new(grid_network(&GridConfig {
+            rows: 8,
+            cols: 8,
+            seed: 41,
+            ..Default::default()
+        }));
+        let idx =
+            SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 8, threads: 2 }).unwrap();
+        let path = tmp(name);
+        write_index(&idx, &path).unwrap();
+        let disk = DiskSilcIndex::open(&path, g, 0.25).unwrap();
+        (idx, disk)
+    }
+
+    #[test]
+    fn disk_lookups_match_memory() {
+        let (mem, disk) = build_pair("match.idx");
+        let g = mem.network();
+        for u in g.vertices() {
+            for v in g.vertices() {
+                if u == v {
+                    continue;
+                }
+                assert_eq!(
+                    mem.next_hop(u, v),
+                    disk.next_hop(u, v),
+                    "next hop differs for {u}->{v}"
+                );
+                let im = mem.interval(u, v);
+                let id = disk.interval(u, v);
+                // Disk λ are widened by f32 rounding: the disk interval must
+                // contain the memory interval.
+                assert!(id.lo <= im.lo + 1e-9 && id.hi >= im.hi - 1e-9, "{u}->{v}: {id} vs {im}");
+            }
+        }
+    }
+
+    #[test]
+    fn disk_paths_are_optimal() {
+        let (_, disk) = build_pair("paths.idx");
+        let g = disk.network();
+        for &(s, d) in &[(0u32, 63u32), (17, 44)] {
+            let p = path::shortest_path(&disk, VertexId(s), VertexId(d)).unwrap();
+            let truth = dijkstra::distance(g, VertexId(s), VertexId(d)).unwrap();
+            assert!((p.distance - truth).abs() < 1e-6);
+        }
+        let stats = disk.io_stats();
+        assert!(stats.requests() > 0, "disk queries must touch pages");
+    }
+
+    #[test]
+    fn cache_stats_reflect_locality() {
+        // A cache big enough for the whole file: the second identical query
+        // must be served entirely from memory.
+        let (mem, _) = build_pair("stats.idx");
+        let file = tmp("stats.idx");
+        let disk = DiskSilcIndex::open(&file, mem.network_arc().clone(), 1.0).unwrap();
+        let _ = path::shortest_path(&disk, VertexId(0), VertexId(63)).unwrap();
+        let cold = disk.io_stats();
+        assert!(cold.misses > 0);
+        disk.reset_io_stats();
+        let _ = path::shortest_path(&disk, VertexId(0), VertexId(63)).unwrap();
+        let warm = disk.io_stats();
+        assert_eq!(warm.misses, 0, "warm run must not touch the disk: {warm:?}");
+        assert!(warm.hits > 0);
+    }
+
+    #[test]
+    fn region_bounds_agree_with_memory_validity() {
+        let (mem, disk) = build_pair("region.idx");
+        let g = mem.network();
+        let u = VertexId(9);
+        let b = g.bounds();
+        let world = Rect::new(
+            b.min_x + b.width() * 0.5,
+            b.min_y,
+            b.max_x,
+            b.max_y * 0.5 + b.min_y * 0.5,
+        );
+        let bound = disk.region_lower_bound(u, &world);
+        for v in g.vertices() {
+            if world.contains(&g.position(v)) {
+                let d = dijkstra::distance(g, u, v).unwrap();
+                assert!(d >= bound - 1e-6, "disk region bound invalid");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_network_rejected() {
+        let (mem, _) = build_pair("wrongnet.idx");
+        let path = tmp("wrongnet.idx");
+        let other = Arc::new(grid_network(&GridConfig { rows: 3, cols: 3, ..Default::default() }));
+        match DiskSilcIndex::open(&path, other, 0.2) {
+            Err(BuildError::Corrupt(msg)) => assert!(msg.contains("vertex count")),
+            other => panic!("expected Corrupt, got {:?}", other.map(|_| ())),
+        }
+        drop(mem);
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let (_, _) = build_pair("trunc-src.idx");
+        let src = tmp("trunc-src.idx");
+        let dst = tmp("trunc.idx");
+        let data = std::fs::read(&src).unwrap();
+        std::fs::write(&dst, &data[..PAGE_SIZE.min(data.len())]).unwrap();
+        let g = Arc::new(grid_network(&GridConfig { rows: 8, cols: 8, seed: 41, ..Default::default() }));
+        assert!(DiskSilcIndex::open(&dst, g, 0.2).is_err());
+    }
+
+    #[test]
+    fn f32_rounding_is_outward() {
+        for &x in &[0.1f64, 1.7, 1234.5678, 1e-9, 3.0] {
+            assert!(f32_down(x) as f64 <= x);
+            assert!(f32_up(x) as f64 >= x);
+        }
+        assert_eq!(f32_down(2.0) as f64, 2.0);
+        assert_eq!(f32_up(2.0) as f64, 2.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Errors raised while building or loading a SILC index.
+
+use silc_network::VertexId;
+
+/// Why an index could not be built or loaded.
+#[derive(Debug)]
+pub enum BuildError {
+    /// Some vertex cannot be reached from `source`; SILC precomputation
+    /// requires a strongly connected network (extract the largest component
+    /// first — see `silc_network::analysis::largest_component`).
+    Unreachable { source: VertexId, missing: usize },
+    /// Two vertices share the same world position, so no `[λ−, λ+]` ratio
+    /// interval can bound their network distance.
+    CoincidentVertices(VertexId, VertexId),
+    /// An edge has zero weight between distinct vertices; path retrieval by
+    /// repeated next hops requires strictly positive weights to terminate.
+    ZeroWeightEdge(VertexId, VertexId),
+    /// The network is empty.
+    EmptyNetwork,
+    /// An I/O error while writing or reading a disk-resident index.
+    Io(std::io::Error),
+    /// A disk-resident index file is malformed.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Unreachable { source, missing } => write!(
+                f,
+                "{missing} vertices unreachable from {source}; the network must be strongly connected"
+            ),
+            BuildError::CoincidentVertices(a, b) => {
+                write!(f, "vertices {a} and {b} share the same position")
+            }
+            BuildError::ZeroWeightEdge(a, b) => {
+                write!(f, "zero-weight edge between {a} and {b}")
+            }
+            BuildError::EmptyNetwork => write!(f, "the network has no vertices"),
+            BuildError::Io(e) => write!(f, "I/O error: {e}"),
+            BuildError::Corrupt(msg) => write!(f, "corrupt index file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BuildError {
+    fn from(e: std::io::Error) -> Self {
+        BuildError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = BuildError::Unreachable { source: VertexId(3), missing: 7 };
+        assert!(e.to_string().contains("7 vertices unreachable from v3"));
+        let e = BuildError::CoincidentVertices(VertexId(1), VertexId(2));
+        assert!(e.to_string().contains("v1"));
+        assert!(e.to_string().contains("v2"));
+        let e = BuildError::Io(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn io_source_is_exposed() {
+        use std::error::Error;
+        let e = BuildError::Io(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        assert!(e.source().is_some());
+        assert!(BuildError::EmptyNetwork.source().is_none());
+    }
+}

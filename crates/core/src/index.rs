@@ -1,0 +1,386 @@
+//! The in-memory SILC index: shortest-path quadtrees for every vertex.
+//!
+//! Precomputation is embarrassingly parallel — one Dijkstra plus one
+//! quadtree build per source, with no interaction between sources (the paper
+//! points this out on p.27, "Easily Parallelizable: data parallelism").
+//! Workers pull vertex ids from a shared atomic counter and stream finished
+//! quadtrees back over a channel.
+
+use crate::browser::DistanceBrowser;
+use crate::error::BuildError;
+use crate::sp_quadtree::{BlockEntry, CellRect, SpQuadtree};
+use crate::spmap::ShortestPathMap;
+use silc_geom::GridMapper;
+use silc_morton::MortonCode;
+use silc_network::{SpatialNetwork, VertexId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Parameters of index construction.
+#[derive(Debug, Clone)]
+pub struct BuildConfig {
+    /// Grid resolution exponent `q`: vertices are embedded in a `2^q × 2^q`
+    /// grid. Must provide at least one cell per vertex; the default (12,
+    /// ≈ 16.8 M cells) comfortably fits the networks this library targets.
+    pub grid_exponent: u32,
+    /// Worker threads for precomputation; `0` means all available cores.
+    pub threads: usize,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        BuildConfig { grid_exponent: 12, threads: 0 }
+    }
+}
+
+/// Size and cost statistics of a built index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexStats {
+    /// Number of source vertices (= number of quadtrees).
+    pub vertices: usize,
+    /// Total Morton blocks across all quadtrees — the `m` of the paper's
+    /// storage plot (p.16, slope ≈ 1.5 in log-log).
+    pub total_blocks: usize,
+    /// Largest single quadtree.
+    pub max_blocks: usize,
+    /// Smallest single quadtree.
+    pub min_blocks: usize,
+    /// Wall-clock seconds spent building.
+    pub build_seconds: f64,
+}
+
+/// The SILC index: one shortest-path quadtree per network vertex.
+pub struct SilcIndex {
+    network: Arc<SpatialNetwork>,
+    mapper: GridMapper,
+    codes: Vec<MortonCode>,
+    trees: Vec<SpQuadtree>,
+    min_ratio: f64,
+    stats: IndexStats,
+}
+
+impl SilcIndex {
+    /// Builds the index for `network`.
+    ///
+    /// Runs `n` Dijkstra computations (in parallel) and decomposes each
+    /// shortest-path map into Morton blocks. Fails if the network is empty,
+    /// not strongly connected, has coincident vertex positions, or zero
+    /// weight edges.
+    pub fn build(network: Arc<SpatialNetwork>, cfg: &BuildConfig) -> Result<Self, BuildError> {
+        let start = Instant::now();
+        let n = network.vertex_count();
+        if n == 0 {
+            return Err(BuildError::EmptyNetwork);
+        }
+        let layout = GridLayout::new(&network, cfg.grid_exponent);
+        let trees = build_all_trees(&network, &layout, cfg.threads)?;
+
+        let total_blocks: usize = trees.iter().map(SpQuadtree::block_count).sum();
+        let max_blocks = trees.iter().map(SpQuadtree::block_count).max().unwrap_or(0);
+        let min_blocks = trees.iter().map(SpQuadtree::block_count).min().unwrap_or(0);
+        let min_ratio = network.min_weight_ratio();
+        Ok(SilcIndex {
+            mapper: layout.mapper,
+            codes: layout.codes,
+            trees,
+            min_ratio,
+            stats: IndexStats {
+                vertices: n,
+                total_blocks,
+                max_blocks,
+                min_blocks,
+                build_seconds: start.elapsed().as_secs_f64(),
+            },
+            network,
+        })
+    }
+
+    /// Size and build-cost statistics.
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    /// The shortest-path quadtree of vertex `u`.
+    pub fn tree(&self, u: VertexId) -> &SpQuadtree {
+        &self.trees[u.index()]
+    }
+
+    /// The shared network handle.
+    pub fn network_arc(&self) -> &Arc<SpatialNetwork> {
+        &self.network
+    }
+
+    /// Per-vertex grid-cell codes (indexed by vertex id).
+    pub fn codes(&self) -> &[MortonCode] {
+        &self.codes
+    }
+}
+
+impl DistanceBrowser for SilcIndex {
+    fn network(&self) -> &SpatialNetwork {
+        &self.network
+    }
+
+    fn mapper(&self) -> &GridMapper {
+        &self.mapper
+    }
+
+    fn vertex_code(&self, v: VertexId) -> MortonCode {
+        self.codes[v.index()]
+    }
+
+    fn entry(&self, u: VertexId, code: MortonCode) -> Option<BlockEntry> {
+        self.trees[u.index()].lookup(code).copied()
+    }
+
+    fn min_lambda(&self, u: VertexId, rect: &CellRect) -> Option<f64> {
+        self.trees[u.index()].min_lambda_in_rect(rect)
+    }
+
+    fn global_min_ratio(&self) -> f64 {
+        self.min_ratio
+    }
+}
+
+/// The grid embedding shared by every source: unique cells, Morton codes,
+/// and the code-sorted vertex list.
+pub(crate) struct GridLayout {
+    pub mapper: GridMapper,
+    pub codes: Vec<MortonCode>,
+    pub sorted: Vec<(u64, u32)>,
+}
+
+impl GridLayout {
+    pub(crate) fn new(network: &SpatialNetwork, q: u32) -> Self {
+        let mapper = GridMapper::new(*network.bounds(), q);
+        let cells = mapper.assign_unique(network.positions());
+        let codes: Vec<MortonCode> = cells.into_iter().map(MortonCode::encode).collect();
+        let mut sorted: Vec<(u64, u32)> =
+            codes.iter().enumerate().map(|(v, c)| (c.0, v as u32)).collect();
+        sorted.sort_unstable();
+        GridLayout { mapper, codes, sorted }
+    }
+}
+
+/// Builds every vertex's quadtree, fanning work out to `threads` workers.
+fn build_all_trees(
+    network: &SpatialNetwork,
+    layout: &GridLayout,
+    threads: usize,
+) -> Result<Vec<SpQuadtree>, BuildError> {
+    let n = network.vertex_count();
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(n)
+    .max(1);
+
+    if workers == 1 {
+        let mut trees = Vec::with_capacity(n);
+        for v in 0..n as u32 {
+            trees.push(build_one(network, layout, VertexId(v))?);
+        }
+        return Ok(trees);
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(u32, Result<SpQuadtree, BuildError>)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let v = next.fetch_add(1, Ordering::Relaxed);
+                if v >= n {
+                    break;
+                }
+                let result = build_one(network, layout, VertexId(v as u32));
+                let failed = result.is_err();
+                if tx.send((v as u32, result)).is_err() || failed {
+                    break; // collector hung up after a previous error
+                }
+            });
+        }
+        drop(tx);
+        let mut trees: Vec<Option<SpQuadtree>> = (0..n).map(|_| None).collect();
+        let mut received = 0usize;
+        for (v, result) in rx {
+            trees[v as usize] = Some(result?);
+            received += 1;
+            if received == n {
+                break;
+            }
+        }
+        Ok(trees.into_iter().map(|t| t.expect("all vertices built")).collect())
+    })
+}
+
+/// Builds the quadtree of one source (used by both the parallel builder and
+/// the streaming block counter).
+pub(crate) fn build_one(
+    network: &SpatialNetwork,
+    layout: &GridLayout,
+    source: VertexId,
+) -> Result<SpQuadtree, BuildError> {
+    let map = ShortestPathMap::compute(network, source)?;
+    SpQuadtree::build(&map, &layout.sorted, network.positions(), layout.mapper.q())
+}
+
+/// Counts the total number of Morton blocks of the index for `network`
+/// without keeping the quadtrees in memory.
+///
+/// This is the measurement behind the storage-scaling experiment (paper
+/// p.16): it streams one source at a time (in parallel), so networks far too
+/// large to hold a full index fit comfortably.
+pub fn count_total_blocks(
+    network: &SpatialNetwork,
+    grid_exponent: u32,
+    threads: usize,
+) -> Result<usize, BuildError> {
+    let n = network.vertex_count();
+    if n == 0 {
+        return Err(BuildError::EmptyNetwork);
+    }
+    let layout = GridLayout::new(network, grid_exponent);
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(n)
+    .max(1);
+
+    let next = AtomicUsize::new(0);
+    let total = AtomicUsize::new(0);
+    let error = parking_lot_free_error_slot();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let next = &next;
+            let total = &total;
+            let error = &error;
+            let layout = &layout;
+            scope.spawn(move || loop {
+                let v = next.fetch_add(1, Ordering::Relaxed);
+                if v >= n || error.lock().unwrap().is_some() {
+                    break;
+                }
+                match build_one(network, layout, VertexId(v as u32)) {
+                    Ok(tree) => {
+                        total.fetch_add(tree.block_count(), Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        *error.lock().unwrap() = Some(e);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = error.lock().unwrap().take() {
+        return Err(e);
+    }
+    Ok(total.into_inner())
+}
+
+fn parking_lot_free_error_slot() -> std::sync::Mutex<Option<BuildError>> {
+    std::sync::Mutex::new(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silc_network::generate::{grid_network, road_network, GridConfig, RoadConfig};
+    use silc_network::{dijkstra, NetworkBuilder};
+    use silc_geom::Point;
+
+    fn small() -> Arc<SpatialNetwork> {
+        Arc::new(grid_network(&GridConfig { rows: 6, cols: 6, seed: 11, ..Default::default() }))
+    }
+
+    #[test]
+    fn build_produces_a_tree_per_vertex() {
+        let g = small();
+        let idx = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 8, threads: 2 })
+            .unwrap();
+        assert_eq!(idx.stats().vertices, 36);
+        assert_eq!(
+            idx.stats().total_blocks,
+            (0..36).map(|v| idx.tree(VertexId(v)).block_count()).sum::<usize>()
+        );
+        assert!(idx.stats().min_blocks >= 1);
+        assert!(idx.stats().max_blocks >= idx.stats().min_blocks);
+        assert!(idx.stats().build_seconds >= 0.0);
+    }
+
+    #[test]
+    fn parallel_and_serial_builds_agree() {
+        let g = small();
+        let a = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 8, threads: 1 })
+            .unwrap();
+        let b = SilcIndex::build(g, &BuildConfig { grid_exponent: 8, threads: 4 }).unwrap();
+        assert_eq!(a.stats().total_blocks, b.stats().total_blocks);
+        for v in 0..36u32 {
+            assert_eq!(
+                a.tree(VertexId(v)).entries(),
+                b.tree(VertexId(v)).entries(),
+                "quadtree of v{v} differs between thread counts"
+            );
+        }
+    }
+
+    #[test]
+    fn distances_via_next_hops_match_dijkstra() {
+        let g = Arc::new(road_network(&RoadConfig { vertices: 120, seed: 31, ..Default::default() }));
+        let idx = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 9, threads: 0 })
+            .unwrap();
+        for &(s, d) in &[(0u32, 119u32), (5, 80), (37, 2)] {
+            let (mut cur, d) = (VertexId(s), VertexId(d));
+            let mut total = 0.0;
+            let mut hops = 0;
+            while cur != d {
+                let (next, w) = idx.next_hop(cur, d).unwrap();
+                total += w;
+                cur = next;
+                hops += 1;
+                assert!(hops <= g.vertex_count(), "next-hop walk does not terminate");
+            }
+            let truth = dijkstra::distance(&g, VertexId(s), d).unwrap();
+            assert!((total - truth).abs() < 1e-9, "{s}->{}: {total} vs {truth}", d.0);
+        }
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        let g = Arc::new(NetworkBuilder::new().build());
+        assert!(matches!(
+            SilcIndex::build(g, &BuildConfig::default()),
+            Err(BuildError::EmptyNetwork)
+        ));
+    }
+
+    #[test]
+    fn disconnected_network_rejected_in_parallel_build() {
+        let mut b = NetworkBuilder::new();
+        let u = b.add_vertex(Point::new(0.0, 0.0));
+        let v = b.add_vertex(Point::new(1.0, 0.0));
+        let _iso = b.add_vertex(Point::new(3.0, 3.0));
+        b.add_edge_sym(u, v, 1.0);
+        let g = Arc::new(b.build());
+        assert!(matches!(
+            SilcIndex::build(g, &BuildConfig { grid_exponent: 6, threads: 3 }),
+            Err(BuildError::Unreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn count_total_blocks_matches_full_build() {
+        let g = small();
+        let idx =
+            SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 8, threads: 2 }).unwrap();
+        let counted = count_total_blocks(&g, 8, 3).unwrap();
+        assert_eq!(counted, idx.stats().total_blocks);
+    }
+}

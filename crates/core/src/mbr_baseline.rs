@@ -1,0 +1,115 @@
+//! The rejected storage design: minimum bounding rectangles per color.
+//!
+//! Wagner & Willhalm (ESA 2003) stored each first-hop region of a
+//! shortest-path map as a minimum bounding box. The paper rejects this
+//! (p.13): the boxes of different colors *overlap*, so a destination lookup
+//! may return several candidate next hops, and disambiguating them can
+//! degenerate to Dijkstra. This module implements that design so ablation A1
+//! can measure the ambiguity rate the shortest-path quadtree eliminates.
+
+use crate::spmap::{ShortestPathMap, COLOR_SOURCE};
+use silc_geom::{Point, Rect};
+
+/// Per-color minimum bounding rectangles of one source's shortest-path map.
+#[derive(Debug, Clone)]
+pub struct ColorMbrIndex {
+    /// `(color, bounding rect of that color's vertices)`.
+    rects: Vec<(u16, Rect)>,
+}
+
+impl ColorMbrIndex {
+    /// Builds the MBRs for `map` over `positions`.
+    pub fn build(map: &ShortestPathMap, positions: &[Point]) -> Self {
+        let mut per_color: std::collections::BTreeMap<u16, Rect> = std::collections::BTreeMap::new();
+        for (v, &color) in map.colors.iter().enumerate() {
+            if color == COLOR_SOURCE {
+                continue;
+            }
+            let p = &positions[v];
+            per_color
+                .entry(color)
+                .and_modify(|r| r.expand(p))
+                .or_insert_with(|| Rect::new(p.x, p.y, p.x, p.y));
+        }
+        ColorMbrIndex { rects: per_color.into_iter().collect() }
+    }
+
+    /// Number of colors (== number of rectangles).
+    pub fn color_count(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// All colors whose bounding rectangle contains `p`.
+    ///
+    /// With overlapping boxes this may return zero, one, or several
+    /// candidates — only a unique candidate identifies the next hop.
+    pub fn lookup(&self, p: &Point) -> Vec<u16> {
+        self.rects
+            .iter()
+            .filter(|(_, r)| r.contains(p))
+            .map(|&(c, _)| c)
+            .collect()
+    }
+
+    /// Fraction of `probes` whose lookup is ambiguous (≠ 1 candidate) —
+    /// the quantity ablation A1 reports against the quadtree's 0 %.
+    pub fn ambiguity_rate(&self, probes: &[Point]) -> f64 {
+        if probes.is_empty() {
+            return 0.0;
+        }
+        let ambiguous = probes.iter().filter(|p| self.lookup(p).len() != 1).count();
+        ambiguous as f64 / probes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silc_network::generate::{grid_network, GridConfig};
+    use silc_network::VertexId;
+
+    fn fixture() -> (silc_network::SpatialNetwork, ShortestPathMap, ColorMbrIndex) {
+        let g = grid_network(&GridConfig { rows: 8, cols: 8, seed: 2, ..Default::default() });
+        let map = ShortestPathMap::compute(&g, VertexId(27)).unwrap();
+        let mbr = ColorMbrIndex::build(&map, g.positions());
+        (g, map, mbr)
+    }
+
+    #[test]
+    fn every_vertex_is_covered_by_its_color_box() {
+        let (g, map, mbr) = fixture();
+        for v in g.vertices() {
+            if v == VertexId(27) {
+                continue;
+            }
+            let candidates = mbr.lookup(&g.position(v));
+            assert!(
+                candidates.contains(&map.colors[v.index()]),
+                "true color missing from candidates of {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn color_count_bounded_by_out_degree() {
+        let (g, _, mbr) = fixture();
+        assert!(mbr.color_count() <= g.out_degree(VertexId(27)));
+        assert!(mbr.color_count() >= 2, "interior vertex should use several colors");
+    }
+
+    #[test]
+    fn overlapping_boxes_create_ambiguity() {
+        // On a grid with ≥ 3 directions from an interior source, the MBRs
+        // overlap near the source, so some vertex lookups see > 1 candidate.
+        let (g, _, mbr) = fixture();
+        let rate = mbr.ambiguity_rate(g.positions());
+        assert!(rate > 0.0, "expected some ambiguous lookups, rate = {rate}");
+        assert!(rate < 1.0, "not everything can be ambiguous");
+    }
+
+    #[test]
+    fn empty_probe_set() {
+        let (_, _, mbr) = fixture();
+        assert_eq!(mbr.ambiguity_rate(&[]), 0.0);
+    }
+}

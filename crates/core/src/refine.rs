@@ -1,0 +1,227 @@
+//! Progressive refinement of network distances.
+//!
+//! The defining primitive of SILC query processing (paper §5): a network
+//! distance is carried as an interval `[δ−, δ+]` that one *refinement step*
+//! tightens by advancing a single hop along the shortest path. The running
+//! state is always `exact prefix + one interval` —
+//! `d(q, o) = d(q, t) + [λ−·dE(t,o), λ+·dE(t,o)]` for the current
+//! intermediate vertex `t` — which the paper contrasts (p.30) with distance
+//! oracles whose estimates are sums of *two* intervals.
+
+use crate::browser::DistanceBrowser;
+use crate::interval::DistInterval;
+use silc_network::VertexId;
+use std::cmp::Ordering;
+
+/// A progressively refinable network distance between two vertex-resident
+/// objects.
+#[derive(Debug, Clone)]
+pub struct RefinableDistance {
+    origin: VertexId,
+    target: VertexId,
+    /// Current intermediate vertex `t` on the shortest path origin → target.
+    cur: VertexId,
+    /// Exact network distance origin → `cur`.
+    prefix: f64,
+    interval: DistInterval,
+    refinements: usize,
+}
+
+impl RefinableDistance {
+    /// Starts refinement with the zero-hop interval
+    /// `[λ−·dE(q,o), λ+·dE(q,o)]`.
+    pub fn new<B: DistanceBrowser + ?Sized>(b: &B, origin: VertexId, target: VertexId) -> Self {
+        let interval = b.interval(origin, target);
+        RefinableDistance { origin, target, cur: origin, prefix: 0.0, interval, refinements: 0 }
+    }
+
+    /// The origin object's vertex.
+    pub fn origin(&self) -> VertexId {
+        self.origin
+    }
+
+    /// The target object's vertex.
+    pub fn target(&self) -> VertexId {
+        self.target
+    }
+
+    /// The current distance interval.
+    #[inline]
+    pub fn interval(&self) -> DistInterval {
+        self.interval
+    }
+
+    /// Is the distance known exactly?
+    #[inline]
+    pub fn is_exact(&self) -> bool {
+        self.interval.is_exact()
+    }
+
+    /// Number of refinement steps taken so far.
+    pub fn refinements(&self) -> usize {
+        self.refinements
+    }
+
+    /// Advances one hop along the shortest path, tightening the interval.
+    /// Returns `false` (and does nothing) once the distance is exact.
+    pub fn refine<B: DistanceBrowser + ?Sized>(&mut self, b: &B) -> bool {
+        if self.is_exact() {
+            return false;
+        }
+        let Some((next, w)) = b.next_hop(self.cur, self.target) else {
+            // cur == target: the interval should already be exact.
+            self.interval = DistInterval::exact(self.prefix);
+            return false;
+        };
+        self.refinements += 1;
+        self.cur = next;
+        self.prefix += w;
+        if self.cur == self.target {
+            self.interval = DistInterval::exact(self.prefix);
+        } else {
+            let tail = b.interval(self.cur, self.target).offset(self.prefix);
+            // Bounds can only tighten: intersect with what we already knew.
+            self.interval = tail.intersect(&self.interval).unwrap_or(tail);
+        }
+        true
+    }
+
+    /// Refines to the exact network distance (worst case: walks the whole
+    /// path).
+    pub fn refine_until_exact<B: DistanceBrowser + ?Sized>(&mut self, b: &B) -> f64 {
+        while self.refine(b) {}
+        self.interval.lo
+    }
+}
+
+/// Compares two network distances by progressive refinement, refining only
+/// while their intervals collide and always the wider one first.
+///
+/// This is the paper's "Is Munich closer to Mainz than Bremen?" primitive
+/// (p.18): most comparisons resolve after a handful of refinements, long
+/// before either distance is known exactly.
+pub fn compare_refining<B: DistanceBrowser + ?Sized>(
+    b: &B,
+    a: &mut RefinableDistance,
+    c: &mut RefinableDistance,
+) -> Ordering {
+    loop {
+        let (ia, ic) = (a.interval(), c.interval());
+        if ia.strictly_before(&ic) {
+            return Ordering::Less;
+        }
+        if ic.strictly_before(&ia) {
+            return Ordering::Greater;
+        }
+        if ia.is_exact() && ic.is_exact() {
+            return ia.lo.total_cmp(&ic.lo);
+        }
+        // Refine the wider interval first; fall back to the other one.
+        // (The branches differ in refinement *order*, which matters:
+        // short-circuiting stops at the first side that makes progress.)
+        let refine_a_first = ia.width() >= ic.width();
+        #[allow(clippy::if_same_then_else)]
+        let progressed = if refine_a_first {
+            a.refine(b) || c.refine(b)
+        } else {
+            c.refine(b) || a.refine(b)
+        };
+        debug_assert!(progressed, "no progress while intervals still collide");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{BuildConfig, SilcIndex};
+    use silc_network::dijkstra;
+    use silc_network::generate::{grid_network, GridConfig};
+    use std::sync::Arc;
+
+    fn index() -> SilcIndex {
+        let g = grid_network(&GridConfig { rows: 9, cols: 9, seed: 23, ..Default::default() });
+        SilcIndex::build(Arc::new(g), &BuildConfig { grid_exponent: 8, threads: 2 }).unwrap()
+    }
+
+    #[test]
+    fn refinement_tightens_monotonically_and_converges() {
+        let idx = index();
+        let (s, d) = (VertexId(0), VertexId(80));
+        let truth = dijkstra::distance(idx.network(), s, d).unwrap();
+        let mut r = RefinableDistance::new(&idx, s, d);
+        let mut prev = r.interval();
+        assert!(prev.contains(truth));
+        while r.refine(&idx) {
+            let cur = r.interval();
+            assert!(cur.lo >= prev.lo - 1e-9, "lower bound regressed");
+            assert!(cur.hi <= prev.hi + 1e-9, "upper bound regressed");
+            assert!(
+                cur.contains(truth) || (truth - cur.lo).abs() < 1e-9 || (cur.hi - truth).abs() < 1e-9,
+                "interval {cur} lost the true distance {truth}"
+            );
+            prev = cur;
+        }
+        assert!(r.is_exact());
+        assert!((r.interval().lo - truth).abs() < 1e-9);
+        // Refinement count equals the number of path edges walked.
+        let path = dijkstra::point_to_point(idx.network(), s, d).unwrap().path;
+        assert!(r.refinements() <= path.len());
+    }
+
+    #[test]
+    fn identical_endpoints_are_exact_immediately() {
+        let idx = index();
+        let mut r = RefinableDistance::new(&idx, VertexId(5), VertexId(5));
+        assert!(r.is_exact());
+        assert_eq!(r.interval(), DistInterval::exact(0.0));
+        assert!(!r.refine(&idx));
+        assert_eq!(r.refinements(), 0);
+    }
+
+    #[test]
+    fn refine_until_exact_matches_dijkstra_everywhere() {
+        let idx = index();
+        let s = VertexId(40);
+        for d in idx.network().vertices() {
+            let mut r = RefinableDistance::new(&idx, s, d);
+            let got = r.refine_until_exact(&idx);
+            let truth = dijkstra::distance(idx.network(), s, d).unwrap();
+            assert!((got - truth).abs() < 1e-9, "{s}->{d}: {got} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn comparison_answers_without_full_refinement() {
+        let idx = index();
+        let q = VertexId(0);
+        // A nearby and a far-away target: intervals should separate quickly.
+        let near = VertexId(1);
+        let far = VertexId(80);
+        let mut a = RefinableDistance::new(&idx, q, near);
+        let mut c = RefinableDistance::new(&idx, q, far);
+        let ord = compare_refining(&idx, &mut a, &mut c);
+        assert_eq!(ord, Ordering::Less);
+        let d_near = dijkstra::distance(idx.network(), q, near).unwrap();
+        let d_far = dijkstra::distance(idx.network(), q, far).unwrap();
+        assert!(d_near < d_far, "fixture assumption");
+        // The far distance should not need to be refined to exactness.
+        assert!(
+            !c.is_exact() || c.refinements() == 0,
+            "comparison over-refined the easy case"
+        );
+    }
+
+    #[test]
+    fn comparison_is_consistent_with_truth() {
+        let idx = index();
+        let q = VertexId(30);
+        for &(x, y) in &[(10u32, 70u32), (2, 3), (45, 44), (80, 0)] {
+            let mut a = RefinableDistance::new(&idx, q, VertexId(x));
+            let mut c = RefinableDistance::new(&idx, q, VertexId(y));
+            let ord = compare_refining(&idx, &mut a, &mut c);
+            let dx = dijkstra::distance(idx.network(), q, VertexId(x)).unwrap();
+            let dy = dijkstra::distance(idx.network(), q, VertexId(y)).unwrap();
+            assert_eq!(ord, dx.total_cmp(&dy), "wrong order for ({x}, {y})");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Shortest-path maps: the first-hop coloring of a source vertex.
+//!
+//! For a source `u`, assign every other vertex `v` the *color* of the first
+//! edge on the shortest path `u → v` (paper §4.1, the "coloring algorithm").
+//! Because shortest paths in planar spatial networks are spatially coherent,
+//! same-colored vertices form contiguous regions — which is what makes the
+//! quadtree in [`crate::sp_quadtree`] small.
+
+use crate::error::BuildError;
+use silc_network::dijkstra::{self, NO_HOP};
+use silc_network::{SpatialNetwork, VertexId};
+
+/// The color of the source vertex itself in its own map.
+pub const COLOR_SOURCE: u16 = u16::MAX;
+
+/// The shortest-path map of one source vertex: per-vertex colors and exact
+/// network distances.
+#[derive(Debug, Clone)]
+pub struct ShortestPathMap {
+    /// The source vertex.
+    pub source: VertexId,
+    /// `colors[v]` is the adjacency-slot index (into the source's sorted
+    /// out-edge list) of the first edge of the shortest path source → v;
+    /// [`COLOR_SOURCE`] for the source itself.
+    pub colors: Vec<u16>,
+    /// `dist[v]` is the exact network distance source → v.
+    pub dist: Vec<f64>,
+}
+
+impl ShortestPathMap {
+    /// Computes the map by one run of Dijkstra's algorithm.
+    ///
+    /// Fails with [`BuildError::Unreachable`] when the network is not
+    /// strongly connected from `source`, and with
+    /// [`BuildError::ZeroWeightEdge`] when a zero-weight edge would let path
+    /// retrieval loop forever.
+    pub fn compute(g: &SpatialNetwork, source: VertexId) -> Result<Self, BuildError> {
+        let tree = dijkstra::full_sssp(g, source);
+        let n = g.vertex_count();
+        let mut colors = vec![0u16; n];
+        let mut missing = 0usize;
+        for (v, color) in colors.iter_mut().enumerate() {
+            if v == source.index() {
+                *color = COLOR_SOURCE;
+                continue;
+            }
+            let hop = tree.first_hop[v];
+            if hop == NO_HOP {
+                missing += 1;
+                continue;
+            }
+            debug_assert!(hop < COLOR_SOURCE as u32, "out-degree exceeds u16 colors");
+            *color = hop as u16;
+            if tree.dist[v] <= 0.0 {
+                let (t, _) = g.out_edge(source, hop as usize);
+                return Err(BuildError::ZeroWeightEdge(source, t));
+            }
+        }
+        if missing > 0 {
+            return Err(BuildError::Unreachable { source, missing });
+        }
+        Ok(ShortestPathMap { source, colors, dist: tree.dist })
+    }
+
+    /// Number of distinct colors actually used (≤ out-degree of the source).
+    pub fn color_count(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for (v, &c) in self.colors.iter().enumerate() {
+            if v != self.source.index() {
+                seen.insert(c);
+            }
+        }
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silc_geom::Point;
+    use silc_network::generate::{grid_network, GridConfig};
+    use silc_network::NetworkBuilder;
+
+    #[test]
+    fn colors_match_per_destination_dijkstra() {
+        let g = grid_network(&GridConfig { rows: 6, cols: 6, seed: 21, ..Default::default() });
+        let s = VertexId(14);
+        let map = ShortestPathMap::compute(&g, s).unwrap();
+        assert_eq!(map.colors[s.index()], COLOR_SOURCE);
+        for v in g.vertices() {
+            if v == s {
+                continue;
+            }
+            // The colored first hop must begin a shortest path:
+            // d(s,v) = w(s,t) + d(t,v).
+            let (t, w) = g.out_edge(s, map.colors[v.index()] as usize);
+            let d_tv = dijkstra::distance(&g, t, v).unwrap();
+            let lhs = map.dist[v.index()];
+            assert!(
+                (lhs - (w + d_tv)).abs() < 1e-9,
+                "first hop of {v} does not start a shortest path"
+            );
+        }
+    }
+
+    #[test]
+    fn color_count_bounded_by_degree() {
+        let g = grid_network(&GridConfig { rows: 5, cols: 5, seed: 3, ..Default::default() });
+        for s in g.vertices() {
+            let map = ShortestPathMap::compute(&g, s).unwrap();
+            assert!(map.color_count() <= g.out_degree(s));
+            assert!(map.color_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn disconnected_network_fails() {
+        let mut b = NetworkBuilder::new();
+        let u = b.add_vertex(Point::new(0.0, 0.0));
+        let v = b.add_vertex(Point::new(1.0, 0.0));
+        let _w = b.add_vertex(Point::new(2.0, 0.0));
+        b.add_edge_sym(u, v, 1.0);
+        let g = b.build();
+        match ShortestPathMap::compute(&g, u) {
+            Err(BuildError::Unreachable { missing, .. }) => assert_eq!(missing, 1),
+            other => panic!("expected Unreachable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_weight_edge_fails() {
+        let mut b = NetworkBuilder::new();
+        let u = b.add_vertex(Point::new(0.0, 0.0));
+        let v = b.add_vertex(Point::new(1.0, 0.0));
+        b.add_edge_sym(u, v, 0.0);
+        let g = b.build();
+        assert!(matches!(
+            ShortestPathMap::compute(&g, u),
+            Err(BuildError::ZeroWeightEdge(_, _))
+        ));
+    }
+}

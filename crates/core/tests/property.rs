@@ -1,0 +1,130 @@
+//! Property-based tests of the SILC core invariants over randomized
+//! networks: every generated network (any seed, any size) must satisfy the
+//! paper's structural guarantees exactly.
+
+use proptest::prelude::*;
+use silc::prelude::*;
+use silc::DistanceBrowser;
+use silc_network::dijkstra;
+use silc_network::generate::{grid_network, road_network, GridConfig, RoadConfig};
+use std::sync::Arc;
+
+fn build_road(vertices: usize, seed: u64) -> (Arc<SpatialNetwork>, SilcIndex) {
+    let g = Arc::new(road_network(&RoadConfig { vertices, seed, ..Default::default() }));
+    let idx = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 9, threads: 0 })
+        .expect("generated networks build");
+    (g, idx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Shortest-path quadtree blocks are sorted, disjoint, and assign every
+    /// vertex its true first-hop color.
+    #[test]
+    fn quadtree_blocks_are_a_disjoint_cover(seed in 0u64..500, source in 0u32..60) {
+        let (g, idx) = build_road(60, seed);
+        let tree = idx.tree(VertexId(source));
+        for w in tree.entries().windows(2) {
+            prop_assert!(w[0].block.end() <= w[1].block.start());
+        }
+        let truth = dijkstra::full_sssp(&g, VertexId(source));
+        for v in g.vertices() {
+            if v == VertexId(source) {
+                continue;
+            }
+            let entry = tree.lookup(idx.vertex_code(v)).expect("covered");
+            let (hop, w) = g.out_edge(VertexId(source), entry.color as usize);
+            // The color's edge must begin a shortest path.
+            let rest = dijkstra::distance(&g, hop, v).unwrap();
+            prop_assert!((truth.dist[v.index()] - (w + rest)).abs() < 1e-9);
+        }
+    }
+
+    /// Distance intervals from one lookup always contain the true distance,
+    /// for every pair.
+    #[test]
+    fn intervals_always_bracket_truth(seed in 0u64..500) {
+        let (g, idx) = build_road(50, seed);
+        for s in g.vertices() {
+            let truth = dijkstra::full_sssp(&g, s);
+            for d in g.vertices() {
+                let iv = idx.interval(s, d);
+                let t = truth.dist[d.index()];
+                prop_assert!(iv.lo <= t + 1e-9 && iv.hi >= t - 1e-9,
+                    "{s}->{d}: {t} outside {iv}");
+            }
+        }
+    }
+
+    /// Path retrieval by next hops is always optimal and terminates within
+    /// n hops.
+    #[test]
+    fn path_retrieval_is_optimal(seed in 0u64..500, s in 0u32..40, d in 0u32..40) {
+        let (g, idx) = build_road(40, seed);
+        let p = silc::path::shortest_path(&idx, VertexId(s), VertexId(d)).unwrap();
+        let truth = dijkstra::distance(&g, VertexId(s), VertexId(d)).unwrap();
+        prop_assert!((p.distance - truth).abs() < 1e-9);
+        prop_assert!(p.path.len() <= g.vertex_count());
+    }
+
+    /// Refinement is monotone: lower bounds never decrease, upper bounds
+    /// never increase, and the exact distance is reached within path-length
+    /// steps.
+    #[test]
+    fn refinement_is_monotone(seed in 0u64..500, s in 0u32..40, d in 0u32..40) {
+        let (g, idx) = build_road(40, seed);
+        let mut r = RefinableDistance::new(&idx, VertexId(s), VertexId(d));
+        let mut prev = r.interval();
+        let mut steps = 0usize;
+        while r.refine(&idx) {
+            let cur = r.interval();
+            prop_assert!(cur.lo >= prev.lo - 1e-9);
+            prop_assert!(cur.hi <= prev.hi + 1e-9);
+            prev = cur;
+            steps += 1;
+            prop_assert!(steps <= g.vertex_count());
+        }
+        prop_assert!(r.is_exact());
+    }
+
+    /// Grid networks (different topology family) satisfy the same
+    /// invariants.
+    #[test]
+    fn grid_topology_invariants(seed in 0u64..500) {
+        let g = Arc::new(grid_network(&GridConfig {
+            rows: 6, cols: 7, seed, ..Default::default()
+        }));
+        let idx = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 8, threads: 0 })
+            .unwrap();
+        let s = VertexId(seed as u32 % 42);
+        let truth = dijkstra::full_sssp(&g, s);
+        for d in g.vertices() {
+            let got = silc::path::network_distance(&idx, s, d).unwrap();
+            prop_assert!((got - truth.dist[d.index()]).abs() < 1e-9);
+        }
+    }
+
+    /// The region lower bound never exceeds the distance of any vertex
+    /// positioned inside the region.
+    #[test]
+    fn region_bounds_are_sound(seed in 0u64..500, qx in 0.1f64..0.9, qy in 0.1f64..0.9) {
+        let (g, idx) = build_road(50, seed);
+        let b = g.bounds();
+        let world = silc_geom::Rect::new(
+            b.min_x + b.width() * qx * 0.5,
+            b.min_y + b.height() * qy * 0.5,
+            b.min_x + b.width() * (0.5 + qx * 0.5),
+            b.min_y + b.height() * (0.5 + qy * 0.5),
+        );
+        let u = VertexId(seed as u32 % 50);
+        let bound = idx.region_lower_bound(u, &world);
+        let truth = dijkstra::full_sssp(&g, u);
+        for v in g.vertices() {
+            if world.contains(&g.position(v)) {
+                prop_assert!(truth.dist[v.index()] >= bound - 1e-9,
+                    "bound {bound} > d({u},{v}) = {}", truth.dist[v.index()]);
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Two-dimensional geometry primitives for the SILC spatial-network library.
+//!
+//! The SILC framework ("Scalable Network Distance Browsing in Spatial
+//! Databases", SIGMOD 2008) reasons about shortest paths *geometrically*:
+//! every vertex of a spatial network is embedded in the plane, shortest-path
+//! information is stored as colored planar regions, and network distances are
+//! bounded by scaled Euclidean distances. This crate provides the plane
+//! geometry those structures are built on:
+//!
+//! * [`Point`] — a position in world coordinates,
+//! * [`Rect`] — an axis-aligned rectangle with min/max distance queries,
+//! * [`GridMapper`] — the world → `2^q × 2^q` grid embedding used to assign
+//!   Morton codes, with collision-free snapping of vertices to grid cells.
+
+pub mod grid;
+pub mod point;
+pub mod rect;
+
+pub use grid::{GridCoord, GridMapper};
+pub use point::Point;
+pub use rect::Rect;

@@ -1,0 +1,18 @@
+//! Morton (Z-order) codes and quadtree blocks.
+//!
+//! The shortest-path quadtrees at the heart of SILC are stored as flat,
+//! sorted collections of *Morton blocks*: grid-aligned square regions
+//! identified by the common bit-prefix of the Morton codes of the cells they
+//! cover. Storing blocks instead of a pointer-based tree is what gives the
+//! framework its `O(N√N)` total space bound, and sorted order gives
+//! `O(log n)` point lookups and range-overlap scans.
+//!
+//! * [`MortonCode`] — bit-interleaving of a grid cell's `(x, y)`,
+//! * [`MortonBlock`] — a quadtree block: a code prefix plus a level,
+//! * [`block_cover`] — minimal block decomposition of a code range.
+
+pub mod block;
+pub mod code;
+
+pub use block::{block_cover, MortonBlock};
+pub use code::MortonCode;

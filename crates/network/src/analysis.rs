@@ -1,0 +1,275 @@
+//! Connectivity analysis and component extraction.
+
+use crate::{NetworkBuilder, SpatialNetwork, VertexId};
+use std::collections::VecDeque;
+
+/// A disjoint-set (union-find) forest with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct DisjointSets {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl DisjointSets {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        DisjointSets {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            // Path halving.
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+}
+
+/// Tests whether every vertex can reach every other vertex following
+/// directed edges (strong connectivity): forward BFS plus BFS on the
+/// reversed graph.
+pub fn is_strongly_connected(g: &SpatialNetwork) -> bool {
+    let n = g.vertex_count();
+    if n == 0 {
+        return true;
+    }
+    if bfs_reach_count(g, VertexId(0), false) != n {
+        return false;
+    }
+    bfs_reach_count(g, VertexId(0), true) == n
+}
+
+fn bfs_reach_count(g: &SpatialNetwork, start: VertexId, reversed: bool) -> usize {
+    let n = g.vertex_count();
+    // For the reversed direction build a reverse adjacency once.
+    let rev: Option<Vec<Vec<u32>>> = if reversed {
+        let mut r = vec![Vec::new(); n];
+        for u in g.vertices() {
+            for (v, _) in g.out_edges(u) {
+                r[v.index()].push(u.0);
+            }
+        }
+        Some(r)
+    } else {
+        None
+    };
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    seen[start.index()] = true;
+    queue.push_back(start.0);
+    let mut count = 0usize;
+    while let Some(u) = queue.pop_front() {
+        count += 1;
+        match &rev {
+            Some(r) => {
+                for &v in &r[u as usize] {
+                    if !seen[v as usize] {
+                        seen[v as usize] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            None => {
+                for (v, _) in g.out_edges(VertexId(u)) {
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        queue.push_back(v.0);
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Extracts the largest weakly-connected component as a new network.
+///
+/// Returns the subnetwork and, for each new vertex id `i`, the original id
+/// `mapping[i]`. For symmetric networks (all our generators) weak and strong
+/// connectivity coincide.
+pub fn largest_component(g: &SpatialNetwork) -> (SpatialNetwork, Vec<VertexId>) {
+    let n = g.vertex_count();
+    if n == 0 {
+        return (NetworkBuilder::new().build(), Vec::new());
+    }
+    let mut sets = DisjointSets::new(n);
+    for u in g.vertices() {
+        for (v, _) in g.out_edges(u) {
+            sets.union(u.0, v.0);
+        }
+    }
+    // Find the root with the largest membership.
+    let mut counts = std::collections::HashMap::new();
+    for v in 0..n as u32 {
+        *counts.entry(sets.find(v)).or_insert(0usize) += 1;
+    }
+    let (&best_root, _) = counts
+        .iter()
+        .max_by_key(|&(root, count)| (*count, std::cmp::Reverse(*root)))
+        .expect("non-empty network");
+
+    let mut new_id = vec![u32::MAX; n];
+    let mut mapping = Vec::new();
+    for v in 0..n as u32 {
+        if sets.find(v) == best_root {
+            new_id[v as usize] = mapping.len() as u32;
+            mapping.push(VertexId(v));
+        }
+    }
+    let mut b = NetworkBuilder::with_capacity(mapping.len(), g.edge_count());
+    for &old in &mapping {
+        b.add_vertex(g.position(old));
+    }
+    for &old in &mapping {
+        let u = new_id[old.index()];
+        for (v, w) in g.out_edges(old) {
+            let nv = new_id[v.index()];
+            if nv != u32::MAX {
+                b.add_edge(VertexId(u), VertexId(nv), w);
+            }
+        }
+    }
+    (b.build(), mapping)
+}
+
+/// Summary statistics of a network, used by the experiment harness to report
+/// workload characteristics alongside results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkStats {
+    pub vertices: usize,
+    pub directed_edges: usize,
+    pub min_out_degree: usize,
+    pub max_out_degree: usize,
+    pub mean_out_degree: f64,
+    /// Undirected edge count divided by vertex count (the paper's network
+    /// has m/n ≈ 1.25).
+    pub edge_vertex_ratio: f64,
+}
+
+/// Computes [`NetworkStats`] for `g`.
+pub fn stats(g: &SpatialNetwork) -> NetworkStats {
+    let n = g.vertex_count();
+    let mut min_d = usize::MAX;
+    let mut max_d = 0usize;
+    for v in g.vertices() {
+        let d = g.out_degree(v);
+        min_d = min_d.min(d);
+        max_d = max_d.max(d);
+    }
+    if n == 0 {
+        min_d = 0;
+    }
+    NetworkStats {
+        vertices: n,
+        directed_edges: g.edge_count(),
+        min_out_degree: min_d,
+        max_out_degree: max_d,
+        mean_out_degree: if n == 0 { 0.0 } else { g.edge_count() as f64 / n as f64 },
+        edge_vertex_ratio: if n == 0 { 0.0 } else { g.edge_count() as f64 / 2.0 / n as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silc_geom::Point;
+
+    fn two_islands() -> SpatialNetwork {
+        let mut b = NetworkBuilder::new();
+        // Island A: 0-1-2 (triangle), island B: 3-4.
+        let p: Vec<_> = (0..5).map(|i| b.add_vertex(Point::new(i as f64, 0.0))).collect();
+        b.add_edge_sym(p[0], p[1], 1.0);
+        b.add_edge_sym(p[1], p[2], 1.0);
+        b.add_edge_sym(p[0], p[2], 1.0);
+        b.add_edge_sym(p[3], p[4], 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut s = DisjointSets::new(4);
+        assert_eq!(s.component_count(), 4);
+        assert!(s.union(0, 1));
+        assert!(!s.union(1, 0));
+        assert!(s.union(2, 3));
+        assert_eq!(s.component_count(), 2);
+        assert_eq!(s.find(0), s.find(1));
+        assert_ne!(s.find(0), s.find(2));
+        s.union(1, 3);
+        assert_eq!(s.component_count(), 1);
+    }
+
+    #[test]
+    fn strong_connectivity_detects_islands() {
+        assert!(!is_strongly_connected(&two_islands()));
+        let (comp, _) = largest_component(&two_islands());
+        assert!(is_strongly_connected(&comp));
+    }
+
+    #[test]
+    fn one_way_edge_breaks_strong_connectivity() {
+        let mut b = NetworkBuilder::new();
+        let u = b.add_vertex(Point::new(0.0, 0.0));
+        let v = b.add_vertex(Point::new(1.0, 0.0));
+        b.add_edge(u, v, 1.0);
+        assert!(!is_strongly_connected(&b.build()));
+    }
+
+    #[test]
+    fn largest_component_picks_bigger_island() {
+        let (comp, mapping) = largest_component(&two_islands());
+        assert_eq!(comp.vertex_count(), 3);
+        assert_eq!(comp.edge_count(), 6);
+        let originals: Vec<u32> = mapping.iter().map(|v| v.0).collect();
+        assert_eq!(originals, vec![0, 1, 2]);
+        // Positions preserved.
+        assert_eq!(comp.position(VertexId(1)), Point::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn largest_component_of_empty() {
+        let (comp, mapping) = largest_component(&NetworkBuilder::new().build());
+        assert_eq!(comp.vertex_count(), 0);
+        assert!(mapping.is_empty());
+    }
+
+    #[test]
+    fn stats_of_islands() {
+        let s = stats(&two_islands());
+        assert_eq!(s.vertices, 5);
+        assert_eq!(s.directed_edges, 8);
+        assert_eq!(s.min_out_degree, 1);
+        assert_eq!(s.max_out_degree, 2);
+        assert!((s.edge_vertex_ratio - 0.8).abs() < 1e-12);
+    }
+}

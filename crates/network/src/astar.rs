@@ -1,0 +1,203 @@
+//! A* point-to-point search with an admissible Euclidean heuristic.
+//!
+//! Used by the IER baseline (and by the oracle builders in `silc-pcp`) to
+//! compute individual network distances faster than plain Dijkstra. The
+//! heuristic scales straight-line distance by the network's minimum
+//! weight/Euclidean ratio, which keeps it admissible even when some edges
+//! are cheaper than their geometric length (e.g. travel-time weights).
+
+use crate::dijkstra::{PathResult, NO_VERTEX};
+use crate::{SpatialNetwork, VertexId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct AStarEntry {
+    f: f64,
+    vertex: u32,
+}
+
+impl Eq for AStarEntry {}
+
+impl Ord for AStarEntry {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.f.total_cmp(&self.f).then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+impl PartialOrd for AStarEntry {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable A* search context.
+///
+/// Caches the admissible heuristic scale so repeated point-to-point queries
+/// (IER issues one per candidate object) don't rescan all edges.
+pub struct AStar<'g> {
+    g: &'g SpatialNetwork,
+    /// Multiplier for the Euclidean lower bound; `h(v) = scale · dE(v, goal)`.
+    scale: f64,
+}
+
+impl<'g> AStar<'g> {
+    /// Prepares a search context for `g`, scanning edges once to find the
+    /// admissible heuristic scale.
+    pub fn new(g: &'g SpatialNetwork) -> Self {
+        AStar { g, scale: g.min_weight_ratio() }
+    }
+
+    /// Prepares a context with a caller-supplied heuristic scale.
+    ///
+    /// # Panics
+    /// Panics if `scale` is negative or non-finite (`0.0` degrades to plain
+    /// Dijkstra and is allowed).
+    pub fn with_scale(g: &'g SpatialNetwork, scale: f64) -> Self {
+        assert!(scale.is_finite() && scale >= 0.0, "heuristic scale must be finite and >= 0");
+        AStar { g, scale }
+    }
+
+    /// The heuristic scale in use.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Shortest path `source → target`, or `None` when unreachable.
+    pub fn search(&self, source: VertexId, target: VertexId) -> Option<PathResult> {
+        let n = self.g.vertex_count();
+        let goal = self.g.position(target);
+        let mut dist = vec![f64::INFINITY; n];
+        let mut parent = vec![NO_VERTEX; n];
+        let mut settled = vec![false; n];
+        let mut heap = BinaryHeap::new();
+
+        dist[source.index()] = 0.0;
+        let h0 = self.scale * self.g.position(source).distance(&goal);
+        heap.push(AStarEntry { f: h0, vertex: source.0 });
+        let mut visited = 0usize;
+
+        while let Some(AStarEntry { vertex: u, .. }) = heap.pop() {
+            if settled[u as usize] {
+                continue;
+            }
+            settled[u as usize] = true;
+            visited += 1;
+            if u == target.0 {
+                let mut path = vec![target];
+                let mut cur = u;
+                while parent[cur as usize] != NO_VERTEX {
+                    cur = parent[cur as usize];
+                    path.push(VertexId(cur));
+                }
+                path.reverse();
+                return Some(PathResult { distance: dist[target.index()], path, visited });
+            }
+            let d = dist[u as usize];
+            for (v, w) in self.g.out_edges(VertexId(u)) {
+                let vi = v.index();
+                if settled[vi] {
+                    continue;
+                }
+                let nd = d + w;
+                if nd < dist[vi] {
+                    dist[vi] = nd;
+                    parent[vi] = u;
+                    let h = self.scale * self.g.position(v).distance(&goal);
+                    heap.push(AStarEntry { f: nd + h, vertex: v.0 });
+                }
+            }
+        }
+        None
+    }
+
+    /// Network distance only.
+    pub fn distance(&self, source: VertexId, target: VertexId) -> Option<f64> {
+        self.search(source, target).map(|r| r.distance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{grid_network, GridConfig};
+    use crate::{dijkstra, NetworkBuilder};
+    use silc_geom::Point;
+
+    #[test]
+    fn astar_matches_dijkstra_on_grid() {
+        let g = grid_network(&GridConfig { rows: 12, cols: 12, seed: 7, ..Default::default() });
+        let a = AStar::new(&g);
+        let pairs = [(0u32, 140u32), (5, 77), (12, 12), (3, 100)];
+        for &(s, t) in &pairs {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let ours = a.distance(s, t);
+            let truth = dijkstra::distance(&g, s, t);
+            match (ours, truth) {
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9, "{s}->{t}: {x} vs {y}"),
+                (None, None) => {}
+                other => panic!("reachability mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn astar_visits_no_more_than_dijkstra() {
+        let g = grid_network(&GridConfig { rows: 15, cols: 15, seed: 3, ..Default::default() });
+        let a = AStar::new(&g);
+        let s = VertexId(0);
+        let t = VertexId((g.vertex_count() - 1) as u32);
+        let astar_visits = a.search(s, t).unwrap().visited;
+        let dij_visits = dijkstra::point_to_point(&g, s, t).unwrap().visited;
+        assert!(
+            astar_visits <= dij_visits,
+            "A* settled {astar_visits} > Dijkstra {dij_visits}"
+        );
+    }
+
+    #[test]
+    fn zero_scale_is_dijkstra() {
+        let g = grid_network(&GridConfig { rows: 6, cols: 6, seed: 1, ..Default::default() });
+        let a = AStar::with_scale(&g, 0.0);
+        let s = VertexId(0);
+        let t = VertexId(35);
+        assert_eq!(
+            a.distance(s, t),
+            dijkstra::distance(&g, s, t)
+        );
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let mut b = NetworkBuilder::new();
+        let u = b.add_vertex(Point::new(0.0, 0.0));
+        let v = b.add_vertex(Point::new(1.0, 0.0));
+        b.add_edge_sym(u, v, 1.0);
+        let g = b.build();
+        let a = AStar::new(&g);
+        let r = a.search(u, u).unwrap();
+        assert_eq!(r.distance, 0.0);
+        assert_eq!(r.path, vec![u]);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut b = NetworkBuilder::new();
+        let u = b.add_vertex(Point::new(0.0, 0.0));
+        let v = b.add_vertex(Point::new(1.0, 0.0));
+        let _w = b.add_vertex(Point::new(2.0, 0.0));
+        b.add_edge_sym(u, v, 1.0);
+        let g = b.build();
+        let a = AStar::new(&g);
+        assert!(a.search(u, VertexId(2)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "heuristic scale")]
+    fn negative_scale_rejected() {
+        let g = NetworkBuilder::new().build();
+        AStar::with_scale(&g, -1.0);
+    }
+}

@@ -1,0 +1,389 @@
+//! Dijkstra's algorithm: full SSSP with first-hop extraction, point-to-point
+//! search, and a step-wise expander.
+//!
+//! The paper's motivating observation (p.3/p.7) is that Dijkstra *visits far
+//! too many vertices*: e.g. 3191 of 4233 vertices to find a 76-edge path.
+//! Every entry point here therefore reports how many vertices it settled so
+//! the experiments can reproduce that comparison.
+
+use crate::{SpatialNetwork, VertexId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Sentinel for "no vertex" in parent arrays.
+pub const NO_VERTEX: u32 = u32::MAX;
+/// Sentinel for "no first hop" (the source itself, or unreachable).
+pub const NO_HOP: u32 = u32::MAX;
+
+/// Min-heap entry ordered by distance, ties broken on vertex id so runs are
+/// deterministic regardless of insertion order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    vertex: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need a min-heap.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The shortest-path tree of one source vertex.
+#[derive(Debug, Clone)]
+pub struct SsspTree {
+    /// Source of the tree.
+    pub source: VertexId,
+    /// `dist[v]` is the network distance source → v (`f64::INFINITY` when
+    /// unreachable).
+    pub dist: Vec<f64>,
+    /// `parent[v]` is the predecessor on the tree path ([`NO_VERTEX`] for the
+    /// source and unreachable vertices).
+    pub parent: Vec<u32>,
+    /// `first_hop[v]` is the *slot index* (into the source's sorted adjacency
+    /// list) of the first edge on the shortest path source → v. This is the
+    /// "color" of v in the source's shortest-path map. [`NO_HOP`] for the
+    /// source itself and unreachable vertices.
+    pub first_hop: Vec<u32>,
+    /// Number of vertices settled.
+    pub visited: usize,
+}
+
+impl SsspTree {
+    /// Reconstructs the tree path source → v (inclusive), or `None` when `v`
+    /// is unreachable.
+    pub fn path_to(&self, v: VertexId) -> Option<Vec<VertexId>> {
+        if self.dist[v.index()].is_infinite() {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v.0;
+        while self.parent[cur as usize] != NO_VERTEX {
+            cur = self.parent[cur as usize];
+            path.push(VertexId(cur));
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Full single-source shortest paths from `source`, with first-hop colors.
+///
+/// Runs in `O(m log n)`. First hops satisfy the recursion the SILC path
+/// retrieval relies on: if `t` is the first hop of `v`, then
+/// `d(s,v) = w(s,t) + d(t,v)`.
+pub fn full_sssp(g: &SpatialNetwork, source: VertexId) -> SsspTree {
+    let n = g.vertex_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![NO_VERTEX; n];
+    let mut first_hop = vec![NO_HOP; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::with_capacity(n / 4 + 16);
+
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, vertex: source.0 });
+    let mut visited = 0usize;
+
+    while let Some(HeapEntry { dist: d, vertex: u }) = heap.pop() {
+        if settled[u as usize] {
+            continue;
+        }
+        settled[u as usize] = true;
+        visited += 1;
+        let uid = VertexId(u);
+        for (slot, (v, w)) in g.out_edges(uid).enumerate() {
+            let vi = v.index();
+            if settled[vi] {
+                continue;
+            }
+            let nd = d + w;
+            if nd < dist[vi] {
+                dist[vi] = nd;
+                parent[vi] = u;
+                first_hop[vi] = if u == source.0 { slot as u32 } else { first_hop[u as usize] };
+                heap.push(HeapEntry { dist: nd, vertex: v.0 });
+            }
+        }
+    }
+
+    SsspTree { source, dist, parent, first_hop, visited }
+}
+
+/// Result of a point-to-point shortest-path search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathResult {
+    /// Total network distance.
+    pub distance: f64,
+    /// Vertices along the path, source first, target last.
+    pub path: Vec<VertexId>,
+    /// Number of vertices settled during the search.
+    pub visited: usize,
+}
+
+/// Point-to-point Dijkstra with early termination at `target`.
+pub fn point_to_point(
+    g: &SpatialNetwork,
+    source: VertexId,
+    target: VertexId,
+) -> Option<PathResult> {
+    let mut exp = Expander::new(g, source);
+    while let Some((v, _)) = exp.next_settled() {
+        if v == target {
+            return Some(PathResult {
+                distance: exp.dist(target).expect("target just settled"),
+                path: exp.path_to(target).expect("target just settled"),
+                visited: exp.visited(),
+            });
+        }
+    }
+    None
+}
+
+/// Network distance source → target, or `None` if unreachable.
+pub fn distance(g: &SpatialNetwork, source: VertexId, target: VertexId) -> Option<f64> {
+    point_to_point(g, source, target).map(|r| r.distance)
+}
+
+/// A step-wise Dijkstra expansion: settles one vertex per call.
+///
+/// This is exactly the primitive the INE baseline ("incremental network
+/// expansion", Papadias et al. 2003) needs — it interleaves settling network
+/// vertices with checking the objects that reside on them.
+pub struct Expander<'g> {
+    g: &'g SpatialNetwork,
+    dist: Vec<f64>,
+    parent: Vec<u32>,
+    settled: Vec<bool>,
+    heap: BinaryHeap<HeapEntry>,
+    visited: usize,
+    edges_relaxed: usize,
+}
+
+impl<'g> Expander<'g> {
+    /// Starts an expansion from `source`.
+    pub fn new(g: &'g SpatialNetwork, source: VertexId) -> Self {
+        let n = g.vertex_count();
+        let mut dist = vec![f64::INFINITY; n];
+        dist[source.index()] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry { dist: 0.0, vertex: source.0 });
+        Expander {
+            g,
+            dist,
+            parent: vec![NO_VERTEX; n],
+            settled: vec![false; n],
+            heap,
+            visited: 0,
+            edges_relaxed: 0,
+        }
+    }
+
+    /// Settles and returns the next-closest unsettled vertex with its final
+    /// distance, or `None` when the reachable part is exhausted.
+    pub fn next_settled(&mut self) -> Option<(VertexId, f64)> {
+        while let Some(HeapEntry { dist: d, vertex: u }) = self.heap.pop() {
+            if self.settled[u as usize] {
+                continue;
+            }
+            self.settled[u as usize] = true;
+            self.visited += 1;
+            let uid = VertexId(u);
+            for (v, w) in self.g.out_edges(uid) {
+                self.edges_relaxed += 1;
+                let vi = v.index();
+                if self.settled[vi] {
+                    continue;
+                }
+                let nd = d + w;
+                if nd < self.dist[vi] {
+                    self.dist[vi] = nd;
+                    self.parent[vi] = u;
+                    self.heap.push(HeapEntry { dist: nd, vertex: v.0 });
+                }
+            }
+            return Some((uid, d));
+        }
+        None
+    }
+
+    /// Final distance of a *settled* vertex (tentative distances of
+    /// unsettled vertices are not exposed).
+    pub fn dist(&self, v: VertexId) -> Option<f64> {
+        if self.settled[v.index()] {
+            Some(self.dist[v.index()])
+        } else {
+            None
+        }
+    }
+
+    /// Path from the source to a settled vertex.
+    pub fn path_to(&self, v: VertexId) -> Option<Vec<VertexId>> {
+        if !self.settled[v.index()] {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v.0;
+        while self.parent[cur as usize] != NO_VERTEX {
+            cur = self.parent[cur as usize];
+            path.push(VertexId(cur));
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Number of vertices settled so far.
+    pub fn visited(&self) -> usize {
+        self.visited
+    }
+
+    /// Number of edge relaxations performed so far.
+    pub fn edges_relaxed(&self) -> usize {
+        self.edges_relaxed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+    use silc_geom::Point;
+
+    /// 0 -1- 1 -1- 2
+    /// |           |
+    /// 5 --------- 3   (0-5 cost 10, 2-3 cost 1, 3-5... )
+    fn line_with_shortcut() -> SpatialNetwork {
+        let mut b = NetworkBuilder::new();
+        let v: Vec<_> = (0..4).map(|i| b.add_vertex(Point::new(i as f64, 0.0))).collect();
+        b.add_edge_sym(v[0], v[1], 1.0);
+        b.add_edge_sym(v[1], v[2], 1.0);
+        b.add_edge_sym(v[2], v[3], 1.0);
+        b.add_edge_sym(v[0], v[3], 10.0); // expensive direct road
+        b.build()
+    }
+
+    #[test]
+    fn sssp_distances() {
+        let g = line_with_shortcut();
+        let t = full_sssp(&g, VertexId(0));
+        assert_eq!(t.dist, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(t.visited, 4);
+    }
+
+    #[test]
+    fn sssp_first_hops_are_slots() {
+        let g = line_with_shortcut();
+        let t = full_sssp(&g, VertexId(0));
+        // Vertex 0's sorted adjacency: [1 (slot 0), 3 (slot 1)].
+        assert_eq!(t.first_hop[0], NO_HOP);
+        assert_eq!(t.first_hop[1], 0);
+        assert_eq!(t.first_hop[2], 0);
+        assert_eq!(t.first_hop[3], 0); // through 1-2, not the direct road
+    }
+
+    #[test]
+    fn first_hop_recursion_property() {
+        // d(s,v) = w(s,t) + d(t,v) for t = first hop of v.
+        let g = line_with_shortcut();
+        let s = VertexId(0);
+        let tree = full_sssp(&g, s);
+        for v in g.vertices() {
+            if v == s || tree.first_hop[v.index()] == NO_HOP {
+                continue;
+            }
+            let (t, w) = g.out_edge(s, tree.first_hop[v.index()] as usize);
+            let dt = full_sssp(&g, t);
+            let lhs = tree.dist[v.index()];
+            let rhs = w + dt.dist[v.index()];
+            assert!((lhs - rhs).abs() < 1e-9, "recursion broken at {v}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn sssp_path_reconstruction() {
+        let g = line_with_shortcut();
+        let t = full_sssp(&g, VertexId(0));
+        let path = t.path_to(VertexId(3)).unwrap();
+        assert_eq!(path, vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]);
+    }
+
+    #[test]
+    fn unreachable_vertex() {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_vertex(Point::new(0.0, 0.0));
+        let c = b.add_vertex(Point::new(1.0, 0.0));
+        let _iso = b.add_vertex(Point::new(5.0, 5.0));
+        b.add_edge_sym(a, c, 1.0);
+        let g = b.build();
+        let t = full_sssp(&g, a);
+        assert!(t.dist[2].is_infinite());
+        assert_eq!(t.first_hop[2], NO_HOP);
+        assert!(t.path_to(VertexId(2)).is_none());
+        assert_eq!(t.visited, 2);
+    }
+
+    #[test]
+    fn point_to_point_early_exit_visits_fewer() {
+        let g = line_with_shortcut();
+        let r = point_to_point(&g, VertexId(0), VertexId(1)).unwrap();
+        assert_eq!(r.distance, 1.0);
+        assert_eq!(r.path, vec![VertexId(0), VertexId(1)]);
+        assert!(r.visited <= 2, "early exit should settle at most 2, got {}", r.visited);
+    }
+
+    #[test]
+    fn point_to_point_unreachable_is_none() {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_vertex(Point::new(0.0, 0.0));
+        let c = b.add_vertex(Point::new(1.0, 0.0));
+        b.add_edge(a, c, 1.0); // one-way: c cannot reach a
+        let g = b.build();
+        assert!(point_to_point(&g, c, a).is_none());
+        assert_eq!(distance(&g, a, c), Some(1.0));
+    }
+
+    #[test]
+    fn expander_settles_in_distance_order() {
+        let g = line_with_shortcut();
+        let mut exp = Expander::new(&g, VertexId(0));
+        let mut last = -1.0;
+        let mut order = Vec::new();
+        while let Some((v, d)) = exp.next_settled() {
+            assert!(d >= last);
+            last = d;
+            order.push(v.0);
+        }
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert_eq!(exp.visited(), 4);
+        assert!(exp.edges_relaxed() > 0);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two equidistant vertices settle in id order.
+        let mut b = NetworkBuilder::new();
+        let s = b.add_vertex(Point::new(0.0, 0.0));
+        let a = b.add_vertex(Point::new(1.0, 0.0));
+        let c = b.add_vertex(Point::new(-1.0, 0.0));
+        b.add_edge_sym(s, a, 1.0);
+        b.add_edge_sym(s, c, 1.0);
+        let g = b.build();
+        let mut exp = Expander::new(&g, s);
+        exp.next_settled(); // s
+        assert_eq!(exp.next_settled().unwrap().0, a);
+        assert_eq!(exp.next_settled().unwrap().0, c);
+    }
+}

@@ -1,0 +1,24 @@
+//! Path-coherent pairs: approximate distance oracles for spatial networks.
+//!
+//! The paper's closing sections (p.28–29) sketch the *PCP framework*:
+//! decompose the network into pairs of vertex sets `(A, B)` such that all
+//! shortest paths from `A` to `B` are interchangeable up to a bounded
+//! relative error — "anyone driving from the North-East to the North-West
+//! uses I-80". The construction is the classic well-separated pair
+//! decomposition (Callahan & Kosaraju) applied to the spatially embedded
+//! vertices; one representative network distance per pair then answers
+//! *any* `n²` distance query approximately in `O(log n)` — the
+//! "Distance Oracle" rows of the paper's trade-off table (p.11).
+//!
+//! * [`SplitTree`] — a compressed quadtree over the vertex positions,
+//! * [`wspd`] — the s-well-separated pair decomposition (`O(s²n)` pairs),
+//! * [`DistanceOracle`] — representative distances per pair plus the
+//!   pair-location query.
+
+pub mod oracle;
+pub mod split_tree;
+pub mod wspd;
+
+pub use oracle::DistanceOracle;
+pub use split_tree::{NodeRef, SplitTree};
+pub use wspd::{wspd, WspdPair};

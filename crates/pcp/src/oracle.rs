@@ -1,0 +1,255 @@
+//! The ε-approximate distance oracle built on the WSPD.
+//!
+//! For every well-separated pair `(A, B)` the oracle stores one
+//! representative network distance `d(rep(A), rep(B))`. A query `(u, v)`
+//! locates its unique covering pair by descending the split tree — mirroring
+//! the construction's split rule, so the walk takes `O(tree depth)` — and
+//! returns the representative distance. With separation `s` and network
+//! stretch `t = max d_network/d_euclidean`, the relative error is bounded by
+//! roughly `4t/s` (shrinking the pair radii shrinks how far `u, v` can be
+//! from the representatives).
+
+use crate::split_tree::SplitTree;
+use crate::wspd::{wspd, WspdPair};
+use silc_network::astar::AStar;
+use silc_network::{SpatialNetwork, VertexId};
+use std::collections::HashMap;
+
+/// Stored payload of one pair.
+#[derive(Debug, Clone, Copy)]
+struct PairData {
+    rep_a: VertexId,
+    rep_b: VertexId,
+    /// Representative network distance `rep_a → rep_b`.
+    dist: f64,
+}
+
+/// An approximate network-distance oracle.
+pub struct DistanceOracle {
+    tree: SplitTree,
+    pairs: HashMap<(u32, u32), PairData>,
+    separation: f64,
+    /// Max observed `d_network / d_euclidean` over representative pairs —
+    /// an empirical estimate of the network stretch `t`.
+    stretch: f64,
+}
+
+impl DistanceOracle {
+    /// Builds the oracle with separation factor `s` (larger `s` = more
+    /// pairs = better accuracy).
+    ///
+    /// Every representative distance is one A* computation; networks must
+    /// be strongly connected.
+    pub fn build(network: &SpatialNetwork, grid_exponent: u32, s: f64) -> Self {
+        let tree = SplitTree::build(network, grid_exponent);
+        let raw: Vec<WspdPair> = wspd(&tree, s);
+        let astar = AStar::new(network);
+        let mut pairs = HashMap::with_capacity(raw.len());
+        let mut stretch = 1.0f64;
+        for p in raw {
+            let rep_a = tree.representative(p.a);
+            let rep_b = tree.representative(p.b);
+            let dist = astar
+                .distance(rep_a, rep_b)
+                .expect("oracle requires a strongly connected network");
+            let euclid = network.euclidean(rep_a, rep_b);
+            if euclid > 0.0 {
+                stretch = stretch.max(dist / euclid);
+            }
+            pairs.insert((p.a.0, p.b.0), PairData { rep_a, rep_b, dist });
+        }
+        DistanceOracle { tree, pairs, separation: s, stretch }
+    }
+
+    /// Number of stored pairs (the oracle's size; `O(s²n)`).
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The separation factor the oracle was built with.
+    pub fn separation(&self) -> f64 {
+        self.separation
+    }
+
+    /// Empirical network stretch `t` observed over representative pairs.
+    pub fn stretch(&self) -> f64 {
+        self.stretch
+    }
+
+    /// The a-priori relative error bound `≈ 4t/s`.
+    pub fn epsilon(&self) -> f64 {
+        4.0 * self.stretch / self.separation
+    }
+
+    /// The well-separated pair covering `(u, v)` and its payload.
+    fn locate(&self, u: VertexId, v: VertexId) -> (PairData, bool) {
+        let t = &self.tree;
+        let mut a = t.root();
+        let mut b = t.root();
+        loop {
+            if a == b {
+                // Descend together until u and v part ways.
+                let ca = t.child_containing(a, u);
+                let cb = t.child_containing(b, v);
+                a = ca;
+                b = cb;
+                continue;
+            }
+            if let Some(p) = self.pairs.get(&(a.0, b.0)) {
+                return (*p, false);
+            }
+            if let Some(p) = self.pairs.get(&(b.0, a.0)) {
+                return (*p, true);
+            }
+            // Mirror the construction's split rule: split the larger
+            // diameter (ties split `a`-side of the stored orientation —
+            // which is the node that compares ≥).
+            if t.diameter(a) >= t.diameter(b) && !t.is_leaf(a) {
+                a = t.child_containing(a, u);
+            } else if !t.is_leaf(b) {
+                b = t.child_containing(b, v);
+            } else {
+                unreachable!("two leaves always form a stored pair");
+            }
+        }
+    }
+
+    /// Approximate network distance `u → v` (exact 0 when `u == v`).
+    pub fn distance(&self, u: VertexId, v: VertexId) -> f64 {
+        if u == v {
+            return 0.0;
+        }
+        let (p, _) = self.locate(u, v);
+        p.dist
+    }
+
+    /// The representative vertices of the pair covering `(u, v)`, oriented
+    /// so the first is on `u`'s side. This is the "common vertex `t`" the
+    /// PCP framework exposes for path stitching.
+    pub fn representatives(&self, u: VertexId, v: VertexId) -> Option<(VertexId, VertexId)> {
+        if u == v {
+            return None;
+        }
+        let (p, flipped) = self.locate(u, v);
+        Some(if flipped { (p.rep_b, p.rep_a) } else { (p.rep_a, p.rep_b) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silc_network::dijkstra;
+    use silc_network::generate::{road_network, RoadConfig};
+
+    fn network() -> SpatialNetwork {
+        road_network(&RoadConfig { vertices: 150, seed: 91, ..Default::default() })
+    }
+
+    /// (mean, max) relative error of the oracle over a deterministic pair
+    /// sample.
+    fn rel_error(g: &SpatialNetwork, oracle: &DistanceOracle) -> (f64, f64) {
+        let n = g.vertex_count() as u32;
+        let mut worst = 0.0f64;
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        for i in 0..60u32 {
+            let u = VertexId((i * 7) % n);
+            let v = VertexId((i * 13 + 31) % n);
+            if u == v {
+                continue;
+            }
+            let truth = dijkstra::distance(g, u, v).unwrap();
+            let approx = oracle.distance(u, v);
+            let err = (approx - truth).abs() / truth.max(1e-12);
+            worst = worst.max(err);
+            sum += err;
+            count += 1;
+        }
+        (sum / count as f64, worst)
+    }
+
+    #[test]
+    fn identical_vertices_are_zero() {
+        let g = network();
+        let o = DistanceOracle::build(&g, 10, 4.0);
+        assert_eq!(o.distance(VertexId(3), VertexId(3)), 0.0);
+        assert!(o.representatives(VertexId(3), VertexId(3)).is_none());
+    }
+
+    #[test]
+    fn every_query_resolves() {
+        let g = network();
+        let o = DistanceOracle::build(&g, 10, 2.0);
+        let n = g.vertex_count() as u32;
+        for u in (0..n).step_by(17) {
+            for v in (0..n).step_by(13) {
+                if u == v {
+                    continue;
+                }
+                let d = o.distance(VertexId(u), VertexId(v));
+                assert!(d.is_finite() && d > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn error_shrinks_with_separation() {
+        let g = network();
+        let coarse = DistanceOracle::build(&g, 10, 2.0);
+        let fine = DistanceOracle::build(&g, 10, 16.0);
+        let (mean_coarse, _) = rel_error(&g, &coarse);
+        let (mean_fine, _) = rel_error(&g, &fine);
+        assert!(
+            mean_fine < mean_coarse,
+            "higher separation must be more accurate on average: {mean_fine} vs {mean_coarse}"
+        );
+        assert!(mean_fine < 0.25, "s=16 should be reasonably accurate, got {mean_fine}");
+        assert!(fine.pair_count() > coarse.pair_count());
+    }
+
+    #[test]
+    fn error_within_theoretical_bound() {
+        let g = network();
+        let o = DistanceOracle::build(&g, 10, 8.0);
+        let (_, worst) = rel_error(&g, &o);
+        // ≈ 4t/s is a first-order bound; allow slack for the rect-based
+        // separation test.
+        assert!(
+            worst <= 1.5 * o.epsilon() + 0.05,
+            "observed error {worst} far exceeds bound {}",
+            o.epsilon()
+        );
+    }
+
+    #[test]
+    fn representatives_are_in_the_right_nodes() {
+        let g = network();
+        let o = DistanceOracle::build(&g, 10, 3.0);
+        let (u, v) = (VertexId(10), VertexId(100));
+        let (ra, rb) = o.representatives(u, v).unwrap();
+        // Orientation check via symmetry: the reversed query flips them.
+        let (sa, sb) = o.representatives(v, u).unwrap();
+        assert_eq!((ra, rb), (sb, sa));
+        // The representative on u's side must be (weakly) nearer to u.
+        let dua = g.euclidean(u, ra);
+        let dub = g.euclidean(u, rb);
+        // rep_a shares a WSPD node with u, so it is closer than the far rep
+        // whenever the pair is genuinely separated.
+        if dua > 0.0 && dub > 0.0 {
+            assert!(dua <= dub * 1.5 + g.bounds().width() * 0.2);
+        }
+    }
+
+    #[test]
+    fn symmetric_distances() {
+        let g = network();
+        let o = DistanceOracle::build(&g, 10, 4.0);
+        for &(u, v) in &[(0u32, 140u32), (5, 60), (99, 98)] {
+            let a = o.distance(VertexId(u), VertexId(v));
+            let b = o.distance(VertexId(v), VertexId(u));
+            // Same covering pair either way; symmetric networks give equal
+            // representative distances.
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

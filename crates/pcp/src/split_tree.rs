@@ -1,0 +1,285 @@
+//! A compressed quadtree over vertex positions, the skeleton the WSPD is
+//! built on.
+//!
+//! Nodes correspond to Morton blocks containing at least one vertex; chains
+//! of single-child blocks are compressed away, so the tree has at most
+//! `2n − 1` nodes. Each node keeps the *tight* bounding rectangle of its
+//! vertices (not the block rectangle), which makes the well-separation test
+//! as sharp as possible.
+
+use silc_geom::{GridMapper, Point, Rect};
+use silc_morton::{MortonBlock, MortonCode};
+use silc_network::{SpatialNetwork, VertexId};
+
+/// Index of a node in a [`SplitTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeRef(pub u32);
+
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    /// Morton block this node covers.
+    pub block: MortonBlock,
+    /// Tight bounding rectangle of the vertices below.
+    pub rect: Rect,
+    /// Range into the code-sorted vertex array.
+    pub span: (u32, u32),
+    /// Child node indices (empty for leaves). Compressed: always ≥ 2
+    /// children for internal nodes.
+    pub children: Vec<NodeRef>,
+}
+
+/// A compressed quadtree over the vertices of a spatial network.
+pub struct SplitTree {
+    nodes: Vec<Node>,
+    /// `(code, vertex)` sorted by Morton code.
+    sorted: Vec<(u64, u32)>,
+    codes: Vec<MortonCode>,
+}
+
+impl SplitTree {
+    /// Builds the tree for `network` on a `2^q × 2^q` grid.
+    ///
+    /// # Panics
+    /// Panics if the network is empty.
+    pub fn build(network: &SpatialNetwork, q: u32) -> Self {
+        assert!(network.vertex_count() > 0, "cannot build a split tree over no vertices");
+        let mapper = GridMapper::new(*network.bounds(), q);
+        let cells = mapper.assign_unique(network.positions());
+        let codes: Vec<MortonCode> = cells.into_iter().map(MortonCode::encode).collect();
+        let mut sorted: Vec<(u64, u32)> =
+            codes.iter().enumerate().map(|(v, c)| (c.0, v as u32)).collect();
+        sorted.sort_unstable();
+
+        let mut tree = SplitTree { nodes: Vec::new(), sorted, codes };
+        tree.build_node(MortonBlock::root(q), 0, tree.sorted.len() as u32, network.positions());
+        tree
+    }
+
+    /// Recursively builds the subtree for `block` over `sorted[lo..hi]`,
+    /// compressing single-child chains; returns the node index.
+    fn build_node(&mut self, block: MortonBlock, lo: u32, hi: u32, positions: &[Point]) -> NodeRef {
+        debug_assert!(lo < hi);
+        // Compress: descend while exactly one child quadrant is non-empty.
+        let mut block = block;
+        loop {
+            if hi - lo == 1 || block.level() == 0 {
+                break;
+            }
+            let children = block.children();
+            let mut non_empty = None;
+            let mut count = 0;
+            let mut cursor = lo;
+            for child in &children {
+                let end = cursor
+                    + self.sorted[cursor as usize..hi as usize]
+                        .partition_point(|&(c, _)| c < child.end()) as u32;
+                if end > cursor {
+                    count += 1;
+                    non_empty = Some(*child);
+                }
+                cursor = end;
+            }
+            if count == 1 {
+                block = non_empty.expect("count == 1");
+            } else {
+                break;
+            }
+        }
+
+        let rect = {
+            let mut it = self.sorted[lo as usize..hi as usize]
+                .iter()
+                .map(|&(_, v)| positions[v as usize]);
+            let first = it.next().expect("non-empty span");
+            let mut r = Rect::new(first.x, first.y, first.x, first.y);
+            for p in it {
+                r.expand(&p);
+            }
+            r
+        };
+
+        let idx = NodeRef(self.nodes.len() as u32);
+        self.nodes.push(Node { block, rect, span: (lo, hi), children: Vec::new() });
+
+        if hi - lo > 1 {
+            debug_assert!(block.level() > 0, "multiple vertices in one cell");
+            let mut kids = Vec::with_capacity(4);
+            let mut cursor = lo;
+            for child in block.children() {
+                let end = cursor
+                    + self.sorted[cursor as usize..hi as usize]
+                        .partition_point(|&(c, _)| c < child.end()) as u32;
+                if end > cursor {
+                    kids.push(self.build_node(child, cursor, end, positions));
+                }
+                cursor = end;
+            }
+            debug_assert!(kids.len() >= 2, "compression left a single child");
+            self.nodes[idx.0 as usize].children = kids;
+        }
+        NodeRef(idx.0)
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeRef {
+        NodeRef(0)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Children of a node (empty slice for leaves).
+    pub fn children(&self, n: NodeRef) -> &[NodeRef] {
+        &self.nodes[n.0 as usize].children
+    }
+
+    /// Is the node a leaf (single vertex)?
+    pub fn is_leaf(&self, n: NodeRef) -> bool {
+        self.nodes[n.0 as usize].children.is_empty()
+    }
+
+    /// Tight bounding rectangle of the node's vertices.
+    pub fn rect(&self, n: NodeRef) -> Rect {
+        self.nodes[n.0 as usize].rect
+    }
+
+    /// Diameter (diagonal of the tight bounding rectangle).
+    pub fn diameter(&self, n: NodeRef) -> f64 {
+        let r = self.rect(n);
+        (r.width().powi(2) + r.height().powi(2)).sqrt()
+    }
+
+    /// Number of vertices under the node.
+    pub fn size(&self, n: NodeRef) -> usize {
+        let (lo, hi) = self.nodes[n.0 as usize].span;
+        (hi - lo) as usize
+    }
+
+    /// The vertices under the node.
+    pub fn vertices(&self, n: NodeRef) -> impl Iterator<Item = VertexId> + '_ {
+        let (lo, hi) = self.nodes[n.0 as usize].span;
+        self.sorted[lo as usize..hi as usize].iter().map(|&(_, v)| VertexId(v))
+    }
+
+    /// A deterministic representative vertex of the node (the one with the
+    /// smallest Morton code).
+    pub fn representative(&self, n: NodeRef) -> VertexId {
+        let (lo, _) = self.nodes[n.0 as usize].span;
+        VertexId(self.sorted[lo as usize].1)
+    }
+
+    /// The child of `n` whose Morton block contains vertex `v`.
+    ///
+    /// # Panics
+    /// Panics if `n` is a leaf or `v` is not below `n`.
+    pub fn child_containing(&self, n: NodeRef, v: VertexId) -> NodeRef {
+        let code = self.codes[v.index()];
+        for &child in self.children(n) {
+            if self.nodes[child.0 as usize].block.contains_code(code) {
+                return child;
+            }
+        }
+        panic!("vertex {v} is not below node {n:?}");
+    }
+
+    /// Does node `n` contain vertex `v`?
+    pub fn contains(&self, n: NodeRef, v: VertexId) -> bool {
+        self.nodes[n.0 as usize].block.contains_code(self.codes[v.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silc_network::generate::{road_network, RoadConfig};
+
+    fn tree() -> (silc_network::SpatialNetwork, SplitTree) {
+        let g = road_network(&RoadConfig { vertices: 120, seed: 66, ..Default::default() });
+        let t = SplitTree::build(&g, 10);
+        (g, t)
+    }
+
+    #[test]
+    fn compressed_size_bound() {
+        let (g, t) = tree();
+        assert!(t.node_count() <= 2 * g.vertex_count() - 1, "tree is not compressed");
+        assert_eq!(t.size(t.root()), g.vertex_count());
+    }
+
+    #[test]
+    fn leaves_hold_single_vertices_and_cover_all() {
+        let (g, t) = tree();
+        let mut leaf_vertices = Vec::new();
+        let mut stack = vec![t.root()];
+        while let Some(n) = stack.pop() {
+            if t.is_leaf(n) {
+                assert_eq!(t.size(n), 1);
+                leaf_vertices.push(t.representative(n));
+            } else {
+                assert!(t.children(n).len() >= 2);
+                let child_sum: usize = t.children(n).iter().map(|&c| t.size(c)).sum();
+                assert_eq!(child_sum, t.size(n), "children must partition the parent");
+                stack.extend_from_slice(t.children(n));
+            }
+        }
+        leaf_vertices.sort();
+        let all: Vec<VertexId> = g.vertices().collect();
+        assert_eq!(leaf_vertices, all);
+    }
+
+    #[test]
+    fn rects_are_tight_and_nested() {
+        let (g, t) = tree();
+        let mut stack = vec![t.root()];
+        while let Some(n) = stack.pop() {
+            let r = t.rect(n);
+            for v in t.vertices(n) {
+                assert!(r.contains(&g.position(v)));
+            }
+            for &c in t.children(n) {
+                let cr = t.rect(c);
+                assert!(
+                    cr.min_x >= r.min_x && cr.max_x <= r.max_x
+                        && cr.min_y >= r.min_y && cr.max_y <= r.max_y
+                );
+                stack.push(c);
+            }
+        }
+    }
+
+    #[test]
+    fn child_containing_navigates_correctly() {
+        let (g, t) = tree();
+        for v in g.vertices() {
+            let mut n = t.root();
+            while !t.is_leaf(n) {
+                n = t.child_containing(n, v);
+                assert!(t.contains(n, v));
+            }
+            assert_eq!(t.representative(n), v);
+        }
+    }
+
+    #[test]
+    fn diameter_of_leaf_is_zero() {
+        let (_, t) = tree();
+        let mut stack = vec![t.root()];
+        while let Some(n) = stack.pop() {
+            if t.is_leaf(n) {
+                assert_eq!(t.diameter(n), 0.0);
+            } else {
+                assert!(t.diameter(n) > 0.0);
+                stack.extend_from_slice(t.children(n));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no vertices")]
+    fn empty_network_rejected() {
+        let g = silc_network::NetworkBuilder::new().build();
+        let _ = SplitTree::build(&g, 8);
+    }
+}

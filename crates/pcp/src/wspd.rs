@@ -1,0 +1,172 @@
+//! The well-separated pair decomposition.
+//!
+//! Two vertex sets are *s-well-separated* when the gap between their
+//! bounding rectangles is at least `s` times the larger of their radii; the
+//! decomposition covers every ordered vertex pair `(u, v)`, `u ≠ v`, by
+//! exactly one well-separated pair (Callahan & Kosaraju 1995 — reference
+//! [Call95] of the paper). The number of pairs is `O(s²·n)`.
+
+use crate::split_tree::{NodeRef, SplitTree};
+
+/// One well-separated pair of split-tree nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WspdPair {
+    pub a: NodeRef,
+    pub b: NodeRef,
+}
+
+/// Are nodes `a` and `b` s-well-separated?
+pub fn well_separated(tree: &SplitTree, a: NodeRef, b: NodeRef, s: f64) -> bool {
+    let ra = tree.diameter(a) / 2.0;
+    let rb = tree.diameter(b) / 2.0;
+    let r = ra.max(rb);
+    let (rect_a, rect_b) = (tree.rect(a), tree.rect(b));
+    // Gap between the rectangles (0 when they touch/overlap).
+    let dx = (rect_b.min_x - rect_a.max_x).max(rect_a.min_x - rect_b.max_x).max(0.0);
+    let dy = (rect_b.min_y - rect_a.max_y).max(rect_a.min_y - rect_b.max_y).max(0.0);
+    let gap = (dx * dx + dy * dy).sqrt();
+    gap >= s * r
+}
+
+/// Computes the s-WSPD of the tree's vertices.
+///
+/// # Panics
+/// Panics if `s <= 0`.
+pub fn wspd(tree: &SplitTree, s: f64) -> Vec<WspdPair> {
+    assert!(s > 0.0, "separation must be positive");
+    let mut out = Vec::new();
+    pairs_within(tree, tree.root(), s, &mut out);
+    out
+}
+
+/// Emits all pairs needed to cover vertex pairs inside `n`.
+fn pairs_within(tree: &SplitTree, n: NodeRef, s: f64, out: &mut Vec<WspdPair>) {
+    if tree.is_leaf(n) {
+        return;
+    }
+    let children = tree.children(n);
+    for (i, &a) in children.iter().enumerate() {
+        pairs_within(tree, a, s, out);
+        for &b in &children[i + 1..] {
+            pairs_between(tree, a, b, s, out);
+        }
+    }
+}
+
+/// Emits pairs covering all `(u, v)` with `u` under `a` and `v` under `b`.
+fn pairs_between(tree: &SplitTree, a: NodeRef, b: NodeRef, s: f64, out: &mut Vec<WspdPair>) {
+    if well_separated(tree, a, b, s) {
+        out.push(WspdPair { a, b });
+        return;
+    }
+    // Split the node with the larger diameter (ties: split `a`).
+    if tree.diameter(a) >= tree.diameter(b) && !tree.is_leaf(a) {
+        for &c in tree.children(a) {
+            pairs_between(tree, c, b, s, out);
+        }
+    } else if !tree.is_leaf(b) {
+        for &c in tree.children(b) {
+            pairs_between(tree, a, c, s, out);
+        }
+    } else {
+        // Both leaves: distinct vertices at positive distance are always
+        // separated from themselves (radius 0) — emit directly.
+        out.push(WspdPair { a, b });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silc_network::generate::{road_network, RoadConfig};
+    use silc_network::VertexId;
+    use std::collections::HashMap;
+
+    fn fixture() -> (silc_network::SpatialNetwork, SplitTree) {
+        let g = road_network(&RoadConfig { vertices: 80, seed: 13, ..Default::default() });
+        let t = SplitTree::build(&g, 10);
+        (g, t)
+    }
+
+    #[test]
+    fn every_vertex_pair_covered_exactly_once() {
+        let (g, t) = fixture();
+        let pairs = wspd(&t, 2.0);
+        let mut cover: HashMap<(u32, u32), usize> = HashMap::new();
+        for p in &pairs {
+            for u in t.vertices(p.a) {
+                for v in t.vertices(p.b) {
+                    *cover.entry((u.0, v.0)).or_default() += 1;
+                }
+            }
+        }
+        let n = g.vertex_count() as u32;
+        for u in 0..n {
+            for v in 0..n {
+                if u == v {
+                    continue;
+                }
+                let count = cover.get(&(u, v)).copied().unwrap_or(0)
+                    + cover.get(&(v, u)).copied().unwrap_or(0);
+                assert_eq!(count, 1, "pair ({u},{v}) covered {count} times");
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_are_well_separated_or_leaf_pairs() {
+        let (_, t) = fixture();
+        let s = 3.0;
+        for p in wspd(&t, s) {
+            assert!(
+                well_separated(&t, p.a, p.b, s) || (t.is_leaf(p.a) && t.is_leaf(p.b)),
+                "pair {p:?} is neither separated nor a leaf pair"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_count_grows_with_separation() {
+        let (_, t) = fixture();
+        let p2 = wspd(&t, 2.0).len();
+        let p6 = wspd(&t, 6.0).len();
+        assert!(p6 > p2, "more separation must need more pairs: {p2} vs {p6}");
+    }
+
+    #[test]
+    fn pair_count_is_near_linear_in_n() {
+        // O(s² n): doubling n should not quadruple the pair count.
+        let s = 2.0;
+        let small = road_network(&RoadConfig { vertices: 100, seed: 3, ..Default::default() });
+        let big = road_network(&RoadConfig { vertices: 400, seed: 3, ..Default::default() });
+        let ps = wspd(&SplitTree::build(&small, 10), s).len();
+        let pb = wspd(&SplitTree::build(&big, 10), s).len();
+        let ratio = pb as f64 / ps as f64;
+        assert!(
+            ratio < 8.0,
+            "pair growth {ratio} suggests super-linear behaviour ({ps} -> {pb})"
+        );
+    }
+
+    #[test]
+    fn two_point_decomposition() {
+        let mut b = silc_network::NetworkBuilder::new();
+        let u = b.add_vertex(silc_geom::Point::new(0.0, 0.0));
+        let v = b.add_vertex(silc_geom::Point::new(10.0, 0.0));
+        b.add_edge_sym(u, v, 10.0);
+        let g = b.build();
+        let t = SplitTree::build(&g, 6);
+        let pairs = wspd(&t, 2.0);
+        assert_eq!(pairs.len(), 1);
+        let p = pairs[0];
+        let reps: Vec<VertexId> = vec![t.representative(p.a), t.representative(p.b)];
+        assert!(reps.contains(&u) && reps.contains(&v));
+    }
+
+    #[test]
+    #[should_panic(expected = "separation")]
+    fn zero_separation_rejected() {
+        let (_, t) = fixture();
+        let _ = wspd(&t, 0.0);
+    }
+}

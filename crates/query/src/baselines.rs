@@ -1,0 +1,213 @@
+//! The competitor algorithms of Papadias, Zhang, Mamoulis & Tao (VLDB 2003)
+//! the paper evaluates against.
+//!
+//! Neither uses the SILC index: INE runs Dijkstra over the network itself;
+//! IER filters by Euclidean distance and verifies each candidate with a
+//! separate shortest-path computation. Their costs scale with the number of
+//! network vertices/edges within the kth-neighbor radius, which is exactly
+//! what the paper's execution-time figures exploit.
+
+use crate::objects::{ObjectId, ObjectSet};
+use crate::result::{KnnResult, Neighbor, QueryStats};
+use silc::DistInterval;
+use silc_network::dijkstra::Expander;
+use silc_network::{dijkstra, SpatialNetwork, VertexId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Max-heap entry of (distance, object) — the working k-best buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Best {
+    dist: f64,
+    object: ObjectId,
+}
+
+impl Eq for Best {}
+
+impl Ord for Best {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist.total_cmp(&other.dist).then_with(|| self.object.cmp(&other.object))
+    }
+}
+
+impl PartialOrd for Best {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn finalize(best: BinaryHeap<Best>, objects: &ObjectSet, stats: QueryStats) -> KnnResult {
+    let mut sorted: Vec<Best> = best.into_vec();
+    sorted.sort();
+    KnnResult {
+        neighbors: sorted
+            .into_iter()
+            .map(|b| Neighbor {
+                object: b.object,
+                vertex: objects.vertex(b.object),
+                interval: DistInterval::exact(b.dist),
+            })
+            .collect(),
+        stats,
+    }
+}
+
+/// INE — incremental network expansion.
+///
+/// Dijkstra from the query vertex, checking the objects residing on each
+/// settled vertex, halting once the next settled vertex is farther than the
+/// current kth-best object. Visits every edge closer than the kth neighbor
+/// (paper p.26 "worst case comparison").
+pub fn ine(
+    network: &SpatialNetwork,
+    objects: &ObjectSet,
+    query: VertexId,
+    k: usize,
+) -> KnnResult {
+    assert!(k > 0, "k must be positive");
+    let mut stats = QueryStats::default();
+    let mut best: BinaryHeap<Best> = BinaryHeap::with_capacity(k + 1);
+    let mut expander = Expander::new(network, query);
+    while let Some((v, d)) = expander.next_settled() {
+        if best.len() == k && d > best.peek().expect("k > 0").dist {
+            break;
+        }
+        stats.index_queries += 1;
+        for &o in objects.objects_at(v) {
+            if best.len() < k {
+                best.push(Best { dist: d, object: o });
+            } else if d < best.peek().expect("k > 0").dist {
+                best.push(Best { dist: d, object: o });
+                best.pop();
+            }
+        }
+    }
+    stats.dijkstra_visited = expander.visited();
+    stats.max_queue = best.len();
+    stats.dk_final = best.iter().map(|b| b.dist).fold(0.0, f64::max);
+    finalize(best, objects, stats)
+}
+
+/// IER — incremental Euclidean restriction.
+///
+/// Draws objects in Euclidean order from the object quadtree and computes
+/// each candidate's true network distance with (early-terminating)
+/// Dijkstra, stopping when the next Euclidean distance — scaled by the
+/// network's minimum weight/length ratio — already exceeds the kth-best
+/// network distance. One shortest-path computation per candidate is why the
+/// paper finds IER "always slowest".
+pub fn ier(
+    network: &SpatialNetwork,
+    objects: &ObjectSet,
+    query: VertexId,
+    k: usize,
+) -> KnnResult {
+    assert!(k > 0, "k must be positive");
+    let mut stats = QueryStats::default();
+    let ratio = network.min_weight_ratio();
+    let qpos = network.position(query);
+    let mut best: BinaryHeap<Best> = BinaryHeap::with_capacity(k + 1);
+    for (item, euclid) in objects.quadtree().nearest_iter(qpos) {
+        if best.len() == k && euclid * ratio > best.peek().expect("k > 0").dist {
+            break;
+        }
+        stats.index_queries += 1;
+        let o = ObjectId(*objects.quadtree().payload(item));
+        let target = objects.vertex(o);
+        let result = dijkstra::point_to_point(network, query, target)
+            .expect("objects live on reachable vertices");
+        stats.dijkstra_visited += result.visited;
+        if best.len() < k {
+            best.push(Best { dist: result.distance, object: o });
+        } else if result.distance < best.peek().expect("k > 0").dist {
+            best.push(Best { dist: result.distance, object: o });
+            best.pop();
+        }
+    }
+    stats.dk_final = best.iter().map(|b| b.dist).fold(0.0, f64::max);
+    finalize(best, objects, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::brute_force_knn;
+    use silc_network::generate::{road_network, RoadConfig};
+
+    fn fixture() -> (SpatialNetwork, ObjectSet) {
+        let g = road_network(&RoadConfig { vertices: 180, seed: 55, ..Default::default() });
+        let objects = ObjectSet::random(&g, 0.1, 4);
+        (g, objects)
+    }
+
+    fn distances(r: &KnnResult) -> Vec<f64> {
+        r.neighbors.iter().map(|n| n.interval.lo).collect()
+    }
+
+    #[test]
+    fn ine_matches_brute_force() {
+        let (g, objects) = fixture();
+        for &q in &[0u32, 60, 120, 179] {
+            let r = ine(&g, &objects, VertexId(q), 6);
+            let truth = brute_force_knn(&g, &objects, VertexId(q), 6);
+            assert_eq!(r.neighbors.len(), truth.len());
+            for (got, &(_, want)) in distances(&r).iter().zip(&truth) {
+                assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+            }
+            assert!(r.is_sorted());
+        }
+    }
+
+    #[test]
+    fn ier_matches_brute_force() {
+        let (g, objects) = fixture();
+        for &q in &[7u32, 92, 140] {
+            let r = ier(&g, &objects, VertexId(q), 6);
+            let truth = brute_force_knn(&g, &objects, VertexId(q), 6);
+            assert_eq!(r.neighbors.len(), truth.len());
+            for (got, &(_, want)) in distances(&r).iter().zip(&truth) {
+                assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn ine_and_ier_agree() {
+        let (g, objects) = fixture();
+        for &q in &[15u32, 85] {
+            let a = ine(&g, &objects, VertexId(q), 10);
+            let b = ier(&g, &objects, VertexId(q), 10);
+            assert_eq!(a.object_ids(), b.object_ids());
+        }
+    }
+
+    #[test]
+    fn ine_visits_grow_with_sparsity() {
+        // The sparser the objects, the farther INE must expand.
+        let (g, _) = fixture();
+        let dense = ObjectSet::random(&g, 0.3, 8);
+        let sparse = ObjectSet::random(&g, 0.02, 8);
+        let vd = ine(&g, &dense, VertexId(0), 5).stats.dijkstra_visited;
+        let vs = ine(&g, &sparse, VertexId(0), 5).stats.dijkstra_visited;
+        assert!(vs > vd, "sparse {vs} should exceed dense {vd}");
+    }
+
+    #[test]
+    fn ier_counts_candidates() {
+        let (g, objects) = fixture();
+        let r = ier(&g, &objects, VertexId(33), 4);
+        assert!(r.stats.index_queries >= 4);
+        assert!(r.stats.dijkstra_visited > 0);
+    }
+
+    #[test]
+    fn query_with_objects_on_query_vertex() {
+        let (g, _) = fixture();
+        let objects =
+            ObjectSet::from_vertices(&g, vec![VertexId(50), VertexId(51)], 4);
+        let r = ine(&g, &objects, VertexId(50), 1);
+        assert_eq!(r.neighbors[0].interval, DistInterval::exact(0.0));
+        let r = ier(&g, &objects, VertexId(50), 1);
+        assert_eq!(r.neighbors[0].interval, DistInterval::exact(0.0));
+    }
+}

@@ -1,0 +1,243 @@
+//! Disk-resident variants of the INE and IER baselines.
+//!
+//! The paper's experiments are disk-resident end to end: the competitors
+//! read the *network* from disk just as SILC reads its quadtrees from disk.
+//! These variants run the same algorithms as [`crate::baselines`] but fetch
+//! every adjacency list through `silc_network::paged::PagedNetwork`'s
+//! buffer pool, so their I/O cost is real and comparable with the
+//! disk-resident SILC index.
+
+use crate::objects::{ObjectId, ObjectSet};
+use crate::result::{KnnResult, Neighbor, QueryStats};
+use silc::DistInterval;
+use silc_network::paged::PagedNetwork;
+use silc_network::VertexId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    vertex: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.dist.total_cmp(&self.dist).then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Best {
+    dist: f64,
+    object: ObjectId,
+}
+
+impl Eq for Best {}
+
+impl Ord for Best {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist.total_cmp(&other.dist).then_with(|| self.object.cmp(&other.object))
+    }
+}
+
+impl PartialOrd for Best {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn finalize(best: BinaryHeap<Best>, objects: &ObjectSet, stats: QueryStats) -> KnnResult {
+    let mut sorted: Vec<Best> = best.into_vec();
+    sorted.sort();
+    KnnResult {
+        neighbors: sorted
+            .into_iter()
+            .map(|b| Neighbor {
+                object: b.object,
+                vertex: objects.vertex(b.object),
+                interval: DistInterval::exact(b.dist),
+            })
+            .collect(),
+        stats,
+    }
+}
+
+/// INE over a disk-resident network: Dijkstra expansion whose every
+/// adjacency-list access goes through the buffer pool.
+pub fn ine_disk(
+    network: &PagedNetwork,
+    objects: &ObjectSet,
+    query: VertexId,
+    k: usize,
+) -> KnnResult {
+    assert!(k > 0, "k must be positive");
+    let n = network.vertex_count();
+    let mut stats = QueryStats::default();
+    let mut best: BinaryHeap<Best> = BinaryHeap::with_capacity(k + 1);
+    let mut dist = vec![f64::INFINITY; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    let mut adjacency = Vec::new();
+    dist[query.index()] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, vertex: query.0 });
+    while let Some(HeapEntry { dist: d, vertex: u }) = heap.pop() {
+        if settled[u as usize] {
+            continue;
+        }
+        settled[u as usize] = true;
+        stats.dijkstra_visited += 1;
+        if best.len() == k && d > best.peek().expect("k > 0").dist {
+            break;
+        }
+        stats.index_queries += 1;
+        for &o in objects.objects_at(VertexId(u)) {
+            if best.len() < k {
+                best.push(Best { dist: d, object: o });
+            } else if d < best.peek().expect("k > 0").dist {
+                best.push(Best { dist: d, object: o });
+                best.pop();
+            }
+        }
+        network.out_edges(VertexId(u), &mut adjacency); // the disk access
+        for &(v, w) in &adjacency {
+            let vi = v.index();
+            if settled[vi] {
+                continue;
+            }
+            let nd = d + w;
+            if nd < dist[vi] {
+                dist[vi] = nd;
+                heap.push(HeapEntry { dist: nd, vertex: v.0 });
+            }
+        }
+    }
+    stats.dk_final = best.iter().map(|b| b.dist).fold(0.0, f64::max);
+    finalize(best, objects, stats)
+}
+
+/// Point-to-point Dijkstra over the paged network with early termination.
+fn paged_p2p(network: &PagedNetwork, s: VertexId, t: VertexId, visited: &mut usize) -> f64 {
+    let n = network.vertex_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    let mut adjacency = Vec::new();
+    dist[s.index()] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, vertex: s.0 });
+    while let Some(HeapEntry { dist: d, vertex: u }) = heap.pop() {
+        if settled[u as usize] {
+            continue;
+        }
+        settled[u as usize] = true;
+        *visited += 1;
+        if u == t.0 {
+            return d;
+        }
+        network.out_edges(VertexId(u), &mut adjacency);
+        for &(v, w) in &adjacency {
+            let vi = v.index();
+            if settled[vi] {
+                continue;
+            }
+            let nd = d + w;
+            if nd < dist[vi] {
+                dist[vi] = nd;
+                heap.push(HeapEntry { dist: nd, vertex: v.0 });
+            }
+        }
+    }
+    f64::INFINITY
+}
+
+/// IER over a disk-resident network: Euclidean filtering from the in-memory
+/// object quadtree, one paged Dijkstra per candidate.
+///
+/// `min_ratio` is the network's minimum weight/Euclidean-length ratio (the
+/// admissible scaling for the Euclidean cutoff); compute it once with
+/// `SpatialNetwork::min_weight_ratio` before paging the network out.
+pub fn ier_disk(
+    network: &PagedNetwork,
+    objects: &ObjectSet,
+    query: VertexId,
+    k: usize,
+    min_ratio: f64,
+) -> KnnResult {
+    assert!(k > 0, "k must be positive");
+    let mut stats = QueryStats::default();
+    let qpos = network.position(query);
+    let mut best: BinaryHeap<Best> = BinaryHeap::with_capacity(k + 1);
+    for (item, euclid) in objects.quadtree().nearest_iter(qpos) {
+        if best.len() == k && euclid * min_ratio > best.peek().expect("k > 0").dist {
+            break;
+        }
+        stats.index_queries += 1;
+        let o = ObjectId(*objects.quadtree().payload(item));
+        let d = paged_p2p(network, query, objects.vertex(o), &mut stats.dijkstra_visited);
+        if best.len() < k {
+            best.push(Best { dist: d, object: o });
+        } else if d < best.peek().expect("k > 0").dist {
+            best.push(Best { dist: d, object: o });
+            best.pop();
+        }
+    }
+    stats.dk_final = best.iter().map(|b| b.dist).fold(0.0, f64::max);
+    finalize(best, objects, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{ier, ine};
+    use silc_network::generate::{road_network, RoadConfig};
+    use silc_network::paged::write_paged;
+
+    fn fixture(name: &str) -> (silc_network::SpatialNetwork, PagedNetwork, ObjectSet) {
+        let g = road_network(&RoadConfig { vertices: 160, seed: 14, ..Default::default() });
+        let dir = std::env::temp_dir().join("silc-disk-baseline-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        write_paged(&g, &path).unwrap();
+        let paged = PagedNetwork::open(&path, 0.25).unwrap();
+        let objects = ObjectSet::random(&g, 0.1, 6);
+        (g, paged, objects)
+    }
+
+    #[test]
+    fn ine_disk_matches_memory_ine() {
+        let (g, paged, objects) = fixture("ine.pnet");
+        for &q in &[0u32, 80, 159] {
+            let a = ine(&g, &objects, VertexId(q), 5);
+            let b = ine_disk(&paged, &objects, VertexId(q), 5);
+            assert_eq!(a.object_ids(), b.object_ids(), "q={q}");
+        }
+        assert!(paged.io_stats().requests() > 0, "disk INE must touch pages");
+    }
+
+    #[test]
+    fn ier_disk_matches_memory_ier() {
+        let (g, paged, objects) = fixture("ier.pnet");
+        let ratio = g.min_weight_ratio();
+        for &q in &[17u32, 120] {
+            let a = ier(&g, &objects, VertexId(q), 5);
+            let b = ier_disk(&paged, &objects, VertexId(q), 5, ratio);
+            assert_eq!(a.object_ids(), b.object_ids(), "q={q}");
+        }
+    }
+
+    #[test]
+    fn visit_counters_populate() {
+        let (_, paged, objects) = fixture("count.pnet");
+        let r = ine_disk(&paged, &objects, VertexId(0), 3);
+        assert!(r.stats.dijkstra_visited > 0);
+        assert!(r.stats.index_queries > 0);
+    }
+}

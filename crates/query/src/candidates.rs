@@ -1,0 +1,170 @@
+//! The secondary priority structure `L` of the kNN algorithm.
+//!
+//! `L` holds the best k candidate objects seen so far, ordered by the upper
+//! bound `δ+` of their distance intervals; `Dk` — the δ+ of the kth
+//! element — is the pruning radius everything else is tested against
+//! (paper p.22). The list is tiny (≤ k entries) and updated with interval
+//! refinements, so a sorted vector beats any fancier structure.
+
+use crate::objects::ObjectId;
+use silc::DistInterval;
+
+/// The candidate list `L`: at most `k` objects ordered by `δ+`.
+#[derive(Debug, Clone)]
+pub struct CandidateList {
+    k: usize,
+    /// `(δ+, δ−, object)` sorted ascending by `δ+` (ties: object id).
+    entries: Vec<(f64, f64, ObjectId)>,
+}
+
+impl CandidateList {
+    /// An empty list with capacity `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        CandidateList { k, entries: Vec::with_capacity(k + 1) }
+    }
+
+    /// `Dk`: the δ+ of the kth candidate, or ∞ while fewer than k are known.
+    #[inline]
+    pub fn dk(&self) -> f64 {
+        if self.entries.len() == self.k {
+            self.entries[self.k - 1].0
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The δ− of the kth candidate (`None` while not full). One ingredient
+    /// of the `KMINDIST` bound of kNN-M.
+    #[inline]
+    pub fn kth_lo(&self) -> Option<f64> {
+        (self.entries.len() == self.k).then(|| self.entries[self.k - 1].1)
+    }
+
+    /// Number of candidates currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no candidates are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` when k candidates are held.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.k
+    }
+
+    /// Is the object currently a candidate?
+    pub fn contains(&self, o: ObjectId) -> bool {
+        self.entries.iter().any(|&(_, _, e)| e == o)
+    }
+
+    /// Inserts or updates an object with its current interval. The object
+    /// enters only if it beats the current `Dk` (or the list is not full);
+    /// the worst candidate is evicted on overflow. Returns `true` if the
+    /// object is in the list afterwards.
+    pub fn upsert(&mut self, o: ObjectId, interval: DistInterval) -> bool {
+        self.remove(o);
+        if self.entries.len() == self.k && interval.hi >= self.dk() {
+            return false;
+        }
+        let key = (interval.hi, o);
+        let pos = self
+            .entries
+            .partition_point(|&(hi, _, id)| (hi, id) < key);
+        self.entries.insert(pos, (interval.hi, interval.lo, o));
+        if self.entries.len() > self.k {
+            self.entries.pop();
+        }
+        debug_assert!(self.entries.len() <= self.k);
+        self.contains(o)
+    }
+
+    /// Removes an object if present; returns whether it was there.
+    pub fn remove(&mut self, o: ObjectId) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&(_, _, e)| e == o) {
+            self.entries.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The candidates as `(object, δ−, δ+)`, ascending by δ+.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, f64, f64)> + '_ {
+        self.entries.iter().map(|&(hi, lo, o)| (o, lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> DistInterval {
+        DistInterval::new(lo, hi)
+    }
+
+    #[test]
+    fn dk_is_infinite_until_full() {
+        let mut l = CandidateList::new(2);
+        assert_eq!(l.dk(), f64::INFINITY);
+        l.upsert(ObjectId(0), iv(1.0, 5.0));
+        assert_eq!(l.dk(), f64::INFINITY);
+        l.upsert(ObjectId(1), iv(2.0, 3.0));
+        assert_eq!(l.dk(), 5.0);
+        assert_eq!(l.kth_lo(), Some(1.0));
+    }
+
+    #[test]
+    fn better_candidates_evict_worse() {
+        let mut l = CandidateList::new(2);
+        l.upsert(ObjectId(0), iv(1.0, 5.0));
+        l.upsert(ObjectId(1), iv(2.0, 3.0));
+        assert!(l.upsert(ObjectId(2), iv(0.5, 2.0)));
+        assert_eq!(l.dk(), 3.0);
+        assert!(!l.contains(ObjectId(0)), "worst candidate evicted");
+        // A candidate not beating Dk is rejected.
+        assert!(!l.upsert(ObjectId(3), iv(0.0, 10.0)));
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn upsert_replaces_existing_entry() {
+        let mut l = CandidateList::new(3);
+        l.upsert(ObjectId(7), iv(1.0, 9.0));
+        l.upsert(ObjectId(7), iv(2.0, 4.0));
+        assert_eq!(l.len(), 1);
+        let all: Vec<_> = l.iter().collect();
+        assert_eq!(all, vec![(ObjectId(7), 2.0, 4.0)]);
+    }
+
+    #[test]
+    fn remove_reports_presence() {
+        let mut l = CandidateList::new(2);
+        l.upsert(ObjectId(1), iv(0.0, 1.0));
+        assert!(l.remove(ObjectId(1)));
+        assert!(!l.remove(ObjectId(1)));
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_by_upper_bound() {
+        let mut l = CandidateList::new(3);
+        l.upsert(ObjectId(0), iv(0.0, 3.0));
+        l.upsert(ObjectId(1), iv(0.0, 1.0));
+        l.upsert(ObjectId(2), iv(0.0, 2.0));
+        let order: Vec<u32> = l.iter().map(|(o, _, _)| o.0).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = CandidateList::new(0);
+    }
+}

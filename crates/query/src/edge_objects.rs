@@ -1,0 +1,225 @@
+//! Edge objects: the paper's second input-object type (p.21).
+//!
+//! An object on an edge `(u, v)` at fraction `t` of its length (a house
+//! along a road segment) is reached either through `u` or through `v`:
+//!
+//! ```text
+//! d(q, o) = min( d(q,u) + t·w(u,v),  d(q,v) + (1−t)·w(v,u) )
+//! ```
+//!
+//! [`EdgeObjectDistance`] carries one [`RefinableDistance`] per endpoint and
+//! combines their intervals, refining whichever side currently blocks the
+//! answer — the same progressive-refinement contract as vertex objects, so
+//! edge objects plug into interval-based query processing unchanged.
+
+use silc::refine::RefinableDistance;
+use silc::{DistInterval, DistanceBrowser};
+use silc_network::VertexId;
+
+/// An object living on a directed pair of road edges `u ↔ v`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeObject {
+    /// One endpoint of the segment.
+    pub u: VertexId,
+    /// The other endpoint.
+    pub v: VertexId,
+    /// Position along the segment as a fraction of the edge weight:
+    /// `0.0` = at `u`, `1.0` = at `v`.
+    pub t: f64,
+}
+
+impl EdgeObject {
+    /// Creates an edge object.
+    ///
+    /// # Panics
+    /// Panics if `t` is outside `[0, 1]` or the endpoints coincide.
+    pub fn new(u: VertexId, v: VertexId, t: f64) -> Self {
+        assert!((0.0..=1.0).contains(&t), "edge fraction must be in [0, 1], got {t}");
+        assert_ne!(u, v, "edge objects need two distinct endpoints");
+        EdgeObject { u, v, t }
+    }
+}
+
+/// A progressively refinable network distance from a query vertex to an
+/// [`EdgeObject`].
+#[derive(Debug, Clone)]
+pub struct EdgeObjectDistance {
+    via_u: RefinableDistance,
+    via_v: RefinableDistance,
+    /// Cost from `u` to the object along the edge.
+    tail_u: f64,
+    /// Cost from `v` to the object along the edge.
+    tail_v: f64,
+}
+
+impl EdgeObjectDistance {
+    /// Starts refinement toward the object.
+    ///
+    /// # Panics
+    /// Panics if the network has no edge between the object's endpoints.
+    pub fn new<B: DistanceBrowser + ?Sized>(b: &B, query: VertexId, object: EdgeObject) -> Self {
+        let w_uv = b
+            .network()
+            .edge_weight(object.u, object.v)
+            .expect("edge object must lie on a real edge");
+        let w_vu = b.network().edge_weight(object.v, object.u).unwrap_or(w_uv);
+        EdgeObjectDistance {
+            via_u: RefinableDistance::new(b, query, object.u),
+            via_v: RefinableDistance::new(b, query, object.v),
+            tail_u: object.t * w_uv,
+            tail_v: (1.0 - object.t) * w_vu,
+        }
+    }
+
+    /// The current interval for `d(q, o)`: the min-combination of the two
+    /// endpoint intervals plus their fixed tails.
+    pub fn interval(&self) -> DistInterval {
+        let a = self.via_u.interval().offset(self.tail_u);
+        let b = self.via_v.interval().offset(self.tail_v);
+        DistInterval::new(a.lo.min(b.lo), a.hi.min(b.hi))
+    }
+
+    /// Is the distance known exactly?
+    pub fn is_exact(&self) -> bool {
+        self.interval().is_exact()
+            || (self.via_u.is_exact() && self.via_v.is_exact())
+    }
+
+    /// Total refinement steps taken on either side.
+    pub fn refinements(&self) -> usize {
+        self.via_u.refinements() + self.via_v.refinements()
+    }
+
+    /// One refinement step on the side that currently constrains the
+    /// answer the least (the wider contributor). Returns `false` when
+    /// exact.
+    pub fn refine<B: DistanceBrowser + ?Sized>(&mut self, b: &B) -> bool {
+        if self.is_exact() {
+            return false;
+        }
+        let wu = if self.via_u.is_exact() { -1.0 } else { self.via_u.interval().width() };
+        let wv = if self.via_v.is_exact() { -1.0 } else { self.via_v.interval().width() };
+        // Branches differ in refinement order; short-circuiting stops at
+        // the first side that makes progress.
+        #[allow(clippy::if_same_then_else)]
+        if wu >= wv {
+            self.via_u.refine(b) || self.via_v.refine(b)
+        } else {
+            self.via_v.refine(b) || self.via_u.refine(b)
+        }
+    }
+
+    /// Refines both sides to exactness and returns the distance.
+    pub fn refine_until_exact<B: DistanceBrowser + ?Sized>(&mut self, b: &B) -> f64 {
+        let du = self.via_u.refine_until_exact(b) + self.tail_u;
+        let dv = self.via_v.refine_until_exact(b) + self.tail_v;
+        du.min(dv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silc::{BuildConfig, SilcIndex};
+    use silc_network::dijkstra;
+    use silc_network::generate::{road_network, RoadConfig};
+    use std::sync::Arc;
+
+    fn fixture() -> SilcIndex {
+        let g = Arc::new(road_network(&RoadConfig { vertices: 150, seed: 8, ..Default::default() }));
+        SilcIndex::build(g, &BuildConfig { grid_exponent: 9, threads: 0 }).unwrap()
+    }
+
+    fn some_edge(idx: &SilcIndex) -> (VertexId, VertexId, f64) {
+        let g = idx.network();
+        let u = VertexId(40);
+        let (v, w) = g.out_edges(u).next().expect("vertex has edges");
+        (u, v, w)
+    }
+
+    fn truth(idx: &SilcIndex, q: VertexId, o: EdgeObject) -> f64 {
+        let g = idx.network();
+        let w_uv = g.edge_weight(o.u, o.v).unwrap();
+        let w_vu = g.edge_weight(o.v, o.u).unwrap();
+        let via_u = dijkstra::distance(g, q, o.u).unwrap() + o.t * w_uv;
+        let via_v = dijkstra::distance(g, q, o.v).unwrap() + (1.0 - o.t) * w_vu;
+        via_u.min(via_v)
+    }
+
+    #[test]
+    fn exact_distance_matches_both_route_minimum() {
+        let idx = fixture();
+        let (u, v, _) = some_edge(&idx);
+        for t in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            let o = EdgeObject::new(u, v, t);
+            for q in [VertexId(0), VertexId(75), VertexId(149)] {
+                let mut d = EdgeObjectDistance::new(&idx, q, o);
+                let got = d.refine_until_exact(&idx);
+                let want = truth(&idx, q, o);
+                assert!((got - want).abs() < 1e-9, "t={t}, q={q}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn interval_brackets_truth_through_refinement() {
+        let idx = fixture();
+        let (u, v, _) = some_edge(&idx);
+        let o = EdgeObject::new(u, v, 0.3);
+        let q = VertexId(120);
+        let want = truth(&idx, q, o);
+        let mut d = EdgeObjectDistance::new(&idx, q, o);
+        let mut steps = 0;
+        loop {
+            let iv = d.interval();
+            assert!(
+                iv.lo <= want + 1e-9 && iv.hi >= want - 1e-9,
+                "{iv} lost true distance {want} after {steps} steps"
+            );
+            if !d.refine(&idx) {
+                break;
+            }
+            steps += 1;
+            assert!(steps <= 2 * idx.network().vertex_count(), "refinement must terminate");
+        }
+        assert!((d.interval().lo - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn endpoints_degenerate_to_vertex_objects() {
+        let idx = fixture();
+        let (u, v, _) = some_edge(&idx);
+        let q = VertexId(3);
+        let mut at_u = EdgeObjectDistance::new(&idx, q, EdgeObject::new(u, v, 0.0));
+        let du = dijkstra::distance(idx.network(), q, u).unwrap();
+        // The object sits exactly on u, but the route via v could tie; the
+        // result can never beat the direct distance to u.
+        let exact = at_u.refine_until_exact(&idx);
+        assert!((exact - du).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refinement_count_is_bounded_by_both_paths() {
+        let idx = fixture();
+        let (u, v, _) = some_edge(&idx);
+        let o = EdgeObject::new(u, v, 0.5);
+        let q = VertexId(149);
+        let mut d = EdgeObjectDistance::new(&idx, q, o);
+        d.refine_until_exact(&idx);
+        let path_u = dijkstra::point_to_point(idx.network(), q, u).unwrap().path.len();
+        let path_v = dijkstra::point_to_point(idx.network(), q, v).unwrap().path.len();
+        assert!(d.refinements() <= path_u + path_v);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge fraction")]
+    fn fraction_out_of_range_rejected() {
+        EdgeObject::new(VertexId(0), VertexId(1), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct endpoints")]
+    fn degenerate_edge_rejected() {
+        EdgeObject::new(VertexId(2), VertexId(2), 0.5);
+    }
+}

@@ -1,0 +1,631 @@
+//! The paper's k-nearest-neighbor algorithms over a SILC index.
+//!
+//! All of them are best-first searches over a priority queue `Q` holding
+//! quadtree blocks of the *object* index and individual objects, keyed by
+//! the lower bound `δ−` of their network-distance interval from the query.
+//! They differ in the bookkeeping around `Q`:
+//!
+//! * [`inn`] — incremental: pop, expand blocks, refine objects until the
+//!   top object cannot collide with anything behind it, report, repeat.
+//! * [`knn`] with [`KnnVariant::Basic`] — non-incremental: additionally
+//!   keeps the candidate list `L` (best k by `δ+`) whose kth upper bound
+//!   `Dk` prunes both queue insertions and termination (paper p.22–23).
+//! * [`KnnVariant::EarlyEstimate`] (kNN-I) — also freezes the first full
+//!   `L` into the estimate `D⁰k` and refuses to enqueue anything beyond it.
+//! * [`KnnVariant::MinDist`] (kNN-M) — also confirms objects whose `δ+`
+//!   falls below `KMINDIST`, the minimum possible kth-neighbor distance,
+//!   skipping the refinements a total ordering would need; output is
+//!   unsorted.
+
+use crate::candidates::CandidateList;
+use crate::objects::{ObjectId, ObjectSet};
+use crate::result::{KnnResult, Neighbor, QueryStats};
+use silc::refine::RefinableDistance;
+use silc::DistanceBrowser;
+use silc_network::VertexId;
+use silc_quadtree::{NodeId, NodeView};
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
+
+/// Which refinement-avoidance machinery the [`knn`] engine runs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnnVariant {
+    /// The plain non-incremental kNN algorithm (queues `Q` and `L`, `Dk`).
+    Basic,
+    /// kNN-I: prune queue insertions against the early estimate `D⁰k`.
+    EarlyEstimate,
+    /// kNN-M: confirm against `KMINDIST`; result order is not sorted.
+    MinDist,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Kind {
+    Block(NodeId),
+    Object(ObjectId, u32),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct QEntry {
+    key: f64,
+    seq: u64,
+    kind: Kind,
+}
+
+impl Eq for QEntry {}
+
+impl Ord for QEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by key; deterministic ties by insertion sequence.
+        other.key.total_cmp(&self.key).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for QEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct ObjState {
+    refiner: RefinableDistance,
+    version: u32,
+    confirmed: bool,
+}
+
+/// The shared engine state.
+struct Engine<'a, B: DistanceBrowser + ?Sized> {
+    browser: &'a B,
+    objects: &'a ObjectSet,
+    query: VertexId,
+    heap: BinaryHeap<QEntry>,
+    states: HashMap<ObjectId, ObjState>,
+    seq: u64,
+    stats: QueryStats,
+}
+
+impl<'a, B: DistanceBrowser + ?Sized> Engine<'a, B> {
+    fn new(browser: &'a B, objects: &'a ObjectSet, query: VertexId) -> Self {
+        let mut e = Engine {
+            browser,
+            objects,
+            query,
+            heap: BinaryHeap::new(),
+            states: HashMap::new(),
+            seq: 0,
+            stats: QueryStats::default(),
+        };
+        if !objects.is_empty() {
+            let root = objects.quadtree().root();
+            let key = e.block_key(root);
+            e.push(key, Kind::Block(root));
+        }
+        e
+    }
+
+    fn block_key(&self, node: NodeId) -> f64 {
+        let rect = self.objects.quadtree().rect(node);
+        self.browser.region_lower_bound(self.query, &rect)
+    }
+
+    fn push(&mut self, key: f64, kind: Kind) {
+        self.seq += 1;
+        self.heap.push(QEntry { key, seq: self.seq, kind });
+        self.stats.queue_pushes += 1;
+        self.stats.max_queue = self.stats.max_queue.max(self.heap.len());
+    }
+
+    /// Ensures the object has a refiner, creating the zero-hop interval on
+    /// first contact. Returns (interval, version).
+    fn touch(&mut self, o: ObjectId) -> (silc::DistInterval, u32) {
+        let vertex = self.objects.vertex(o);
+        let state = match self.states.entry(o) {
+            MapEntry::Occupied(e) => e.into_mut(),
+            MapEntry::Vacant(e) => e.insert(ObjState {
+                refiner: RefinableDistance::new(self.browser, self.query, vertex),
+                version: 0,
+                confirmed: false,
+            }),
+        };
+        (state.refiner.interval(), state.version)
+    }
+
+    /// One refinement step; no-ops (already exact) are not counted as
+    /// refinement operations since they touch no quadtree.
+    fn refine(&mut self, o: ObjectId) -> (silc::DistInterval, u32) {
+        let state = self.states.get_mut(&o).expect("refining an untouched object");
+        if state.refiner.refine(self.browser) {
+            self.stats.refinements += 1;
+        }
+        state.version += 1;
+        (state.refiner.interval(), state.version)
+    }
+
+    /// `KMINDIST`: the minimum possible distance of the kth nearest
+    /// neighbor given everything currently known — the kth smallest `δ−`
+    /// over all discovered objects, floored by the smallest lower bound of
+    /// any block still in the queue (an unexpanded block may hide arbitrarily
+    /// many objects at its bound).
+    fn kmindist(&self, k: usize) -> Option<f64> {
+        let mut lows: Vec<f64> = self
+            .states
+            .values()
+            .map(|s| s.refiner.interval().lo)
+            .collect();
+        if lows.len() < k {
+            return None;
+        }
+        let (_, kth, _) = lows.select_nth_unstable_by(k - 1, f64::total_cmp);
+        let mut bound = *kth;
+        for entry in self.heap.iter() {
+            if matches!(entry.kind, Kind::Block(_)) {
+                bound = bound.min(entry.key);
+            }
+        }
+        Some(bound)
+    }
+
+}
+
+/// The non-incremental best-first kNN algorithm and its kNN-I / kNN-M
+/// variants (paper §6).
+///
+/// Returns up to `k` neighbors: fewer only when the object set is smaller
+/// than `k`. Neighbor intervals always contain the true network distance;
+/// for [`KnnVariant::MinDist`] the reporting order is not sorted.
+pub fn knn<B: DistanceBrowser + ?Sized>(
+    browser: &B,
+    objects: &ObjectSet,
+    query: VertexId,
+    k: usize,
+    variant: KnnVariant,
+) -> KnnResult {
+    assert!(k > 0, "k must be positive");
+    let mut eng = Engine::new(browser, objects, query);
+    let mut candidates = CandidateList::new(k);
+    let mut d0k: Option<f64> = None;
+    let mut reported: Vec<Neighbor> = Vec::with_capacity(k);
+    let use_d0k = matches!(variant, KnnVariant::EarlyEstimate | KnnVariant::MinDist);
+    let use_kmindist = matches!(variant, KnnVariant::MinDist);
+    let mut pq_nanos = 0u64;
+
+    // Everything with δ− at or beyond this bound is not worth enqueueing.
+    let enqueue_bound =
+        |cands: &CandidateList, d0k: &Option<f64>| cands.dk().min(d0k.unwrap_or(f64::INFINITY));
+
+    while let Some(QEntry { key, kind, .. }) = eng.heap.pop() {
+        // Stale object entries (superseded by a refinement) are skipped.
+        if let Kind::Object(o, version) = kind {
+            let state = &eng.states[&o];
+            if state.confirmed || state.version != version {
+                continue;
+            }
+        }
+        // Halt: nothing left can improve on the k candidates.
+        let t = Instant::now();
+        let dk = candidates.dk();
+        pq_nanos += t.elapsed().as_nanos() as u64;
+        if key > dk {
+            break;
+        }
+        if reported.len() == k {
+            break;
+        }
+        match kind {
+            Kind::Block(node) => match eng.objects.quadtree().node(node) {
+                NodeView::Leaf(items) => {
+                    for &item in items {
+                        let o = ObjectId(*eng.objects.quadtree().payload(item));
+                        if eng.states.get(&o).is_some_and(|s| s.confirmed) {
+                            continue;
+                        }
+                        let (iv, version) = eng.touch(o);
+                        let t = Instant::now();
+                        if iv.hi < candidates.dk() {
+                            candidates.upsert(o, iv);
+                            if use_d0k && d0k.is_none() && candidates.is_full() {
+                                d0k = Some(candidates.dk());
+                            }
+                        }
+                        let bound = enqueue_bound(&candidates, &d0k);
+                        pq_nanos += t.elapsed().as_nanos() as u64;
+                        if iv.lo < bound {
+                            eng.push(iv.lo, Kind::Object(o, version));
+                        }
+                    }
+                }
+                NodeView::Internal(children) => {
+                    for child in children {
+                        let child_key = eng.block_key(child);
+                        let t = Instant::now();
+                        let bound = enqueue_bound(&candidates, &d0k);
+                        pq_nanos += t.elapsed().as_nanos() as u64;
+                        if child_key < bound {
+                            eng.push(child_key, Kind::Block(child));
+                        }
+                    }
+                }
+            },
+            Kind::Object(o, _) => {
+                let iv = eng.states[&o].refiner.interval();
+                // kNN-M: confirm without ordering when provably in the top k.
+                if use_kmindist && candidates.is_full() {
+                    let quick = candidates.kth_lo().is_some_and(|lo| iv.hi <= lo);
+                    if quick {
+                        if let Some(kmin) = eng.kmindist(k) {
+                            eng.stats.kmindist_final = Some(kmin);
+                            if iv.hi <= kmin {
+                                eng.states.get_mut(&o).unwrap().confirmed = true;
+                                eng.stats.kmindist_pruned += 1;
+                                let t = Instant::now();
+                                candidates.upsert(o, iv);
+                                pq_nanos += t.elapsed().as_nanos() as u64;
+                                reported.push(Neighbor {
+                                    object: o,
+                                    vertex: eng.objects.vertex(o),
+                                    interval: iv,
+                                });
+                                continue;
+                            }
+                        }
+                    }
+                }
+                // Collision test against the next-best element (paper p.23):
+                // the top's interval starts at its key, so the intervals are
+                // disjoint exactly when δ+(o) < key(top). An exact distance
+                // tied with the top's lower bound also wins — everything
+                // else is provably no closer (resolves equal-distance ties
+                // that refinement cannot separate).
+                let no_collision = match eng.heap.peek() {
+                    Some(top) => iv.hi < top.key || (iv.is_exact() && iv.hi <= top.key),
+                    None => true,
+                };
+                if no_collision {
+                    eng.states.get_mut(&o).unwrap().confirmed = true;
+                    let t = Instant::now();
+                    candidates.upsert(o, iv);
+                    pq_nanos += t.elapsed().as_nanos() as u64;
+                    reported.push(Neighbor {
+                        object: o,
+                        vertex: eng.objects.vertex(o),
+                        interval: iv,
+                    });
+                } else {
+                    let t = Instant::now();
+                    candidates.remove(o);
+                    pq_nanos += t.elapsed().as_nanos() as u64;
+                    let (iv, version) = eng.refine(o);
+                    let t = Instant::now();
+                    if iv.hi < candidates.dk() {
+                        candidates.upsert(o, iv);
+                    }
+                    let bound = enqueue_bound(&candidates, &d0k);
+                    pq_nanos += t.elapsed().as_nanos() as u64;
+                    if iv.lo < bound {
+                        eng.push(iv.lo, Kind::Object(o, version));
+                    }
+                }
+            }
+        }
+    }
+
+    // Fill any remaining slots from L (the paper's "report L"): refine to
+    // exact so the filled tail is correctly ordered.
+    if reported.len() < k {
+        let mut leftovers: Vec<(f64, ObjectId)> = candidates
+            .iter()
+            .filter(|(o, _, _)| !eng.states.get(o).is_some_and(|s| s.confirmed))
+            .map(|(o, _, _)| o)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|o| {
+                let state = eng.states.get_mut(&o).unwrap();
+                let d = state.refiner.refine_until_exact(browser);
+                (d, o)
+            })
+            .collect();
+        leftovers.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        for (d, o) in leftovers.into_iter().take(k - reported.len()) {
+            reported.push(Neighbor {
+                object: o,
+                vertex: eng.objects.vertex(o),
+                interval: silc::DistInterval::exact(d),
+            });
+        }
+    }
+
+    // Final statistics. `dk_final` is the tightest *known* upper bound on
+    // the kth distance — the exact truth is recomputed by callers that need
+    // it (e.g. the estimate-quality figure), outside any timed section.
+    eng.stats.pq_nanos = pq_nanos;
+    if use_kmindist && eng.stats.kmindist_final.is_none() {
+        eng.stats.kmindist_final = eng.kmindist(k);
+    }
+    eng.stats.d0k = d0k;
+    eng.stats.dk_final =
+        reported.iter().map(|n| n.interval.hi).fold(0.0, f64::max);
+    let stats = eng.stats;
+    KnnResult { neighbors: reported, stats }
+}
+
+/// The incremental algorithm (INN): best-first with collision-driven
+/// refinement but no candidate list, no `Dk`, no pruning. The baseline the
+/// paper's queue-size and refinement-count figures are normalized against.
+///
+/// Being *incremental*, INN honors the distance-browsing contract: each
+/// reported neighbor carries its **exact** network distance (a consumer may
+/// stop at any point and must be able to act on what it has), so every
+/// confirmation pays the full refinement to exactness — the refinements the
+/// non-incremental kNN avoids by reporting intervals.
+pub fn inn<B: DistanceBrowser + ?Sized>(
+    browser: &B,
+    objects: &ObjectSet,
+    query: VertexId,
+    k: usize,
+) -> KnnResult {
+    assert!(k > 0, "k must be positive");
+    let mut eng = Engine::new(browser, objects, query);
+    let mut reported: Vec<Neighbor> = Vec::with_capacity(k);
+
+    while let Some(QEntry { kind, .. }) = eng.heap.pop() {
+        if reported.len() == k {
+            break;
+        }
+        if let Kind::Object(o, version) = kind {
+            let state = &eng.states[&o];
+            if state.confirmed || state.version != version {
+                continue;
+            }
+        }
+        match kind {
+            Kind::Block(node) => match eng.objects.quadtree().node(node) {
+                NodeView::Leaf(items) => {
+                    for &item in items {
+                        let o = ObjectId(*eng.objects.quadtree().payload(item));
+                        let (iv, version) = eng.touch(o);
+                        eng.push(iv.lo, Kind::Object(o, version));
+                    }
+                }
+                NodeView::Internal(children) => {
+                    for child in children {
+                        let key = eng.block_key(child);
+                        eng.push(key, Kind::Block(child));
+                    }
+                }
+            },
+            Kind::Object(o, _) => {
+                let iv = eng.states[&o].refiner.interval();
+                let no_collision = match eng.heap.peek() {
+                    Some(top) => iv.hi < top.key || (iv.is_exact() && iv.hi <= top.key),
+                    None => true,
+                };
+                if no_collision {
+                    // Report with the exact distance (see the doc comment);
+                    // each remaining hop is a counted refinement.
+                    let state = eng.states.get_mut(&o).unwrap();
+                    state.confirmed = true;
+                    let before = state.refiner.refinements();
+                    let exact = state.refiner.refine_until_exact(browser);
+                    let extra = state.refiner.refinements() - before;
+                    eng.stats.refinements += extra;
+                    reported.push(Neighbor {
+                        object: o,
+                        vertex: eng.objects.vertex(o),
+                        interval: silc::DistInterval::exact(exact),
+                    });
+                } else {
+                    let (iv, version) = eng.refine(o);
+                    eng.push(iv.lo, Kind::Object(o, version));
+                }
+            }
+        }
+    }
+
+    eng.stats.dk_final = reported.iter().map(|n| n.interval.hi).fold(0.0, f64::max);
+    let stats = eng.stats;
+    KnnResult { neighbors: reported, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::brute_force_knn;
+    use silc::{BuildConfig, SilcIndex};
+    use silc_network::generate::{road_network, RoadConfig};
+    use std::sync::Arc;
+
+    fn fixture() -> (SilcIndex, ObjectSet) {
+        let g = Arc::new(road_network(&RoadConfig {
+            vertices: 200,
+            seed: 404,
+            ..Default::default()
+        }));
+        let idx =
+            SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 9, threads: 0 }).unwrap();
+        let objects = ObjectSet::random(&g, 0.15, 9);
+        (idx, objects)
+    }
+
+    fn check_against_truth(result: &KnnResult, idx: &SilcIndex, objects: &ObjectSet, q: VertexId, k: usize) {
+        let truth = brute_force_knn(idx.network(), objects, q, k);
+        assert_eq!(result.neighbors.len(), truth.len());
+        // Distance multisets must agree (object identity can differ on ties).
+        let mut got: Vec<f64> = result
+            .neighbors
+            .iter()
+            .map(|n| {
+                silc::path::network_distance(idx, q, n.vertex).unwrap()
+            })
+            .collect();
+        got.sort_by(f64::total_cmp);
+        let mut want: Vec<f64> = truth.iter().map(|&(_, d)| d).collect();
+        want.sort_by(f64::total_cmp);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-6, "distance mismatch: {g} vs {w}");
+        }
+        // Every reported interval must contain the object's true distance.
+        for n in &result.neighbors {
+            let d = silc::path::network_distance(idx, q, n.vertex).unwrap();
+            assert!(
+                n.interval.contains(d) || (d - n.interval.lo).abs() < 1e-6
+                    || (n.interval.hi - d).abs() < 1e-6,
+                "interval {} misses true distance {d}",
+                n.interval
+            );
+        }
+    }
+
+    #[test]
+    fn knn_basic_matches_brute_force() {
+        let (idx, objects) = fixture();
+        for &q in &[0u32, 57, 123, 199] {
+            let r = knn(&idx, &objects, VertexId(q), 5, KnnVariant::Basic);
+            check_against_truth(&r, &idx, &objects, VertexId(q), 5);
+            assert!(r.is_sorted(), "basic kNN must report in order");
+        }
+    }
+
+    #[test]
+    fn knn_variants_agree_with_basic() {
+        let (idx, objects) = fixture();
+        for &q in &[3u32, 88, 150] {
+            for k in [1usize, 4, 10] {
+                let basic = knn(&idx, &objects, VertexId(q), k, KnnVariant::Basic);
+                for variant in [KnnVariant::EarlyEstimate, KnnVariant::MinDist] {
+                    let r = knn(&idx, &objects, VertexId(q), k, variant);
+                    check_against_truth(&r, &idx, &objects, VertexId(q), k);
+                    assert_eq!(
+                        r.object_ids(),
+                        basic.object_ids(),
+                        "{variant:?} returned a different set for q={q}, k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inn_matches_brute_force_and_is_sorted() {
+        let (idx, objects) = fixture();
+        for &q in &[10u32, 77] {
+            let r = inn(&idx, &objects, VertexId(q), 8);
+            check_against_truth(&r, &idx, &objects, VertexId(q), 8);
+            assert!(r.is_sorted());
+        }
+    }
+
+    #[test]
+    fn knn_uses_smaller_queue_than_inn() {
+        let (idx, objects) = fixture();
+        let mut knn_q = 0usize;
+        let mut inn_q = 0usize;
+        for &q in &[0u32, 31, 62, 93, 124, 155] {
+            knn_q += knn(&idx, &objects, VertexId(q), 10, KnnVariant::Basic).stats.max_queue;
+            inn_q += inn(&idx, &objects, VertexId(q), 10).stats.max_queue;
+        }
+        assert!(
+            knn_q < inn_q,
+            "Dk pruning should shrink the queue: kNN {knn_q} vs INN {inn_q}"
+        );
+    }
+
+    #[test]
+    fn knn_m_skips_refinements() {
+        let (idx, objects) = fixture();
+        let mut m_refines = 0usize;
+        let mut basic_refines = 0usize;
+        let mut pruned = 0usize;
+        for &q in &[5u32, 50, 95, 140, 185] {
+            let m = knn(&idx, &objects, VertexId(q), 10, KnnVariant::MinDist);
+            let b = knn(&idx, &objects, VertexId(q), 10, KnnVariant::Basic);
+            m_refines += m.stats.refinements;
+            basic_refines += b.stats.refinements;
+            pruned += m.stats.kmindist_pruned;
+        }
+        assert!(
+            m_refines <= basic_refines,
+            "kNN-M refined more than kNN: {m_refines} vs {basic_refines}"
+        );
+        assert!(pruned > 0, "KMINDIST never confirmed anything");
+    }
+
+    #[test]
+    fn query_on_object_vertex_returns_it_first() {
+        let (idx, objects) = fixture();
+        let (o, v) = objects.iter().next().unwrap();
+        let r = knn(&idx, &objects, v, 1, KnnVariant::Basic);
+        assert_eq!(r.neighbors[0].object, o);
+        assert_eq!(r.neighbors[0].interval, silc::DistInterval::exact(0.0));
+    }
+
+    #[test]
+    fn k_larger_than_object_count_returns_all() {
+        let (idx, _) = fixture();
+        let objects = ObjectSet::from_vertices(
+            idx.network(),
+            vec![VertexId(1), VertexId(2), VertexId(3)],
+            4,
+        );
+        let r = knn(&idx, &objects, VertexId(0), 10, KnnVariant::Basic);
+        assert_eq!(r.neighbors.len(), 3);
+        let r = inn(&idx, &objects, VertexId(0), 10);
+        assert_eq!(r.neighbors.len(), 3);
+    }
+
+    #[test]
+    fn d0k_is_recorded_and_upper_bounds_dk() {
+        let (idx, objects) = fixture();
+        let r = knn(&idx, &objects, VertexId(42), 10, KnnVariant::EarlyEstimate);
+        let d0k = r.stats.d0k.expect("D0k must be set once L fills");
+        assert!(
+            d0k >= r.stats.dk_final - 1e-9,
+            "D0k {d0k} below the true kth distance {}",
+            r.stats.dk_final
+        );
+    }
+
+    #[test]
+    fn kmindist_lower_bounds_dk() {
+        let (idx, objects) = fixture();
+        let r = knn(&idx, &objects, VertexId(42), 10, KnnVariant::MinDist);
+        let kmin = r.stats.kmindist_final.expect("KMINDIST must be recorded");
+        assert!(
+            kmin <= r.stats.dk_final + 1e-9,
+            "KMINDIST {kmin} above true kth distance {}",
+            r.stats.dk_final
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let (idx, objects) = fixture();
+        let _ = knn(&idx, &objects, VertexId(0), 0, KnnVariant::Basic);
+    }
+
+    #[test]
+    fn exact_distance_ties_terminate() {
+        // Two objects on the same vertex have exactly equal distances from
+        // every query — refinement can never separate them, so the tie rule
+        // must resolve the collision (regression test for an infinite
+        // ping-pong between two exact intervals).
+        let (idx, _) = fixture();
+        let objects = ObjectSet::from_vertices(
+            idx.network(),
+            vec![VertexId(10), VertexId(10), VertexId(120)],
+            4,
+        );
+        for variant in [KnnVariant::Basic, KnnVariant::EarlyEstimate, KnnVariant::MinDist] {
+            let r = knn(&idx, &objects, VertexId(50), 2, variant);
+            assert_eq!(r.neighbors.len(), 2, "{variant:?} lost a tied neighbor");
+        }
+        let r = inn(&idx, &objects, VertexId(50), 3);
+        assert_eq!(r.neighbors.len(), 3);
+        // The two co-located objects must both appear when they are nearest.
+        let r = knn(&idx, &objects, VertexId(10), 2, KnnVariant::Basic);
+        let mut ids = r.object_ids();
+        ids.sort();
+        assert_eq!(ids, vec![ObjectId(0), ObjectId(1)]);
+    }
+}

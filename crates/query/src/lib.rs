@@ -1,0 +1,44 @@
+//! k-nearest-neighbor query processing over SILC indexes.
+//!
+//! This crate implements the query side of the paper: the non-incremental
+//! best-first **kNN** algorithm (two priority structures `Q` and `L`, `Dk`
+//! pruning, collision-driven refinement — paper §6), its variants
+//!
+//! * **INN** — the incremental algorithm kNN improves upon,
+//! * **kNN-I** — additionally prunes queue insertions with the early
+//!   estimate `D⁰k` obtained from the first k objects encountered,
+//! * **kNN-M** — additionally confirms objects against `KMINDIST` (the
+//!   minimum possible distance of the kth neighbor), giving up sorted
+//!   output to skip most refinements,
+//!
+//! and the two competitors from Papadias et al. (VLDB 2003) the paper
+//! evaluates against:
+//!
+//! * **INE** — incremental network expansion (Dijkstra with an object
+//!   buffer),
+//! * **IER** — incremental Euclidean restriction (Euclidean NN filter +
+//!   one shortest-path computation per candidate).
+//!
+//! All SILC-based algorithms are generic over [`silc::DistanceBrowser`], so
+//! they run identically against the in-memory and the disk-resident index;
+//! every run returns [`QueryStats`] with the counters the paper's figures
+//! report (refinements, maximum queue size, `D⁰k`/`KMINDIST` quality,
+//! KMINDIST prunes, Dijkstra visits).
+
+pub mod baselines;
+pub mod baselines_disk;
+pub mod candidates;
+pub mod edge_objects;
+pub mod knn;
+pub mod objects;
+pub mod range;
+pub mod result;
+pub mod verify;
+
+pub use baselines::{ier, ine};
+pub use baselines_disk::{ier_disk, ine_disk};
+pub use edge_objects::{EdgeObject, EdgeObjectDistance};
+pub use knn::{inn, knn, KnnVariant};
+pub use objects::{ObjectId, ObjectSet};
+pub use range::{within_distance, RangeResult};
+pub use result::{KnnResult, Neighbor, QueryStats};

@@ -1,0 +1,174 @@
+//! Object sets: the domain `S` neighbors are drawn from.
+//!
+//! The paper's central decoupling (p.10, p.20): the objects of interest
+//! (restaurants, gas stations, …) live in their own spatial index, entirely
+//! separate from the network vertices, so `S` can change without touching
+//! the precomputed shortest-path quadtrees. Objects here are *vertex
+//! objects* — points snapped to network vertices — indexed by a bucket PR
+//! quadtree (the paper uses a PMR quadtree; identical behaviour for
+//! points).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use silc_geom::Point;
+use silc_network::{SpatialNetwork, VertexId};
+use silc_quadtree::PrQuadtree;
+use std::collections::HashMap;
+
+/// Identifier of an object within an [`ObjectSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A set of objects residing on network vertices, indexed by a PR quadtree.
+pub struct ObjectSet {
+    vertices: Vec<VertexId>,
+    tree: PrQuadtree<u32>,
+    by_vertex: HashMap<VertexId, Vec<ObjectId>>,
+}
+
+impl ObjectSet {
+    /// Builds an object set from explicit vertex locations. Multiple objects
+    /// may share a vertex.
+    pub fn from_vertices(network: &SpatialNetwork, vertices: Vec<VertexId>, bucket: usize) -> Self {
+        let mut by_vertex: HashMap<VertexId, Vec<ObjectId>> = HashMap::new();
+        let items: Vec<(Point, u32)> = vertices
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                by_vertex.entry(v).or_default().push(ObjectId(i as u32));
+                (network.position(v), i as u32)
+            })
+            .collect();
+        ObjectSet { vertices, tree: PrQuadtree::build(items, bucket), by_vertex }
+    }
+
+    /// Samples `⌈density · n⌉` objects on distinct random vertices — the
+    /// paper's workload ("S is generated at random", densities 0.001–0.2).
+    ///
+    /// # Panics
+    /// Panics if `density` is not in `(0, 1]`.
+    pub fn random(network: &SpatialNetwork, density: f64, seed: u64) -> Self {
+        assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1], got {density}");
+        let n = network.vertex_count();
+        let count = ((density * n as f64).ceil() as usize).clamp(1, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        ids.shuffle(&mut rng);
+        ids.truncate(count);
+        ids.sort_unstable(); // object ids ordered by vertex id, deterministic
+        Self::from_vertices(network, ids.into_iter().map(VertexId).collect(), 8)
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `true` when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// The vertex an object resides on.
+    pub fn vertex(&self, o: ObjectId) -> VertexId {
+        self.vertices[o.index()]
+    }
+
+    /// The PR quadtree over object positions; payloads are object ids.
+    pub fn quadtree(&self) -> &PrQuadtree<u32> {
+        &self.tree
+    }
+
+    /// Objects residing on vertex `v` (used by the INE baseline).
+    pub fn objects_at(&self, v: VertexId) -> &[ObjectId] {
+        self.by_vertex.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterator over all `(object, vertex)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, VertexId)> + '_ {
+        self.vertices.iter().enumerate().map(|(i, &v)| (ObjectId(i as u32), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silc_network::generate::{grid_network, GridConfig};
+
+    fn net() -> SpatialNetwork {
+        grid_network(&GridConfig { rows: 10, cols: 10, seed: 8, ..Default::default() })
+    }
+
+    #[test]
+    fn random_density_controls_count() {
+        let g = net();
+        assert_eq!(ObjectSet::random(&g, 0.05, 1).len(), 5);
+        assert_eq!(ObjectSet::random(&g, 0.2, 1).len(), 20);
+        assert_eq!(ObjectSet::random(&g, 1.0, 1).len(), 100);
+        // Density below 1/n still yields one object.
+        assert_eq!(ObjectSet::random(&g, 0.0001, 1).len(), 1);
+    }
+
+    #[test]
+    fn random_vertices_are_distinct() {
+        let g = net();
+        let s = ObjectSet::random(&g, 0.5, 7);
+        let mut seen = std::collections::HashSet::new();
+        for (_, v) in s.iter() {
+            assert!(seen.insert(v), "vertex {v} sampled twice");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = net();
+        let a = ObjectSet::random(&g, 0.1, 3);
+        let b = ObjectSet::random(&g, 0.1, 3);
+        let va: Vec<_> = a.iter().map(|(_, v)| v).collect();
+        let vb: Vec<_> = b.iter().map(|(_, v)| v).collect();
+        assert_eq!(va, vb);
+        let c = ObjectSet::random(&g, 0.1, 4);
+        let vc: Vec<_> = c.iter().map(|(_, v)| v).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn objects_at_reports_co_located_objects() {
+        let g = net();
+        let s = ObjectSet::from_vertices(
+            &g,
+            vec![VertexId(3), VertexId(5), VertexId(3)],
+            4,
+        );
+        assert_eq!(s.objects_at(VertexId(3)), &[ObjectId(0), ObjectId(2)]);
+        assert_eq!(s.objects_at(VertexId(5)), &[ObjectId(1)]);
+        assert!(s.objects_at(VertexId(9)).is_empty());
+    }
+
+    #[test]
+    fn quadtree_payloads_are_object_ids() {
+        let g = net();
+        let s = ObjectSet::random(&g, 0.1, 2);
+        let t = s.quadtree();
+        assert_eq!(t.len(), s.len());
+        for i in 0..s.len() as u32 {
+            let o = ObjectId(*t.payload(i));
+            assert_eq!(t.position(i), g.position(s.vertex(o)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "density")]
+    fn bad_density_rejected() {
+        let g = net();
+        let _ = ObjectSet::random(&g, 0.0, 1);
+    }
+}

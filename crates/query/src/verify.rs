@@ -1,0 +1,48 @@
+//! Ground truth for tests: brute-force k-nearest-neighbors by full Dijkstra.
+
+use crate::objects::{ObjectId, ObjectSet};
+use silc_network::{dijkstra, SpatialNetwork, VertexId};
+
+/// The `k` objects nearest to `query` by network distance, computed with one
+/// full single-source Dijkstra — `O(m log n)`, no index, no cleverness.
+/// Returns `(object, distance)` sorted ascending (ties by object id).
+pub fn brute_force_knn(
+    network: &SpatialNetwork,
+    objects: &ObjectSet,
+    query: VertexId,
+    k: usize,
+) -> Vec<(ObjectId, f64)> {
+    let tree = dijkstra::full_sssp(network, query);
+    let mut all: Vec<(ObjectId, f64)> = objects
+        .iter()
+        .map(|(o, v)| (o, tree.dist[v.index()]))
+        .collect();
+    all.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silc_network::generate::{grid_network, GridConfig};
+
+    #[test]
+    fn brute_force_is_sorted_and_truncated() {
+        let g = grid_network(&GridConfig { rows: 6, cols: 6, seed: 1, ..Default::default() });
+        let objects = ObjectSet::random(&g, 0.5, 2);
+        let r = brute_force_knn(&g, &objects, VertexId(0), 5);
+        assert_eq!(r.len(), 5);
+        for w in r.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn asking_for_more_than_available() {
+        let g = grid_network(&GridConfig { rows: 4, cols: 4, seed: 1, ..Default::default() });
+        let objects = ObjectSet::from_vertices(&g, vec![VertexId(1), VertexId(2)], 4);
+        let r = brute_force_knn(&g, &objects, VertexId(0), 10);
+        assert_eq!(r.len(), 2);
+    }
+}

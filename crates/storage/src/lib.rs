@@ -1,0 +1,18 @@
+//! Disk pages and buffering for disk-resident SILC indexes.
+//!
+//! The paper's experiments run the shortest-path quadtrees from disk through
+//! an LRU cache holding 5 % of the pages, and show that I/O dominates query
+//! time because every refinement may touch a different vertex's quadtree.
+//! This crate provides that substrate for real:
+//!
+//! * [`PageStore`] — random access to fixed-size pages,
+//! * [`FilePageStore`] — a real file on disk, read with `pread`,
+//! * [`MemPageStore`] — an in-memory store for tests and baselines,
+//! * [`BufferPool`] — an LRU page cache with hit/miss/eviction counters and
+//!   wall-clock accounting of time spent in the underlying store.
+
+pub mod pool;
+pub mod store;
+
+pub use pool::{BufferPool, IoStats};
+pub use store::{FilePageStore, MemPageStore, PageId, PageStore, PAGE_SIZE};

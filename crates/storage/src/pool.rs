@@ -1,0 +1,323 @@
+//! An LRU buffer pool over a [`PageStore`].
+
+use crate::store::{PageId, PageStore};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Counters describing the pool's I/O behaviour since creation (or the last
+/// [`BufferPool::reset_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Page requests served from the cache.
+    pub hits: u64,
+    /// Page requests that went to the underlying store.
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+    /// Bytes read from the underlying store.
+    pub bytes_read: u64,
+    /// Wall-clock nanoseconds spent reading from the underlying store.
+    pub read_nanos: u64,
+}
+
+impl IoStats {
+    /// Total page requests.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of requests served from cache (1.0 for an idle pool).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.requests();
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Time spent in the store, as seconds.
+    pub fn read_seconds(&self) -> f64 {
+        self.read_nanos as f64 / 1e9
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Slot {
+    page: u64,
+    data: Arc<[u8]>,
+    prev: usize,
+    next: usize,
+}
+
+/// Intrusive doubly-linked LRU list over a slab of slots.
+struct LruState {
+    map: HashMap<u64, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    stats: IoStats,
+}
+
+impl LruState {
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+/// A fixed-capacity LRU cache of pages in front of a [`PageStore`].
+///
+/// Thread-safe; the store read itself happens outside the lock would be
+/// ideal, but SILC queries are single-threaded per query and benchmark
+/// workloads run one pool per thread, so the simple design — read under the
+/// lock, which also dedups concurrent misses — is the right trade-off here.
+pub struct BufferPool<S: PageStore> {
+    store: S,
+    capacity: usize,
+    state: Mutex<LruState>,
+}
+
+impl<S: PageStore> BufferPool<S> {
+    /// Creates a pool holding at most `capacity` pages (minimum 1).
+    pub fn new(store: S, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BufferPool {
+            store,
+            capacity,
+            state: Mutex::new(LruState {
+                map: HashMap::with_capacity(capacity * 2),
+                slots: Vec::with_capacity(capacity),
+                free: Vec::new(),
+                head: NIL,
+                tail: NIL,
+                stats: IoStats::default(),
+            }),
+        }
+    }
+
+    /// Creates a pool sized to `fraction` of the store's pages — the paper
+    /// uses 5 % (`fraction = 0.05`).
+    pub fn with_fraction(store: S, fraction: f64) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        let cap = ((store.page_count() as f64 * fraction).ceil() as usize).max(1);
+        Self::new(store, cap)
+    }
+
+    /// Maximum number of cached pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Fetches a page, from cache when possible.
+    pub fn get(&self, page: PageId) -> io::Result<Arc<[u8]>> {
+        let mut st = self.state.lock();
+        if let Some(&idx) = st.map.get(&page.0) {
+            st.stats.hits += 1;
+            st.detach(idx);
+            st.push_front(idx);
+            return Ok(Arc::clone(&st.slots[idx].data));
+        }
+        // Miss: read from the store (timed), then insert with LRU eviction.
+        let start = Instant::now();
+        let data = self.store.read_page(page)?;
+        let nanos = start.elapsed().as_nanos() as u64;
+        st.stats.misses += 1;
+        st.stats.bytes_read += data.len() as u64;
+        st.stats.read_nanos += nanos;
+
+        let idx = if st.map.len() >= self.capacity {
+            // Evict the least recently used page.
+            let victim = st.tail;
+            debug_assert_ne!(victim, NIL);
+            st.detach(victim);
+            let old = st.slots[victim].page;
+            st.map.remove(&old);
+            st.stats.evictions += 1;
+            st.slots[victim].page = page.0;
+            st.slots[victim].data = Arc::clone(&data);
+            victim
+        } else if let Some(free) = st.free.pop() {
+            st.slots[free].page = page.0;
+            st.slots[free].data = Arc::clone(&data);
+            free
+        } else {
+            st.slots.push(Slot { page: page.0, data: Arc::clone(&data), prev: NIL, next: NIL });
+            st.slots.len() - 1
+        };
+        st.push_front(idx);
+        st.map.insert(page.0, idx);
+        Ok(data)
+    }
+
+    /// Snapshot of the I/O counters.
+    pub fn stats(&self) -> IoStats {
+        self.state.lock().stats
+    }
+
+    /// Zeroes the I/O counters (the cache contents are kept).
+    pub fn reset_stats(&self) {
+        self.state.lock().stats = IoStats::default();
+    }
+
+    /// Drops every cached page (counters are kept). Used to cold-start
+    /// experiment repetitions.
+    pub fn clear(&self) {
+        let mut st = self.state.lock();
+        st.map.clear();
+        st.free.clear();
+        for i in 0..st.slots.len() {
+            st.free.push(i);
+        }
+        st.head = NIL;
+        st.tail = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{MemPageStore, PAGE_SIZE};
+
+    fn store_with(pages: usize) -> MemPageStore {
+        let mut data = Vec::with_capacity(pages * PAGE_SIZE);
+        for p in 0..pages {
+            data.extend(std::iter::repeat(p as u8).take(PAGE_SIZE));
+        }
+        MemPageStore::new(&data)
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let pool = BufferPool::new(store_with(4), 2);
+        let a = pool.get(PageId(1)).unwrap();
+        assert_eq!(a[0], 1);
+        let _b = pool.get(PageId(1)).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.bytes_read, PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let pool = BufferPool::new(store_with(4), 2);
+        pool.get(PageId(0)).unwrap(); // cache: [0]
+        pool.get(PageId(1)).unwrap(); // cache: [1, 0]
+        pool.get(PageId(0)).unwrap(); // touch 0 -> [0, 1]
+        pool.get(PageId(2)).unwrap(); // evicts 1 -> [2, 0]
+        let before = pool.stats();
+        assert_eq!(before.evictions, 1);
+        pool.get(PageId(0)).unwrap(); // still cached
+        assert_eq!(pool.stats().hits, before.hits + 1);
+        pool.get(PageId(1)).unwrap(); // evicted: miss
+        assert_eq!(pool.stats().misses, before.misses + 1);
+    }
+
+    #[test]
+    fn capacity_one_thrashes() {
+        let pool = BufferPool::new(store_with(3), 1);
+        for _ in 0..3 {
+            pool.get(PageId(0)).unwrap();
+            pool.get(PageId(1)).unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 6);
+        assert_eq!(s.evictions, 5);
+    }
+
+    #[test]
+    fn fraction_sizing() {
+        let pool = BufferPool::with_fraction(store_with(100), 0.05);
+        assert_eq!(pool.capacity(), 5);
+        let tiny = BufferPool::with_fraction(store_with(3), 0.05);
+        assert_eq!(tiny.capacity(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn zero_fraction_rejected() {
+        let _ = BufferPool::with_fraction(store_with(1), 0.0);
+    }
+
+    #[test]
+    fn clear_then_reuse() {
+        let pool = BufferPool::new(store_with(4), 4);
+        pool.get(PageId(0)).unwrap();
+        pool.get(PageId(1)).unwrap();
+        pool.clear();
+        pool.get(PageId(0)).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.misses, 3, "all requests after clear() are cold");
+        pool.reset_stats();
+        assert_eq!(pool.stats(), IoStats::default());
+    }
+
+    #[test]
+    fn error_propagates_without_poisoning() {
+        let pool = BufferPool::new(store_with(2), 2);
+        assert!(pool.get(PageId(10)).is_err());
+        // The pool still works afterwards.
+        assert!(pool.get(PageId(0)).is_ok());
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let s = IoStats { hits: 3, misses: 1, ..Default::default() };
+        assert_eq!(s.requests(), 4);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(IoStats::default().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let pool = std::sync::Arc::new(BufferPool::new(store_with(8), 4));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let p = std::sync::Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let page = PageId((i + t) % 8);
+                    let data = p.get(page).unwrap();
+                    assert_eq!(data[0] as u64, page.0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(pool.stats().requests(), 200);
+    }
+}

@@ -1,0 +1,184 @@
+//! Fixed-size page stores.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Size of a disk page in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page within a store (page index, not byte offset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+/// Random access to fixed-size pages.
+pub trait PageStore: Send + Sync {
+    /// Reads one page. The returned buffer is exactly [`PAGE_SIZE`] bytes.
+    fn read_page(&self, page: PageId) -> io::Result<Arc<[u8]>>;
+
+    /// Number of pages in the store.
+    fn page_count(&self) -> u64;
+}
+
+/// A page store backed by a real file, read with positioned reads so
+/// concurrent readers never contend on a seek cursor.
+pub struct FilePageStore {
+    file: File,
+    pages: u64,
+}
+
+impl FilePageStore {
+    /// Creates (truncating) a page file at `path` from `data`, padding the
+    /// final page with zeros. Returns the opened store.
+    pub fn create<P: AsRef<Path>>(path: P, data: &[u8]) -> io::Result<Self> {
+        let mut file = File::create(path.as_ref())?;
+        file.write_all(data)?;
+        let rem = data.len() % PAGE_SIZE;
+        if rem != 0 {
+            file.write_all(&vec![0u8; PAGE_SIZE - rem])?;
+        }
+        file.sync_all()?;
+        drop(file);
+        Self::open(path)
+    }
+
+    /// Opens an existing page file.
+    ///
+    /// Fails with `InvalidData` if the file length is not a multiple of
+    /// [`PAGE_SIZE`].
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("page file length {len} is not a multiple of {PAGE_SIZE}"),
+            ));
+        }
+        Ok(FilePageStore { file, pages: len / PAGE_SIZE as u64 })
+    }
+}
+
+impl PageStore for FilePageStore {
+    fn read_page(&self, page: PageId) -> io::Result<Arc<[u8]>> {
+        if page.0 >= self.pages {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("page {} out of range ({} pages)", page.0, self.pages),
+            ));
+        }
+        let mut buf = vec![0u8; PAGE_SIZE];
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(&mut buf, page.0 * PAGE_SIZE as u64)?;
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let mut f = self.file.try_clone()?;
+            f.seek(SeekFrom::Start(page.0 * PAGE_SIZE as u64))?;
+            f.read_exact(&mut buf)?;
+        }
+        Ok(buf.into())
+    }
+
+    fn page_count(&self) -> u64 {
+        self.pages
+    }
+}
+
+/// An in-memory page store (tests; also the "infinitely fast disk" baseline).
+pub struct MemPageStore {
+    pages: Vec<Arc<[u8]>>,
+}
+
+impl MemPageStore {
+    /// Builds a store from raw data, padding the final page with zeros.
+    pub fn new(data: &[u8]) -> Self {
+        let mut pages = Vec::with_capacity(data.len().div_ceil(PAGE_SIZE));
+        for chunk in data.chunks(PAGE_SIZE) {
+            let mut page = vec![0u8; PAGE_SIZE];
+            page[..chunk.len()].copy_from_slice(chunk);
+            pages.push(page.into());
+        }
+        MemPageStore { pages }
+    }
+}
+
+impl PageStore for MemPageStore {
+    fn read_page(&self, page: PageId) -> io::Result<Arc<[u8]>> {
+        self.pages
+            .get(page.0 as usize)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "page out of range"))
+    }
+
+    fn page_count(&self) -> u64 {
+        self.pages.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("silc-storage-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn mem_store_pads_last_page() {
+        let data = vec![7u8; PAGE_SIZE + 10];
+        let s = MemPageStore::new(&data);
+        assert_eq!(s.page_count(), 2);
+        let p1 = s.read_page(PageId(1)).unwrap();
+        assert_eq!(&p1[..10], &[7u8; 10]);
+        assert!(p1[10..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn mem_store_out_of_range() {
+        let s = MemPageStore::new(&[1, 2, 3]);
+        assert!(s.read_page(PageId(1)).is_err());
+    }
+
+    #[test]
+    fn file_store_roundtrip() {
+        let path = tmp("roundtrip.pages");
+        let mut data = Vec::new();
+        for i in 0..3 * PAGE_SIZE {
+            data.push((i % 251) as u8);
+        }
+        data.truncate(2 * PAGE_SIZE + 100);
+        let store = FilePageStore::create(&path, &data).unwrap();
+        assert_eq!(store.page_count(), 3);
+        let p0 = store.read_page(PageId(0)).unwrap();
+        assert_eq!(&p0[..], &data[..PAGE_SIZE]);
+        let p2 = store.read_page(PageId(2)).unwrap();
+        assert_eq!(&p2[..100], &data[2 * PAGE_SIZE..]);
+        assert!(p2[100..].iter().all(|&b| b == 0));
+        assert!(store.read_page(PageId(3)).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_store_rejects_ragged_files() {
+        let path = tmp("ragged.pages");
+        std::fs::write(&path, vec![0u8; 100]).unwrap();
+        assert!(FilePageStore::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_store() {
+        let path = tmp("empty.pages");
+        let store = FilePageStore::create(&path, &[]).unwrap();
+        assert_eq!(store.page_count(), 0);
+        assert!(store.read_page(PageId(0)).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

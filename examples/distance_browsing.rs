@@ -1,0 +1,67 @@
+//! Distance browsing with progressive refinement (paper p.18):
+//! "Is Munich closer to Mainz than to Bremen?" — answered by tightening two
+//! distance intervals just far enough to separate them, plus the pp.3/7
+//! visit-count comparison against Dijkstra.
+//!
+//! ```sh
+//! cargo run -p silc-bench --release --example distance_browsing
+//! ```
+
+use silc::prelude::*;
+use silc::refine::compare_refining;
+use silc_network::{dijkstra, generate::{road_network, RoadConfig}};
+use std::sync::Arc;
+
+fn main() {
+    let network = Arc::new(road_network(&RoadConfig {
+        vertices: 4233, // the size of the paper's anecdote network
+        seed: 7,
+        ..Default::default()
+    }));
+    let index = SilcIndex::build(network.clone(), &BuildConfig::default()).unwrap();
+
+    // Three cities: the comparison query of p.18.
+    let mainz = VertexId(100);
+    let munich = VertexId(2000);
+    let bremen = VertexId(4000);
+
+    let mut to_munich = RefinableDistance::new(&index, mainz, munich);
+    let mut to_bremen = RefinableDistance::new(&index, mainz, bremen);
+    println!("is Munich closer to Mainz than Bremen?");
+    println!("  initial intervals: munich {} bremen {}", to_munich.interval(), to_bremen.interval());
+    let order = compare_refining(&index, &mut to_munich, &mut to_bremen);
+    println!(
+        "  answer: {:?} after {} + {} refinements (intervals {} vs {})",
+        order,
+        to_munich.refinements(),
+        to_bremen.refinements(),
+        to_munich.interval(),
+        to_bremen.interval()
+    );
+    let d_munich = dijkstra::distance(&network, mainz, munich).unwrap();
+    let d_bremen = dijkstra::distance(&network, mainz, bremen).unwrap();
+    println!("  ground truth: munich {d_munich:.1}, bremen {d_bremen:.1}");
+
+    // The pp.3/7 anecdote: Dijkstra settles most of the network for one
+    // long path; SILC touches only the path vertices.
+    let s = VertexId(0);
+    let d = network
+        .vertices()
+        .max_by(|a, b| network.euclidean(s, *a).total_cmp(&network.euclidean(s, *b)))
+        .unwrap();
+    let dij = dijkstra::point_to_point(&network, s, d).unwrap();
+    let silc_path = silc::path::shortest_path(&index, s, d).unwrap();
+    println!("\nlong path {s} -> {d} ({} edges):", silc_path.edge_count());
+    println!(
+        "  Dijkstra settled {} of {} vertices ({:.0}%)",
+        dij.visited,
+        network.vertex_count(),
+        100.0 * dij.visited as f64 / network.vertex_count() as f64
+    );
+    println!(
+        "  SILC touched {} vertices (the path itself), distance {:.1} (= {:.1})",
+        silc_path.path.len(),
+        silc_path.distance,
+        dij.distance
+    );
+}

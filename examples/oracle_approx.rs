@@ -1,0 +1,63 @@
+//! The PCP / well-separated-pair distance oracle (paper pp.28–29):
+//! `O(s²n)` precomputed representative distances answer any of the `n²`
+//! vertex-pair distance queries approximately, in microseconds.
+//!
+//! ```sh
+//! cargo run -p silc-bench --release --example oracle_approx
+//! ```
+
+use silc_network::{dijkstra, generate::{road_network, RoadConfig}, VertexId};
+use silc_pcp::DistanceOracle;
+
+fn main() {
+    let network = road_network(&RoadConfig { vertices: 800, seed: 3, ..Default::default() });
+    println!(
+        "network: {} vertices; {} possible distance queries",
+        network.vertex_count(),
+        network.vertex_count() * (network.vertex_count() - 1)
+    );
+
+    for s in [2.0, 4.0, 8.0] {
+        let t = std::time::Instant::now();
+        let oracle = DistanceOracle::build(&network, 10, s);
+        let build = t.elapsed().as_secs_f64();
+
+        // Error over a deterministic sample of pairs.
+        let mut worst: f64 = 0.0;
+        let mut total = 0.0;
+        let mut count = 0;
+        for i in 0..50u32 {
+            let u = VertexId((i * 37) % network.vertex_count() as u32);
+            let v = VertexId((i * 101 + 13) % network.vertex_count() as u32);
+            if u == v {
+                continue;
+            }
+            let truth = dijkstra::distance(&network, u, v).unwrap();
+            let approx = oracle.distance(u, v);
+            let err = (approx - truth).abs() / truth;
+            worst = worst.max(err);
+            total += err;
+            count += 1;
+        }
+        println!(
+            "s = {s:>4}: {:>7} pairs, built in {build:.2}s, ε-bound {:.2}, mean error {:.1}%, worst {:.1}%",
+            oracle.pair_count(),
+            oracle.epsilon(),
+            100.0 * total / count as f64,
+            100.0 * worst
+        );
+    }
+
+    // The I-80 intuition: one representative pair covers entire regions.
+    let oracle = DistanceOracle::build(&network, 10, 4.0);
+    let (u, v) = (VertexId(1), VertexId(790));
+    let (ra, rb) = oracle.representatives(u, v).unwrap();
+    println!(
+        "\nquery ({u}, {v}) is answered by the representative pair ({ra}, {rb}):"
+    );
+    println!(
+        "  oracle {:.1} vs true {:.1}",
+        oracle.distance(u, v),
+        dijkstra::distance(&network, u, v).unwrap()
+    );
+}

@@ -1,0 +1,69 @@
+//! Quickstart: build a road network, precompute the SILC index, and browse
+//! network distances — nearest neighbors, shortest paths, and progressive
+//! refinement — without ever running Dijkstra at query time.
+//!
+//! ```sh
+//! cargo run -p silc-bench --release --example quickstart
+//! ```
+
+use silc::prelude::*;
+use silc_network::generate::{road_network, RoadConfig};
+use silc_query::{knn, KnnVariant, ObjectSet};
+use std::sync::Arc;
+
+fn main() {
+    // 1. A synthetic road network: 2,000 intersections, road costs
+    //    proportional to length (the paper's substrate is a TIGER extract).
+    let network = Arc::new(road_network(&RoadConfig {
+        vertices: 2000,
+        edge_factor: 1.25,
+        seed: 42,
+        ..Default::default()
+    }));
+    println!(
+        "network: {} vertices, {} directed edges",
+        network.vertex_count(),
+        network.edge_count()
+    );
+
+    // 2. Precompute the SILC index: one shortest-path quadtree per vertex.
+    let t = std::time::Instant::now();
+    let index = SilcIndex::build(network.clone(), &BuildConfig::default()).unwrap();
+    println!(
+        "SILC index: {} Morton blocks ({:.1} per vertex) in {:.2}s",
+        index.stats().total_blocks,
+        index.stats().total_blocks as f64 / network.vertex_count() as f64,
+        t.elapsed().as_secs_f64()
+    );
+
+    // 3. Shortest path retrieval in size-of-path steps.
+    let (s, d) = (VertexId(17), VertexId(1800));
+    let path = silc::path::shortest_path(&index, s, d).unwrap();
+    println!(
+        "shortest path {s} -> {d}: {} edges, network distance {:.1}",
+        path.edge_count(),
+        path.distance
+    );
+
+    // 4. Progressive refinement: distances as shrinking intervals.
+    let mut refinable = RefinableDistance::new(&index, s, d);
+    println!("refining d({s}, {d}):");
+    for step in 0..4 {
+        println!("  step {step}: {}", refinable.interval());
+        refinable.refine(&index);
+    }
+    println!("  … exact after full refinement: {:.1}", refinable.refine_until_exact(&index));
+
+    // 5. k nearest neighbors from a separate object set (the decoupling:
+    //    objects live outside the index and can change freely).
+    let restaurants = ObjectSet::random(&network, 0.05, 7);
+    let result = knn(&index, &restaurants, s, 5, KnnVariant::Basic);
+    println!("5 nearest of {} restaurants from {s}:", restaurants.len());
+    for n in &result.neighbors {
+        println!("  object {:>4} on {:>6}  distance {}", n.object.0, n.vertex.to_string(), n.interval);
+    }
+    println!(
+        "({} refinements, max queue {})",
+        result.stats.refinements, result.stats.max_queue
+    );
+}

@@ -1,0 +1,96 @@
+//! All six query algorithms must return the same k nearest neighbors
+//! (up to exact distance ties) across densities and k.
+
+use silc::{BuildConfig, SilcIndex};
+use silc_network::generate::{road_network, RoadConfig};
+use silc_network::{dijkstra, VertexId};
+use silc_query::{ier, ine, inn, knn, KnnVariant, ObjectSet};
+use std::sync::Arc;
+
+fn distances_of(
+    g: &silc_network::SpatialNetwork,
+    r: &silc_query::KnnResult,
+    q: VertexId,
+) -> Vec<f64> {
+    let mut d: Vec<f64> = r
+        .neighbors
+        .iter()
+        .map(|n| dijkstra::distance(g, q, n.vertex).unwrap())
+        .collect();
+    d.sort_by(f64::total_cmp);
+    d
+}
+
+#[test]
+fn all_algorithms_return_the_same_distance_multiset() {
+    let g = Arc::new(road_network(&RoadConfig { vertices: 250, seed: 77, ..Default::default() }));
+    let idx = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 10, threads: 0 }).unwrap();
+    for density in [0.02, 0.1, 0.3] {
+        let objects = ObjectSet::random(&g, density, 11);
+        for k in [1usize, 3, 10] {
+            let k = k.min(objects.len());
+            for &q in &[0u32, 99, 200] {
+                let q = VertexId(q);
+                let reference = distances_of(&g, &ine(&g, &objects, q, k), q);
+                let runs = [
+                    ("IER", distances_of(&g, &ier(&g, &objects, q, k), q)),
+                    ("INN", distances_of(&g, &inn(&idx, &objects, q, k), q)),
+                    ("KNN", distances_of(&g, &knn(&idx, &objects, q, k, KnnVariant::Basic), q)),
+                    (
+                        "KNN-I",
+                        distances_of(&g, &knn(&idx, &objects, q, k, KnnVariant::EarlyEstimate), q),
+                    ),
+                    (
+                        "KNN-M",
+                        distances_of(&g, &knn(&idx, &objects, q, k, KnnVariant::MinDist), q),
+                    ),
+                ];
+                for (name, got) in runs {
+                    assert_eq!(got.len(), reference.len(), "{name} returned wrong count");
+                    for (a, b) in got.iter().zip(&reference) {
+                        assert!(
+                            (a - b).abs() < 1e-6,
+                            "{name} disagrees at density {density}, k {k}, q {q}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sorted_algorithms_report_in_order() {
+    let g = Arc::new(road_network(&RoadConfig { vertices: 200, seed: 5, ..Default::default() }));
+    let idx = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 10, threads: 0 }).unwrap();
+    let objects = ObjectSet::random(&g, 0.15, 3);
+    for &q in &[17u32, 101] {
+        let q = VertexId(q);
+        assert!(ine(&g, &objects, q, 8).is_sorted());
+        assert!(ier(&g, &objects, q, 8).is_sorted());
+        assert!(inn(&idx, &objects, q, 8).is_sorted());
+        assert!(knn(&idx, &objects, q, 8, KnnVariant::Basic).is_sorted());
+        assert!(knn(&idx, &objects, q, 8, KnnVariant::EarlyEstimate).is_sorted());
+        // kNN-M gives up sortedness by design — no assertion.
+    }
+}
+
+#[test]
+fn disk_and_memory_indexes_give_identical_answers() {
+    let g = Arc::new(road_network(&RoadConfig { vertices: 180, seed: 31, ..Default::default() }));
+    let idx = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 9, threads: 0 }).unwrap();
+    let dir = std::env::temp_dir().join("silc-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("agree.idx");
+    silc::disk::write_index(&idx, &path).unwrap();
+    let disk = silc::DiskSilcIndex::open(&path, g.clone(), 0.1).unwrap();
+
+    let objects = ObjectSet::random(&g, 0.1, 2);
+    for &q in &[3u32, 90, 170] {
+        let q = VertexId(q);
+        let mem = knn(&idx, &objects, q, 6, KnnVariant::Basic);
+        let dsk = knn(&disk, &objects, q, 6, KnnVariant::Basic);
+        assert_eq!(mem.object_ids(), dsk.object_ids(), "disk/memory mismatch at {q}");
+    }
+    std::fs::remove_file(&path).ok();
+}

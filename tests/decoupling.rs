@@ -1,0 +1,83 @@
+//! The paper's decoupling property (pp.3/10/20): the SILC index depends only
+//! on the network. Query objects and the object set `S` can change freely —
+//! no recomputation of shortest paths.
+
+use silc::{BuildConfig, SilcIndex};
+use silc_network::generate::{road_network, RoadConfig};
+use silc_network::VertexId;
+use silc_query::{knn, verify::brute_force_knn, KnnVariant, ObjectSet};
+use std::sync::Arc;
+
+#[test]
+fn one_index_serves_many_object_sets() {
+    let g = Arc::new(road_network(&RoadConfig { vertices: 220, seed: 9, ..Default::default() }));
+    let idx = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 10, threads: 0 }).unwrap();
+    let blocks_before = idx.stats().total_blocks;
+
+    // Restaurants, gas stations, hospitals: three unrelated object sets.
+    for (seed, density) in [(1u64, 0.05), (2, 0.2), (3, 0.01)] {
+        let objects = ObjectSet::random(&g, density, seed);
+        let q = VertexId(111);
+        let k = 4.min(objects.len());
+        let r = knn(&idx, &objects, q, k, KnnVariant::Basic);
+        let truth = brute_force_knn(&g, &objects, q, k);
+        assert_eq!(r.neighbors.len(), truth.len());
+        let got: Vec<_> = {
+            let mut ids = r.object_ids();
+            ids.sort();
+            ids
+        };
+        let want: Vec<_> = {
+            let mut ids: Vec<_> = truth.iter().map(|&(o, _)| o).collect();
+            ids.sort();
+            ids
+        };
+        assert_eq!(got, want, "object set (seed {seed}) answered incorrectly");
+    }
+    // The index itself was never touched.
+    assert_eq!(idx.stats().total_blocks, blocks_before);
+}
+
+#[test]
+fn query_points_are_independent_of_the_object_set() {
+    let g = Arc::new(road_network(&RoadConfig { vertices: 220, seed: 10, ..Default::default() }));
+    let idx = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 10, threads: 0 }).unwrap();
+    let objects = ObjectSet::random(&g, 0.1, 4);
+    // Every vertex can serve as a query without any per-query setup.
+    for q in (0..g.vertex_count() as u32).step_by(37) {
+        let r = knn(&idx, &objects, VertexId(q), 3, KnnVariant::Basic);
+        assert_eq!(r.neighbors.len(), 3);
+    }
+}
+
+#[test]
+fn objects_off_the_vertex_set_snap_to_vertices() {
+    // Arbitrary world positions are snapped to their nearest vertex, the
+    // paper's vertex-object model.
+    let g = Arc::new(road_network(&RoadConfig { vertices: 150, seed: 12, ..Default::default() }));
+    let idx = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 9, threads: 0 }).unwrap();
+    let mut vertices = Vec::new();
+    for i in 0..10 {
+        let p = silc_geom::Point::new(37.0 * i as f64 % 1000.0, 53.0 * i as f64 % 1000.0);
+        vertices.push(g.nearest_vertex(&p).unwrap());
+    }
+    let objects = ObjectSet::from_vertices(&g, vertices, 4);
+    let r = knn(&idx, &objects, VertexId(75), 5, KnnVariant::Basic);
+    assert_eq!(r.neighbors.len(), 5);
+    let truth = brute_force_knn(&g, &objects, VertexId(75), 5);
+    let mut got = r.object_ids();
+    got.sort();
+    let mut want: Vec<_> = truth.iter().map(|&(o, _)| o).collect();
+    want.sort();
+    // Ties possible with duplicate vertices; compare by distance multiset.
+    let dist = |o: silc_query::ObjectId| {
+        silc_network::dijkstra::distance(&g, VertexId(75), objects.vertex(o)).unwrap()
+    };
+    let mut gd: Vec<f64> = got.iter().map(|&o| dist(o)).collect();
+    let mut wd: Vec<f64> = want.iter().map(|&o| dist(o)).collect();
+    gd.sort_by(f64::total_cmp);
+    wd.sort_by(f64::total_cmp);
+    for (a, b) in gd.iter().zip(&wd) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,108 @@
+//! End-to-end: generate a road network, build the SILC index, and verify
+//! every query primitive against Dijkstra ground truth.
+
+use silc::prelude::*;
+use silc_network::generate::{grid_network, road_network, GridConfig, RoadConfig};
+use silc_network::{analysis, dijkstra};
+use silc_query::{knn, KnnVariant, ObjectSet};
+use std::sync::Arc;
+
+fn build(vertices: usize, seed: u64) -> (Arc<SpatialNetwork>, SilcIndex) {
+    let g = Arc::new(road_network(&RoadConfig { vertices, seed, ..Default::default() }));
+    let idx = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 10, threads: 0 }).unwrap();
+    (g, idx)
+}
+
+#[test]
+fn distances_and_paths_match_dijkstra_exhaustively() {
+    let (g, idx) = build(150, 1);
+    for s in [VertexId(0), VertexId(75), VertexId(149)] {
+        let truth = dijkstra::full_sssp(&g, s);
+        for d in g.vertices() {
+            let got = silc::path::network_distance(&idx, s, d).unwrap();
+            assert!(
+                (got - truth.dist[d.index()]).abs() < 1e-9,
+                "distance {s}->{d}: {got} vs {}",
+                truth.dist[d.index()]
+            );
+            // The interval from one lookup brackets the truth.
+            let iv = idx.interval(s, d);
+            assert!(iv.lo <= truth.dist[d.index()] + 1e-9);
+            assert!(iv.hi >= truth.dist[d.index()] - 1e-9);
+        }
+    }
+}
+
+#[test]
+fn paths_are_edge_valid() {
+    let (g, idx) = build(150, 2);
+    for &(s, d) in &[(0u32, 149u32), (10, 140), (75, 76)] {
+        let p = silc::path::shortest_path(&idx, VertexId(s), VertexId(d)).unwrap();
+        let mut total = 0.0;
+        for w in p.path.windows(2) {
+            total += g.edge_weight(w[0], w[1]).expect("consecutive path vertices share an edge");
+        }
+        assert!((total - p.distance).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn knn_pipeline_on_grid_networks() {
+    // The grid generator exercises different topology than the Gabriel one.
+    let g = Arc::new(grid_network(&GridConfig { rows: 12, cols: 12, seed: 3, ..Default::default() }));
+    assert!(analysis::is_strongly_connected(&g));
+    let idx = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 9, threads: 0 }).unwrap();
+    let objects = ObjectSet::random(&g, 0.1, 5);
+    for &q in &[0u32, 71, 143] {
+        let r = knn(&idx, &objects, VertexId(q), 5, KnnVariant::Basic);
+        let truth = silc_query::verify::brute_force_knn(&g, &objects, VertexId(q), 5);
+        let mut got: Vec<f64> = r
+            .neighbors
+            .iter()
+            .map(|n| dijkstra::distance(&g, VertexId(q), n.vertex).unwrap())
+            .collect();
+        got.sort_by(f64::total_cmp);
+        for (a, &(_, b)) in got.iter().zip(&truth) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn refinement_interval_always_brackets_truth() {
+    let (g, idx) = build(120, 7);
+    let s = VertexId(11);
+    for d in g.vertices() {
+        let truth = dijkstra::distance(&g, s, d).unwrap();
+        let mut r = RefinableDistance::new(&idx, s, d);
+        loop {
+            let iv = r.interval();
+            assert!(iv.lo <= truth + 1e-9 && iv.hi >= truth - 1e-9, "{iv} lost {truth}");
+            if !r.refine(&idx) {
+                break;
+            }
+        }
+        assert!((r.interval().lo - truth).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn largest_component_feeds_the_index() {
+    // A disconnected network is rejected; its largest component builds fine.
+    let mut b = silc_network::NetworkBuilder::new();
+    use silc_geom::Point;
+    let v: Vec<_> = (0..6).map(|i| b.add_vertex(Point::new(i as f64, (i % 2) as f64))).collect();
+    b.add_edge_sym(v[0], v[1], 1.0);
+    b.add_edge_sym(v[1], v[2], 1.0);
+    b.add_edge_sym(v[2], v[0], 1.5);
+    b.add_edge_sym(v[3], v[4], 1.0); // small island
+    // v[5] isolated
+    let g = Arc::new(b.build());
+    assert!(SilcIndex::build(g.clone(), &BuildConfig::default()).is_err());
+    let (comp, mapping) = analysis::largest_component(&g);
+    assert_eq!(comp.vertex_count(), 3);
+    let idx = SilcIndex::build(Arc::new(comp), &BuildConfig { grid_exponent: 6, threads: 0 })
+        .unwrap();
+    assert_eq!(idx.stats().vertices, 3);
+    assert_eq!(mapping.len(), 3);
+}

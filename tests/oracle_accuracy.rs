@@ -1,0 +1,74 @@
+//! Accuracy and coverage of the PCP / WSPD distance oracle against Dijkstra
+//! ground truth, and its relationship to SILC's exact machinery.
+
+use silc_network::generate::{road_network, RoadConfig};
+use silc_network::{dijkstra, VertexId};
+use silc_pcp::{wspd, DistanceOracle, SplitTree};
+
+#[test]
+fn oracle_covers_every_pair_and_respects_the_bound() {
+    let g = road_network(&RoadConfig { vertices: 130, seed: 41, ..Default::default() });
+    let o = DistanceOracle::build(&g, 10, 6.0);
+    let eps = o.epsilon();
+    let n = g.vertex_count() as u32;
+    let mut checked = 0;
+    for u in (0..n).step_by(11) {
+        let truth = dijkstra::full_sssp(&g, VertexId(u));
+        for v in (0..n).step_by(7) {
+            if u == v {
+                continue;
+            }
+            let t = truth.dist[v as usize];
+            let a = o.distance(VertexId(u), VertexId(v));
+            let rel = (a - t).abs() / t;
+            assert!(
+                rel <= 1.5 * eps + 0.05,
+                "pair ({u},{v}): error {rel:.3} vs bound {eps:.3}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 100, "sample too small to be meaningful");
+}
+
+#[test]
+fn pair_counts_follow_the_s_squared_growth() {
+    let g = road_network(&RoadConfig { vertices: 200, seed: 42, ..Default::default() });
+    let tree = SplitTree::build(&g, 10);
+    let p2 = wspd(&tree, 2.0).len() as f64;
+    let p4 = wspd(&tree, 4.0).len() as f64;
+    let p8 = wspd(&tree, 8.0).len() as f64;
+    assert!(p4 > p2 && p8 > p4, "pair counts must grow with s");
+    // Doubling s should grow pairs by roughly 4x, certainly < 8x.
+    assert!(p8 / p4 < 8.0);
+}
+
+#[test]
+fn oracle_is_usable_as_a_fast_filter_for_silc() {
+    // A realistic composition: rank candidates by the oracle, verify the
+    // winner exactly with SILC.
+    use silc::prelude::*;
+    use std::sync::Arc;
+    let g = Arc::new(road_network(&RoadConfig { vertices: 130, seed: 43, ..Default::default() }));
+    let idx = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 9, threads: 0 }).unwrap();
+    let oracle = DistanceOracle::build(&g, 10, 8.0);
+    let q = VertexId(0);
+    let candidates: Vec<VertexId> = (10..130).step_by(17).map(VertexId).collect();
+    let oracle_best = *candidates
+        .iter()
+        .min_by(|a, b| oracle.distance(q, **a).total_cmp(&oracle.distance(q, **b)))
+        .unwrap();
+    let exact_best = *candidates
+        .iter()
+        .min_by(|a, b| {
+            silc::path::network_distance(&idx, q, **a)
+                .unwrap()
+                .total_cmp(&silc::path::network_distance(&idx, q, **b).unwrap())
+        })
+        .unwrap();
+    // The oracle's pick must be within ε of the exact best — and the exact
+    // check through SILC confirms or corrects it.
+    let d_oracle_pick = silc::path::network_distance(&idx, q, oracle_best).unwrap();
+    let d_exact_best = silc::path::network_distance(&idx, q, exact_best).unwrap();
+    assert!(d_oracle_pick <= d_exact_best * (1.0 + 2.0 * oracle.epsilon()) + 1e-9);
+}
