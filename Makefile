@@ -1,0 +1,31 @@
+# Convenience targets for the SILC workspace. The canonical tier-1 verify
+# command (what CI and reviewers run) is:
+#
+#     cargo build --release && cargo test -q
+#
+.PHONY: build test bench figures lint fmt verify
+
+build:
+	cargo build --release
+
+# Full test suite: unit, property, integration, doc, and example smoke tests.
+test:
+	cargo test -q
+
+# Tier-1 verify: exactly what the CI gate runs.
+verify: build test
+
+# All seven Criterion benches (paper figures p.16/p.33 + ablations).
+bench:
+	cargo bench
+
+# Regenerate the paper's tables/figures as text via the figures binary.
+figures:
+	cargo run --release -p silc-bench --bin figures
+
+lint:
+	cargo clippy --all-targets -- -D warnings
+	cargo fmt --all --check
+
+fmt:
+	cargo fmt --all

@@ -44,12 +44,21 @@ fn bench_counters(c: &mut Criterion) {
             }
         }
     }
-    println!("\n# figure p.34: max |Q| — KNN {:.0}% of INN", 100.0 * mean(&knn_queue) / mean(&inn_queue));
-    println!("# figure p.35: refinements — KNN {:.0}% / KNN-M {:.0}% of INN",
+    println!(
+        "\n# figure p.34: max |Q| — KNN {:.0}% of INN",
+        100.0 * mean(&knn_queue) / mean(&inn_queue)
+    );
+    println!(
+        "# figure p.35: refinements — KNN {:.0}% / KNN-M {:.0}% of INN",
         100.0 * mean(&knn_refines) / mean(&inn_refines),
-        100.0 * mean(&m_refines) / mean(&inn_refines));
+        100.0 * mean(&m_refines) / mean(&inn_refines)
+    );
     println!("# figure p.36: {:.0}% of neighbors pruned against KMINDIST", mean(&pruned));
-    println!("# figure p.37: D0k = {:.0}% of Dk, KMINDIST = {:.0}% of Dk", mean(&d0k_pct), mean(&kmin_pct));
+    println!(
+        "# figure p.37: D0k = {:.0}% of Dk, KMINDIST = {:.0}% of Dk",
+        mean(&d0k_pct),
+        mean(&kmin_pct)
+    );
 
     let mut group = c.benchmark_group("figures_p34_p37_counter_paths");
     group.sample_size(20);

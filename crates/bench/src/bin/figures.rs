@@ -97,11 +97,8 @@ fn main() {
     );
 
     let wants = |name: &str| args.experiment == "all" || args.experiment == name;
-    let sweep_cfg = sweep::SweepConfig {
-        trials: args.trials,
-        queries: args.queries,
-        ..Default::default()
-    };
+    let sweep_cfg =
+        sweep::SweepConfig { trials: args.trials, queries: args.queries, ..Default::default() };
 
     // Precomputation-side experiments (build their own networks).
     if wants("table1") {
@@ -124,10 +121,19 @@ fn main() {
     }
 
     // Query-side experiments share one workload (network + SILC index).
-    let needs_workload = ["exec-vs-s", "exec-vs-k", "queue-size", "refinements",
-        "kmindist-pruning", "estimate-quality", "io-time", "ablation-mbr", "ablation-lambda"]
-        .iter()
-        .any(|e| wants(e));
+    let needs_workload = [
+        "exec-vs-s",
+        "exec-vs-k",
+        "queue-size",
+        "refinements",
+        "kmindist-pruning",
+        "estimate-quality",
+        "io-time",
+        "ablation-mbr",
+        "ablation-lambda",
+    ]
+    .iter()
+    .any(|e| wants(e));
     if needs_workload {
         eprintln!("# building workload: n = {} …", args.vertices);
         let t = Instant::now();

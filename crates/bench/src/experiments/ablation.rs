@@ -32,11 +32,7 @@ pub fn ablation_mbr(w: &StandardWorkload, sources: usize) -> Report {
         let map = ShortestPathMap::compute(g, source).expect("connected network");
         let mbr = ColorMbrIndex::build(&map, g.positions());
         ambiguity.push(100.0 * mbr.ambiguity_rate(g.positions()));
-        let mean_candidates = g
-            .positions()
-            .iter()
-            .map(|p| mbr.lookup(p).len() as f64)
-            .sum::<f64>()
+        let mean_candidates = g.positions().iter().map(|p| mbr.lookup(p).len() as f64).sum::<f64>()
             / g.vertex_count() as f64;
         candidates.push(mean_candidates);
     }
@@ -80,10 +76,14 @@ impl<B: DistanceBrowser> DistanceBrowser for GlobalRatioOnly<'_, B> {
 }
 
 /// A2: value of the per-block λ− region bounds during kNN.
-pub fn ablation_lambda(w: &StandardWorkload, density: f64, k: usize, trials: u64, queries: usize) -> Report {
-    let mut r = Report::new(
-        "Ablation A2: per-block λ− region bounds vs global-ratio bounds (kNN)",
-    );
+pub fn ablation_lambda(
+    w: &StandardWorkload,
+    density: f64,
+    k: usize,
+    trials: u64,
+    queries: usize,
+) -> Report {
+    let mut r = Report::new("Ablation A2: per-block λ− region bounds vs global-ratio bounds (kNN)");
     let degraded = GlobalRatioOnly(&w.index);
     let mut sharp_t = Vec::new();
     let mut degr_t = Vec::new();
@@ -128,7 +128,9 @@ pub fn ablation_lambda(w: &StandardWorkload, density: f64, k: usize, trials: u64
         mean(&degr_q),
         mean(&degr_ref)
     ));
-    r.line("identical answers; per-block bounds shrink the queue, though the λ-descent".to_string());
+    r.line(
+        "identical answers; per-block bounds shrink the queue, though the λ-descent".to_string(),
+    );
     r.line("cost can outweigh the savings on CPU-resident runs of this size — the win".to_string());
     r.line("is in avoided block expansions, which matter when blocks live on disk".to_string());
     r

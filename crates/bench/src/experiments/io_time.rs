@@ -117,7 +117,9 @@ pub fn io_sweep(
         r.line(format!("{x:>10}{cells}"));
     }
     r.line("paper shape: disk-resident INE/IER pay network-page I/O per expansion and".to_string());
-    r.line("fall behind SILC; I/O dominates; kNN best at small k; for k > 20 kNN-I/INN".to_string());
+    r.line(
+        "fall behind SILC; I/O dominates; kNN best at small k; for k > 20 kNN-I/INN".to_string(),
+    );
     r.line("win as L & Dk maintenance (KNN-pq) grows".to_string());
     std::fs::remove_file(&path).ok();
     std::fs::remove_file(&net_path).ok();

@@ -21,10 +21,8 @@ pub fn pcp_tradeoff(vertices: usize, separations: &[f64], seed: u64) -> Report {
         .map(|_| (VertexId(rng.gen_range(0..n)), VertexId(rng.gen_range(0..n))))
         .filter(|(a, b)| a != b)
         .collect();
-    let truths: Vec<f64> = sample
-        .iter()
-        .map(|&(a, b)| dijkstra::distance(&g, a, b).expect("connected"))
-        .collect();
+    let truths: Vec<f64> =
+        sample.iter().map(|&(a, b)| dijkstra::distance(&g, a, b).expect("connected")).collect();
 
     let mut r = Report::new(format!(
         "Extension X1 (pp.28–29): PCP distance oracle trade-off, n = {vertices}"

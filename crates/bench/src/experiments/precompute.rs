@@ -29,7 +29,9 @@ impl ExplicitPaths {
             let tree = dijkstra::full_sssp(g, s);
             let row: Vec<Vec<u32>> = g
                 .vertices()
-                .map(|d| tree.path_to(d).map(|p| p.iter().map(|v| v.0).collect()).unwrap_or_default())
+                .map(|d| {
+                    tree.path_to(d).map(|p| p.iter().map(|v| v.0).collect()).unwrap_or_default()
+                })
                 .collect();
             paths.push(row);
             dist.push(tree.dist.clone());
@@ -38,11 +40,7 @@ impl ExplicitPaths {
     }
 
     fn bytes(&self) -> usize {
-        self.paths
-            .iter()
-            .flat_map(|row| row.iter())
-            .map(|p| p.len() * 4)
-            .sum::<usize>()
+        self.paths.iter().flat_map(|row| row.iter()).map(|p| p.len() * 4).sum::<usize>()
             + self.dist.len() * self.dist.len() * 8
     }
 }
@@ -89,20 +87,11 @@ impl NextHopMatrix {
 
 /// Table p.11: space / path-query / distance-query trade-offs, measured.
 pub fn table1(vertices: usize, seed: u64) -> Report {
-    let g = Arc::new(road_network(&RoadConfig {
-        vertices,
-        seed,
-        ..Default::default()
-    }));
+    let g = Arc::new(road_network(&RoadConfig { vertices, seed, ..Default::default() }));
     let n = g.vertex_count();
     let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
     let pairs: Vec<(VertexId, VertexId)> = (0..100)
-        .map(|_| {
-            (
-                VertexId(rng.gen_range(0..n as u32)),
-                VertexId(rng.gen_range(0..n as u32)),
-            )
-        })
+        .map(|_| (VertexId(rng.gen_range(0..n as u32)), VertexId(rng.gen_range(0..n as u32))))
         .collect();
 
     let mut r = Report::new(format!(
@@ -130,7 +119,10 @@ pub fn table1(vertices: usize, seed: u64) -> Report {
     let dist_us = t.elapsed().as_secs_f64() * 1e6 / pairs.len() as f64;
     r.line(format!(
         "{:<22}{:>14}{:>16.3}{:>18.3}",
-        "explicit paths O(n^3)", explicit.bytes(), path_us, dist_us
+        "explicit paths O(n^3)",
+        explicit.bytes(),
+        path_us,
+        dist_us
     ));
 
     // Next-hop matrix.
@@ -147,7 +139,10 @@ pub fn table1(vertices: usize, seed: u64) -> Report {
     let dist_us = t.elapsed().as_secs_f64() * 1e6 / pairs.len() as f64;
     r.line(format!(
         "{:<22}{:>14}{:>16.3}{:>18.3}",
-        "next-hop O(n^2)", matrix.bytes(), path_us, dist_us
+        "next-hop O(n^2)",
+        matrix.bytes(),
+        path_us,
+        dist_us
     ));
 
     // Dijkstra from scratch.
@@ -156,14 +151,11 @@ pub fn table1(vertices: usize, seed: u64) -> Report {
         sink += dijkstra::point_to_point(&g, s, d).map(|p| p.path.len()).unwrap_or(0);
     }
     let path_us = t.elapsed().as_secs_f64() * 1e6 / pairs.len() as f64;
-    r.line(format!(
-        "{:<22}{:>14}{:>16.3}{:>18.3}",
-        "Dijkstra O(m+n)", 0, path_us, path_us
-    ));
+    r.line(format!("{:<22}{:>14}{:>16.3}{:>18.3}", "Dijkstra O(m+n)", 0, path_us, path_us));
 
     // SILC.
-    let idx = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 10, threads: 0 })
-        .expect("build");
+    let idx =
+        SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 10, threads: 0 }).expect("build");
     let silc_bytes = idx.stats().total_blocks * silc::disk::ENTRY_BYTES + n * 12;
     let t = Instant::now();
     for &(s, d) in &pairs {
@@ -176,10 +168,7 @@ pub fn table1(vertices: usize, seed: u64) -> Report {
         dsink += rd.refine_until_exact(&idx);
     }
     let dist_us = t.elapsed().as_secs_f64() * 1e6 / pairs.len() as f64;
-    r.line(format!(
-        "{:<22}{:>14}{:>16.3}{:>18.3}",
-        "SILC O(n^1.5)", silc_bytes, path_us, dist_us
-    ));
+    r.line(format!("{:<22}{:>14}{:>16.3}{:>18.3}", "SILC O(n^1.5)", silc_bytes, path_us, dist_us));
 
     // WSPD distance oracles at two separations (ε-approximate distances).
     for s_factor in [4.0, 8.0] {
@@ -210,25 +199,20 @@ pub fn table1(vertices: usize, seed: u64) -> Report {
 /// only the path.
 pub fn dijkstra_visits(vertices: usize, seed: u64) -> Report {
     let g = Arc::new(road_network(&RoadConfig { vertices, seed, ..Default::default() }));
-    let idx = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 11, threads: 0 })
-        .expect("build");
+    let idx =
+        SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 11, threads: 0 }).expect("build");
     let mut r = Report::new(format!(
         "Figure pp.3/7: vertices visited, Dijkstra vs SILC (n = {})",
         g.vertex_count()
     ));
-    r.line(format!(
-        "{:>8}{:>8}{:>12}{:>14}{:>12}",
-        "s", "d", "path edges", "dijkstra", "silc"
-    ));
+    r.line(format!("{:>8}{:>8}{:>12}{:>14}{:>12}", "s", "d", "path edges", "dijkstra", "silc"));
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ratios = Vec::new();
     for _ in 0..8 {
         let s = VertexId(rng.gen_range(0..g.vertex_count() as u32));
         // Pick the Euclidean-farthest vertex as destination for long paths.
-        let d = g
-            .vertices()
-            .max_by(|a, b| g.euclidean(s, *a).total_cmp(&g.euclidean(s, *b)))
-            .unwrap();
+        let d =
+            g.vertices().max_by(|a, b| g.euclidean(s, *a).total_cmp(&g.euclidean(s, *b))).unwrap();
         let dij = dijkstra::point_to_point(&g, s, d).unwrap();
         let silc_path = silc::path::shortest_path(&idx, s, d).unwrap();
         assert!((silc_path.distance - dij.distance).abs() < 1e-6);
@@ -292,10 +276,8 @@ mod tests {
         for &(s, d) in &[(0u32, 59u32), (10, 20)] {
             let p = m.path(VertexId(s), VertexId(d));
             let truth = dijkstra::point_to_point(&g, VertexId(s), VertexId(d)).unwrap();
-            let total: f64 = p
-                .windows(2)
-                .map(|w| g.edge_weight(VertexId(w[0]), VertexId(w[1])).unwrap())
-                .sum();
+            let total: f64 =
+                p.windows(2).map(|w| g.edge_weight(VertexId(w[0]), VertexId(w[1])).unwrap()).sum();
             assert!((total - truth.distance).abs() < 1e-9);
         }
     }
@@ -316,7 +298,6 @@ mod tests {
             .split('=')
             .nth(1)
             .unwrap()
-            .trim()
             .split_whitespace()
             .next()
             .unwrap()

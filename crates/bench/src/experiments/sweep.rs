@@ -78,7 +78,12 @@ impl Default for SweepConfig {
 }
 
 /// Runs one (density, k) point, measuring all six algorithms.
-fn run_point(w: &StandardWorkload, density: f64, k: usize, cfg: &SweepConfig) -> BTreeMap<&'static str, AlgoAggregate> {
+fn run_point(
+    w: &StandardWorkload,
+    density: f64,
+    k: usize,
+    cfg: &SweepConfig,
+) -> BTreeMap<&'static str, AlgoAggregate> {
     let mut agg: BTreeMap<&'static str, AlgoAggregate> =
         ALGORITHMS.iter().map(|&a| (a, AlgoAggregate::default())).collect();
     for trial in 0..cfg.trials {
@@ -184,20 +189,16 @@ fn axis_header(data: &SweepData) -> String {
 
 /// Figure p.33: execution time of all six algorithms.
 pub fn view_exec_time(data: &SweepData, which: &str) -> Report {
-    let mut r = Report::new(format!(
-        "Figure p.33{which}: execution time (ms), {} sweep",
-        data.axis
-    ));
+    let mut r =
+        Report::new(format!("Figure p.33{which}: execution time (ms), {} sweep", data.axis));
     r.line(format!(
         "{}{}",
         axis_header(data),
         ALGORITHMS.iter().map(|a| format!("{a:>10}")).collect::<String>()
     ));
     for p in &data.points {
-        let cells: String = ALGORITHMS
-            .iter()
-            .map(|a| format!("{:>10.3}", mean(&p.algos[a].time_ms)))
-            .collect();
+        let cells: String =
+            ALGORITHMS.iter().map(|a| format!("{:>10.3}", mean(&p.algos[a].time_ms))).collect();
         r.line(format!("{:>10}{}", p.x, cells));
     }
     r.line("paper shape: kNN & variants ≥ 1 order of magnitude faster than INE/IER at".to_string());
@@ -207,10 +208,8 @@ pub fn view_exec_time(data: &SweepData, which: &str) -> Report {
 
 /// Figure p.34: max priority-queue size of kNN variants as % of INN.
 pub fn view_queue_size(data: &SweepData) -> Report {
-    let mut r = Report::new(format!(
-        "Figure p.34: max queue size as % of INN, {} sweep",
-        data.axis
-    ));
+    let mut r =
+        Report::new(format!("Figure p.34: max queue size as % of INN, {} sweep", data.axis));
     let algos = ["KNN-I", "KNN", "KNN-M"];
     r.line(format!(
         "{}{}",
@@ -231,10 +230,8 @@ pub fn view_queue_size(data: &SweepData) -> Report {
 
 /// Figure p.35: refinement operations as % of INN.
 pub fn view_refinements(data: &SweepData) -> Report {
-    let mut r = Report::new(format!(
-        "Figure p.35: refinement operations as % of INN, {} sweep",
-        data.axis
-    ));
+    let mut r =
+        Report::new(format!("Figure p.35: refinement operations as % of INN, {} sweep", data.axis));
     let algos = ["KNN", "KNN-I", "KNN-M"];
     r.line(format!(
         "{}{}",
@@ -261,11 +258,7 @@ pub fn view_kmindist_pruning(data: &SweepData) -> Report {
     ));
     r.line(format!("{}{:>12}", axis_header(data), "% pruned"));
     for p in &data.points {
-        r.line(format!(
-            "{:>10}{:>12.1}",
-            p.x,
-            mean(&p.algos["KNN-M"].kmindist_pruned_pct)
-        ));
+        r.line(format!("{:>10}{:>12.1}", p.x, mean(&p.algos["KNN-M"].kmindist_pruned_pct)));
     }
     r.line("paper shape: up to 80–90% of neighbors added without further refinement".to_string());
     r
@@ -273,10 +266,8 @@ pub fn view_kmindist_pruning(data: &SweepData) -> Report {
 
 /// Figure p.37: quality of the D⁰k and KMINDIST estimates relative to Dk.
 pub fn view_estimate_quality(data: &SweepData) -> Report {
-    let mut r = Report::new(format!(
-        "Figure p.37: estimate quality (% of true Dk), {} sweep",
-        data.axis
-    ));
+    let mut r =
+        Report::new(format!("Figure p.37: estimate quality (% of true Dk), {} sweep", data.axis));
     r.line(format!("{}{:>12}{:>12}", axis_header(data), "D0k %", "KMINDIST %"));
     for p in &data.points {
         r.line(format!(
@@ -328,7 +319,13 @@ mod tests {
     #[test]
     fn views_render_every_point() {
         let (w, data) = tiny_sweep();
-        let cfg = SweepConfig { ks: vec![2, 4], fixed_density: 0.1, trials: 1, queries: 2, ..Default::default() };
+        let cfg = SweepConfig {
+            ks: vec![2, 4],
+            fixed_density: 0.1,
+            trials: 1,
+            queries: 2,
+            ..Default::default()
+        };
         let kdata = sweep_k(&w, &cfg);
         for report in [
             view_exec_time(&data, "a"),

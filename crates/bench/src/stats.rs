@@ -59,10 +59,8 @@ mod tests {
     #[test]
     fn slope_recovers_power_law_in_log_space() {
         let x: Vec<f64> = [1000.0, 2000.0, 4000.0, 8000.0].iter().map(|n: &f64| n.ln()).collect();
-        let y: Vec<f64> = [1000.0f64, 2000.0, 4000.0, 8000.0]
-            .iter()
-            .map(|n| (2.0 * n.powf(1.5)).ln())
-            .collect();
+        let y: Vec<f64> =
+            [1000.0f64, 2000.0, 4000.0, 8000.0].iter().map(|n| (2.0 * n.powf(1.5)).ln()).collect();
         assert!((slope(&x, &y) - 1.5).abs() < 1e-9);
     }
 

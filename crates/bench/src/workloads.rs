@@ -68,9 +68,7 @@ impl StandardWorkload {
     /// `count` deterministic query vertices for trial `trial`.
     pub fn queries(&self, count: usize, trial: u64) -> Vec<VertexId> {
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xABCD ^ trial);
-        (0..count)
-            .map(|_| VertexId(rng.gen_range(0..self.network.vertex_count() as u32)))
-            .collect()
+        (0..count).map(|_| VertexId(rng.gen_range(0..self.network.vertex_count() as u32))).collect()
     }
 }
 

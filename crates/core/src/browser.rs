@@ -88,9 +88,7 @@ pub trait DistanceBrowser {
             return 0.0;
         }
         let rect = self.cell_rect_for(world);
-        let lambda = self
-            .min_lambda(u, &rect)
-            .unwrap_or_else(|| self.global_min_ratio());
+        let lambda = self.min_lambda(u, &rect).unwrap_or_else(|| self.global_min_ratio());
         lambda * euclid
     }
 }
@@ -99,8 +97,8 @@ pub trait DistanceBrowser {
 mod tests {
     use super::*;
     use crate::index::{BuildConfig, SilcIndex};
-    use silc_network::generate::{grid_network, GridConfig};
     use silc_network::dijkstra;
+    use silc_network::generate::{grid_network, GridConfig};
     use std::sync::Arc;
 
     fn index() -> SilcIndex {
@@ -142,12 +140,8 @@ mod tests {
         let g = idx.network();
         let u = VertexId(3);
         let b = g.bounds();
-        let world = Rect::new(
-            b.min_x + b.width() * 0.6,
-            b.min_y + b.height() * 0.6,
-            b.max_x,
-            b.max_y,
-        );
+        let world =
+            Rect::new(b.min_x + b.width() * 0.6, b.min_y + b.height() * 0.6, b.max_x, b.max_y);
         let bound = idx.region_lower_bound(u, &world);
         for v in g.vertices() {
             if world.contains(&g.position(v)) {

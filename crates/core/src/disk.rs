@@ -133,19 +133,20 @@ impl DiskSilcIndex {
         let corrupt = |msg: &str| BuildError::Corrupt(msg.to_string());
 
         // Read the metadata region directly (header, codes, directory).
-        let read_bytes = |store: &FilePageStore, from: usize, len: usize| -> Result<Vec<u8>, BuildError> {
-            let mut out = Vec::with_capacity(len);
-            let mut page = from / PAGE_SIZE;
-            let mut off = from % PAGE_SIZE;
-            while out.len() < len {
-                let data = store.read_page(PageId(page as u64)).map_err(BuildError::Io)?;
-                let take = (len - out.len()).min(PAGE_SIZE - off);
-                out.extend_from_slice(&data[off..off + take]);
-                page += 1;
-                off = 0;
-            }
-            Ok(out)
-        };
+        let read_bytes =
+            |store: &FilePageStore, from: usize, len: usize| -> Result<Vec<u8>, BuildError> {
+                let mut out = Vec::with_capacity(len);
+                let mut page = from / PAGE_SIZE;
+                let mut off = from % PAGE_SIZE;
+                while out.len() < len {
+                    let data = store.read_page(PageId(page as u64)).map_err(BuildError::Io)?;
+                    let take = (len - out.len()).min(PAGE_SIZE - off);
+                    out.extend_from_slice(&data[off..off + take]);
+                    page += 1;
+                    off = 0;
+                }
+                Ok(out)
+            };
 
         let header_len = 8 + 4 + 4 + 32 + 8 + 8;
         if (store.page_count() as usize) * PAGE_SIZE < header_len {
@@ -414,12 +415,8 @@ mod tests {
         let g = mem.network();
         let u = VertexId(9);
         let b = g.bounds();
-        let world = Rect::new(
-            b.min_x + b.width() * 0.5,
-            b.min_y,
-            b.max_x,
-            b.max_y * 0.5 + b.min_y * 0.5,
-        );
+        let world =
+            Rect::new(b.min_x + b.width() * 0.5, b.min_y, b.max_x, b.max_y * 0.5 + b.min_y * 0.5);
         let bound = disk.region_lower_bound(u, &world);
         for v in g.vertices() {
             if world.contains(&g.position(v)) {
@@ -448,7 +445,12 @@ mod tests {
         let dst = tmp("trunc.idx");
         let data = std::fs::read(&src).unwrap();
         std::fs::write(&dst, &data[..PAGE_SIZE.min(data.len())]).unwrap();
-        let g = Arc::new(grid_network(&GridConfig { rows: 8, cols: 8, seed: 41, ..Default::default() }));
+        let g = Arc::new(grid_network(&GridConfig {
+            rows: 8,
+            cols: 8,
+            seed: 41,
+            ..Default::default()
+        }));
         assert!(DiskSilcIndex::open(&dst, g, 0.2).is_err());
     }
 

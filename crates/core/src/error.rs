@@ -69,14 +69,14 @@ mod tests {
         let e = BuildError::CoincidentVertices(VertexId(1), VertexId(2));
         assert!(e.to_string().contains("v1"));
         assert!(e.to_string().contains("v2"));
-        let e = BuildError::Io(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let e = BuildError::Io(std::io::Error::other("boom"));
         assert!(e.to_string().contains("boom"));
     }
 
     #[test]
     fn io_source_is_exposed() {
         use std::error::Error;
-        let e = BuildError::Io(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        let e = BuildError::Io(std::io::Error::other("x"));
         assert!(e.source().is_some());
         assert!(BuildError::EmptyNetwork.source().is_none());
     }

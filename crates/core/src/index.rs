@@ -292,9 +292,9 @@ fn parking_lot_free_error_slot() -> std::sync::Mutex<Option<BuildError>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use silc_geom::Point;
     use silc_network::generate::{grid_network, road_network, GridConfig, RoadConfig};
     use silc_network::{dijkstra, NetworkBuilder};
-    use silc_geom::Point;
 
     fn small() -> Arc<SpatialNetwork> {
         Arc::new(grid_network(&GridConfig { rows: 6, cols: 6, seed: 11, ..Default::default() }))
@@ -303,8 +303,8 @@ mod tests {
     #[test]
     fn build_produces_a_tree_per_vertex() {
         let g = small();
-        let idx = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 8, threads: 2 })
-            .unwrap();
+        let idx =
+            SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 8, threads: 2 }).unwrap();
         assert_eq!(idx.stats().vertices, 36);
         assert_eq!(
             idx.stats().total_blocks,
@@ -318,8 +318,7 @@ mod tests {
     #[test]
     fn parallel_and_serial_builds_agree() {
         let g = small();
-        let a = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 8, threads: 1 })
-            .unwrap();
+        let a = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 8, threads: 1 }).unwrap();
         let b = SilcIndex::build(g, &BuildConfig { grid_exponent: 8, threads: 4 }).unwrap();
         assert_eq!(a.stats().total_blocks, b.stats().total_blocks);
         for v in 0..36u32 {
@@ -333,9 +332,10 @@ mod tests {
 
     #[test]
     fn distances_via_next_hops_match_dijkstra() {
-        let g = Arc::new(road_network(&RoadConfig { vertices: 120, seed: 31, ..Default::default() }));
-        let idx = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 9, threads: 0 })
-            .unwrap();
+        let g =
+            Arc::new(road_network(&RoadConfig { vertices: 120, seed: 31, ..Default::default() }));
+        let idx =
+            SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 9, threads: 0 }).unwrap();
         for &(s, d) in &[(0u32, 119u32), (5, 80), (37, 2)] {
             let (mut cur, d) = (VertexId(s), VertexId(d));
             let mut total = 0.0;

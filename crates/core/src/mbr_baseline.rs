@@ -20,7 +20,8 @@ pub struct ColorMbrIndex {
 impl ColorMbrIndex {
     /// Builds the MBRs for `map` over `positions`.
     pub fn build(map: &ShortestPathMap, positions: &[Point]) -> Self {
-        let mut per_color: std::collections::BTreeMap<u16, Rect> = std::collections::BTreeMap::new();
+        let mut per_color: std::collections::BTreeMap<u16, Rect> =
+            std::collections::BTreeMap::new();
         for (v, &color) in map.colors.iter().enumerate() {
             if color == COLOR_SOURCE {
                 continue;
@@ -44,11 +45,7 @@ impl ColorMbrIndex {
     /// With overlapping boxes this may return zero, one, or several
     /// candidates — only a unique candidate identifies the next hop.
     pub fn lookup(&self, p: &Point) -> Vec<u16> {
-        self.rects
-            .iter()
-            .filter(|(_, r)| r.contains(p))
-            .map(|&(c, _)| c)
-            .collect()
+        self.rects.iter().filter(|(_, r)| r.contains(p)).map(|&(c, _)| c).collect()
     }
 
     /// Fraction of `probes` whose lookup is ambiguous (≠ 1 candidate) —

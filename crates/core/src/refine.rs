@@ -81,7 +81,15 @@ impl RefinableDistance {
         } else {
             let tail = b.interval(self.cur, self.target).offset(self.prefix);
             // Bounds can only tighten: intersect with what we already knew.
-            self.interval = tail.intersect(&self.interval).unwrap_or(tail);
+            // Both intervals contain the true distance in exact arithmetic,
+            // but floating-point slop can make them barely disjoint; the
+            // distance then lies in the (noise-sized) gap between their
+            // facing endpoints, so that gap is the tightest sound interval.
+            self.interval = tail.intersect(&self.interval).unwrap_or_else(|| {
+                let gap_lo = tail.hi.min(self.interval.hi);
+                let gap_hi = tail.lo.max(self.interval.lo);
+                DistInterval::new(gap_lo, gap_hi)
+            });
         }
         true
     }
@@ -121,11 +129,8 @@ pub fn compare_refining<B: DistanceBrowser + ?Sized>(
         // short-circuiting stops at the first side that makes progress.)
         let refine_a_first = ia.width() >= ic.width();
         #[allow(clippy::if_same_then_else)]
-        let progressed = if refine_a_first {
-            a.refine(b) || c.refine(b)
-        } else {
-            c.refine(b) || a.refine(b)
-        };
+        let progressed =
+            if refine_a_first { a.refine(b) || c.refine(b) } else { c.refine(b) || a.refine(b) };
         debug_assert!(progressed, "no progress while intervals still collide");
     }
 }
@@ -156,7 +161,9 @@ mod tests {
             assert!(cur.lo >= prev.lo - 1e-9, "lower bound regressed");
             assert!(cur.hi <= prev.hi + 1e-9, "upper bound regressed");
             assert!(
-                cur.contains(truth) || (truth - cur.lo).abs() < 1e-9 || (cur.hi - truth).abs() < 1e-9,
+                cur.contains(truth)
+                    || (truth - cur.lo).abs() < 1e-9
+                    || (cur.hi - truth).abs() < 1e-9,
                 "interval {cur} lost the true distance {truth}"
             );
             prev = cur;
@@ -205,10 +212,7 @@ mod tests {
         let d_far = dijkstra::distance(idx.network(), q, far).unwrap();
         assert!(d_near < d_far, "fixture assumption");
         // The far distance should not need to be refined to exactness.
-        assert!(
-            !c.is_exact() || c.refinements() == 0,
-            "comparison over-refined the easy case"
-        );
+        assert!(!c.is_exact() || c.refinements() == 0, "comparison over-refined the easy case");
     }
 
     #[test]

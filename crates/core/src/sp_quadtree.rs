@@ -134,7 +134,12 @@ impl SpQuadtree {
                     l_lo = l_lo.min(ratio);
                     l_hi = l_hi.max(ratio);
                 }
-                entries.push(BlockEntry { block, color: first_color, lambda_lo: l_lo, lambda_hi: l_hi });
+                entries.push(BlockEntry {
+                    block,
+                    color: first_color,
+                    lambda_lo: l_lo,
+                    lambda_hi: l_hi,
+                });
                 continue;
             }
             debug_assert!(block.level() > 0, "mixed colors in a single cell: duplicate cells?");
@@ -144,8 +149,8 @@ impl SpQuadtree {
             bounds[4] = hi;
             for (i, child) in children.iter().enumerate().take(3) {
                 let end = child.end();
-                bounds[i + 1] = bounds[i]
-                    + sorted[bounds[i]..hi].partition_point(|&(c, _)| c < end);
+                bounds[i + 1] =
+                    bounds[i] + sorted[bounds[i]..hi].partition_point(|&(c, _)| c < end);
             }
             bounds[3] = bounds[3].max(bounds[2]);
             for i in (0..4).rev() {
@@ -228,8 +233,9 @@ mod tests {
     use silc_network::SpatialNetwork;
 
     /// Shared fixture: network, grid layout, and one map+quadtree.
-    fn fixture(source: u32) -> (SpatialNetwork, GridMapper, Vec<MortonCode>, ShortestPathMap, SpQuadtree)
-    {
+    fn fixture(
+        source: u32,
+    ) -> (SpatialNetwork, GridMapper, Vec<MortonCode>, ShortestPathMap, SpQuadtree) {
         let g = grid_network(&GridConfig { rows: 8, cols: 8, seed: 5, ..Default::default() });
         let q = 7;
         let mapper = GridMapper::new(*g.bounds(), q);
@@ -290,7 +296,9 @@ mod tests {
             let interval = e.interval(g.euclidean(src, v));
             let d = map.dist[v.index()];
             assert!(
-                interval.contains(d) || (d - interval.lo).abs() < 1e-9 || (d - interval.hi).abs() < 1e-9,
+                interval.contains(d)
+                    || (d - interval.lo).abs() < 1e-9
+                    || (d - interval.hi).abs() < 1e-9,
                 "interval {interval} misses true distance {d} for {v}"
             );
         }
@@ -324,12 +332,8 @@ mod tests {
         let src = VertexId(33);
         // A rect over the north-east quarter of the world.
         let b = g.bounds();
-        let world = Rect::new(
-            (b.min_x + b.max_x) / 2.0,
-            (b.min_y + b.max_y) / 2.0,
-            b.max_x,
-            b.max_y,
-        );
+        let world =
+            Rect::new((b.min_x + b.max_x) / 2.0, (b.min_y + b.max_y) / 2.0, b.max_x, b.max_y);
         let lo = mapper.to_grid(&Point::new(world.min_x, world.min_y));
         let hi = mapper.to_grid(&Point::new(world.max_x, world.max_y));
         let rect = CellRect::new(lo.x, lo.y, hi.x, hi.y);

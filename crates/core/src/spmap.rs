@@ -134,9 +134,6 @@ mod tests {
         let v = b.add_vertex(Point::new(1.0, 0.0));
         b.add_edge_sym(u, v, 0.0);
         let g = b.build();
-        assert!(matches!(
-            ShortestPathMap::compute(&g, u),
-            Err(BuildError::ZeroWeightEdge(_, _))
-        ));
+        assert!(matches!(ShortestPathMap::compute(&g, u), Err(BuildError::ZeroWeightEdge(_, _))));
     }
 }

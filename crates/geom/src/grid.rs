@@ -46,17 +46,12 @@ impl GridMapper {
     /// Panics if `q == 0` or `q > 16` (16 ⇒ 4.3 G cells, the practical cap
     /// for `u32` cell coordinates interleaved into a `u64` Morton code).
     pub fn new(bounds: Rect, q: u32) -> Self {
-        assert!(q >= 1 && q <= 16, "grid exponent q must be in 1..=16, got {q}");
+        assert!((1..=16).contains(&q), "grid exponent q must be in 1..=16, got {q}");
         let side = (1u64 << q) as f64;
         // Guard against degenerate (zero-extent) bounds.
         let w = bounds.width().max(f64::MIN_POSITIVE);
         let h = bounds.height().max(f64::MIN_POSITIVE);
-        GridMapper {
-            bounds,
-            q,
-            scale_x: (side - 1.0) / w,
-            scale_y: (side - 1.0) / h,
-        }
+        GridMapper { bounds, q, scale_x: (side - 1.0) / w, scale_y: (side - 1.0) / h }
     }
 
     /// Grid resolution exponent `q`.
@@ -83,10 +78,7 @@ impl GridMapper {
         let max = self.side() - 1;
         let gx = ((p.x - self.bounds.min_x) * self.scale_x).round();
         let gy = ((p.y - self.bounds.min_y) * self.scale_y).round();
-        GridCoord::new(
-            (gx.clamp(0.0, max as f64)) as u32,
-            (gy.clamp(0.0, max as f64)) as u32,
-        )
+        GridCoord::new((gx.clamp(0.0, max as f64)) as u32, (gy.clamp(0.0, max as f64)) as u32)
     }
 
     /// World-space center of a grid cell.
@@ -129,11 +121,7 @@ impl GridMapper {
         let side = self.side() as i64;
         for p in points {
             let c = self.to_grid(p);
-            let placed = if taken.contains_key(&c) {
-                self.probe_free(c, side, &taken)
-            } else {
-                c
-            };
+            let placed = if taken.contains_key(&c) { self.probe_free(c, side, &taken) } else { c };
             taken.insert(placed, ());
             out.push(placed);
         }
@@ -209,7 +197,7 @@ mod tests {
     #[test]
     fn unique_assignment_no_duplicates() {
         let m = mapper(4); // 16x16 = 256 cells
-        // 60 points all at the same location must still get distinct cells.
+                           // 60 points all at the same location must still get distinct cells.
         let pts = vec![Point::new(50.0, 50.0); 60];
         let cells = m.assign_unique(&pts);
         let mut seen = std::collections::HashSet::new();

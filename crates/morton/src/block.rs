@@ -270,7 +270,7 @@ mod tests {
                 let same_level = w.iter().all(|b| b.level() == w[0].level());
                 if same_level {
                     let same_parent = w.iter().all(|b| b.parent() == w[0].parent());
-                    let starts_parent = w[0].parent().map_or(false, |p| p.start() == w[0].start());
+                    let starts_parent = w[0].parent().is_some_and(|p| p.start() == w[0].start());
                     prop_assert!(
                         !(same_parent && starts_parent),
                         "blocks {:?} could merge into parent",

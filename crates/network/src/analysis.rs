@@ -14,11 +14,7 @@ pub struct DisjointSets {
 impl DisjointSets {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        DisjointSets {
-            parent: (0..n as u32).collect(),
-            size: vec![1; n],
-            components: n,
-        }
+        DisjointSets { parent: (0..n as u32).collect(), size: vec![1; n], components: n }
     }
 
     /// Representative of `x`'s set.
@@ -38,11 +34,8 @@ impl DisjointSets {
         if ra == rb {
             return false;
         }
-        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
-            (ra, rb)
-        } else {
-            (rb, ra)
-        };
+        let (big, small) =
+            if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
         self.parent[small as usize] = big;
         self.size[big as usize] += self.size[small as usize];
         self.components -= 1;

@@ -151,10 +151,7 @@ mod tests {
         let t = VertexId((g.vertex_count() - 1) as u32);
         let astar_visits = a.search(s, t).unwrap().visited;
         let dij_visits = dijkstra::point_to_point(&g, s, t).unwrap().visited;
-        assert!(
-            astar_visits <= dij_visits,
-            "A* settled {astar_visits} > Dijkstra {dij_visits}"
-        );
+        assert!(astar_visits <= dij_visits, "A* settled {astar_visits} > Dijkstra {dij_visits}");
     }
 
     #[test]
@@ -163,10 +160,7 @@ mod tests {
         let a = AStar::with_scale(&g, 0.0);
         let s = VertexId(0);
         let t = VertexId(35);
-        assert_eq!(
-            a.distance(s, t),
-            dijkstra::distance(&g, s, t)
-        );
+        assert_eq!(a.distance(s, t), dijkstra::distance(&g, s, t));
     }
 
     #[test]

@@ -29,10 +29,7 @@ impl Ord for HeapEntry {
     #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we need a min-heap.
-        other
-            .dist
-            .total_cmp(&self.dist)
-            .then_with(|| other.vertex.cmp(&self.vertex))
+        other.dist.total_cmp(&self.dist).then_with(|| other.vertex.cmp(&self.vertex))
     }
 }
 

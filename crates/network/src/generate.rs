@@ -213,8 +213,7 @@ fn gabriel_edges(points: &[Point], extent: f64) -> Vec<(u32, u32)> {
             let mid = points[u].midpoint(&points[v]);
             let r_sq = points[u].distance_sq(&points[v]) / 4.0;
             // Empty diametral circle test among points near the midpoint.
-            let ring_needed =
-                ((r_sq.sqrt() / cell).ceil() as usize).max(1).min(cells_per_side);
+            let ring_needed = ((r_sq.sqrt() / cell).ceil() as usize).max(1).min(cells_per_side);
             let mut witnesses = Vec::new();
             grid.nearby(mid, ring_needed, &mut witnesses);
             let blocked = witnesses.iter().any(|&w| {
@@ -295,12 +294,8 @@ mod tests {
 
     #[test]
     fn grid_keep_prob_zero_is_spanning_tree() {
-        let g = grid_network(&GridConfig {
-            rows: 9,
-            cols: 9,
-            keep_prob: 0.0,
-            ..Default::default()
-        });
+        let g =
+            grid_network(&GridConfig { rows: 9, cols: 9, keep_prob: 0.0, ..Default::default() });
         // Spanning tree: n-1 undirected edges = 2(n-1) arcs.
         assert_eq!(g.edge_count(), 2 * (81 - 1));
         assert!(is_strongly_connected(&g));
@@ -378,9 +373,7 @@ mod tests {
             Point::new(5.0, 5.0),
         ];
         let edges = gabriel_edges(&pts, 10.0);
-        let has = |a: u32, b: u32| {
-            edges.iter().any(|&(u, v)| (u, v) == (a.min(b), a.max(b)))
-        };
+        let has = |a: u32, b: u32| edges.iter().any(|&(u, v)| (u, v) == (a.min(b), a.max(b)));
         assert!(!has(0, 3), "diagonal 0-3 must be blocked by the center");
         assert!(!has(1, 2), "diagonal 1-2 must be blocked by the center");
         assert!(has(0, 4) && has(1, 4) && has(2, 4) && has(3, 4));

@@ -115,10 +115,7 @@ impl SpatialNetwork {
         let i = u.index();
         let range = self.offsets[i] as usize..self.offsets[i + 1] as usize;
         let slice = &self.targets[range.clone()];
-        slice
-            .binary_search(&v.0)
-            .ok()
-            .map(|pos| self.weights[range.start + pos])
+        slice.binary_search(&v.0).ok().map(|pos| self.weights[range.start + pos])
     }
 
     /// The slot index of edge `u → v` in `u`'s adjacency list, or `None`.
@@ -165,9 +162,7 @@ impl SpatialNetwork {
             .iter()
             .enumerate()
             .min_by(|(_, a), (_, b)| {
-                a.distance_sq(p)
-                    .partial_cmp(&b.distance_sq(p))
-                    .expect("positions are finite")
+                a.distance_sq(p).partial_cmp(&b.distance_sq(p)).expect("positions are finite")
             })
             .map(|(i, _)| VertexId(i as u32))
     }
@@ -200,8 +195,7 @@ impl SpatialNetwork {
         if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
             return Err("non-finite or negative edge weight".into());
         }
-        let bounds =
-            Rect::bounding(&positions).unwrap_or_else(|| Rect::new(0.0, 0.0, 1.0, 1.0));
+        let bounds = Rect::bounding(&positions).unwrap_or_else(|| Rect::new(0.0, 0.0, 1.0, 1.0));
         Ok(SpatialNetwork { positions, offsets, targets, weights, bounds })
     }
 }
@@ -221,10 +215,7 @@ impl NetworkBuilder {
 
     /// Creates a builder with preallocated capacity.
     pub fn with_capacity(vertices: usize, edges: usize) -> Self {
-        NetworkBuilder {
-            positions: Vec::with_capacity(vertices),
-            edges: Vec::with_capacity(edges),
-        }
+        NetworkBuilder { positions: Vec::with_capacity(vertices), edges: Vec::with_capacity(edges) }
     }
 
     /// Adds a vertex at `p`, returning its id.
@@ -275,9 +266,7 @@ impl NetworkBuilder {
         let n = self.positions.len();
         // Sort by (source, target, weight); dedup keeps the first = cheapest.
         self.edges.sort_by(|a, b| {
-            (a.0, a.1)
-                .cmp(&(b.0, b.1))
-                .then(a.2.partial_cmp(&b.2).expect("finite weights"))
+            (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.partial_cmp(&b.2).expect("finite weights"))
         });
         self.edges.dedup_by_key(|e| (e.0, e.1));
 

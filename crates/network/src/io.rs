@@ -17,9 +17,8 @@ const MAGIC: &[u8; 8] = b"SILCNET1";
 /// Serializes `g` into `w`.
 pub fn write_network<W: Write>(g: &SpatialNetwork, w: &mut W) -> io::Result<()> {
     let (positions, offsets, targets, weights) = g.clone().into_parts();
-    let mut buf = Vec::with_capacity(
-        16 + positions.len() * 16 + offsets.len() * 4 + targets.len() * 12,
-    );
+    let mut buf =
+        Vec::with_capacity(16 + positions.len() * 16 + offsets.len() * 4 + targets.len() * 12);
     buf.put_slice(MAGIC);
     buf.put_u32_le(positions.len() as u32);
     buf.put_u32_le(targets.len() as u32);
@@ -100,7 +99,12 @@ pub fn load<P: AsRef<Path>>(path: P) -> io::Result<SpatialNetwork> {
 
 /// Writes `g` in the line-oriented text format (see [`read_text`]).
 pub fn write_text<W: Write>(g: &SpatialNetwork, w: &mut W) -> io::Result<()> {
-    writeln!(w, "# silc spatial network: {} vertices, {} directed edges", g.vertex_count(), g.edge_count())?;
+    writeln!(
+        w,
+        "# silc spatial network: {} vertices, {} directed edges",
+        g.vertex_count(),
+        g.edge_count()
+    )?;
     for v in g.vertices() {
         let p = g.position(v);
         writeln!(w, "v {} {}", p.x, p.y)?;
@@ -275,7 +279,8 @@ mod tests {
 
     #[test]
     fn text_format_parses_hand_written_input() {
-        let text = "# a triangle\nv 0 0\nv 1 0\nv 0 1\ne 0 1 1.0\ne 1 0 1.0\ne 1 2 1.5\ne 2 1 1.5\n";
+        let text =
+            "# a triangle\nv 0 0\nv 1 0\nv 0 1\ne 0 1 1.0\ne 1 0 1.0\ne 1 2 1.5\ne 2 1 1.5\n";
         let g = read_text(&mut text.as_bytes()).unwrap();
         assert_eq!(g.vertex_count(), 3);
         assert_eq!(g.edge_count(), 4);
@@ -285,10 +290,10 @@ mod tests {
     #[test]
     fn text_format_rejects_garbage() {
         for bad in [
-            "v 0\n",                 // missing coordinate
-            "e 0 1 2.0\n",           // edge before any vertex
-            "v 0 0\nv 1 1\ne 0 5 1\n", // endpoint out of range
-            "v 0 0\nx what\n",       // unknown record
+            "v 0\n",                    // missing coordinate
+            "e 0 1 2.0\n",              // edge before any vertex
+            "v 0 0\nv 1 1\ne 0 5 1\n",  // endpoint out of range
+            "v 0 0\nx what\n",          // unknown record
             "v 0 0\nv 1 1\ne 0 1 -3\n", // negative weight
         ] {
             assert!(read_text(&mut bad.as_bytes()).is_err(), "accepted: {bad:?}");

@@ -49,9 +49,8 @@ impl DistanceOracle {
         for p in raw {
             let rep_a = tree.representative(p.a);
             let rep_b = tree.representative(p.b);
-            let dist = astar
-                .distance(rep_a, rep_b)
-                .expect("oracle requires a strongly connected network");
+            let dist =
+                astar.distance(rep_a, rep_b).expect("oracle requires a strongly connected network");
             let euclid = network.euclidean(rep_a, rep_b);
             if euclid > 0.0 {
                 stretch = stretch.max(dist / euclid);

@@ -87,9 +87,8 @@ impl SplitTree {
         }
 
         let rect = {
-            let mut it = self.sorted[lo as usize..hi as usize]
-                .iter()
-                .map(|&(_, v)| positions[v as usize]);
+            let mut it =
+                self.sorted[lo as usize..hi as usize].iter().map(|&(_, v)| positions[v as usize]);
             let first = it.next().expect("non-empty span");
             let mut r = Rect::new(first.x, first.y, first.x, first.y);
             for p in it {
@@ -204,7 +203,7 @@ mod tests {
     #[test]
     fn compressed_size_bound() {
         let (g, t) = tree();
-        assert!(t.node_count() <= 2 * g.vertex_count() - 1, "tree is not compressed");
+        assert!(t.node_count() < 2 * g.vertex_count(), "tree is not compressed");
         assert_eq!(t.size(t.root()), g.vertex_count());
     }
 
@@ -241,8 +240,10 @@ mod tests {
             for &c in t.children(n) {
                 let cr = t.rect(c);
                 assert!(
-                    cr.min_x >= r.min_x && cr.max_x <= r.max_x
-                        && cr.min_y >= r.min_y && cr.max_y <= r.max_y
+                    cr.min_x >= r.min_x
+                        && cr.max_x <= r.max_x
+                        && cr.min_y >= r.min_y
+                        && cr.max_y <= r.max_y
                 );
                 stack.push(c);
             }

@@ -142,10 +142,7 @@ mod tests {
         let ps = wspd(&SplitTree::build(&small, 10), s).len();
         let pb = wspd(&SplitTree::build(&big, 10), s).len();
         let ratio = pb as f64 / ps as f64;
-        assert!(
-            ratio < 8.0,
-            "pair growth {ratio} suggests super-linear behaviour ({ps} -> {pb})"
-        );
+        assert!(ratio < 8.0, "pair growth {ratio} suggests super-linear behaviour ({ps} -> {pb})");
     }
 
     #[test]

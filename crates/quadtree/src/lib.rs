@@ -70,22 +70,15 @@ impl<T> PrQuadtree<T> {
     pub fn build(items: Vec<(Point, T)>, bucket: usize) -> Self {
         assert!(bucket > 0, "bucket capacity must be positive");
         let (positions, payloads): (Vec<Point>, Vec<T>) = items.into_iter().unzip();
-        assert!(
-            positions.iter().all(Point::is_finite),
-            "item positions must be finite"
-        );
+        assert!(positions.iter().all(Point::is_finite), "item positions must be finite");
         let bounds = Rect::bounding(&positions).unwrap_or_else(|| Rect::new(0.0, 0.0, 1.0, 1.0));
         // Make the root square so quadrants stay square (regular decomposition).
         let side = bounds.width().max(bounds.height()).max(f64::MIN_POSITIVE);
-        let root_rect = Rect::new(bounds.min_x, bounds.min_y, bounds.min_x + side, bounds.min_y + side);
+        let root_rect =
+            Rect::new(bounds.min_x, bounds.min_y, bounds.min_x + side, bounds.min_y + side);
 
-        let mut tree = PrQuadtree {
-            nodes: Vec::new(),
-            leaf_items: Vec::new(),
-            positions,
-            payloads,
-            bucket,
-        };
+        let mut tree =
+            PrQuadtree { nodes: Vec::new(), leaf_items: Vec::new(), positions, payloads, bucket };
         let mut all: Vec<u32> = (0..tree.positions.len() as u32).collect();
         tree.build_node(root_rect, &mut all, 0);
         tree
@@ -113,10 +106,7 @@ impl<T> PrQuadtree<T> {
             buckets[quadrant(&self.positions[i as usize])].push(i);
         }
         let id = self.nodes.len() as u32;
-        self.nodes.push(Node {
-            rect,
-            kind: NodeKind::Internal { children: [u32::MAX; 4] },
-        });
+        self.nodes.push(Node { rect, kind: NodeKind::Internal { children: [u32::MAX; 4] } });
         let rects = [
             Rect::new(rect.min_x, rect.min_y, c.x, c.y),
             Rect::new(c.x, rect.min_y, rect.max_x, c.y),
@@ -212,7 +202,10 @@ impl<T> PrQuadtree<T> {
     pub fn nearest_iter(&self, q: Point) -> NearestIter<'_, T> {
         let mut heap = BinaryHeap::new();
         if !self.is_empty() || !self.nodes.is_empty() {
-            heap.push(QueueEntry { dist: self.rect(self.root()).min_distance(&q), kind: EntryKind::Node(0) });
+            heap.push(QueueEntry {
+                dist: self.rect(self.root()).min_distance(&q),
+                kind: EntryKind::Node(0),
+            });
         }
         NearestIter { tree: self, q, heap }
     }
@@ -378,16 +371,14 @@ mod tests {
         let r = Rect::new(20.0, 20.0, 60.0, 50.0);
         let mut got = t.range_query(&r);
         got.sort_unstable();
-        let mut want: Vec<u32> =
-            (0..250u32).filter(|&i| r.contains(&t.position(i))).collect();
+        let mut want: Vec<u32> = (0..250u32).filter(|&i| r.contains(&t.position(i))).collect();
         want.sort_unstable();
         assert_eq!(got, want);
     }
 
     #[test]
     fn duplicate_points_survive_via_depth_cap() {
-        let items: Vec<(Point, usize)> =
-            (0..20).map(|i| (Point::new(1.0, 1.0), i)).collect();
+        let items: Vec<(Point, usize)> = (0..20).map(|i| (Point::new(1.0, 1.0), i)).collect();
         let t = PrQuadtree::build(items, 2);
         assert_eq!(t.len(), 20);
         let all: Vec<_> = t.nearest_iter(Point::new(0.0, 0.0)).collect();

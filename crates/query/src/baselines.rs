@@ -58,12 +58,7 @@ fn finalize(best: BinaryHeap<Best>, objects: &ObjectSet, stats: QueryStats) -> K
 /// settled vertex, halting once the next settled vertex is farther than the
 /// current kth-best object. Visits every edge closer than the kth neighbor
 /// (paper p.26 "worst case comparison").
-pub fn ine(
-    network: &SpatialNetwork,
-    objects: &ObjectSet,
-    query: VertexId,
-    k: usize,
-) -> KnnResult {
+pub fn ine(network: &SpatialNetwork, objects: &ObjectSet, query: VertexId, k: usize) -> KnnResult {
     assert!(k > 0, "k must be positive");
     let mut stats = QueryStats::default();
     let mut best: BinaryHeap<Best> = BinaryHeap::with_capacity(k + 1);
@@ -96,12 +91,7 @@ pub fn ine(
 /// network's minimum weight/length ratio — already exceeds the kth-best
 /// network distance. One shortest-path computation per candidate is why the
 /// paper finds IER "always slowest".
-pub fn ier(
-    network: &SpatialNetwork,
-    objects: &ObjectSet,
-    query: VertexId,
-    k: usize,
-) -> KnnResult {
+pub fn ier(network: &SpatialNetwork, objects: &ObjectSet, query: VertexId, k: usize) -> KnnResult {
     assert!(k > 0, "k must be positive");
     let mut stats = QueryStats::default();
     let ratio = network.min_weight_ratio();
@@ -203,8 +193,7 @@ mod tests {
     #[test]
     fn query_with_objects_on_query_vertex() {
         let (g, _) = fixture();
-        let objects =
-            ObjectSet::from_vertices(&g, vec![VertexId(50), VertexId(51)], 4);
+        let objects = ObjectSet::from_vertices(&g, vec![VertexId(50), VertexId(51)], 4);
         let r = ine(&g, &objects, VertexId(50), 1);
         assert_eq!(r.neighbors[0].interval, DistInterval::exact(0.0));
         let r = ier(&g, &objects, VertexId(50), 1);

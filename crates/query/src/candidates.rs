@@ -74,9 +74,7 @@ impl CandidateList {
             return false;
         }
         let key = (interval.hi, o);
-        let pos = self
-            .entries
-            .partition_point(|&(hi, _, id)| (hi, id) < key);
+        let pos = self.entries.partition_point(|&(hi, _, id)| (hi, id) < key);
         self.entries.insert(pos, (interval.hi, interval.lo, o));
         if self.entries.len() > self.k {
             self.entries.pop();

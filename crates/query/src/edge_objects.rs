@@ -81,8 +81,7 @@ impl EdgeObjectDistance {
 
     /// Is the distance known exactly?
     pub fn is_exact(&self) -> bool {
-        self.interval().is_exact()
-            || (self.via_u.is_exact() && self.via_v.is_exact())
+        self.interval().is_exact() || (self.via_u.is_exact() && self.via_v.is_exact())
     }
 
     /// Total refinement steps taken on either side.
@@ -126,7 +125,8 @@ mod tests {
     use std::sync::Arc;
 
     fn fixture() -> SilcIndex {
-        let g = Arc::new(road_network(&RoadConfig { vertices: 150, seed: 8, ..Default::default() }));
+        let g =
+            Arc::new(road_network(&RoadConfig { vertices: 150, seed: 8, ..Default::default() }));
         SilcIndex::build(g, &BuildConfig { grid_exponent: 9, threads: 0 }).unwrap()
     }
 

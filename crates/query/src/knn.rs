@@ -148,11 +148,7 @@ impl<'a, B: DistanceBrowser + ?Sized> Engine<'a, B> {
     /// any block still in the queue (an unexpanded block may hide arbitrarily
     /// many objects at its bound).
     fn kmindist(&self, k: usize) -> Option<f64> {
-        let mut lows: Vec<f64> = self
-            .states
-            .values()
-            .map(|s| s.refiner.interval().lo)
-            .collect();
+        let mut lows: Vec<f64> = self.states.values().map(|s| s.refiner.interval().lo).collect();
         if lows.len() < k {
             return None;
         }
@@ -165,7 +161,6 @@ impl<'a, B: DistanceBrowser + ?Sized> Engine<'a, B> {
         }
         Some(bound)
     }
-
 }
 
 /// The non-incremental best-first kNN algorithm and its kNN-I / kNN-M
@@ -190,7 +185,10 @@ pub fn knn<B: DistanceBrowser + ?Sized>(
     let use_kmindist = matches!(variant, KnnVariant::MinDist);
     let mut pq_nanos = 0u64;
 
-    // Everything with δ− at or beyond this bound is not worth enqueueing.
+    // Only a δ− strictly beyond this bound is prunable (paper p.22: prune
+    // when MinD > Dk) — at equality the object may still be the tied kth
+    // neighbor, and dropping it from Q while it sits in L would let a worse
+    // object be confirmed past it.
     let enqueue_bound =
         |cands: &CandidateList, d0k: &Option<f64>| cands.dk().min(d0k.unwrap_or(f64::INFINITY));
 
@@ -230,7 +228,7 @@ pub fn knn<B: DistanceBrowser + ?Sized>(
                         }
                         let bound = enqueue_bound(&candidates, &d0k);
                         pq_nanos += t.elapsed().as_nanos() as u64;
-                        if iv.lo < bound {
+                        if iv.lo <= bound {
                             eng.push(iv.lo, Kind::Object(o, version));
                         }
                     }
@@ -302,7 +300,7 @@ pub fn knn<B: DistanceBrowser + ?Sized>(
                     }
                     let bound = enqueue_bound(&candidates, &d0k);
                     pq_nanos += t.elapsed().as_nanos() as u64;
-                    if iv.lo < bound {
+                    if iv.lo <= bound {
                         eng.push(iv.lo, Kind::Object(o, version));
                     }
                 }
@@ -343,8 +341,7 @@ pub fn knn<B: DistanceBrowser + ?Sized>(
         eng.stats.kmindist_final = eng.kmindist(k);
     }
     eng.stats.d0k = d0k;
-    eng.stats.dk_final =
-        reported.iter().map(|n| n.interval.hi).fold(0.0, f64::max);
+    eng.stats.dk_final = reported.iter().map(|n| n.interval.hi).fold(0.0, f64::max);
     let stats = eng.stats;
     KnnResult { neighbors: reported, stats }
 }
@@ -436,27 +433,28 @@ mod tests {
     use std::sync::Arc;
 
     fn fixture() -> (SilcIndex, ObjectSet) {
-        let g = Arc::new(road_network(&RoadConfig {
-            vertices: 200,
-            seed: 404,
-            ..Default::default()
-        }));
+        let g =
+            Arc::new(road_network(&RoadConfig { vertices: 200, seed: 404, ..Default::default() }));
         let idx =
             SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 9, threads: 0 }).unwrap();
         let objects = ObjectSet::random(&g, 0.15, 9);
         (idx, objects)
     }
 
-    fn check_against_truth(result: &KnnResult, idx: &SilcIndex, objects: &ObjectSet, q: VertexId, k: usize) {
+    fn check_against_truth(
+        result: &KnnResult,
+        idx: &SilcIndex,
+        objects: &ObjectSet,
+        q: VertexId,
+        k: usize,
+    ) {
         let truth = brute_force_knn(idx.network(), objects, q, k);
         assert_eq!(result.neighbors.len(), truth.len());
         // Distance multisets must agree (object identity can differ on ties).
         let mut got: Vec<f64> = result
             .neighbors
             .iter()
-            .map(|n| {
-                silc::path::network_distance(idx, q, n.vertex).unwrap()
-            })
+            .map(|n| silc::path::network_distance(idx, q, n.vertex).unwrap())
             .collect();
         got.sort_by(f64::total_cmp);
         let mut want: Vec<f64> = truth.iter().map(|&(_, d)| d).collect();
@@ -468,7 +466,8 @@ mod tests {
         for n in &result.neighbors {
             let d = silc::path::network_distance(idx, q, n.vertex).unwrap();
             assert!(
-                n.interval.contains(d) || (d - n.interval.lo).abs() < 1e-6
+                n.interval.contains(d)
+                    || (d - n.interval.lo).abs() < 1e-6
                     || (n.interval.hi - d).abs() < 1e-6,
                 "interval {} misses true distance {d}",
                 n.interval
@@ -524,10 +523,7 @@ mod tests {
             knn_q += knn(&idx, &objects, VertexId(q), 10, KnnVariant::Basic).stats.max_queue;
             inn_q += inn(&idx, &objects, VertexId(q), 10).stats.max_queue;
         }
-        assert!(
-            knn_q < inn_q,
-            "Dk pruning should shrink the queue: kNN {knn_q} vs INN {inn_q}"
-        );
+        assert!(knn_q < inn_q, "Dk pruning should shrink the queue: kNN {knn_q} vs INN {inn_q}");
     }
 
     #[test]
@@ -562,11 +558,8 @@ mod tests {
     #[test]
     fn k_larger_than_object_count_returns_all() {
         let (idx, _) = fixture();
-        let objects = ObjectSet::from_vertices(
-            idx.network(),
-            vec![VertexId(1), VertexId(2), VertexId(3)],
-            4,
-        );
+        let objects =
+            ObjectSet::from_vertices(idx.network(), vec![VertexId(1), VertexId(2), VertexId(3)], 4);
         let r = knn(&idx, &objects, VertexId(0), 10, KnnVariant::Basic);
         assert_eq!(r.neighbors.len(), 3);
         let r = inn(&idx, &objects, VertexId(0), 10);

@@ -143,11 +143,7 @@ mod tests {
     #[test]
     fn objects_at_reports_co_located_objects() {
         let g = net();
-        let s = ObjectSet::from_vertices(
-            &g,
-            vec![VertexId(3), VertexId(5), VertexId(3)],
-            4,
-        );
+        let s = ObjectSet::from_vertices(&g, vec![VertexId(3), VertexId(5), VertexId(3)], 4);
         assert_eq!(s.objects_at(VertexId(3)), &[ObjectId(0), ObjectId(2)]);
         assert_eq!(s.objects_at(VertexId(5)), &[ObjectId(1)]);
         assert!(s.objects_at(VertexId(9)).is_empty());

@@ -53,9 +53,11 @@ pub fn within_distance<B: DistanceBrowser + ?Sized>(
             NodeView::Internal(children) => {
                 // Prune subtrees whose regional lower bound already exceeds
                 // the radius — they cannot contain an in-range object.
-                stack.extend(children.into_iter().filter(|&c| {
-                    browser.region_lower_bound(query, &tree.rect(c)) <= radius
-                }));
+                stack.extend(
+                    children
+                        .into_iter()
+                        .filter(|&c| browser.region_lower_bound(query, &tree.rect(c)) <= radius),
+                );
             }
             NodeView::Leaf(items) => {
                 for &item in items {
@@ -75,8 +77,11 @@ pub fn within_distance<B: DistanceBrowser + ?Sized>(
                         if !r.refine(browser) {
                             // Exact and equal to radius boundary.
                             if r.interval().lo <= radius {
-                                neighbors
-                                    .push(Neighbor { object: o, vertex, interval: r.interval() });
+                                neighbors.push(Neighbor {
+                                    object: o,
+                                    vertex,
+                                    interval: r.interval(),
+                                });
                             }
                             break;
                         }
@@ -98,7 +103,8 @@ mod tests {
     use std::sync::Arc;
 
     fn fixture() -> (SilcIndex, ObjectSet) {
-        let g = Arc::new(road_network(&RoadConfig { vertices: 180, seed: 66, ..Default::default() }));
+        let g =
+            Arc::new(road_network(&RoadConfig { vertices: 180, seed: 66, ..Default::default() }));
         let idx =
             SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 9, threads: 0 }).unwrap();
         let objects = ObjectSet::random(&g, 0.2, 4);
@@ -113,8 +119,7 @@ mod tests {
             let q = VertexId(q);
             let tree = dijkstra::full_sssp(g, q);
             // Pick a radius that includes roughly half the objects.
-            let mut dists: Vec<f64> =
-                objects.iter().map(|(_, v)| tree.dist[v.index()]).collect();
+            let mut dists: Vec<f64> = objects.iter().map(|(_, v)| tree.dist[v.index()]).collect();
             dists.sort_by(f64::total_cmp);
             let radius = dists[dists.len() / 2];
 
@@ -134,11 +139,7 @@ mod tests {
     #[test]
     fn zero_radius_returns_colocated_objects_only() {
         let (idx, _) = fixture();
-        let objects = ObjectSet::from_vertices(
-            idx.network(),
-            vec![VertexId(5), VertexId(42)],
-            4,
-        );
+        let objects = ObjectSet::from_vertices(idx.network(), vec![VertexId(5), VertexId(42)], 4);
         let r = within_distance(&idx, &objects, VertexId(5), 0.0);
         assert_eq!(r.neighbors.len(), 1);
         assert_eq!(r.neighbors[0].object, ObjectId(0));

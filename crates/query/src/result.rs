@@ -70,9 +70,7 @@ impl KnnResult {
     /// `true` when neighbors are in non-decreasing order of interval lower
     /// bound (the sortedness guarantee of the non-`-M` algorithms).
     pub fn is_sorted(&self) -> bool {
-        self.neighbors
-            .windows(2)
-            .all(|w| w[0].interval.lo <= w[1].interval.lo + 1e-9)
+        self.neighbors.windows(2).all(|w| w[0].interval.lo <= w[1].interval.lo + 1e-9)
     }
 }
 

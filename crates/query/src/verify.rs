@@ -13,10 +13,8 @@ pub fn brute_force_knn(
     k: usize,
 ) -> Vec<(ObjectId, f64)> {
     let tree = dijkstra::full_sssp(network, query);
-    let mut all: Vec<(ObjectId, f64)> = objects
-        .iter()
-        .map(|(o, v)| (o, tree.dist[v.index()]))
-        .collect();
+    let mut all: Vec<(ObjectId, f64)> =
+        objects.iter().map(|(o, v)| (o, tree.dist[v.index()])).collect();
     all.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
     all.truncate(k);
     all

@@ -213,7 +213,7 @@ mod tests {
     fn store_with(pages: usize) -> MemPageStore {
         let mut data = Vec::with_capacity(pages * PAGE_SIZE);
         for p in 0..pages {
-            data.extend(std::iter::repeat(p as u8).take(PAGE_SIZE));
+            data.extend(std::iter::repeat_n(p as u8, PAGE_SIZE));
         }
         MemPageStore::new(&data)
     }

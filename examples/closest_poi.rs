@@ -18,7 +18,7 @@ fn main() {
     // A mid-sized city: 3,000 intersections with detour-prone streets
     // (weights up to 1.4× the straight-line length, like river crossings).
     let network = Arc::new(road_network(&RoadConfig {
-        vertices: 3000,
+        vertices: silc_bench::example_vertices(3000),
         edge_factor: 1.2,
         detour: 0.4,
         seed: 1908,
@@ -26,17 +26,21 @@ fn main() {
     }));
     let index = SilcIndex::build(network.clone(), &BuildConfig::default()).unwrap();
 
-    // Five copy shops scattered across town; the piano store is our query.
-    let shops = ObjectSet::random(&network, 5.0 / network.vertex_count() as f64, 99);
+    // Five copy shops spread across town (exactly one per name below, at
+    // any network size); the piano store is our query.
+    let n = network.vertex_count() as u32;
+    let shops = ObjectSet::from_vertices(
+        &network,
+        (0..5u32).map(|i| VertexId(n * (2 * i + 1) / 10)).collect(),
+        8,
+    );
     let names = ["Monroeville", "Oakland", "NorthHills", "Downtown", "Greentree"];
-    let piano_store = VertexId(1500);
+    let piano_store = VertexId(n / 3);
     let qpos = network.position(piano_store);
 
     // Geodesic ordering: what a naive map service returns.
-    let mut geodesic: Vec<(usize, f64)> = shops
-        .iter()
-        .map(|(o, v)| (o.index(), qpos.distance(&network.position(v))))
-        .collect();
+    let mut geodesic: Vec<(usize, f64)> =
+        shops.iter().map(|(o, v)| (o.index(), qpos.distance(&network.position(v)))).collect();
     geodesic.sort_by(|a, b| a.1.total_cmp(&b.1));
 
     // Network ordering: what SILC returns.
@@ -68,6 +72,8 @@ fn main() {
             100.0 * (d_geo - d_net) / d_net
         );
     } else {
-        println!("\n  (orderings agree on the winner this time — paper's point is they often don't)");
+        println!(
+            "\n  (orderings agree on the winner this time — paper's point is they often don't)"
+        );
     }
 }

@@ -9,26 +9,35 @@
 
 use silc::prelude::*;
 use silc::refine::compare_refining;
-use silc_network::{dijkstra, generate::{road_network, RoadConfig}};
+use silc_network::{
+    dijkstra,
+    generate::{road_network, RoadConfig},
+};
 use std::sync::Arc;
 
 fn main() {
     let network = Arc::new(road_network(&RoadConfig {
-        vertices: 4233, // the size of the paper's anecdote network
+        vertices: silc_bench::example_vertices(4233), // the paper's anecdote network size
         seed: 7,
         ..Default::default()
     }));
     let index = SilcIndex::build(network.clone(), &BuildConfig::default()).unwrap();
 
-    // Three cities: the comparison query of p.18.
-    let mainz = VertexId(100);
-    let munich = VertexId(2000);
-    let bremen = VertexId(4000);
+    // Three cities: the comparison query of p.18, placed proportionally so
+    // the scaled-down smoke-test network keeps the same geography.
+    let n = network.vertex_count() as u32;
+    let mainz = VertexId(n / 42);
+    let munich = VertexId(n / 2);
+    let bremen = VertexId(n * 19 / 20);
 
     let mut to_munich = RefinableDistance::new(&index, mainz, munich);
     let mut to_bremen = RefinableDistance::new(&index, mainz, bremen);
     println!("is Munich closer to Mainz than Bremen?");
-    println!("  initial intervals: munich {} bremen {}", to_munich.interval(), to_bremen.interval());
+    println!(
+        "  initial intervals: munich {} bremen {}",
+        to_munich.interval(),
+        to_bremen.interval()
+    );
     let order = compare_refining(&index, &mut to_munich, &mut to_bremen);
     println!(
         "  answer: {:?} after {} + {} refinements (intervals {} vs {})",

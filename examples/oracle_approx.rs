@@ -6,11 +6,19 @@
 //! cargo run -p silc-bench --release --example oracle_approx
 //! ```
 
-use silc_network::{dijkstra, generate::{road_network, RoadConfig}, VertexId};
+use silc_network::{
+    dijkstra,
+    generate::{road_network, RoadConfig},
+    VertexId,
+};
 use silc_pcp::DistanceOracle;
 
 fn main() {
-    let network = road_network(&RoadConfig { vertices: 800, seed: 3, ..Default::default() });
+    let network = road_network(&RoadConfig {
+        vertices: silc_bench::example_vertices(800),
+        seed: 3,
+        ..Default::default()
+    });
     println!(
         "network: {} vertices; {} possible distance queries",
         network.vertex_count(),
@@ -50,11 +58,10 @@ fn main() {
 
     // The I-80 intuition: one representative pair covers entire regions.
     let oracle = DistanceOracle::build(&network, 10, 4.0);
-    let (u, v) = (VertexId(1), VertexId(790));
+    let n = network.vertex_count() as u32;
+    let (u, v) = (VertexId(1), VertexId(n - n / 10));
     let (ra, rb) = oracle.representatives(u, v).unwrap();
-    println!(
-        "\nquery ({u}, {v}) is answered by the representative pair ({ra}, {rb}):"
-    );
+    println!("\nquery ({u}, {v}) is answered by the representative pair ({ra}, {rb}):");
     println!(
         "  oracle {:.1} vs true {:.1}",
         oracle.distance(u, v),

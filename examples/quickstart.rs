@@ -15,7 +15,7 @@ fn main() {
     // 1. A synthetic road network: 2,000 intersections, road costs
     //    proportional to length (the paper's substrate is a TIGER extract).
     let network = Arc::new(road_network(&RoadConfig {
-        vertices: 2000,
+        vertices: silc_bench::example_vertices(2000),
         edge_factor: 1.25,
         seed: 42,
         ..Default::default()
@@ -37,7 +37,8 @@ fn main() {
     );
 
     // 3. Shortest path retrieval in size-of-path steps.
-    let (s, d) = (VertexId(17), VertexId(1800));
+    let n = network.vertex_count() as u32;
+    let (s, d) = (VertexId(17 % n), VertexId(n * 9 / 10));
     let path = silc::path::shortest_path(&index, s, d).unwrap();
     println!(
         "shortest path {s} -> {d}: {} edges, network distance {:.1}",
@@ -60,10 +61,12 @@ fn main() {
     let result = knn(&index, &restaurants, s, 5, KnnVariant::Basic);
     println!("5 nearest of {} restaurants from {s}:", restaurants.len());
     for n in &result.neighbors {
-        println!("  object {:>4} on {:>6}  distance {}", n.object.0, n.vertex.to_string(), n.interval);
+        println!(
+            "  object {:>4} on {:>6}  distance {}",
+            n.object.0,
+            n.vertex.to_string(),
+            n.interval
+        );
     }
-    println!(
-        "({} refinements, max queue {})",
-        result.stats.refinements, result.stats.max_queue
-    );
+    println!("({} refinements, max queue {})", result.stats.refinements, result.stats.max_queue);
 }

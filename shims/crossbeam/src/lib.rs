@@ -1,0 +1,14 @@
+//! Offline stand-in for `crossbeam::channel::unbounded`, backed by
+//! `std::sync::mpsc`. The workspace uses exactly the intersection of the
+//! two APIs — `unbounded()`, `Sender::clone`/`send`, and draining the
+//! receiver by iteration — so the swap is behavior-preserving (mpsc is
+//! merely slower under heavy contention, which the index builder's
+//! one-message-per-vertex traffic never reaches).
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, SendError, Sender};
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}

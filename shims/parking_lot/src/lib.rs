@@ -1,0 +1,26 @@
+//! Offline stand-in for `parking_lot::Mutex`: `std::sync::Mutex` with
+//! parking_lot's panic-free `lock()` signature (no `Result`; a poisoned
+//! lock — only possible if a holder panicked — just propagates the panic).
+
+use std::sync::MutexGuard;
+
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}

@@ -1,0 +1,25 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Strategy producing `Vec`s with lengths drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: core::ops::Range<usize>,
+}
+
+pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(!size.is_empty(), "vec strategy needs a non-empty size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

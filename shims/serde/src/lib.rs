@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`: marker traits plus no-op derives.
+//!
+//! In-tree code only ever *annotates* types with `#[derive(Serialize,
+//! Deserialize)]` — nothing consumes the serde data model (persistence goes
+//! through the hand-rolled binary format in `silc-network::io` and
+//! `silc-storage`). The traits here are empty markers and the derives
+//! expand to nothing, so the annotations stay source-compatible with the
+//! real `serde` while compiling offline.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}

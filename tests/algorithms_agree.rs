@@ -12,11 +12,8 @@ fn distances_of(
     r: &silc_query::KnnResult,
     q: VertexId,
 ) -> Vec<f64> {
-    let mut d: Vec<f64> = r
-        .neighbors
-        .iter()
-        .map(|n| dijkstra::distance(g, q, n.vertex).unwrap())
-        .collect();
+    let mut d: Vec<f64> =
+        r.neighbors.iter().map(|n| dijkstra::distance(g, q, n.vertex).unwrap()).collect();
     d.sort_by(f64::total_cmp);
     d
 }
@@ -40,10 +37,7 @@ fn all_algorithms_return_the_same_distance_multiset() {
                         "KNN-I",
                         distances_of(&g, &knn(&idx, &objects, q, k, KnnVariant::EarlyEstimate), q),
                     ),
-                    (
-                        "KNN-M",
-                        distances_of(&g, &knn(&idx, &objects, q, k, KnnVariant::MinDist), q),
-                    ),
+                    ("KNN-M", distances_of(&g, &knn(&idx, &objects, q, k, KnnVariant::MinDist), q)),
                 ];
                 for (name, got) in runs {
                     assert_eq!(got.len(), reference.len(), "{name} returned wrong count");

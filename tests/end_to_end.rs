@@ -49,7 +49,8 @@ fn paths_are_edge_valid() {
 #[test]
 fn knn_pipeline_on_grid_networks() {
     // The grid generator exercises different topology than the Gabriel one.
-    let g = Arc::new(grid_network(&GridConfig { rows: 12, cols: 12, seed: 3, ..Default::default() }));
+    let g =
+        Arc::new(grid_network(&GridConfig { rows: 12, cols: 12, seed: 3, ..Default::default() }));
     assert!(analysis::is_strongly_connected(&g));
     let idx = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 9, threads: 0 }).unwrap();
     let objects = ObjectSet::random(&g, 0.1, 5);
@@ -96,13 +97,13 @@ fn largest_component_feeds_the_index() {
     b.add_edge_sym(v[1], v[2], 1.0);
     b.add_edge_sym(v[2], v[0], 1.5);
     b.add_edge_sym(v[3], v[4], 1.0); // small island
-    // v[5] isolated
+                                     // v[5] isolated
     let g = Arc::new(b.build());
     assert!(SilcIndex::build(g.clone(), &BuildConfig::default()).is_err());
     let (comp, mapping) = analysis::largest_component(&g);
     assert_eq!(comp.vertex_count(), 3);
-    let idx = SilcIndex::build(Arc::new(comp), &BuildConfig { grid_exponent: 6, threads: 0 })
-        .unwrap();
+    let idx =
+        SilcIndex::build(Arc::new(comp), &BuildConfig { grid_exponent: 6, threads: 0 }).unwrap();
     assert_eq!(idx.stats().vertices, 3);
     assert_eq!(mapping.len(), 3);
 }

@@ -1,0 +1,49 @@
+//! Smoke test: every example must build and run to completion on a tiny
+//! network.
+//!
+//! Each example honours `SILC_EXAMPLE_VERTICES`, which scales its network
+//! down from the walkthrough sizes (2000–4233 vertices) to something a
+//! debug-profile test run finishes in seconds. The examples are invoked
+//! through `cargo run` so this is also the regression gate that keeps them
+//! compiling.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let workspace_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let output = Command::new(cargo)
+        .current_dir(&workspace_root)
+        .args(["run", "--quiet", "-p", "silc-bench", "--example", name])
+        .env("SILC_EXAMPLE_VERTICES", "120")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} failed with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn closest_poi_runs() {
+    run_example("closest_poi");
+}
+
+#[test]
+fn distance_browsing_runs() {
+    run_example("distance_browsing");
+}
+
+#[test]
+fn oracle_approx_runs() {
+    run_example("oracle_approx");
+}

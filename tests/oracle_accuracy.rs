@@ -21,10 +21,7 @@ fn oracle_covers_every_pair_and_respects_the_bound() {
             let t = truth.dist[v as usize];
             let a = o.distance(VertexId(u), VertexId(v));
             let rel = (a - t).abs() / t;
-            assert!(
-                rel <= 1.5 * eps + 0.05,
-                "pair ({u},{v}): error {rel:.3} vs bound {eps:.3}"
-            );
+            assert!(rel <= 1.5 * eps + 0.05, "pair ({u},{v}): error {rel:.3} vs bound {eps:.3}");
             checked += 1;
         }
     }
