@@ -3,7 +3,7 @@
 #
 #     cargo build --release && cargo test -q
 #
-.PHONY: build test bench figures lint fmt verify
+.PHONY: build test bench bench-baseline bench-baseline-smoke figures lint fmt verify
 
 build:
 	cargo build --release
@@ -18,6 +18,17 @@ verify: build test
 # All seven Criterion benches (paper figures p.16/p.33 + ablations).
 bench:
 	cargo bench
+
+# Re-record the in-repo bench baseline (BENCH_baseline.json): index build
+# seconds, total Morton blocks, and kNN latency at fixed sizes/seeds. Run
+# this ONLY when intentionally resetting the perf comparison point.
+bench-baseline:
+	cargo run --release -p silc-bench --bin bench_baseline
+
+# CI smoke for the baseline recorder: tiny network, writes to target/, no
+# assertions on absolute time — only that the pipeline runs end to end.
+bench-baseline-smoke:
+	cargo run --release -p silc-bench --bin bench_baseline -- --smoke
 
 # Regenerate the paper's tables/figures as text via the figures binary.
 figures:

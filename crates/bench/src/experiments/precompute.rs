@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use silc::{index, BuildConfig, SilcIndex};
 use silc_network::generate::{road_network, RoadConfig};
-use silc_network::{dijkstra, SpatialNetwork, VertexId};
+use silc_network::{dijkstra, SpatialNetwork, SsspWorkspace, VertexId};
 use silc_pcp::DistanceOracle;
 use std::sync::Arc;
 use std::time::Instant;
@@ -25,16 +25,19 @@ impl ExplicitPaths {
         let n = g.vertex_count();
         let mut paths = Vec::with_capacity(n);
         let mut dist = Vec::with_capacity(n);
+        // One SSSP workspace serves all n sources; only the stored rows
+        // (the measured artifact itself) are allocated per source.
+        let mut ws = SsspWorkspace::with_capacity(n);
         for s in g.vertices() {
-            let tree = dijkstra::full_sssp(g, s);
+            let run = dijkstra::full_sssp_into(g, s, &mut ws);
             let row: Vec<Vec<u32>> = g
                 .vertices()
                 .map(|d| {
-                    tree.path_to(d).map(|p| p.iter().map(|v| v.0).collect()).unwrap_or_default()
+                    run.path_to(d).map(|p| p.iter().map(|v| v.0).collect()).unwrap_or_default()
                 })
                 .collect();
             paths.push(row);
-            dist.push(tree.dist.clone());
+            dist.push(run.dist_slice().to_vec());
         }
         ExplicitPaths { paths, dist }
     }
@@ -57,12 +60,13 @@ impl NextHopMatrix {
         let n = g.vertex_count();
         let mut next = vec![u32::MAX; n * n];
         let mut dist = vec![f64::INFINITY; n * n];
+        let mut ws = SsspWorkspace::with_capacity(n);
         for s in g.vertices() {
-            let tree = dijkstra::full_sssp(g, s);
+            let run = dijkstra::full_sssp_into(g, s, &mut ws);
+            dist[s.index() * n..(s.index() + 1) * n].copy_from_slice(run.dist_slice());
             for d in g.vertices() {
-                dist[s.index() * n + d.index()] = tree.dist[d.index()];
-                if d != s && tree.first_hop[d.index()] != dijkstra::NO_HOP {
-                    let (hop, _) = g.out_edge(s, tree.first_hop[d.index()] as usize);
+                if d != s && run.first_hop(d) != dijkstra::NO_HOP {
+                    let (hop, _) = g.out_edge(s, run.first_hop(d) as usize);
                     next[s.index() * n + d.index()] = hop.0;
                 }
             }

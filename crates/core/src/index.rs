@@ -3,18 +3,23 @@
 //! Precomputation is embarrassingly parallel — one Dijkstra plus one
 //! quadtree build per source, with no interaction between sources (the paper
 //! points this out on p.27, "Easily Parallelizable: data parallelism").
-//! Workers pull vertex ids from a shared atomic counter and stream finished
-//! quadtrees back over a channel.
+//! Workers self-schedule chunks of vertex ids from a shared atomic counter,
+//! each owning one [`BuildScratch`] (SSSP workspace + Morton-ordered color
+//! and distance buffers + quadtree scratch) for its whole lifetime, and
+//! write finished quadtrees directly into pre-allocated output slots — no
+//! channels, no per-source allocation beyond each tree's exact-size entry
+//! vector.
 
 use crate::browser::DistanceBrowser;
 use crate::error::BuildError;
-use crate::sp_quadtree::{BlockEntry, CellRect, SpQuadtree};
-use crate::spmap::ShortestPathMap;
-use silc_geom::GridMapper;
+use crate::sp_quadtree::{BlockEntry, CellRect, MortonMap, SpQuadtree, TreeScratch};
+use crate::spmap::COLOR_SOURCE;
+use silc_geom::{GridMapper, Point};
 use silc_morton::MortonCode;
-use silc_network::{SpatialNetwork, VertexId};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use silc_network::dijkstra::{full_sssp_visit, NO_HOP};
+use silc_network::{SpatialNetwork, SsspWorkspace, VertexId};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Parameters of index construction.
@@ -144,11 +149,21 @@ impl DistanceBrowser for SilcIndex {
 }
 
 /// The grid embedding shared by every source: unique cells, Morton codes,
-/// and the code-sorted vertex list.
+/// the code-sorted vertex permutation, and every per-vertex attribute the
+/// decomposition reads, pre-permuted into code order so per-source passes
+/// touch contiguous memory.
 pub(crate) struct GridLayout {
     pub mapper: GridMapper,
     pub codes: Vec<MortonCode>,
-    pub sorted: Vec<(u64, u32)>,
+    /// `pos_of[v]` = rank of vertex `v` in code order (the scatter target
+    /// used by the fused SSSP settle callback).
+    pub pos_of: Vec<u32>,
+    /// Sorted cell codes (parallel to `sorted`).
+    pub codes_sorted: Vec<u64>,
+    /// Vertex ids in code order.
+    pub verts_sorted: Vec<u32>,
+    /// World positions in code order.
+    pub positions_sorted: Vec<Point>,
 }
 
 impl GridLayout {
@@ -159,17 +174,101 @@ impl GridLayout {
         let mut sorted: Vec<(u64, u32)> =
             codes.iter().enumerate().map(|(v, c)| (c.0, v as u32)).collect();
         sorted.sort_unstable();
-        GridLayout { mapper, codes, sorted }
+        let mut pos_of = vec![0u32; sorted.len()];
+        for (rank, &(_, v)) in sorted.iter().enumerate() {
+            pos_of[v as usize] = rank as u32;
+        }
+        let codes_sorted: Vec<u64> = sorted.iter().map(|&(c, _)| c).collect();
+        let verts_sorted: Vec<u32> = sorted.iter().map(|&(_, v)| v).collect();
+        let positions_sorted: Vec<Point> =
+            verts_sorted.iter().map(|&v| network.positions()[v as usize]).collect();
+        GridLayout { mapper, codes, pos_of, codes_sorted, verts_sorted, positions_sorted }
     }
 }
 
-/// Builds every vertex's quadtree, fanning work out to `threads` workers.
-fn build_all_trees(
+/// Per-worker state for index construction, created once per worker thread
+/// and reused across every source it builds: the SSSP workspace, the
+/// Morton-ordered color/distance buffers the settle callback scatters into,
+/// and the quadtree decomposition scratch.
+#[derive(Default)]
+pub(crate) struct BuildScratch {
+    ws: SsspWorkspace,
+    colors: Vec<u16>,
+    dist: Vec<f64>,
+    tree: TreeScratch,
+}
+
+/// Runs one source's full pipeline — SSSP with fused Morton scatter, then
+/// block decomposition — leaving the blocks in `scratch.tree` and returning
+/// the block count. No allocation at steady state.
+pub(crate) fn decompose_one(
     network: &SpatialNetwork,
     layout: &GridLayout,
-    threads: usize,
-) -> Result<Vec<SpQuadtree>, BuildError> {
+    source: VertexId,
+    scratch: &mut BuildScratch,
+) -> Result<usize, BuildError> {
     let n = network.vertex_count();
+    let BuildScratch { ws, colors, dist, tree } = scratch;
+    colors.resize(n, 0);
+    dist.resize(n, 0.0);
+    let pos_of = &layout.pos_of[..];
+    // The settle callback writes each vertex's color and distance straight
+    // to its Morton rank — the shortest-path map never exists in vertex
+    // order, saving a full permutation pass per source.
+    let mut zero_weight = false;
+    let run = full_sssp_visit(network, source, ws, |x, d, hop| {
+        let rank = pos_of[x.index()] as usize;
+        dist[rank] = d;
+        debug_assert!(hop == NO_HOP || hop < COLOR_SOURCE as u32, "out-degree exceeds u16 colors");
+        colors[rank] = if hop == NO_HOP { COLOR_SOURCE } else { hop as u16 };
+        zero_weight |= d <= 0.0 && x != source;
+    });
+    // Error precedence matches `ShortestPathMap::compute`: a zero-weight
+    // edge is diagnosed before (possibly coexisting) unreachability.
+    if zero_weight {
+        // Deterministic report: the first vertex (in id order) reached at
+        // distance zero identifies the offending edge, exactly like the
+        // vertex-order scan of `ShortestPathMap::compute`.
+        for v in network.vertices() {
+            if v != source && run.reached(v) && run.dist(v) <= 0.0 {
+                let (t, _) = network.out_edge(source, run.first_hop(v) as usize);
+                return Err(BuildError::ZeroWeightEdge(source, t));
+            }
+        }
+        unreachable!("zero-weight flag without a zero-distance vertex");
+    }
+    if run.visited() < n {
+        return Err(BuildError::Unreachable { source, missing: n - run.visited() });
+    }
+    let morton = MortonMap {
+        source,
+        src_pos: network.position(source),
+        colors,
+        dist,
+        codes: &layout.codes_sorted,
+        verts: &layout.verts_sorted,
+        positions: &layout.positions_sorted,
+    };
+    SpQuadtree::decompose_with(tree, &morton, layout.mapper.q())
+}
+
+/// Builds the quadtree of one source through a worker's scratch.
+pub(crate) fn build_one(
+    network: &SpatialNetwork,
+    layout: &GridLayout,
+    source: VertexId,
+    scratch: &mut BuildScratch,
+) -> Result<SpQuadtree, BuildError> {
+    decompose_one(network, layout, source, scratch)?;
+    Ok(scratch.tree.to_quadtree(layout.mapper.q()))
+}
+
+/// A self-scheduled unit of output: the base vertex id of a chunk and the
+/// pre-allocated slots its trees are written into.
+type SlotChunk<'a> = (usize, &'a mut [Option<SpQuadtree>]);
+
+/// Picks the worker count and self-scheduling chunk size for `n` sources.
+fn worker_plan(n: usize, threads: usize) -> (usize, usize) {
     let workers = if threads == 0 {
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
     } else {
@@ -177,56 +276,77 @@ fn build_all_trees(
     }
     .min(n)
     .max(1);
+    // Chunks are small enough that stragglers self-balance, large enough
+    // that the shared counter stays cold.
+    let chunk = (n / (workers * 8)).clamp(1, 256);
+    (workers, chunk)
+}
+
+/// Builds every vertex's quadtree, fanning chunks out to `threads` workers
+/// that write finished trees directly into pre-allocated slots.
+fn build_all_trees(
+    network: &SpatialNetwork,
+    layout: &GridLayout,
+    threads: usize,
+) -> Result<Vec<SpQuadtree>, BuildError> {
+    let n = network.vertex_count();
+    let (workers, chunk) = worker_plan(n, threads);
 
     if workers == 1 {
+        let mut scratch = BuildScratch::default();
         let mut trees = Vec::with_capacity(n);
         for v in 0..n as u32 {
-            trees.push(build_one(network, layout, VertexId(v))?);
+            trees.push(build_one(network, layout, VertexId(v), &mut scratch)?);
         }
         return Ok(trees);
     }
 
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded::<(u32, Result<SpQuadtree, BuildError>)>();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let next = &next;
-            scope.spawn(move || loop {
-                let v = next.fetch_add(1, Ordering::Relaxed);
-                if v >= n {
-                    break;
-                }
-                let result = build_one(network, layout, VertexId(v as u32));
-                let failed = result.is_err();
-                if tx.send((v as u32, result)).is_err() || failed {
-                    break; // collector hung up after a previous error
-                }
-            });
-        }
-        drop(tx);
-        let mut trees: Vec<Option<SpQuadtree>> = (0..n).map(|_| None).collect();
-        let mut received = 0usize;
-        for (v, result) in rx {
-            trees[v as usize] = Some(result?);
-            received += 1;
-            if received == n {
-                break;
+    let mut slots: Vec<Option<SpQuadtree>> = (0..n).map(|_| None).collect();
+    let failed = AtomicBool::new(false);
+    let error: Mutex<Option<BuildError>> = Mutex::new(None);
+    {
+        // Chunked work stack: each worker pops a disjoint `&mut` run of
+        // output slots, so finished trees land in place without a channel
+        // or a collector thread.
+        let work: Mutex<Vec<SlotChunk<'_>>> =
+            Mutex::new(slots.chunks_mut(chunk).enumerate().map(|(i, c)| (i * chunk, c)).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let work = &work;
+                let failed = &failed;
+                let error = &error;
+                scope.spawn(move || {
+                    let mut scratch = BuildScratch::default();
+                    loop {
+                        if failed.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let Some((base, run)) = work.lock().unwrap().pop() else { return };
+                        for (i, slot) in run.iter_mut().enumerate() {
+                            match build_one(
+                                network,
+                                layout,
+                                VertexId((base + i) as u32),
+                                &mut scratch,
+                            ) {
+                                Ok(tree) => *slot = Some(tree),
+                                Err(e) => {
+                                    if !failed.swap(true, Ordering::Relaxed) {
+                                        *error.lock().unwrap() = Some(e);
+                                    }
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                });
             }
-        }
-        Ok(trees.into_iter().map(|t| t.expect("all vertices built")).collect())
-    })
-}
-
-/// Builds the quadtree of one source (used by both the parallel builder and
-/// the streaming block counter).
-pub(crate) fn build_one(
-    network: &SpatialNetwork,
-    layout: &GridLayout,
-    source: VertexId,
-) -> Result<SpQuadtree, BuildError> {
-    let map = ShortestPathMap::compute(network, source)?;
-    SpQuadtree::build(&map, &layout.sorted, network.positions(), layout.mapper.q())
+        });
+    }
+    if let Some(e) = error.lock().unwrap().take() {
+        return Err(e);
+    }
+    Ok(slots.into_iter().map(|t| t.expect("all vertices built")).collect())
 }
 
 /// Counts the total number of Morton blocks of the index for `network`
@@ -245,36 +365,47 @@ pub fn count_total_blocks(
         return Err(BuildError::EmptyNetwork);
     }
     let layout = GridLayout::new(network, grid_exponent);
-    let workers = if threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-    } else {
-        threads
-    }
-    .min(n)
-    .max(1);
+    let (workers, chunk) = worker_plan(n, threads);
 
     let next = AtomicUsize::new(0);
     let total = AtomicUsize::new(0);
-    let error = parking_lot_free_error_slot();
+    // Failure is signalled through a lock-free flag checked on the hot
+    // path; the mutex-guarded slot is touched only by the worker that
+    // actually hits an error.
+    let failed = AtomicBool::new(false);
+    let error: Mutex<Option<BuildError>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let next = &next;
             let total = &total;
+            let failed = &failed;
             let error = &error;
             let layout = &layout;
-            scope.spawn(move || loop {
-                let v = next.fetch_add(1, Ordering::Relaxed);
-                if v >= n || error.lock().unwrap().is_some() {
-                    break;
-                }
-                match build_one(network, layout, VertexId(v as u32)) {
-                    Ok(tree) => {
-                        total.fetch_add(tree.block_count(), Ordering::Relaxed);
+            scope.spawn(move || {
+                let mut scratch = BuildScratch::default();
+                loop {
+                    if failed.load(Ordering::Relaxed) {
+                        return;
                     }
-                    Err(e) => {
-                        *error.lock().unwrap() = Some(e);
-                        break;
+                    let base = next.fetch_add(chunk, Ordering::Relaxed);
+                    if base >= n {
+                        return;
                     }
+                    let mut blocks = 0usize;
+                    for v in base..(base + chunk).min(n) {
+                        // The decomposition never materializes a tree here —
+                        // streaming keeps memory O(1) in the index size.
+                        match decompose_one(network, layout, VertexId(v as u32), &mut scratch) {
+                            Ok(count) => blocks += count,
+                            Err(e) => {
+                                if !failed.swap(true, Ordering::Relaxed) {
+                                    *error.lock().unwrap() = Some(e);
+                                }
+                                return;
+                            }
+                        }
+                    }
+                    total.fetch_add(blocks, Ordering::Relaxed);
                 }
             });
         }
@@ -283,10 +414,6 @@ pub fn count_total_blocks(
         return Err(e);
     }
     Ok(total.into_inner())
-}
-
-fn parking_lot_free_error_slot() -> std::sync::Mutex<Option<BuildError>> {
-    std::sync::Mutex::new(None)
 }
 
 #[cfg(test)]
@@ -373,6 +500,54 @@ mod tests {
             SilcIndex::build(g, &BuildConfig { grid_exponent: 6, threads: 3 }),
             Err(BuildError::Unreachable { .. })
         ));
+    }
+
+    #[test]
+    fn build_errors_match_shortest_path_map_diagnosis() {
+        // `decompose_one` re-derives the zero-weight/unreachable diagnosis
+        // the spmap API performs; this locks the two paths to the same
+        // error, including precedence when both defects coexist.
+        use crate::spmap::ShortestPathMap;
+        let fixtures: Vec<(&str, SpatialNetwork)> = vec![
+            ("unreachable only", {
+                let mut b = NetworkBuilder::new();
+                let u = b.add_vertex(Point::new(0.0, 0.0));
+                let v = b.add_vertex(Point::new(1.0, 0.0));
+                let _iso = b.add_vertex(Point::new(3.0, 3.0));
+                b.add_edge_sym(u, v, 1.0);
+                b.build()
+            }),
+            ("zero weight only", {
+                let mut b = NetworkBuilder::new();
+                let u = b.add_vertex(Point::new(0.0, 0.0));
+                let v = b.add_vertex(Point::new(1.0, 0.0));
+                b.add_edge_sym(u, v, 0.0);
+                b.build()
+            }),
+            ("zero weight and unreachable", {
+                let mut b = NetworkBuilder::new();
+                let u = b.add_vertex(Point::new(0.0, 0.0));
+                let v = b.add_vertex(Point::new(1.0, 0.0));
+                let _iso = b.add_vertex(Point::new(3.0, 3.0));
+                b.add_edge_sym(u, v, 0.0);
+                b.build()
+            }),
+        ];
+        for (label, g) in fixtures {
+            let map_err = ShortestPathMap::compute(&g, VertexId(0)).unwrap_err();
+            let build_err = match SilcIndex::build(
+                Arc::new(g),
+                &BuildConfig { grid_exponent: 6, threads: 1 },
+            ) {
+                Err(e) => e,
+                Ok(_) => panic!("builder must fail for: {label}"),
+            };
+            assert_eq!(
+                format!("{map_err:?}"),
+                format!("{build_err:?}"),
+                "error diagnosis diverges between spmap and index builder for: {label}"
+            );
+        }
     }
 
     #[test]

@@ -81,6 +81,51 @@ pub struct SpQuadtree {
     q: u32,
 }
 
+/// One source's shortest-path map in *Morton order*: entry `i` of every
+/// slice describes the vertex in the `i`-th grid cell (ascending cell
+/// code). The index builder scatters straight into this layout during the
+/// SSSP settle callback, so the decomposition below runs on contiguous
+/// memory with no per-vertex gathers.
+pub struct MortonMap<'a> {
+    /// The source vertex.
+    pub source: VertexId,
+    /// World position of the source.
+    pub src_pos: Point,
+    /// First-hop colors in code order ([`COLOR_SOURCE`] at the source).
+    pub colors: &'a [u16],
+    /// Network distances in code order.
+    pub dist: &'a [f64],
+    /// The sorted cell codes themselves.
+    pub codes: &'a [u64],
+    /// Vertex ids in code order (error reporting only).
+    pub verts: &'a [u32],
+    /// World positions in code order.
+    pub positions: &'a [Point],
+}
+
+/// Reusable decomposition state: the traversal stack, the entry output
+/// buffer (cloned into each finished tree at exact size), and the
+/// uniform-run index. One scratch per worker makes quadtree construction
+/// allocation-free across sources; for a single build, [`SpQuadtree::build`]
+/// creates a throwaway one.
+#[derive(Debug, Default)]
+pub struct TreeScratch {
+    stack: Vec<(MortonBlock, usize, usize)>,
+    entries: Vec<BlockEntry>,
+    /// `run_end[i]` = end (exclusive) of the maximal same-color run
+    /// starting at code rank `i` — turns the per-node uniformity scan into
+    /// an O(1) lookup (`run_end[lo] >= hi`).
+    run_end: Vec<u32>,
+}
+
+impl TreeScratch {
+    /// Materializes the most recent decomposition as an owned quadtree —
+    /// one exact-size copy of the entry buffer.
+    pub fn to_quadtree(&self, q: u32) -> SpQuadtree {
+        SpQuadtree { entries: self.entries.clone(), q }
+    }
+}
+
 impl SpQuadtree {
     /// Builds the quadtree for `map`.
     ///
@@ -88,32 +133,86 @@ impl SpQuadtree {
     ///   across every source, computed once by the index builder),
     /// * `positions[v]` — world positions,
     /// * `q` — grid resolution exponent.
+    ///
+    /// One-shot wrapper over [`SpQuadtree::build_with`]: permutes the map
+    /// into Morton order and allocates a throwaway scratch. The index
+    /// builder bypasses this and scatters into Morton order during the
+    /// SSSP itself.
     pub fn build(
         map: &ShortestPathMap,
         sorted: &[(u64, u32)],
         positions: &[Point],
         q: u32,
     ) -> Result<Self, BuildError> {
+        let codes: Vec<u64> = sorted.iter().map(|&(c, _)| c).collect();
+        let verts: Vec<u32> = sorted.iter().map(|&(_, v)| v).collect();
+        let colors: Vec<u16> = verts.iter().map(|&v| map.colors[v as usize]).collect();
+        let dist: Vec<f64> = verts.iter().map(|&v| map.dist[v as usize]).collect();
+        let pos: Vec<Point> = verts.iter().map(|&v| positions[v as usize]).collect();
+        let morton = MortonMap {
+            source: map.source,
+            src_pos: positions[map.source.index()],
+            colors: &colors,
+            dist: &dist,
+            codes: &codes,
+            verts: &verts,
+            positions: &pos,
+        };
+        Self::build_with(&mut TreeScratch::default(), &morton, q)
+    }
+
+    /// Builds the quadtree from a Morton-ordered map using reusable scratch
+    /// buffers. The finished tree's entry vector is allocated at exact size
+    /// (one copy out of the scratch); everything else is reused.
+    pub fn build_with(
+        scratch: &mut TreeScratch,
+        map: &MortonMap<'_>,
+        q: u32,
+    ) -> Result<Self, BuildError> {
+        Self::decompose_with(scratch, map, q)?;
+        Ok(scratch.to_quadtree(q))
+    }
+
+    /// Runs the block decomposition into `scratch.entries` and returns the
+    /// block count without materializing a tree — the streaming storage
+    /// counter uses this to avoid any per-source allocation at all.
+    pub fn decompose_with(
+        scratch: &mut TreeScratch,
+        map: &MortonMap<'_>,
+        q: u32,
+    ) -> Result<usize, BuildError> {
+        let n = map.codes.len();
+        debug_assert!(map.colors.len() == n && map.dist.len() == n && map.positions.len() == n);
         let source = map.source;
-        let src_pos = positions[source.index()];
-        let mut entries = Vec::new();
-        // Effective color of a vertex for the decomposition: the source's
-        // sentinel differs from every real color, so its cell always ends up
-        // isolated in its own single-cell block.
-        let color_of = |v: u32| map.colors[v as usize];
+        let src_pos = map.src_pos;
+        let colors = map.colors;
+
+        // Uniform-run index, rebuilt right-to-left in O(n).
+        if scratch.run_end.len() != n {
+            scratch.run_end.resize(n, 0);
+        }
+        for i in (0..n).rev() {
+            scratch.run_end[i] = if i + 1 < n && colors[i + 1] == colors[i] {
+                scratch.run_end[i + 1]
+            } else {
+                (i + 1) as u32
+            };
+        }
+        let run_end = &scratch.run_end[..];
+        let entries = &mut scratch.entries;
+        entries.clear();
+        let stack = &mut scratch.stack;
+        stack.clear();
 
         // Explicit stack to avoid recursion depth limits; children are pushed
         // in reverse so blocks are emitted in ascending Morton order.
-        let mut stack: Vec<(MortonBlock, usize, usize)> = Vec::with_capacity(64);
-        let root = MortonBlock::root(q);
-        stack.push((root, 0, sorted.len()));
+        stack.push((MortonBlock::root(q), 0, n));
         while let Some((block, lo, hi)) = stack.pop() {
             if lo == hi {
                 continue;
             }
-            let first_color = color_of(sorted[lo].1);
-            let uniform = sorted[lo..hi].iter().all(|&(_, v)| color_of(v) == first_color);
-            if uniform {
+            let first_color = colors[lo];
+            if run_end[lo] as usize >= hi {
                 if first_color == COLOR_SOURCE {
                     entries.push(BlockEntry {
                         block,
@@ -125,12 +224,12 @@ impl SpQuadtree {
                 }
                 let mut l_lo = f64::INFINITY;
                 let mut l_hi = 0.0f64;
-                for &(_, v) in &sorted[lo..hi] {
-                    let e = src_pos.distance(&positions[v as usize]);
+                for i in lo..hi {
+                    let e = src_pos.distance(&map.positions[i]);
                     if e <= 0.0 {
-                        return Err(BuildError::CoincidentVertices(source, VertexId(v)));
+                        return Err(BuildError::CoincidentVertices(source, VertexId(map.verts[i])));
                     }
-                    let ratio = map.dist[v as usize] / e;
+                    let ratio = map.dist[i] / e;
                     l_lo = l_lo.min(ratio);
                     l_hi = l_hi.max(ratio);
                 }
@@ -149,8 +248,7 @@ impl SpQuadtree {
             bounds[4] = hi;
             for (i, child) in children.iter().enumerate().take(3) {
                 let end = child.end();
-                bounds[i + 1] =
-                    bounds[i] + sorted[bounds[i]..hi].partition_point(|&(c, _)| c < end);
+                bounds[i + 1] = bounds[i] + map.codes[bounds[i]..hi].partition_point(|&c| c < end);
             }
             bounds[3] = bounds[3].max(bounds[2]);
             for i in (0..4).rev() {
@@ -159,7 +257,7 @@ impl SpQuadtree {
         }
         // The stack emits SW/SE/NW/NE first-to-last, so entries are sorted.
         debug_assert!(entries.windows(2).all(|w| w[0].block.end() <= w[1].block.start()));
-        Ok(SpQuadtree { entries, q })
+        Ok(entries.len())
     }
 
     /// Number of Morton blocks (the unit of the paper's storage-complexity

@@ -8,10 +8,34 @@
 
 use crate::error::BuildError;
 use silc_network::dijkstra::{self, NO_HOP};
-use silc_network::{SpatialNetwork, VertexId};
+use silc_network::{SpatialNetwork, SsspWorkspace, VertexId};
 
 /// The color of the source vertex itself in its own map.
 pub const COLOR_SOURCE: u16 = u16::MAX;
+
+/// Reusable buffers for [`ShortestPathMap::compute_into`]: the per-vertex
+/// colors and distances of one map, overwritten by each computation.
+///
+/// Hold one per worker (next to its [`SsspWorkspace`]) when computing maps
+/// for many sources; nothing is allocated after the first use at a given
+/// network size.
+#[derive(Debug, Default)]
+pub struct SpMapBuffers {
+    colors: Vec<u16>,
+    dist: Vec<f64>,
+}
+
+/// A borrowed shortest-path map: the same data as [`ShortestPathMap`],
+/// viewing reusable buffers instead of owning vectors.
+#[derive(Debug, Clone, Copy)]
+pub struct SpMapRef<'a> {
+    /// The source vertex.
+    pub source: VertexId,
+    /// Per-vertex first-hop colors ([`COLOR_SOURCE`] at the source).
+    pub colors: &'a [u16],
+    /// Per-vertex exact network distances.
+    pub dist: &'a [f64],
+}
 
 /// The shortest-path map of one source vertex: per-vertex colors and exact
 /// network distances.
@@ -34,24 +58,45 @@ impl ShortestPathMap {
     /// strongly connected from `source`, and with
     /// [`BuildError::ZeroWeightEdge`] when a zero-weight edge would let path
     /// retrieval loop forever.
+    ///
+    /// One-shot wrapper over [`ShortestPathMap::compute_into`]; repeated
+    /// callers should hold a workspace and buffers instead.
     pub fn compute(g: &SpatialNetwork, source: VertexId) -> Result<Self, BuildError> {
-        let tree = dijkstra::full_sssp(g, source);
+        let mut ws = SsspWorkspace::new();
+        let mut buf = SpMapBuffers::default();
+        let map = Self::compute_into(g, source, &mut ws, &mut buf)?;
+        Ok(ShortestPathMap { source, colors: map.colors.to_vec(), dist: map.dist.to_vec() })
+    }
+
+    /// Computes the map into reusable buffers: the SSSP borrows `ws`, the
+    /// colors and distances are written into `buf`, and the returned view
+    /// borrows `buf` — no per-source allocation happens at steady state.
+    /// Results are identical to [`ShortestPathMap::compute`].
+    pub fn compute_into<'b>(
+        g: &SpatialNetwork,
+        source: VertexId,
+        ws: &mut SsspWorkspace,
+        buf: &'b mut SpMapBuffers,
+    ) -> Result<SpMapRef<'b>, BuildError> {
         let n = g.vertex_count();
-        let mut colors = vec![0u16; n];
+        let run = dijkstra::full_sssp_into(g, source, ws);
+        buf.colors.resize(n, 0);
+        buf.dist.resize(n, 0.0);
+        buf.dist.copy_from_slice(run.dist_slice());
         let mut missing = 0usize;
-        for (v, color) in colors.iter_mut().enumerate() {
+        for (v, color) in buf.colors.iter_mut().enumerate() {
             if v == source.index() {
                 *color = COLOR_SOURCE;
                 continue;
             }
-            let hop = tree.first_hop[v];
+            let hop = run.first_hop(VertexId(v as u32));
             if hop == NO_HOP {
                 missing += 1;
                 continue;
             }
             debug_assert!(hop < COLOR_SOURCE as u32, "out-degree exceeds u16 colors");
             *color = hop as u16;
-            if tree.dist[v] <= 0.0 {
+            if buf.dist[v] <= 0.0 {
                 let (t, _) = g.out_edge(source, hop as usize);
                 return Err(BuildError::ZeroWeightEdge(source, t));
             }
@@ -59,18 +104,37 @@ impl ShortestPathMap {
         if missing > 0 {
             return Err(BuildError::Unreachable { source, missing });
         }
-        Ok(ShortestPathMap { source, colors, dist: tree.dist })
+        Ok(SpMapRef { source, colors: &buf.colors, dist: &buf.dist })
+    }
+
+    /// This map as a borrowed [`SpMapRef`].
+    pub fn as_ref(&self) -> SpMapRef<'_> {
+        SpMapRef { source: self.source, colors: &self.colors, dist: &self.dist }
     }
 
     /// Number of distinct colors actually used (≤ out-degree of the source).
     pub fn color_count(&self) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        // Colors are adjacency-slot indices, so a small bitmap sized by the
+        // largest slot seen replaces the old per-call `HashSet`.
+        let si = self.source.index();
+        let mut max_color = 0u16;
+        let mut any = false;
         for (v, &c) in self.colors.iter().enumerate() {
-            if v != self.source.index() {
-                seen.insert(c);
+            if v != si {
+                max_color = max_color.max(c);
+                any = true;
             }
         }
-        seen.len()
+        if !any {
+            return 0;
+        }
+        let mut seen = vec![0u64; max_color as usize / 64 + 1];
+        for (v, &c) in self.colors.iter().enumerate() {
+            if v != si {
+                seen[(c / 64) as usize] |= 1u64 << (c % 64);
+            }
+        }
+        seen.iter().map(|w| w.count_ones() as usize).sum()
     }
 }
 
@@ -110,6 +174,53 @@ mod tests {
             let map = ShortestPathMap::compute(&g, s).unwrap();
             assert!(map.color_count() <= g.out_degree(s));
             assert!(map.color_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn compute_into_reuse_matches_one_shot() {
+        let g = grid_network(&GridConfig { rows: 6, cols: 6, seed: 9, ..Default::default() });
+        let mut ws = SsspWorkspace::new();
+        let mut buf = SpMapBuffers::default();
+        for s in [0u32, 17, 35, 17] {
+            let s = VertexId(s);
+            let owned = ShortestPathMap::compute(&g, s).unwrap();
+            let view = ShortestPathMap::compute_into(&g, s, &mut ws, &mut buf).unwrap();
+            assert_eq!(view.colors, &owned.colors[..]);
+            let same = view.dist.iter().zip(&owned.dist).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "distances differ under buffer reuse for {s}");
+        }
+    }
+
+    #[test]
+    fn compute_into_reports_errors_like_compute() {
+        let mut b = NetworkBuilder::new();
+        let u = b.add_vertex(Point::new(0.0, 0.0));
+        let v = b.add_vertex(Point::new(1.0, 0.0));
+        let _iso = b.add_vertex(Point::new(2.0, 2.0));
+        b.add_edge_sym(u, v, 1.0);
+        let g = b.build();
+        let mut ws = SsspWorkspace::new();
+        let mut buf = SpMapBuffers::default();
+        assert!(matches!(
+            ShortestPathMap::compute_into(&g, u, &mut ws, &mut buf),
+            Err(BuildError::Unreachable { missing: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn color_count_matches_hashset_semantics() {
+        let g = grid_network(&GridConfig { rows: 6, cols: 6, seed: 4, ..Default::default() });
+        for s in g.vertices() {
+            let map = ShortestPathMap::compute(&g, s).unwrap();
+            let brute: std::collections::HashSet<u16> = map
+                .colors
+                .iter()
+                .enumerate()
+                .filter(|&(v, _)| v != s.index())
+                .map(|(_, &c)| c)
+                .collect();
+            assert_eq!(map.color_count(), brute.len(), "bitmap disagrees with HashSet at {s}");
         }
     }
 

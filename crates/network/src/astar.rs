@@ -6,37 +6,16 @@
 //! weight/Euclidean ratio, which keeps it admissible even when some edges
 //! are cheaper than their geometric length (e.g. travel-time weights).
 
-use crate::dijkstra::{PathResult, NO_VERTEX};
+use crate::dijkstra::{self, PathResult, SsspWorkspace};
 use crate::{SpatialNetwork, VertexId};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct AStarEntry {
-    f: f64,
-    vertex: u32,
-}
-
-impl Eq for AStarEntry {}
-
-impl Ord for AStarEntry {
-    #[inline]
-    fn cmp(&self, other: &Self) -> Ordering {
-        other.f.total_cmp(&self.f).then_with(|| other.vertex.cmp(&self.vertex))
-    }
-}
-
-impl PartialOrd for AStarEntry {
-    #[inline]
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
 
 /// Reusable A* search context.
 ///
 /// Caches the admissible heuristic scale so repeated point-to-point queries
-/// (IER issues one per candidate object) don't rescan all edges.
+/// (IER issues one per candidate object) don't rescan all edges. Callers
+/// issuing *many* searches should additionally hold a [`SsspWorkspace`] and
+/// use [`AStar::search_with`] — the one-shot [`AStar::search`] allocates
+/// fresh search state per call.
 pub struct AStar<'g> {
     g: &'g SpatialNetwork,
     /// Multiplier for the Euclidean lower bound; `h(v) = scale · dE(v, goal)`.
@@ -66,56 +45,39 @@ impl<'g> AStar<'g> {
     }
 
     /// Shortest path `source → target`, or `None` when unreachable.
+    ///
+    /// One-shot convenience over [`AStar::search_with`] with a throwaway
+    /// workspace.
     pub fn search(&self, source: VertexId, target: VertexId) -> Option<PathResult> {
-        let n = self.g.vertex_count();
-        let goal = self.g.position(target);
-        let mut dist = vec![f64::INFINITY; n];
-        let mut parent = vec![NO_VERTEX; n];
-        let mut settled = vec![false; n];
-        let mut heap = BinaryHeap::new();
+        let mut ws = SsspWorkspace::new();
+        self.search_with(&mut ws, source, target)
+    }
 
-        dist[source.index()] = 0.0;
-        let h0 = self.scale * self.g.position(source).distance(&goal);
-        heap.push(AStarEntry { f: h0, vertex: source.0 });
-        let mut visited = 0usize;
-
-        while let Some(AStarEntry { vertex: u, .. }) = heap.pop() {
-            if settled[u as usize] {
-                continue;
-            }
-            settled[u as usize] = true;
-            visited += 1;
-            if u == target.0 {
-                let mut path = vec![target];
-                let mut cur = u;
-                while parent[cur as usize] != NO_VERTEX {
-                    cur = parent[cur as usize];
-                    path.push(VertexId(cur));
-                }
-                path.reverse();
-                return Some(PathResult { distance: dist[target.index()], path, visited });
-            }
-            let d = dist[u as usize];
-            for (v, w) in self.g.out_edges(VertexId(u)) {
-                let vi = v.index();
-                if settled[vi] {
-                    continue;
-                }
-                let nd = d + w;
-                if nd < dist[vi] {
-                    dist[vi] = nd;
-                    parent[vi] = u;
-                    let h = self.scale * self.g.position(v).distance(&goal);
-                    heap.push(AStarEntry { f: nd + h, vertex: v.0 });
-                }
-            }
-        }
-        None
+    /// Shortest path `source → target` using a reusable workspace: no
+    /// per-search O(n) allocation or zeroing. Results are identical to
+    /// [`AStar::search`]; see [`SsspWorkspace`] for reuse guidelines.
+    pub fn search_with(
+        &self,
+        ws: &mut SsspWorkspace,
+        source: VertexId,
+        target: VertexId,
+    ) -> Option<PathResult> {
+        dijkstra::astar_search_into(self.g, source, target, self.scale, ws)
     }
 
     /// Network distance only.
     pub fn distance(&self, source: VertexId, target: VertexId) -> Option<f64> {
         self.search(source, target).map(|r| r.distance)
+    }
+
+    /// Network distance only, over a reusable workspace.
+    pub fn distance_with(
+        &self,
+        ws: &mut SsspWorkspace,
+        source: VertexId,
+        target: VertexId,
+    ) -> Option<f64> {
+        self.search_with(ws, source, target).map(|r| r.distance)
     }
 }
 
@@ -186,6 +148,19 @@ mod tests {
         let g = b.build();
         let a = AStar::new(&g);
         assert!(a.search(u, VertexId(2)).is_none());
+    }
+
+    #[test]
+    fn search_with_reuse_matches_one_shot() {
+        let g = grid_network(&GridConfig { rows: 10, cols: 10, seed: 5, ..Default::default() });
+        let a = AStar::new(&g);
+        let mut ws = crate::dijkstra::SsspWorkspace::new();
+        for &(s, t) in &[(0u32, 99u32), (99, 0), (5, 5), (17, 80), (80, 17)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let one_shot = a.search(s, t);
+            let reused = a.search_with(&mut ws, s, t);
+            assert_eq!(one_shot, reused, "{s}->{t} differs under workspace reuse");
+        }
     }
 
     #[test]

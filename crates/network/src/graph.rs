@@ -42,6 +42,72 @@ pub struct SpatialNetwork {
     targets: Vec<u32>,
     weights: Vec<f64>,
     bounds: Rect,
+    /// Reverse CSR (in-edges), built eagerly at construction: the two-phase
+    /// SSSP engine derives parents from final distances by scanning each
+    /// vertex's in-edges.
+    rev_offsets: Vec<u32>,
+    rev_sources: Vec<u32>,
+    rev_weights: Vec<f64>,
+    /// Cached weight statistics (min/mean/max over all edges), used to size
+    /// the SSSP engine's bucket queue. 0.0 on edgeless graphs.
+    min_weight: f64,
+    mean_weight: f64,
+    max_weight: f64,
+}
+
+/// Assembles the full network from forward-CSR parts: derives the reverse
+/// CSR and the cached weight statistics. Single construction point shared by
+/// the builder and deserialization.
+fn finalize_network(
+    positions: Vec<Point>,
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+    bounds: Rect,
+) -> SpatialNetwork {
+    let n = positions.len();
+    let m = targets.len();
+    let mut rev_offsets = vec![0u32; n + 1];
+    for &t in &targets {
+        rev_offsets[t as usize + 1] += 1;
+    }
+    for i in 0..n {
+        rev_offsets[i + 1] += rev_offsets[i];
+    }
+    let mut cursor = rev_offsets.clone();
+    let mut rev_sources = vec![0u32; m];
+    let mut rev_weights = vec![0.0f64; m];
+    for u in 0..n {
+        for e in offsets[u] as usize..offsets[u + 1] as usize {
+            let t = targets[e] as usize;
+            let slot = cursor[t] as usize;
+            rev_sources[slot] = u as u32;
+            rev_weights[slot] = weights[e];
+            cursor[t] += 1;
+        }
+    }
+    // Forward targets are scanned in ascending source order, so each
+    // in-edge list is sorted by source id — deterministic iteration.
+    let (mut min_w, mut max_w, mut sum_w) = (f64::INFINITY, 0.0f64, 0.0f64);
+    for &w in &weights {
+        min_w = min_w.min(w);
+        max_w = max_w.max(w);
+        sum_w += w;
+    }
+    let (min_weight, mean_weight) = if m == 0 { (0.0, 0.0) } else { (min_w, sum_w / m as f64) };
+    SpatialNetwork {
+        positions,
+        offsets,
+        targets,
+        weights,
+        bounds,
+        rev_offsets,
+        rev_sources,
+        rev_weights,
+        min_weight,
+        mean_weight,
+        max_weight: max_w,
+    }
 }
 
 impl SpatialNetwork {
@@ -96,6 +162,43 @@ impl SpatialNetwork {
             .iter()
             .zip(&self.weights[range])
             .map(|(&t, &w)| (VertexId(t), w))
+    }
+
+    /// Outgoing edges of `v` as raw parallel `(targets, weights)` slices —
+    /// the zero-overhead form the SSSP inner loops iterate; slot `i` of the
+    /// pair is the `i`-th sorted out-edge (the SILC color index).
+    #[inline]
+    pub fn out_edge_slices(&self, v: VertexId) -> (&[u32], &[f64]) {
+        let i = v.index();
+        let range = self.offsets[i] as usize..self.offsets[i + 1] as usize;
+        (&self.targets[range.clone()], &self.weights[range])
+    }
+
+    /// Incoming edges of `v` as raw parallel `(sources, weights)` slices,
+    /// sorted by source id. Backed by a reverse CSR built at construction.
+    #[inline]
+    pub fn in_edge_slices(&self, v: VertexId) -> (&[u32], &[f64]) {
+        let i = v.index();
+        let range = self.rev_offsets[i] as usize..self.rev_offsets[i + 1] as usize;
+        (&self.rev_sources[range.clone()], &self.rev_weights[range])
+    }
+
+    /// Smallest edge weight (0.0 for edgeless graphs).
+    #[inline]
+    pub fn min_weight(&self) -> f64 {
+        self.min_weight
+    }
+
+    /// Mean edge weight (0.0 for edgeless graphs).
+    #[inline]
+    pub fn mean_weight(&self) -> f64 {
+        self.mean_weight
+    }
+
+    /// Largest edge weight (0.0 for edgeless graphs).
+    #[inline]
+    pub fn max_weight(&self) -> f64 {
+        self.max_weight
     }
 
     /// The `slot`-th outgoing edge of `v` (slots index the sorted adjacency
@@ -196,7 +299,7 @@ impl SpatialNetwork {
             return Err("non-finite or negative edge weight".into());
         }
         let bounds = Rect::bounding(&positions).unwrap_or_else(|| Rect::new(0.0, 0.0, 1.0, 1.0));
-        Ok(SpatialNetwork { positions, offsets, targets, weights, bounds })
+        Ok(finalize_network(positions, offsets, targets, weights, bounds))
     }
 }
 
@@ -281,7 +384,7 @@ impl NetworkBuilder {
         let weights: Vec<f64> = self.edges.iter().map(|e| e.2).collect();
         let bounds =
             Rect::bounding(&self.positions).unwrap_or_else(|| Rect::new(0.0, 0.0, 1.0, 1.0));
-        SpatialNetwork { positions: self.positions, offsets, targets, weights, bounds }
+        finalize_network(self.positions, offsets, targets, weights, bounds)
     }
 }
 

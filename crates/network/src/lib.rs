@@ -27,4 +27,5 @@ pub mod graph;
 pub mod io;
 pub mod paged;
 
+pub use dijkstra::SsspWorkspace;
 pub use graph::{NetworkBuilder, SpatialNetwork, VertexId};

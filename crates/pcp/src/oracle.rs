@@ -12,7 +12,7 @@
 use crate::split_tree::SplitTree;
 use crate::wspd::{wspd, WspdPair};
 use silc_network::astar::AStar;
-use silc_network::{SpatialNetwork, VertexId};
+use silc_network::{SpatialNetwork, SsspWorkspace, VertexId};
 use std::collections::HashMap;
 
 /// Stored payload of one pair.
@@ -38,19 +38,23 @@ impl DistanceOracle {
     /// Builds the oracle with separation factor `s` (larger `s` = more
     /// pairs = better accuracy).
     ///
-    /// Every representative distance is one A* computation; networks must
-    /// be strongly connected.
+    /// Every representative distance is one A* computation — `O(s²n)` of
+    /// them — so all searches share one reusable [`SsspWorkspace`] instead
+    /// of allocating fresh search state per pair; networks must be strongly
+    /// connected.
     pub fn build(network: &SpatialNetwork, grid_exponent: u32, s: f64) -> Self {
         let tree = SplitTree::build(network, grid_exponent);
         let raw: Vec<WspdPair> = wspd(&tree, s);
         let astar = AStar::new(network);
+        let mut ws = SsspWorkspace::with_capacity(network.vertex_count());
         let mut pairs = HashMap::with_capacity(raw.len());
         let mut stretch = 1.0f64;
         for p in raw {
             let rep_a = tree.representative(p.a);
             let rep_b = tree.representative(p.b);
-            let dist =
-                astar.distance(rep_a, rep_b).expect("oracle requires a strongly connected network");
+            let dist = astar
+                .distance_with(&mut ws, rep_a, rep_b)
+                .expect("oracle requires a strongly connected network");
             let euclid = network.euclidean(rep_a, rep_b);
             if euclid > 0.0 {
                 stretch = stretch.max(dist / euclid);

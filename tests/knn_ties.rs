@@ -1,0 +1,190 @@
+//! Adversarial tied-kth-neighbor tests.
+//!
+//! PR 1 fixed a soundness bug where kNN queue pruning used `δ− ≥ Dk`
+//! instead of the paper's strict `δ− > Dk`: with an exact distance tie at
+//! the kth neighbor, an object already in `L` but absent from `Q` let a
+//! worse object be confirmed past it. These tests lock that fix in with
+//! networks *constructed* to put exact ties at the kth position, asserting
+//! result-set correctness across every algorithm — the SILC variants (INN,
+//! kNN, kNN-I, kNN-M), the Dijkstra-expansion baseline (INE), and the
+//! Euclidean-restriction baseline (IER) — against brute force.
+//!
+//! With ties the *identity* of the kth neighbor is ambiguous, but the
+//! multiset of the k returned distances is not: it must equal the k
+//! smallest true distances exactly, and every returned object must be at a
+//! true distance ≤ the kth.
+
+use silc::{BuildConfig, SilcIndex};
+use silc_geom::Point;
+use silc_network::{dijkstra, NetworkBuilder, SpatialNetwork, VertexId};
+use silc_query::{ier, ine, inn, knn, verify::brute_force_knn, KnnResult, KnnVariant, ObjectSet};
+use std::sync::Arc;
+
+/// Runs every algorithm at (q, k) and checks its k distances against the
+/// brute-force k smallest. `label` names the fixture in failure messages.
+fn assert_all_algorithms_handle_ties(
+    g: &Arc<SpatialNetwork>,
+    idx: &SilcIndex,
+    objects: &ObjectSet,
+    q: VertexId,
+    k: usize,
+    label: &str,
+) {
+    let truth = brute_force_knn(g, objects, q, k);
+    let want: Vec<f64> = truth.iter().map(|&(_, d)| d).collect();
+    let kth = want.last().copied().unwrap_or(0.0);
+
+    let check = |name: &str, r: &KnnResult| {
+        assert_eq!(r.neighbors.len(), truth.len(), "[{label}] {name} count at q={q} k={k}");
+        let mut got: Vec<f64> = r
+            .neighbors
+            .iter()
+            .map(|nb| dijkstra::distance(g, q, nb.vertex).expect("object reachable"))
+            .collect();
+        got.sort_by(f64::total_cmp);
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9,
+                "[{label}] {name} rank {i} at q={q} k={k}: got {a}, want {b}"
+            );
+        }
+        // No returned object may be strictly beyond the tied kth distance.
+        for nb in &r.neighbors {
+            let d = dijkstra::distance(g, q, nb.vertex).unwrap();
+            assert!(
+                d <= kth + 1e-9,
+                "[{label}] {name} returned {d} beyond tied kth {kth} at q={q} k={k}"
+            );
+        }
+    };
+
+    check("INE", &ine(g, objects, q, k));
+    check("IER", &ier(g, objects, q, k));
+    check("INN", &inn(idx, objects, q, k));
+    check("KNN", &knn(idx, objects, q, k, KnnVariant::Basic));
+    check("KNN-I", &knn(idx, objects, q, k, KnnVariant::EarlyEstimate));
+    check("KNN-M", &knn(idx, objects, q, k, KnnVariant::MinDist));
+}
+
+/// A star: `spokes` rays of `depth` vertices each, every edge weight
+/// exactly 1.0, positions on distinct rays. Every ring of the star is an
+/// exact distance tie: the vertices at hop `h` on all spokes sit at network
+/// distance exactly `h` from the hub.
+fn tie_star(spokes: usize, depth: usize) -> (Arc<SpatialNetwork>, Vec<Vec<VertexId>>) {
+    let mut b = NetworkBuilder::new();
+    let hub = b.add_vertex(Point::new(0.0, 0.0));
+    let mut rays = Vec::new();
+    for s in 0..spokes {
+        let angle = 2.0 * std::f64::consts::PI * s as f64 / spokes as f64;
+        let mut prev = hub;
+        let mut ray = Vec::new();
+        for h in 1..=depth {
+            let r = h as f64 * 10.0;
+            let v = b.add_vertex(Point::new(r * angle.cos(), r * angle.sin()));
+            b.add_edge_sym(prev, v, 1.0);
+            prev = v;
+            ray.push(v);
+        }
+        rays.push(ray);
+    }
+    (Arc::new(b.build()), rays)
+}
+
+/// An `rows × cols` integer lattice with unit edge weights: Manhattan
+/// distances, so distance ties saturate every neighborhood.
+fn tie_lattice(rows: usize, cols: usize) -> Arc<SpatialNetwork> {
+    let mut b = NetworkBuilder::new();
+    let mut ids = Vec::with_capacity(rows * cols);
+    for y in 0..rows {
+        for x in 0..cols {
+            ids.push(b.add_vertex(Point::new(x as f64 * 10.0, y as f64 * 10.0)));
+        }
+    }
+    for y in 0..rows {
+        for x in 0..cols {
+            let i = y * cols + x;
+            if x + 1 < cols {
+                b.add_edge_sym(ids[i], ids[i + 1], 1.0);
+            }
+            if y + 1 < rows {
+                b.add_edge_sym(ids[i], ids[i + cols], 1.0);
+            }
+        }
+    }
+    Arc::new(b.build())
+}
+
+#[test]
+fn tie_at_kth_on_star_rings() {
+    // Objects on the first ring (distance exactly 1 from the hub, 6-way
+    // tie) and the second ring (distance 2). Every k from 1..=8 slices a
+    // tie group somewhere.
+    let (g, rays) = tie_star(6, 3);
+    let idx = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 8, threads: 1 }).unwrap();
+    let obj_vertices: Vec<VertexId> = rays.iter().flat_map(|ray| [ray[0], ray[1]]).collect();
+    let objects = ObjectSet::from_vertices(&g, obj_vertices, 4);
+    for k in 1..=8 {
+        assert_all_algorithms_handle_ties(&g, &idx, &objects, VertexId(0), k, "star hub");
+    }
+    // From a spoke tip the tie structure is asymmetric — cover that too.
+    let tip = rays[0][2];
+    for k in [2, 5, 7] {
+        assert_all_algorithms_handle_ties(&g, &idx, &objects, tip, k, "star tip");
+    }
+}
+
+#[test]
+fn tie_at_kth_on_unit_lattice() {
+    // All vertices are objects: the d-th Manhattan ring around any query
+    // is a 4d-way exact tie, so every k cuts through a tie group.
+    let g = tie_lattice(6, 6);
+    let idx = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 8, threads: 1 }).unwrap();
+    let objects = ObjectSet::from_vertices(&g, g.vertices().collect(), 4);
+    for &q in &[14u32, 0, 35] {
+        for k in [1usize, 2, 3, 4, 5, 8, 12] {
+            assert_all_algorithms_handle_ties(&g, &idx, &objects, VertexId(q), k, "lattice");
+        }
+    }
+}
+
+#[test]
+fn tie_at_kth_with_sparse_objects_on_lattice() {
+    // Objects only on one tied ring: k smaller than the tie group forces
+    // the pruning logic to pick *some* subset — any subset is correct, but
+    // the distances must all equal the tied value.
+    let g = tie_lattice(7, 7);
+    let idx = SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 8, threads: 1 }).unwrap();
+    let q = VertexId(24); // center of the 7×7 lattice
+                          // The Manhattan ring at distance 2 around the center.
+    let ring: Vec<VertexId> = g
+        .vertices()
+        .filter(|&v| {
+            let (vx, vy) = (v.0 % 7, v.0 / 7);
+            (vx as i64 - 3).abs() + (vy as i64 - 3).abs() == 2
+        })
+        .collect();
+    assert_eq!(ring.len(), 8, "distance-2 ring of a 7x7 lattice");
+    let objects = ObjectSet::from_vertices(&g, ring, 4);
+    for k in 1..=8 {
+        assert_all_algorithms_handle_ties(&g, &idx, &objects, q, k, "sparse ring");
+    }
+}
+
+#[test]
+fn parallel_build_answers_tied_queries_identically() {
+    // Tie handling must not depend on build parallelism: the serial and
+    // parallel indexes answer tied queries with identical result sets.
+    let g = tie_lattice(5, 5);
+    let serial =
+        SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 8, threads: 1 }).unwrap();
+    let parallel =
+        SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 8, threads: 4 }).unwrap();
+    let objects = ObjectSet::from_vertices(&g, g.vertices().collect(), 4);
+    for &q in &[12u32, 3, 20] {
+        for k in [2usize, 4, 6] {
+            let a = knn(&serial, &objects, VertexId(q), k, KnnVariant::Basic);
+            let b = knn(&parallel, &objects, VertexId(q), k, KnnVariant::Basic);
+            assert_eq!(a.object_ids(), b.object_ids(), "serial/parallel mismatch at q={q} k={k}");
+        }
+    }
+}
