@@ -3,7 +3,22 @@
 #
 #     cargo build --release && cargo test -q
 #
-.PHONY: build test bench bench-baseline bench-baseline-smoke figures lint fmt verify
+.PHONY: build test bench bench-baseline bench-baseline-smoke bench-throughput \
+        bench-throughput-smoke figures lint fmt verify help
+
+help:
+	@echo "SILC workspace targets:"
+	@echo "  build                  release build of every crate"
+	@echo "  test                   full test suite (unit, property, integration, examples)"
+	@echo "  verify                 tier-1 gate: build + test (what CI runs)"
+	@echo "  bench                  all seven Criterion benches (paper figures)"
+	@echo "  bench-baseline         re-record BENCH_baseline.json (build cost + kNN latency)"
+	@echo "  bench-baseline-smoke   CI smoke for the baseline recorder (tiny, writes to target/)"
+	@echo "  bench-throughput       re-record BENCH_throughput.json (multi-worker QPS/p50/p99)"
+	@echo "  bench-throughput-smoke CI smoke for the throughput harness (tiny, writes to target/)"
+	@echo "  figures                regenerate the paper's tables/figures as text"
+	@echo "  lint                   clippy -D warnings + rustfmt check"
+	@echo "  fmt                    rustfmt the whole workspace"
 
 build:
 	cargo build --release
@@ -29,6 +44,18 @@ bench-baseline:
 # assertions on absolute time — only that the pipeline runs end to end.
 bench-baseline-smoke:
 	cargo run --release -p silc-bench --bin bench_baseline -- --smoke
+
+# Re-record the serving-throughput baseline (BENCH_throughput.json): W
+# worker sessions closed-loop over one shared disk index — QPS, p50/p99
+# latency, pool and entry-cache hit rates at 1 and W workers. Run ONLY when
+# intentionally resetting the comparison point.
+bench-throughput:
+	cargo run --release -p silc-bench --bin bench_throughput
+
+# CI smoke for the throughput harness: tiny network, short windows, writes
+# to target/ — only that the concurrent pipeline runs end to end.
+bench-throughput-smoke:
+	cargo run --release -p silc-bench --bin bench_throughput -- --smoke
 
 # Regenerate the paper's tables/figures as text via the figures binary.
 figures:

@@ -32,7 +32,7 @@ use bytes::{Buf, BufMut};
 use silc_geom::{GridMapper, Rect};
 use silc_morton::{MortonBlock, MortonCode};
 use silc_network::{SpatialNetwork, VertexId};
-use silc_storage::{BufferPool, FilePageStore, PageId, PageStore, PAGE_SIZE};
+use silc_storage::{BufferPool, FilePageStore, PageId, PageStore, ShardedCache, PAGE_SIZE};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -109,6 +109,10 @@ pub fn write_index<P: AsRef<Path>>(index: &SilcIndex, path: P) -> Result<(), Bui
 }
 
 /// A SILC index served from a page file through an LRU buffer pool.
+///
+/// Cheaply shareable: wrap it in an [`Arc`] and query it from any number of
+/// threads. All interior state (the page pool, the decoded-entries cache)
+/// is sharded and internally synchronized.
 pub struct DiskSilcIndex {
     network: Arc<SpatialNetwork>,
     mapper: GridMapper,
@@ -117,17 +121,49 @@ pub struct DiskSilcIndex {
     entries_base: u64,
     min_ratio: f64,
     pool: BufferPool<FilePageStore>,
+    /// Decoded entry lists per vertex, so repeated probes of the same
+    /// vertex's quadtree (every refinement step, every block descent) do not
+    /// re-deserialize its full block list from page bytes.
+    entry_cache: ShardedCache<Arc<[BlockEntry]>>,
 }
 
+/// Both index types must stay shareable across query threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SilcIndex>();
+    assert_send_sync::<DiskSilcIndex>();
+};
+
 impl DiskSilcIndex {
+    /// Decoded-entries cache size for `n` vertices: small relative to the
+    /// index (it holds decoded structs, not pages) but big enough that a
+    /// query's working set — the query vertex plus the refinement frontier —
+    /// stays decoded.
+    fn default_entry_cache(n: usize) -> usize {
+        (n / 8).clamp(32, 4096)
+    }
+
     /// Opens an index file, pairing it with the network it was built for.
     ///
     /// `cache_fraction` sizes the buffer pool relative to the file's page
-    /// count; the paper uses 0.05.
+    /// count; the paper uses 0.05. The decoded-entries cache gets a default
+    /// size (see [`Self::open_with_entry_cache`] to pick one).
     pub fn open<P: AsRef<Path>>(
         path: P,
         network: Arc<SpatialNetwork>,
         cache_fraction: f64,
+    ) -> Result<Self, BuildError> {
+        let cache = Self::default_entry_cache(network.vertex_count());
+        Self::open_with_entry_cache(path, network, cache_fraction, cache)
+    }
+
+    /// Opens an index file with an explicit decoded-entries cache capacity
+    /// (in vertices; minimum 1).
+    pub fn open_with_entry_cache<P: AsRef<Path>>(
+        path: P,
+        network: Arc<SpatialNetwork>,
+        cache_fraction: f64,
+        entry_cache_capacity: usize,
     ) -> Result<Self, BuildError> {
         let store = FilePageStore::open(&path)?;
         let corrupt = |msg: &str| BuildError::Corrupt(msg.to_string());
@@ -202,6 +238,7 @@ impl DiskSilcIndex {
             entries_base,
             min_ratio,
             pool,
+            entry_cache: ShardedCache::new(entry_cache_capacity),
         })
     }
 
@@ -210,14 +247,21 @@ impl DiskSilcIndex {
         self.pool.stats()
     }
 
-    /// Zeroes the I/O counters.
-    pub fn reset_io_stats(&self) {
-        self.pool.reset_stats()
+    /// Hit/miss counters of the decoded-entries cache.
+    pub fn entry_cache_stats(&self) -> silc_storage::CacheStats {
+        self.entry_cache.stats()
     }
 
-    /// Drops all cached pages (cold start).
+    /// Zeroes the I/O counters (pool and decoded-entries cache).
+    pub fn reset_io_stats(&self) {
+        self.pool.reset_stats();
+        self.entry_cache.reset_stats();
+    }
+
+    /// Drops all cached pages *and* decoded entries (cold start).
     pub fn clear_cache(&self) {
-        self.pool.clear()
+        self.pool.clear();
+        self.entry_cache.clear();
     }
 
     /// Number of pages in the index file.
@@ -225,16 +269,27 @@ impl DiskSilcIndex {
         self.pool.store().page_count()
     }
 
-    /// Fetches the whole shortest-path quadtree of `u` from the buffer
-    /// pool — the paper's access pattern ("retrieve the shortest-path
-    /// quadtree Qs", p.17). Per-vertex quadtrees average `O(√n)` entries,
-    /// typically well under one page, so this is one sequential page read
-    /// when cold and pure memory when cached.
+    /// Fetches the whole shortest-path quadtree of `u` — the paper's access
+    /// pattern ("retrieve the shortest-path quadtree Qs", p.17). Served in
+    /// three tiers: the decoded-entries cache (no page access, no decode),
+    /// then the buffer pool (decode from cached page bytes), then the store.
+    /// Per-vertex quadtrees average `O(√n)` entries, typically well under
+    /// one page, so a cold load is one sequential page read.
     ///
     /// # Panics
     /// Panics on I/O errors — a query against a vanished index file is not
     /// recoverable mid-flight.
-    fn load_entries(&self, u: VertexId) -> Vec<BlockEntry> {
+    fn load_entries(&self, u: VertexId) -> Arc<[BlockEntry]> {
+        if let Some(entries) = self.entry_cache.get(u.index() as u64) {
+            return entries;
+        }
+        let entries = self.decode_entries(u);
+        self.entry_cache.insert(u.index() as u64, Arc::clone(&entries));
+        entries
+    }
+
+    /// Decodes `u`'s entry list from its pages through the buffer pool.
+    fn decode_entries(&self, u: VertexId) -> Arc<[BlockEntry]> {
         let (start, count) = self.directory[u.index()];
         let byte_lo = self.entries_base + start * ENTRY_BYTES as u64;
         let byte_hi = byte_lo + count as u64 * ENTRY_BYTES as u64;
@@ -264,7 +319,7 @@ impl DiskSilcIndex {
                 lambda_hi,
             });
         }
-        entries
+        entries.into()
     }
 
     fn min_lambda_walk(
@@ -394,11 +449,14 @@ mod tests {
 
     #[test]
     fn cache_stats_reflect_locality() {
-        // A cache big enough for the whole file: the second identical query
-        // must be served entirely from memory.
+        // A page cache big enough for the whole file, but a decoded-entries
+        // cache of one vertex: the second identical query is served from
+        // memory (no misses), and because the entry cache cannot hold the
+        // query's working set, the pool itself sees the warm hits.
         let (mem, _) = build_pair("stats.idx");
         let file = tmp("stats.idx");
-        let disk = DiskSilcIndex::open(&file, mem.network_arc().clone(), 1.0).unwrap();
+        let disk =
+            DiskSilcIndex::open_with_entry_cache(&file, mem.network_arc().clone(), 1.0, 1).unwrap();
         let _ = path::shortest_path(&disk, VertexId(0), VertexId(63)).unwrap();
         let cold = disk.io_stats();
         assert!(cold.misses > 0);
@@ -407,6 +465,48 @@ mod tests {
         let warm = disk.io_stats();
         assert_eq!(warm.misses, 0, "warm run must not touch the disk: {warm:?}");
         assert!(warm.hits > 0);
+    }
+
+    #[test]
+    fn entry_cache_absorbs_repeated_lookups() {
+        let (mem, _) = build_pair("entrycache.idx");
+        let g = mem.network();
+        let file = tmp("entrycache.idx");
+        // An entry cache holding every vertex: the first full sweep decodes
+        // each vertex once, the second sweep must not touch the pool.
+        let disk = DiskSilcIndex::open_with_entry_cache(
+            &file,
+            mem.network_arc().clone(),
+            0.25,
+            g.vertex_count(),
+        )
+        .unwrap();
+        for u in g.vertices() {
+            for v in g.vertices() {
+                let _ = disk.entry(u, disk.vertex_code(v));
+            }
+        }
+        let after_first = disk.io_stats();
+        let cache_first = disk.entry_cache_stats();
+        assert_eq!(cache_first.misses, g.vertex_count() as u64, "one decode per vertex");
+        for u in g.vertices() {
+            for v in g.vertices() {
+                let _ = disk.entry(u, disk.vertex_code(v));
+            }
+        }
+        assert_eq!(
+            disk.io_stats(),
+            after_first,
+            "warm entry lookups must not touch the page pool at all"
+        );
+        let cache = disk.entry_cache_stats();
+        assert_eq!(cache.misses, cache_first.misses, "no further decodes");
+        assert!(cache.hits > cache_first.hits);
+        // clear_cache drops decoded entries too: the next lookup re-decodes.
+        disk.clear_cache();
+        let _ = disk.entry(VertexId(0), disk.vertex_code(VertexId(1)));
+        assert_eq!(disk.entry_cache_stats().misses, cache.misses + 1);
+        assert!(disk.io_stats().misses > after_first.misses, "cold start re-reads pages");
     }
 
     #[test]

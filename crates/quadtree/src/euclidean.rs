@@ -1,0 +1,188 @@
+//! The incremental best-first *Euclidean* nearest-neighbor iterator
+//! (Hjaltason & Samet 1995) over a [`PrQuadtree`], which the IER baseline
+//! uses as its filter step. Built entirely on the structural API in
+//! [`crate::tree`].
+
+use crate::tree::{NodeId, NodeView, PrQuadtree};
+use silc_geom::Point;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+impl<T> PrQuadtree<T> {
+    /// Incremental best-first nearest-neighbor iterator by Euclidean
+    /// distance from `q`: yields `(item, distance)` in non-decreasing
+    /// distance order, lazily.
+    pub fn nearest_iter(&self, q: Point) -> NearestIter<'_, T> {
+        // The root always exists (an empty tree has one empty leaf), so the
+        // search starts from it unconditionally.
+        let mut heap = BinaryHeap::new();
+        heap.push(QueueEntry {
+            dist: self.rect(self.root()).min_distance(&q),
+            kind: EntryKind::Node(self.root()),
+        });
+        NearestIter { tree: self, q, heap }
+    }
+
+    /// The `k` Euclidean-nearest items to `q`.
+    pub fn k_nearest(&self, q: Point, k: usize) -> Vec<(u32, f64)> {
+        self.nearest_iter(q).take(k).collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EntryKind {
+    Node(NodeId),
+    Item(u32),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct QueueEntry {
+    dist: f64,
+    kind: EntryKind,
+}
+
+impl Eq for QueueEntry {}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance; items before nodes at equal distance so ties
+        // resolve without unnecessary expansion; then a stable id order.
+        other.dist.total_cmp(&self.dist).then_with(|| {
+            let rank = |k: &EntryKind| match k {
+                EntryKind::Item(i) => (0u8, *i),
+                EntryKind::Node(n) => (1u8, n.0),
+            };
+            rank(&other.kind).cmp(&rank(&self.kind))
+        })
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Iterator created by [`PrQuadtree::nearest_iter`].
+pub struct NearestIter<'t, T> {
+    tree: &'t PrQuadtree<T>,
+    q: Point,
+    heap: BinaryHeap<QueueEntry>,
+}
+
+impl<T> Iterator for NearestIter<'_, T> {
+    type Item = (u32, f64);
+
+    fn next(&mut self) -> Option<(u32, f64)> {
+        while let Some(QueueEntry { dist, kind }) = self.heap.pop() {
+            match kind {
+                EntryKind::Item(i) => return Some((i, dist)),
+                EntryKind::Node(n) => match self.tree.node(n) {
+                    NodeView::Leaf(items) => {
+                        for &i in items {
+                            let d = self.tree.position(i).distance(&self.q);
+                            self.heap.push(QueueEntry { dist: d, kind: EntryKind::Item(i) });
+                        }
+                    }
+                    NodeView::Internal(children) => {
+                        for c in children {
+                            let d = self.tree.rect(c).min_distance(&self.q);
+                            self.heap.push(QueueEntry { dist: d, kind: EntryKind::Node(c) });
+                        }
+                    }
+                },
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use silc_geom::Rect;
+
+    fn random_points(n: usize, seed: u64) -> Vec<(Point, usize)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| (Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)), i))
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: PrQuadtree<()> = PrQuadtree::build(vec![], 4);
+        assert!(t.is_empty());
+        assert_eq!(t.nearest_iter(Point::new(0.0, 0.0)).count(), 0);
+        assert!(t.range_query(&Rect::new(0.0, 0.0, 1.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        let t = PrQuadtree::build(vec![(Point::new(5.0, 5.0), "a")], 4);
+        let hits: Vec<_> = t.nearest_iter(Point::new(0.0, 0.0)).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(t.payload(hits[0].0), &"a");
+        assert!((hits[0].1 - 50f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_iter_is_sorted_and_complete() {
+        let t = PrQuadtree::build(random_points(300, 2), 6);
+        let q = Point::new(33.0, 67.0);
+        let got: Vec<(u32, f64)> = t.nearest_iter(q).collect();
+        assert_eq!(got.len(), 300);
+        for w in got.windows(2) {
+            assert!(w[0].1 <= w[1].1 + 1e-12, "distances not sorted");
+        }
+        // Matches brute force.
+        let mut brute: Vec<(u32, f64)> =
+            (0..300u32).map(|i| (i, t.position(i).distance(&q))).collect();
+        brute.sort_by(|a, b| a.1.total_cmp(&b.1));
+        for (g, b) in got.iter().zip(&brute) {
+            assert!((g.1 - b.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn k_nearest_prefix_of_full_ranking() {
+        let t = PrQuadtree::build(random_points(100, 3), 4);
+        let q = Point::new(10.0, 10.0);
+        let k5 = t.k_nearest(q, 5);
+        let all: Vec<_> = t.nearest_iter(q).collect();
+        assert_eq!(k5, all[..5].to_vec());
+        // Asking for more than exist returns all.
+        assert_eq!(t.k_nearest(q, 1000).len(), 100);
+    }
+
+    #[test]
+    fn duplicate_points_all_reachable() {
+        let items: Vec<(Point, usize)> = (0..20).map(|i| (Point::new(1.0, 1.0), i)).collect();
+        let t = PrQuadtree::build(items, 2);
+        let all: Vec<_> = t.nearest_iter(Point::new(0.0, 0.0)).collect();
+        assert_eq!(all.len(), 20);
+    }
+
+    proptest! {
+        #[test]
+        fn incremental_nn_agrees_with_brute_force(
+            pts in proptest::collection::vec((0f64..50.0, 0f64..50.0), 1..80),
+            qx in -10f64..60.0, qy in -10f64..60.0,
+        ) {
+            let items: Vec<(Point, usize)> =
+                pts.iter().enumerate().map(|(i, &(x, y))| (Point::new(x, y), i)).collect();
+            let t = PrQuadtree::build(items, 3);
+            let q = Point::new(qx, qy);
+            let got: Vec<f64> = t.nearest_iter(q).map(|(_, d)| d).collect();
+            let mut want: Vec<f64> = pts.iter().map(|&(x, y)| Point::new(x, y).distance(&q)).collect();
+            want.sort_by(|a, b| a.total_cmp(b));
+            prop_assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g - w).abs() < 1e-9);
+            }
+        }
+    }
+}

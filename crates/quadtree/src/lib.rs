@@ -7,407 +7,17 @@
 //! decomposition is disjoint and regular — exactly the block structure the
 //! kNN algorithm of the paper descends.
 //!
-//! Two access paths are provided:
-//! * a structural API ([`PrQuadtree::root`], [`PrQuadtree::node`]) exposing
-//!   blocks and their rectangles, which the network-distance kNN algorithms
-//!   in `silc-query` drive with *network* distance intervals, and
-//! * an incremental best-first *Euclidean* neighbor iterator
-//!   ([`PrQuadtree::nearest_iter`], Hjaltason & Samet 1995), which the IER
-//!   baseline uses as its filter step.
+//! Two access paths, one module each:
+//! * [`tree`] — the structural API ([`PrQuadtree::root`],
+//!   [`PrQuadtree::node`]) exposing blocks and their rectangles, which the
+//!   network-distance kNN algorithms in `silc-query` drive with *network*
+//!   distance intervals, and
+//! * [`euclidean`] — the incremental best-first *Euclidean* neighbor
+//!   iterator ([`PrQuadtree::nearest_iter`], Hjaltason & Samet 1995), which
+//!   the IER baseline uses as its filter step.
 
-use silc_geom::{Point, Rect};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+pub mod euclidean;
+pub mod tree;
 
-/// Handle to a quadtree node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct NodeId(u32);
-
-/// Maximum tree depth; with the default bucket size this is never reached
-/// except by pathological duplicate-heavy inputs.
-const MAX_DEPTH: u32 = 32;
-
-#[derive(Debug, Clone)]
-enum NodeKind {
-    /// Indices into the item arrays, contiguous slice `[start, start+len)`.
-    Leaf { start: u32, len: u32 },
-    /// Child node ids in quadrant order (SW, SE, NW, NE).
-    Internal { children: [u32; 4] },
-}
-
-#[derive(Debug, Clone)]
-struct Node {
-    rect: Rect,
-    kind: NodeKind,
-}
-
-/// Contents of a node, as seen through the traversal API.
-#[derive(Debug, Clone, Copy)]
-pub enum NodeView<'t> {
-    /// A leaf block and the ids of the items inside it.
-    Leaf(&'t [u32]),
-    /// An internal block and its four children.
-    Internal([NodeId; 4]),
-}
-
-/// A bucket PR quadtree over points with payloads of type `T`.
-#[derive(Debug, Clone)]
-pub struct PrQuadtree<T> {
-    nodes: Vec<Node>,
-    /// Item ids (indices into `positions`/`payloads`), grouped by leaf.
-    leaf_items: Vec<u32>,
-    positions: Vec<Point>,
-    payloads: Vec<T>,
-    bucket: usize,
-}
-
-impl<T> PrQuadtree<T> {
-    /// Builds a quadtree over `items`, splitting leaves larger than
-    /// `bucket`.
-    ///
-    /// # Panics
-    /// Panics if `bucket == 0` or any position is non-finite.
-    pub fn build(items: Vec<(Point, T)>, bucket: usize) -> Self {
-        assert!(bucket > 0, "bucket capacity must be positive");
-        let (positions, payloads): (Vec<Point>, Vec<T>) = items.into_iter().unzip();
-        assert!(positions.iter().all(Point::is_finite), "item positions must be finite");
-        let bounds = Rect::bounding(&positions).unwrap_or_else(|| Rect::new(0.0, 0.0, 1.0, 1.0));
-        // Make the root square so quadrants stay square (regular decomposition).
-        let side = bounds.width().max(bounds.height()).max(f64::MIN_POSITIVE);
-        let root_rect =
-            Rect::new(bounds.min_x, bounds.min_y, bounds.min_x + side, bounds.min_y + side);
-
-        let mut tree =
-            PrQuadtree { nodes: Vec::new(), leaf_items: Vec::new(), positions, payloads, bucket };
-        let mut all: Vec<u32> = (0..tree.positions.len() as u32).collect();
-        tree.build_node(root_rect, &mut all, 0);
-        tree
-    }
-
-    /// Recursively builds the subtree for `items` inside `rect`; returns the
-    /// node id.
-    fn build_node(&mut self, rect: Rect, items: &mut [u32], depth: u32) -> u32 {
-        if items.len() <= self.bucket || depth >= MAX_DEPTH {
-            let start = self.leaf_items.len() as u32;
-            self.leaf_items.extend_from_slice(items);
-            let id = self.nodes.len() as u32;
-            self.nodes.push(Node { rect, kind: NodeKind::Leaf { start, len: items.len() as u32 } });
-            return id;
-        }
-        let c = rect.center();
-        // Partition items into quadrants: (x < cx, y < cy) = SW, etc.
-        let quadrant = |p: &Point| -> usize {
-            let east = p.x >= c.x;
-            let north = p.y >= c.y;
-            (north as usize) * 2 + east as usize
-        };
-        let mut buckets: [Vec<u32>; 4] = Default::default();
-        for &i in items.iter() {
-            buckets[quadrant(&self.positions[i as usize])].push(i);
-        }
-        let id = self.nodes.len() as u32;
-        self.nodes.push(Node { rect, kind: NodeKind::Internal { children: [u32::MAX; 4] } });
-        let rects = [
-            Rect::new(rect.min_x, rect.min_y, c.x, c.y),
-            Rect::new(c.x, rect.min_y, rect.max_x, c.y),
-            Rect::new(rect.min_x, c.y, c.x, rect.max_y),
-            Rect::new(c.x, c.y, rect.max_x, rect.max_y),
-        ];
-        let mut children = [u32::MAX; 4];
-        for q in 0..4 {
-            children[q] = self.build_node(rects[q], &mut buckets[q], depth + 1);
-        }
-        if let NodeKind::Internal { children: slot } = &mut self.nodes[id as usize].kind {
-            *slot = children;
-        }
-        id
-    }
-
-    /// Number of items.
-    pub fn len(&self) -> usize {
-        self.positions.len()
-    }
-
-    /// `true` when the tree holds no items.
-    pub fn is_empty(&self) -> bool {
-        self.positions.is_empty()
-    }
-
-    /// Bucket capacity the tree was built with.
-    pub fn bucket(&self) -> usize {
-        self.bucket
-    }
-
-    /// Root node handle.
-    pub fn root(&self) -> NodeId {
-        NodeId(0)
-    }
-
-    /// The rectangle a node covers.
-    pub fn rect(&self, n: NodeId) -> Rect {
-        self.nodes[n.0 as usize].rect
-    }
-
-    /// Structural view of a node.
-    pub fn node(&self, n: NodeId) -> NodeView<'_> {
-        match &self.nodes[n.0 as usize].kind {
-            NodeKind::Leaf { start, len } => {
-                NodeView::Leaf(&self.leaf_items[*start as usize..(*start + *len) as usize])
-            }
-            NodeKind::Internal { children } => NodeView::Internal([
-                NodeId(children[0]),
-                NodeId(children[1]),
-                NodeId(children[2]),
-                NodeId(children[3]),
-            ]),
-        }
-    }
-
-    /// Position of an item.
-    pub fn position(&self, item: u32) -> Point {
-        self.positions[item as usize]
-    }
-
-    /// Payload of an item.
-    pub fn payload(&self, item: u32) -> &T {
-        &self.payloads[item as usize]
-    }
-
-    /// All item ids whose position falls inside `query` (inclusive bounds).
-    pub fn range_query(&self, query: &Rect) -> Vec<u32> {
-        let mut out = Vec::new();
-        let mut stack = vec![self.root()];
-        while let Some(n) = stack.pop() {
-            if !self.rect(n).intersects(query) {
-                continue;
-            }
-            match self.node(n) {
-                NodeView::Leaf(items) => {
-                    out.extend(
-                        items
-                            .iter()
-                            .copied()
-                            .filter(|&i| query.contains(&self.positions[i as usize])),
-                    );
-                }
-                NodeView::Internal(children) => stack.extend(children),
-            }
-        }
-        out
-    }
-
-    /// Incremental best-first nearest-neighbor iterator by Euclidean
-    /// distance from `q`: yields `(item, distance)` in non-decreasing
-    /// distance order, lazily.
-    pub fn nearest_iter(&self, q: Point) -> NearestIter<'_, T> {
-        let mut heap = BinaryHeap::new();
-        if !self.is_empty() || !self.nodes.is_empty() {
-            heap.push(QueueEntry {
-                dist: self.rect(self.root()).min_distance(&q),
-                kind: EntryKind::Node(0),
-            });
-        }
-        NearestIter { tree: self, q, heap }
-    }
-
-    /// The `k` Euclidean-nearest items to `q`.
-    pub fn k_nearest(&self, q: Point, k: usize) -> Vec<(u32, f64)> {
-        self.nearest_iter(q).take(k).collect()
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum EntryKind {
-    Node(u32),
-    Item(u32),
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct QueueEntry {
-    dist: f64,
-    kind: EntryKind,
-}
-
-impl Eq for QueueEntry {}
-
-impl Ord for QueueEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on distance; items before nodes at equal distance so ties
-        // resolve without unnecessary expansion; then a stable id order.
-        other.dist.total_cmp(&self.dist).then_with(|| {
-            let rank = |k: &EntryKind| match k {
-                EntryKind::Item(i) => (0u8, *i),
-                EntryKind::Node(n) => (1u8, *n),
-            };
-            rank(&other.kind).cmp(&rank(&self.kind))
-        })
-    }
-}
-
-impl PartialOrd for QueueEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Iterator created by [`PrQuadtree::nearest_iter`].
-pub struct NearestIter<'t, T> {
-    tree: &'t PrQuadtree<T>,
-    q: Point,
-    heap: BinaryHeap<QueueEntry>,
-}
-
-impl<T> Iterator for NearestIter<'_, T> {
-    type Item = (u32, f64);
-
-    fn next(&mut self) -> Option<(u32, f64)> {
-        while let Some(QueueEntry { dist, kind }) = self.heap.pop() {
-            match kind {
-                EntryKind::Item(i) => return Some((i, dist)),
-                EntryKind::Node(n) => match self.tree.node(NodeId(n)) {
-                    NodeView::Leaf(items) => {
-                        for &i in items {
-                            let d = self.tree.positions[i as usize].distance(&self.q);
-                            self.heap.push(QueueEntry { dist: d, kind: EntryKind::Item(i) });
-                        }
-                    }
-                    NodeView::Internal(children) => {
-                        for c in children {
-                            let d = self.tree.rect(c).min_distance(&self.q);
-                            self.heap.push(QueueEntry { dist: d, kind: EntryKind::Node(c.0) });
-                        }
-                    }
-                },
-            }
-        }
-        None
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-
-    fn random_points(n: usize, seed: u64) -> Vec<(Point, usize)> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|i| (Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)), i))
-            .collect()
-    }
-
-    #[test]
-    fn empty_tree() {
-        let t: PrQuadtree<()> = PrQuadtree::build(vec![], 4);
-        assert!(t.is_empty());
-        assert_eq!(t.nearest_iter(Point::new(0.0, 0.0)).count(), 0);
-        assert!(t.range_query(&Rect::new(0.0, 0.0, 1.0, 1.0)).is_empty());
-    }
-
-    #[test]
-    fn single_item() {
-        let t = PrQuadtree::build(vec![(Point::new(5.0, 5.0), "a")], 4);
-        let hits: Vec<_> = t.nearest_iter(Point::new(0.0, 0.0)).collect();
-        assert_eq!(hits.len(), 1);
-        assert_eq!(t.payload(hits[0].0), &"a");
-        assert!((hits[0].1 - 50f64.sqrt()).abs() < 1e-12);
-    }
-
-    #[test]
-    fn leaves_respect_bucket_capacity() {
-        let t = PrQuadtree::build(random_points(200, 1), 8);
-        let mut stack = vec![t.root()];
-        let mut total = 0usize;
-        while let Some(n) = stack.pop() {
-            match t.node(n) {
-                NodeView::Leaf(items) => {
-                    assert!(items.len() <= 8);
-                    total += items.len();
-                    // Every item lies inside its leaf rectangle.
-                    for &i in items {
-                        assert!(t.rect(n).contains(&t.position(i)));
-                    }
-                }
-                NodeView::Internal(children) => stack.extend(children),
-            }
-        }
-        assert_eq!(total, 200, "every item appears in exactly one leaf");
-    }
-
-    #[test]
-    fn nearest_iter_is_sorted_and_complete() {
-        let t = PrQuadtree::build(random_points(300, 2), 6);
-        let q = Point::new(33.0, 67.0);
-        let got: Vec<(u32, f64)> = t.nearest_iter(q).collect();
-        assert_eq!(got.len(), 300);
-        for w in got.windows(2) {
-            assert!(w[0].1 <= w[1].1 + 1e-12, "distances not sorted");
-        }
-        // Matches brute force.
-        let mut brute: Vec<(u32, f64)> =
-            (0..300u32).map(|i| (i, t.position(i).distance(&q))).collect();
-        brute.sort_by(|a, b| a.1.total_cmp(&b.1));
-        for (g, b) in got.iter().zip(&brute) {
-            assert!((g.1 - b.1).abs() < 1e-12);
-        }
-    }
-
-    #[test]
-    fn k_nearest_prefix_of_full_ranking() {
-        let t = PrQuadtree::build(random_points(100, 3), 4);
-        let q = Point::new(10.0, 10.0);
-        let k5 = t.k_nearest(q, 5);
-        let all: Vec<_> = t.nearest_iter(q).collect();
-        assert_eq!(k5, all[..5].to_vec());
-        // Asking for more than exist returns all.
-        assert_eq!(t.k_nearest(q, 1000).len(), 100);
-    }
-
-    #[test]
-    fn range_query_matches_filter() {
-        let t = PrQuadtree::build(random_points(250, 4), 5);
-        let r = Rect::new(20.0, 20.0, 60.0, 50.0);
-        let mut got = t.range_query(&r);
-        got.sort_unstable();
-        let mut want: Vec<u32> = (0..250u32).filter(|&i| r.contains(&t.position(i))).collect();
-        want.sort_unstable();
-        assert_eq!(got, want);
-    }
-
-    #[test]
-    fn duplicate_points_survive_via_depth_cap() {
-        let items: Vec<(Point, usize)> = (0..20).map(|i| (Point::new(1.0, 1.0), i)).collect();
-        let t = PrQuadtree::build(items, 2);
-        assert_eq!(t.len(), 20);
-        let all: Vec<_> = t.nearest_iter(Point::new(0.0, 0.0)).collect();
-        assert_eq!(all.len(), 20);
-    }
-
-    #[test]
-    #[should_panic(expected = "bucket capacity")]
-    fn zero_bucket_rejected() {
-        let _ = PrQuadtree::<()>::build(vec![], 0);
-    }
-
-    proptest! {
-        #[test]
-        fn incremental_nn_agrees_with_brute_force(
-            pts in proptest::collection::vec((0f64..50.0, 0f64..50.0), 1..80),
-            qx in -10f64..60.0, qy in -10f64..60.0,
-        ) {
-            let items: Vec<(Point, usize)> =
-                pts.iter().enumerate().map(|(i, &(x, y))| (Point::new(x, y), i)).collect();
-            let t = PrQuadtree::build(items, 3);
-            let q = Point::new(qx, qy);
-            let got: Vec<f64> = t.nearest_iter(q).map(|(_, d)| d).collect();
-            let mut want: Vec<f64> = pts.iter().map(|&(x, y)| Point::new(x, y).distance(&q)).collect();
-            want.sort_by(|a, b| a.total_cmp(b));
-            prop_assert_eq!(got.len(), want.len());
-            for (g, w) in got.iter().zip(&want) {
-                prop_assert!((g - w).abs() < 1e-9);
-            }
-        }
-    }
-}
+pub use euclidean::NearestIter;
+pub use tree::{NodeId, NodeView, PrQuadtree};

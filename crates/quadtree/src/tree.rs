@@ -1,0 +1,241 @@
+//! The structural API of the bucket PR quadtree: construction, node
+//! traversal, item access, and rectangle range queries.
+
+use silc_geom::{Point, Rect};
+
+/// Handle to a quadtree node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+/// Maximum tree depth; with the default bucket size this is never reached
+/// except by pathological duplicate-heavy inputs.
+const MAX_DEPTH: u32 = 32;
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    /// Indices into the item arrays, contiguous slice `[start, start+len)`.
+    Leaf { start: u32, len: u32 },
+    /// Child node ids in quadrant order (SW, SE, NW, NE).
+    Internal { children: [u32; 4] },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    rect: Rect,
+    kind: NodeKind,
+}
+
+/// Contents of a node, as seen through the traversal API.
+#[derive(Debug, Clone, Copy)]
+pub enum NodeView<'t> {
+    /// A leaf block and the ids of the items inside it.
+    Leaf(&'t [u32]),
+    /// An internal block and its four children.
+    Internal([NodeId; 4]),
+}
+
+/// A bucket PR quadtree over points with payloads of type `T`.
+#[derive(Debug, Clone)]
+pub struct PrQuadtree<T> {
+    nodes: Vec<Node>,
+    /// Item ids (indices into `positions`/`payloads`), grouped by leaf.
+    leaf_items: Vec<u32>,
+    positions: Vec<Point>,
+    payloads: Vec<T>,
+    bucket: usize,
+}
+
+impl<T> PrQuadtree<T> {
+    /// Builds a quadtree over `items`, splitting leaves larger than
+    /// `bucket`.
+    ///
+    /// # Panics
+    /// Panics if `bucket == 0` or any position is non-finite.
+    pub fn build(items: Vec<(Point, T)>, bucket: usize) -> Self {
+        assert!(bucket > 0, "bucket capacity must be positive");
+        let (positions, payloads): (Vec<Point>, Vec<T>) = items.into_iter().unzip();
+        assert!(positions.iter().all(Point::is_finite), "item positions must be finite");
+        let bounds = Rect::bounding(&positions).unwrap_or_else(|| Rect::new(0.0, 0.0, 1.0, 1.0));
+        // Make the root square so quadrants stay square (regular decomposition).
+        let side = bounds.width().max(bounds.height()).max(f64::MIN_POSITIVE);
+        let root_rect =
+            Rect::new(bounds.min_x, bounds.min_y, bounds.min_x + side, bounds.min_y + side);
+
+        let mut tree =
+            PrQuadtree { nodes: Vec::new(), leaf_items: Vec::new(), positions, payloads, bucket };
+        let mut all: Vec<u32> = (0..tree.positions.len() as u32).collect();
+        tree.build_node(root_rect, &mut all, 0);
+        tree
+    }
+
+    /// Recursively builds the subtree for `items` inside `rect`; returns the
+    /// node id.
+    fn build_node(&mut self, rect: Rect, items: &mut [u32], depth: u32) -> u32 {
+        if items.len() <= self.bucket || depth >= MAX_DEPTH {
+            let start = self.leaf_items.len() as u32;
+            self.leaf_items.extend_from_slice(items);
+            let id = self.nodes.len() as u32;
+            self.nodes.push(Node { rect, kind: NodeKind::Leaf { start, len: items.len() as u32 } });
+            return id;
+        }
+        let c = rect.center();
+        // Partition items into quadrants: (x < cx, y < cy) = SW, etc.
+        let quadrant = |p: &Point| -> usize {
+            let east = p.x >= c.x;
+            let north = p.y >= c.y;
+            (north as usize) * 2 + east as usize
+        };
+        let mut buckets: [Vec<u32>; 4] = Default::default();
+        for &i in items.iter() {
+            buckets[quadrant(&self.positions[i as usize])].push(i);
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node { rect, kind: NodeKind::Internal { children: [u32::MAX; 4] } });
+        let rects = [
+            Rect::new(rect.min_x, rect.min_y, c.x, c.y),
+            Rect::new(c.x, rect.min_y, rect.max_x, c.y),
+            Rect::new(rect.min_x, c.y, c.x, rect.max_y),
+            Rect::new(c.x, c.y, rect.max_x, rect.max_y),
+        ];
+        let mut children = [u32::MAX; 4];
+        for q in 0..4 {
+            children[q] = self.build_node(rects[q], &mut buckets[q], depth + 1);
+        }
+        if let NodeKind::Internal { children: slot } = &mut self.nodes[id as usize].kind {
+            *slot = children;
+        }
+        id
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` when the tree holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Bucket capacity the tree was built with.
+    pub fn bucket(&self) -> usize {
+        self.bucket
+    }
+
+    /// Root node handle.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// The rectangle a node covers.
+    pub fn rect(&self, n: NodeId) -> Rect {
+        self.nodes[n.0 as usize].rect
+    }
+
+    /// Structural view of a node.
+    pub fn node(&self, n: NodeId) -> NodeView<'_> {
+        match &self.nodes[n.0 as usize].kind {
+            NodeKind::Leaf { start, len } => {
+                NodeView::Leaf(&self.leaf_items[*start as usize..(*start + *len) as usize])
+            }
+            NodeKind::Internal { children } => NodeView::Internal([
+                NodeId(children[0]),
+                NodeId(children[1]),
+                NodeId(children[2]),
+                NodeId(children[3]),
+            ]),
+        }
+    }
+
+    /// Position of an item.
+    pub fn position(&self, item: u32) -> Point {
+        self.positions[item as usize]
+    }
+
+    /// Payload of an item.
+    pub fn payload(&self, item: u32) -> &T {
+        &self.payloads[item as usize]
+    }
+
+    /// All item ids whose position falls inside `query` (inclusive bounds).
+    pub fn range_query(&self, query: &Rect) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root()];
+        while let Some(n) = stack.pop() {
+            if !self.rect(n).intersects(query) {
+                continue;
+            }
+            match self.node(n) {
+                NodeView::Leaf(items) => {
+                    out.extend(
+                        items
+                            .iter()
+                            .copied()
+                            .filter(|&i| query.contains(&self.positions[i as usize])),
+                    );
+                }
+                NodeView::Internal(children) => stack.extend(children),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<(Point, usize)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| (Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)), i))
+            .collect()
+    }
+
+    #[test]
+    fn leaves_respect_bucket_capacity() {
+        let t = PrQuadtree::build(random_points(200, 1), 8);
+        let mut stack = vec![t.root()];
+        let mut total = 0usize;
+        while let Some(n) = stack.pop() {
+            match t.node(n) {
+                NodeView::Leaf(items) => {
+                    assert!(items.len() <= 8);
+                    total += items.len();
+                    // Every item lies inside its leaf rectangle.
+                    for &i in items {
+                        assert!(t.rect(n).contains(&t.position(i)));
+                    }
+                }
+                NodeView::Internal(children) => stack.extend(children),
+            }
+        }
+        assert_eq!(total, 200, "every item appears in exactly one leaf");
+    }
+
+    #[test]
+    fn range_query_matches_filter() {
+        let t = PrQuadtree::build(random_points(250, 4), 5);
+        let r = Rect::new(20.0, 20.0, 60.0, 50.0);
+        let mut got = t.range_query(&r);
+        got.sort_unstable();
+        let mut want: Vec<u32> = (0..250u32).filter(|&i| r.contains(&t.position(i))).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn duplicate_points_survive_via_depth_cap() {
+        let items: Vec<(Point, usize)> = (0..20).map(|i| (Point::new(1.0, 1.0), i)).collect();
+        let t = PrQuadtree::build(items, 2);
+        assert_eq!(t.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket capacity")]
+    fn zero_bucket_rejected() {
+        let _ = PrQuadtree::<()>::build(vec![], 0);
+    }
+}

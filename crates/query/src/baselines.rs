@@ -6,20 +6,25 @@
 //! separate shortest-path computation. Their costs scale with the number of
 //! network vertices/edges within the kth-neighbor radius, which is exactly
 //! what the paper's execution-time figures exploit.
+//!
+//! Like the SILC algorithms, both run over a reusable workspace
+//! ([`BaselineScratch`]: the Dijkstra arrays, heaps, and result buffers) so
+//! a [`crate::QuerySession`] pays the `O(n)` allocations once; the free
+//! functions are one-shot wrappers. The disk-resident twins in
+//! [`crate::baselines_disk`] share the same scratch.
 
 use crate::objects::{ObjectId, ObjectSet};
 use crate::result::{KnnResult, Neighbor, QueryStats};
 use silc::DistInterval;
-use silc_network::dijkstra::Expander;
-use silc_network::{dijkstra, SpatialNetwork, VertexId};
+use silc_network::{SpatialNetwork, VertexId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Max-heap entry of (distance, object) — the working k-best buffer.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Best {
-    dist: f64,
-    object: ObjectId,
+pub(crate) struct Best {
+    pub(crate) dist: f64,
+    pub(crate) object: ObjectId,
 }
 
 impl Eq for Best {}
@@ -36,54 +41,278 @@ impl PartialOrd for Best {
     }
 }
 
-fn finalize(best: BinaryHeap<Best>, objects: &ObjectSet, stats: QueryStats) -> KnnResult {
-    let mut sorted: Vec<Best> = best.into_vec();
-    sorted.sort();
-    KnnResult {
-        neighbors: sorted
-            .into_iter()
-            .map(|b| Neighbor {
-                object: b.object,
-                vertex: objects.vertex(b.object),
-                interval: DistInterval::exact(b.dist),
-            })
-            .collect(),
-        stats,
+/// Min-heap entry of (distance, vertex) for the Dijkstra expansions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct HeapEntry {
+    pub(crate) dist: f64,
+    pub(crate) vertex: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.dist.total_cmp(&self.dist).then_with(|| other.vertex.cmp(&self.vertex))
     }
 }
 
-/// INE — incremental network expansion.
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The reusable workspaces of the INE/IER family (in-memory and disk): the
+/// k-best buffer, the Dijkstra distance/settled arrays and frontier heap,
+/// an adjacency staging buffer for the paged variants, and the result.
+pub struct BaselineScratch {
+    pub(crate) best: BinaryHeap<Best>,
+    /// Sink for sorting `best` without consuming its allocation.
+    sorted: Vec<Best>,
+    pub(crate) dist: Vec<f64>,
+    pub(crate) settled: Vec<bool>,
+    pub(crate) heap: BinaryHeap<HeapEntry>,
+    pub(crate) adjacency: Vec<(VertexId, f64)>,
+    pub(crate) result: KnnResult,
+}
+
+impl Default for BaselineScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BaselineScratch {
+    /// Empty workspaces; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        BaselineScratch {
+            best: BinaryHeap::new(),
+            sorted: Vec::new(),
+            dist: Vec::new(),
+            settled: Vec::new(),
+            heap: BinaryHeap::new(),
+            adjacency: Vec::new(),
+            result: KnnResult::default(),
+        }
+    }
+
+    /// The result of the most recent query run through this scratch.
+    pub fn result(&self) -> &KnnResult {
+        &self.result
+    }
+
+    /// Consumes the scratch, yielding the last result — the one-shot path.
+    pub fn into_result(self) -> KnnResult {
+        self.result
+    }
+
+    /// Clears per-query state (allocations are retained).
+    pub(crate) fn begin(&mut self) {
+        self.best.clear();
+        self.sorted.clear();
+        self.heap.clear();
+        self.result.neighbors.clear();
+        self.result.stats = QueryStats::default();
+    }
+
+    /// Re-initializes the Dijkstra arrays for an `n`-vertex expansion.
+    pub(crate) fn reset_dijkstra(&mut self, n: usize) {
+        self.dist.clear();
+        self.dist.resize(n, f64::INFINITY);
+        self.settled.clear();
+        self.settled.resize(n, false);
+        self.heap.clear();
+    }
+
+    /// Drains `best` (ascending) into `result.neighbors` as exact-distance
+    /// neighbors — the shared tail of every algorithm in this family.
+    pub(crate) fn finalize(&mut self, objects: &ObjectSet) {
+        self.sorted.clear();
+        self.sorted.extend(self.best.drain());
+        self.sorted.sort_unstable();
+        self.result.neighbors.extend(self.sorted.iter().map(|b| Neighbor {
+            object: b.object,
+            vertex: objects.vertex(b.object),
+            interval: DistInterval::exact(b.dist),
+        }));
+    }
+
+    /// Offers `(dist, object)` to the k-best buffer.
+    #[inline]
+    pub(crate) fn offer(&mut self, k: usize, dist: f64, object: ObjectId) {
+        if self.best.len() < k {
+            self.best.push(Best { dist, object });
+        } else if dist < self.best.peek().expect("k > 0").dist {
+            self.best.push(Best { dist, object });
+            self.best.pop();
+        }
+    }
+
+    /// Current kth-best distance (∞ while fewer than k are buffered).
+    #[inline]
+    pub(crate) fn kth(&self, k: usize) -> f64 {
+        if self.best.len() == k {
+            self.best.peek().expect("k > 0").dist
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The INE loop shared by the in-memory and disk variants: Dijkstra from
+/// the query vertex over whatever `out_edges` serves (an in-memory CSR or a
+/// paged file), checking objects on each settled vertex, halting once the
+/// next settled vertex is farther than the kth-best object. One copy of
+/// the settle/relax logic — the variants differ only in the edge source.
+pub(crate) fn ine_core(
+    objects: &ObjectSet,
+    query: VertexId,
+    k: usize,
+    n: usize,
+    scratch: &mut BaselineScratch,
+    mut out_edges: impl FnMut(VertexId, &mut Vec<(VertexId, f64)>),
+) {
+    assert!(k > 0, "k must be positive");
+    scratch.begin();
+    scratch.reset_dijkstra(n);
+    let mut stats = QueryStats::default();
+    scratch.dist[query.index()] = 0.0;
+    scratch.heap.push(HeapEntry { dist: 0.0, vertex: query.0 });
+    while let Some(HeapEntry { dist: d, vertex: u }) = scratch.heap.pop() {
+        if scratch.settled[u as usize] {
+            continue;
+        }
+        scratch.settled[u as usize] = true;
+        stats.dijkstra_visited += 1;
+        if scratch.best.len() == k && d > scratch.kth(k) {
+            break;
+        }
+        stats.index_queries += 1;
+        for &o in objects.objects_at(VertexId(u)) {
+            scratch.offer(k, d, o);
+        }
+        out_edges(VertexId(u), &mut scratch.adjacency);
+        for i in 0..scratch.adjacency.len() {
+            let (v, w) = scratch.adjacency[i];
+            let vi = v.index();
+            if scratch.settled[vi] {
+                continue;
+            }
+            let nd = d + w;
+            if nd < scratch.dist[vi] {
+                scratch.dist[vi] = nd;
+                scratch.heap.push(HeapEntry { dist: nd, vertex: v.0 });
+            }
+        }
+    }
+    stats.max_queue = scratch.best.len();
+    stats.dk_final = scratch.best.iter().map(|b| b.dist).fold(0.0, f64::max);
+    scratch.result.stats = stats;
+    scratch.finalize(objects);
+}
+
+/// Early-terminating point-to-point Dijkstra over the scratch arrays and
+/// any edge source; returns `f64::INFINITY` when `t` is unreachable.
+/// Shared by the in-memory and paged IER variants.
+pub(crate) fn p2p_core(
+    n: usize,
+    s: VertexId,
+    t: VertexId,
+    scratch: &mut BaselineScratch,
+    visited: &mut usize,
+    mut out_edges: impl FnMut(VertexId, &mut Vec<(VertexId, f64)>),
+) -> f64 {
+    scratch.reset_dijkstra(n);
+    scratch.dist[s.index()] = 0.0;
+    scratch.heap.push(HeapEntry { dist: 0.0, vertex: s.0 });
+    while let Some(HeapEntry { dist: d, vertex: u }) = scratch.heap.pop() {
+        if scratch.settled[u as usize] {
+            continue;
+        }
+        scratch.settled[u as usize] = true;
+        *visited += 1;
+        if u == t.0 {
+            return d;
+        }
+        out_edges(VertexId(u), &mut scratch.adjacency);
+        for i in 0..scratch.adjacency.len() {
+            let (v, w) = scratch.adjacency[i];
+            let vi = v.index();
+            if scratch.settled[vi] {
+                continue;
+            }
+            let nd = d + w;
+            if nd < scratch.dist[vi] {
+                scratch.dist[vi] = nd;
+                scratch.heap.push(HeapEntry { dist: nd, vertex: v.0 });
+            }
+        }
+    }
+    f64::INFINITY
+}
+
+/// The IER loop shared by the in-memory and disk variants: draw objects in
+/// Euclidean order, verify each with whatever point-to-point search `p2p`
+/// provides, stop when the scaled Euclidean lower bound passes the kth-best
+/// network distance.
+pub(crate) fn ier_core(
+    objects: &ObjectSet,
+    qpos: silc_geom::Point,
+    k: usize,
+    min_ratio: f64,
+    scratch: &mut BaselineScratch,
+    mut p2p: impl FnMut(&mut BaselineScratch, VertexId, &mut usize) -> f64,
+) {
+    assert!(k > 0, "k must be positive");
+    scratch.begin();
+    let mut stats = QueryStats::default();
+    for (item, euclid) in objects.quadtree().nearest_iter(qpos) {
+        if scratch.best.len() == k && euclid * min_ratio > scratch.kth(k) {
+            break;
+        }
+        stats.index_queries += 1;
+        let o = ObjectId(*objects.quadtree().payload(item));
+        let d = p2p(scratch, objects.vertex(o), &mut stats.dijkstra_visited);
+        scratch.offer(k, d, o);
+    }
+    stats.dk_final = scratch.best.iter().map(|b| b.dist).fold(0.0, f64::max);
+    scratch.result.stats = stats;
+    scratch.finalize(objects);
+}
+
+/// Serves in-memory adjacency lists into the staging buffer (the same
+/// contract `PagedNetwork::out_edges` provides for the disk variants).
+fn mem_edges(network: &SpatialNetwork) -> impl FnMut(VertexId, &mut Vec<(VertexId, f64)>) + '_ {
+    |u, buf| {
+        buf.clear();
+        buf.extend(network.out_edges(u));
+    }
+}
+
+/// INE — incremental network expansion, over reusable workspaces.
 ///
 /// Dijkstra from the query vertex, checking the objects residing on each
 /// settled vertex, halting once the next settled vertex is farther than the
 /// current kth-best object. Visits every edge closer than the kth neighbor
 /// (paper p.26 "worst case comparison").
-pub fn ine(network: &SpatialNetwork, objects: &ObjectSet, query: VertexId, k: usize) -> KnnResult {
-    assert!(k > 0, "k must be positive");
-    let mut stats = QueryStats::default();
-    let mut best: BinaryHeap<Best> = BinaryHeap::with_capacity(k + 1);
-    let mut expander = Expander::new(network, query);
-    while let Some((v, d)) = expander.next_settled() {
-        if best.len() == k && d > best.peek().expect("k > 0").dist {
-            break;
-        }
-        stats.index_queries += 1;
-        for &o in objects.objects_at(v) {
-            if best.len() < k {
-                best.push(Best { dist: d, object: o });
-            } else if d < best.peek().expect("k > 0").dist {
-                best.push(Best { dist: d, object: o });
-                best.pop();
-            }
-        }
-    }
-    stats.dijkstra_visited = expander.visited();
-    stats.max_queue = best.len();
-    stats.dk_final = best.iter().map(|b| b.dist).fold(0.0, f64::max);
-    finalize(best, objects, stats)
+pub(crate) fn ine_into(
+    network: &SpatialNetwork,
+    objects: &ObjectSet,
+    query: VertexId,
+    k: usize,
+    scratch: &mut BaselineScratch,
+) {
+    ine_core(objects, query, k, network.vertex_count(), scratch, mem_edges(network));
 }
 
-/// IER — incremental Euclidean restriction.
+/// One-shot wrapper around [`ine_into`] with a fresh [`BaselineScratch`].
+pub fn ine(network: &SpatialNetwork, objects: &ObjectSet, query: VertexId, k: usize) -> KnnResult {
+    let mut scratch = BaselineScratch::new();
+    ine_into(network, objects, query, k, &mut scratch);
+    scratch.into_result()
+}
+
+/// IER — incremental Euclidean restriction, over reusable workspaces.
 ///
 /// Draws objects in Euclidean order from the object quadtree and computes
 /// each candidate's true network distance with (early-terminating)
@@ -91,31 +320,31 @@ pub fn ine(network: &SpatialNetwork, objects: &ObjectSet, query: VertexId, k: us
 /// network's minimum weight/length ratio — already exceeds the kth-best
 /// network distance. One shortest-path computation per candidate is why the
 /// paper finds IER "always slowest".
-pub fn ier(network: &SpatialNetwork, objects: &ObjectSet, query: VertexId, k: usize) -> KnnResult {
-    assert!(k > 0, "k must be positive");
-    let mut stats = QueryStats::default();
+///
+/// # Panics
+/// Panics if a drawn object is unreachable from `query` (objects live on
+/// network vertices).
+pub(crate) fn ier_into(
+    network: &SpatialNetwork,
+    objects: &ObjectSet,
+    query: VertexId,
+    k: usize,
+    scratch: &mut BaselineScratch,
+) {
+    let n = network.vertex_count();
     let ratio = network.min_weight_ratio();
-    let qpos = network.position(query);
-    let mut best: BinaryHeap<Best> = BinaryHeap::with_capacity(k + 1);
-    for (item, euclid) in objects.quadtree().nearest_iter(qpos) {
-        if best.len() == k && euclid * ratio > best.peek().expect("k > 0").dist {
-            break;
-        }
-        stats.index_queries += 1;
-        let o = ObjectId(*objects.quadtree().payload(item));
-        let target = objects.vertex(o);
-        let result = dijkstra::point_to_point(network, query, target)
-            .expect("objects live on reachable vertices");
-        stats.dijkstra_visited += result.visited;
-        if best.len() < k {
-            best.push(Best { dist: result.distance, object: o });
-        } else if result.distance < best.peek().expect("k > 0").dist {
-            best.push(Best { dist: result.distance, object: o });
-            best.pop();
-        }
-    }
-    stats.dk_final = best.iter().map(|b| b.dist).fold(0.0, f64::max);
-    finalize(best, objects, stats)
+    ier_core(objects, network.position(query), k, ratio, scratch, |scratch, target, visited| {
+        let d = p2p_core(n, query, target, scratch, visited, mem_edges(network));
+        assert!(d.is_finite(), "objects live on reachable vertices");
+        d
+    });
+}
+
+/// One-shot wrapper around [`ier_into`] with a fresh [`BaselineScratch`].
+pub fn ier(network: &SpatialNetwork, objects: &ObjectSet, query: VertexId, k: usize) -> KnnResult {
+    let mut scratch = BaselineScratch::new();
+    ier_into(network, objects, query, k, &mut scratch);
+    scratch.into_result()
 }
 
 #[cfg(test)]

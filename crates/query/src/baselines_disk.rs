@@ -2,168 +2,78 @@
 //!
 //! The paper's experiments are disk-resident end to end: the competitors
 //! read the *network* from disk just as SILC reads its quadtrees from disk.
-//! These variants run the same algorithms as [`crate::baselines`] but fetch
+//! These variants run the same [`crate::baselines`] cores ([`ine_core`],
+//! [`ier_core`], [`p2p_core`] — one copy of each Dijkstra loop) but serve
 //! every adjacency list through `silc_network::paged::PagedNetwork`'s
 //! buffer pool, so their I/O cost is real and comparable with the
-//! disk-resident SILC index.
+//! disk-resident SILC index. They share [`BaselineScratch`] with the
+//! in-memory variants, so a [`crate::QuerySession`] reuses one set of
+//! Dijkstra arrays for all four.
 
-use crate::objects::{ObjectId, ObjectSet};
-use crate::result::{KnnResult, Neighbor, QueryStats};
-use silc::DistInterval;
+use crate::baselines::{ier_core, ine_core, p2p_core, BaselineScratch};
+use crate::objects::ObjectSet;
+use crate::result::KnnResult;
 use silc_network::paged::PagedNetwork;
 use silc_network::VertexId;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct HeapEntry {
-    dist: f64,
-    vertex: u32,
-}
-
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other.dist.total_cmp(&self.dist).then_with(|| other.vertex.cmp(&self.vertex))
-    }
-}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Best {
-    dist: f64,
-    object: ObjectId,
-}
-
-impl Eq for Best {}
-
-impl Ord for Best {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.dist.total_cmp(&other.dist).then_with(|| self.object.cmp(&other.object))
-    }
-}
-
-impl PartialOrd for Best {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-fn finalize(best: BinaryHeap<Best>, objects: &ObjectSet, stats: QueryStats) -> KnnResult {
-    let mut sorted: Vec<Best> = best.into_vec();
-    sorted.sort();
-    KnnResult {
-        neighbors: sorted
-            .into_iter()
-            .map(|b| Neighbor {
-                object: b.object,
-                vertex: objects.vertex(b.object),
-                interval: DistInterval::exact(b.dist),
-            })
-            .collect(),
-        stats,
-    }
-}
 
 /// INE over a disk-resident network: Dijkstra expansion whose every
-/// adjacency-list access goes through the buffer pool.
+/// adjacency-list access goes through the buffer pool. Workspace-reusing
+/// core behind [`ine_disk`] and [`crate::QuerySession::ine_disk`].
+pub(crate) fn ine_disk_into(
+    network: &PagedNetwork,
+    objects: &ObjectSet,
+    query: VertexId,
+    k: usize,
+    scratch: &mut BaselineScratch,
+) {
+    ine_core(objects, query, k, network.vertex_count(), scratch, |u, buf| {
+        network.out_edges(u, buf) // the disk access
+    });
+}
+
+/// One-shot wrapper around [`ine_disk_into`] with a fresh scratch.
 pub fn ine_disk(
     network: &PagedNetwork,
     objects: &ObjectSet,
     query: VertexId,
     k: usize,
 ) -> KnnResult {
-    assert!(k > 0, "k must be positive");
-    let n = network.vertex_count();
-    let mut stats = QueryStats::default();
-    let mut best: BinaryHeap<Best> = BinaryHeap::with_capacity(k + 1);
-    let mut dist = vec![f64::INFINITY; n];
-    let mut settled = vec![false; n];
-    let mut heap = BinaryHeap::new();
-    let mut adjacency = Vec::new();
-    dist[query.index()] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, vertex: query.0 });
-    while let Some(HeapEntry { dist: d, vertex: u }) = heap.pop() {
-        if settled[u as usize] {
-            continue;
-        }
-        settled[u as usize] = true;
-        stats.dijkstra_visited += 1;
-        if best.len() == k && d > best.peek().expect("k > 0").dist {
-            break;
-        }
-        stats.index_queries += 1;
-        for &o in objects.objects_at(VertexId(u)) {
-            if best.len() < k {
-                best.push(Best { dist: d, object: o });
-            } else if d < best.peek().expect("k > 0").dist {
-                best.push(Best { dist: d, object: o });
-                best.pop();
-            }
-        }
-        network.out_edges(VertexId(u), &mut adjacency); // the disk access
-        for &(v, w) in &adjacency {
-            let vi = v.index();
-            if settled[vi] {
-                continue;
-            }
-            let nd = d + w;
-            if nd < dist[vi] {
-                dist[vi] = nd;
-                heap.push(HeapEntry { dist: nd, vertex: v.0 });
-            }
-        }
-    }
-    stats.dk_final = best.iter().map(|b| b.dist).fold(0.0, f64::max);
-    finalize(best, objects, stats)
-}
-
-/// Point-to-point Dijkstra over the paged network with early termination.
-fn paged_p2p(network: &PagedNetwork, s: VertexId, t: VertexId, visited: &mut usize) -> f64 {
-    let n = network.vertex_count();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut settled = vec![false; n];
-    let mut heap = BinaryHeap::new();
-    let mut adjacency = Vec::new();
-    dist[s.index()] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, vertex: s.0 });
-    while let Some(HeapEntry { dist: d, vertex: u }) = heap.pop() {
-        if settled[u as usize] {
-            continue;
-        }
-        settled[u as usize] = true;
-        *visited += 1;
-        if u == t.0 {
-            return d;
-        }
-        network.out_edges(VertexId(u), &mut adjacency);
-        for &(v, w) in &adjacency {
-            let vi = v.index();
-            if settled[vi] {
-                continue;
-            }
-            let nd = d + w;
-            if nd < dist[vi] {
-                dist[vi] = nd;
-                heap.push(HeapEntry { dist: nd, vertex: v.0 });
-            }
-        }
-    }
-    f64::INFINITY
+    let mut scratch = BaselineScratch::new();
+    ine_disk_into(network, objects, query, k, &mut scratch);
+    scratch.into_result()
 }
 
 /// IER over a disk-resident network: Euclidean filtering from the in-memory
-/// object quadtree, one paged Dijkstra per candidate.
+/// object quadtree, one paged Dijkstra per candidate. Workspace-reusing
+/// core behind [`ier_disk`] and [`crate::QuerySession::ier_disk`].
 ///
 /// `min_ratio` is the network's minimum weight/Euclidean-length ratio (the
 /// admissible scaling for the Euclidean cutoff); compute it once with
 /// `SpatialNetwork::min_weight_ratio` before paging the network out.
+/// Unreachable candidates score `f64::INFINITY` (no panic — the paged file
+/// carries no connectivity guarantee).
+pub(crate) fn ier_disk_into(
+    network: &PagedNetwork,
+    objects: &ObjectSet,
+    query: VertexId,
+    k: usize,
+    min_ratio: f64,
+    scratch: &mut BaselineScratch,
+) {
+    let n = network.vertex_count();
+    ier_core(
+        objects,
+        network.position(query),
+        k,
+        min_ratio,
+        scratch,
+        |scratch, target, visited| {
+            p2p_core(n, query, target, scratch, visited, |u, buf| network.out_edges(u, buf))
+        },
+    );
+}
+
+/// One-shot wrapper around [`ier_disk_into`] with a fresh scratch.
 pub fn ier_disk(
     network: &PagedNetwork,
     objects: &ObjectSet,
@@ -171,26 +81,9 @@ pub fn ier_disk(
     k: usize,
     min_ratio: f64,
 ) -> KnnResult {
-    assert!(k > 0, "k must be positive");
-    let mut stats = QueryStats::default();
-    let qpos = network.position(query);
-    let mut best: BinaryHeap<Best> = BinaryHeap::with_capacity(k + 1);
-    for (item, euclid) in objects.quadtree().nearest_iter(qpos) {
-        if best.len() == k && euclid * min_ratio > best.peek().expect("k > 0").dist {
-            break;
-        }
-        stats.index_queries += 1;
-        let o = ObjectId(*objects.quadtree().payload(item));
-        let d = paged_p2p(network, query, objects.vertex(o), &mut stats.dijkstra_visited);
-        if best.len() < k {
-            best.push(Best { dist: d, object: o });
-        } else if d < best.peek().expect("k > 0").dist {
-            best.push(Best { dist: d, object: o });
-            best.pop();
-        }
-    }
-    stats.dk_final = best.iter().map(|b| b.dist).fold(0.0, f64::max);
-    finalize(best, objects, stats)
+    let mut scratch = BaselineScratch::new();
+    ier_disk_into(network, objects, query, k, min_ratio, &mut scratch);
+    scratch.into_result()
 }
 
 #[cfg(test)]

@@ -27,6 +27,17 @@ impl CandidateList {
         CandidateList { k, entries: Vec::with_capacity(k + 1) }
     }
 
+    /// Empties the list and re-targets it at a new `k`, keeping the grown
+    /// allocation — the session reuse path.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn reset(&mut self, k: usize) {
+        assert!(k > 0, "k must be positive");
+        self.k = k;
+        self.entries.clear();
+    }
+
     /// `Dk`: the δ+ of the kth candidate, or ∞ while fewer than k are known.
     #[inline]
     pub fn dk(&self) -> f64 {

@@ -16,6 +16,11 @@
 //!   falls below `KMINDIST`, the minimum possible kth-neighbor distance,
 //!   skipping the refinements a total ordering would need; output is
 //!   unsorted.
+//!
+//! Every algorithm runs over a [`KnnScratch`] — the heap, object-state map,
+//! candidate list and result buffers a [`crate::QuerySession`] reuses across
+//! queries so that the steady-state hot path allocates nothing. The free
+//! functions here are one-shot wrappers that build a fresh scratch per call.
 
 use crate::candidates::CandidateList;
 use crate::objects::{ObjectId, ObjectSet};
@@ -74,28 +79,85 @@ struct ObjState {
     confirmed: bool,
 }
 
-/// The shared engine state.
+/// The reusable workspaces of the SILC query algorithms: the priority queue
+/// `Q`, the per-object refinement states, the candidate list `L`, and the
+/// result buffers. Create once (per session / thread), run any number of
+/// [`knn`]/[`inn`] queries through it — after the structures have grown to a
+/// workload's steady-state size, further queries allocate nothing.
+pub struct KnnScratch {
+    heap: BinaryHeap<QEntry>,
+    states: HashMap<ObjectId, ObjState>,
+    candidates: CandidateList,
+    /// `δ−` sample buffer for the `KMINDIST` computation of kNN-M.
+    lows: Vec<f64>,
+    /// `(exact distance, object)` buffer for the terminal fill-from-`L`.
+    leftovers: Vec<(f64, ObjectId)>,
+    result: KnnResult,
+}
+
+impl Default for KnnScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KnnScratch {
+    /// Empty workspaces; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        KnnScratch {
+            heap: BinaryHeap::new(),
+            states: HashMap::new(),
+            candidates: CandidateList::new(1),
+            lows: Vec::new(),
+            leftovers: Vec::new(),
+            result: KnnResult::default(),
+        }
+    }
+
+    /// The result of the most recent query run through this scratch.
+    pub fn result(&self) -> &KnnResult {
+        &self.result
+    }
+
+    /// Consumes the scratch, yielding the last result — the one-shot path.
+    pub fn into_result(self) -> KnnResult {
+        self.result
+    }
+
+    /// Clears per-query state (allocations are retained).
+    fn begin(&mut self, k: usize) {
+        self.heap.clear();
+        self.states.clear();
+        self.candidates.reset(k);
+        self.lows.clear();
+        self.leftovers.clear();
+        self.result.neighbors.clear();
+        self.result.stats = QueryStats::default();
+    }
+}
+
+/// The shared engine state: borrowed scratch structures plus per-query
+/// bookkeeping.
 struct Engine<'a, B: DistanceBrowser + ?Sized> {
     browser: &'a B,
     objects: &'a ObjectSet,
     query: VertexId,
-    heap: BinaryHeap<QEntry>,
-    states: HashMap<ObjectId, ObjState>,
+    heap: &'a mut BinaryHeap<QEntry>,
+    states: &'a mut HashMap<ObjectId, ObjState>,
     seq: u64,
     stats: QueryStats,
 }
 
 impl<'a, B: DistanceBrowser + ?Sized> Engine<'a, B> {
-    fn new(browser: &'a B, objects: &'a ObjectSet, query: VertexId) -> Self {
-        let mut e = Engine {
-            browser,
-            objects,
-            query,
-            heap: BinaryHeap::new(),
-            states: HashMap::new(),
-            seq: 0,
-            stats: QueryStats::default(),
-        };
+    fn new(
+        browser: &'a B,
+        objects: &'a ObjectSet,
+        query: VertexId,
+        heap: &'a mut BinaryHeap<QEntry>,
+        states: &'a mut HashMap<ObjectId, ObjState>,
+    ) -> Self {
+        let mut e =
+            Engine { browser, objects, query, heap, states, seq: 0, stats: QueryStats::default() };
         if !objects.is_empty() {
             let root = objects.quadtree().root();
             let key = e.block_key(root);
@@ -146,9 +208,10 @@ impl<'a, B: DistanceBrowser + ?Sized> Engine<'a, B> {
     /// neighbor given everything currently known — the kth smallest `δ−`
     /// over all discovered objects, floored by the smallest lower bound of
     /// any block still in the queue (an unexpanded block may hide arbitrarily
-    /// many objects at its bound).
-    fn kmindist(&self, k: usize) -> Option<f64> {
-        let mut lows: Vec<f64> = self.states.values().map(|s| s.refiner.interval().lo).collect();
+    /// many objects at its bound). `lows` is the reusable sample buffer.
+    fn kmindist(&self, k: usize, lows: &mut Vec<f64>) -> Option<f64> {
+        lows.clear();
+        lows.extend(self.states.values().map(|s| s.refiner.interval().lo));
         if lows.len() < k {
             return None;
         }
@@ -164,23 +227,24 @@ impl<'a, B: DistanceBrowser + ?Sized> Engine<'a, B> {
 }
 
 /// The non-incremental best-first kNN algorithm and its kNN-I / kNN-M
-/// variants (paper §6).
+/// variants (paper §6), writing into reusable workspaces.
 ///
-/// Returns up to `k` neighbors: fewer only when the object set is smaller
-/// than `k`. Neighbor intervals always contain the true network distance;
-/// for [`KnnVariant::MinDist`] the reporting order is not sorted.
-pub fn knn<B: DistanceBrowser + ?Sized>(
+/// The result lands in `scratch.result()`; the free function [`knn`] and
+/// [`crate::QuerySession::knn`] are its two callers.
+pub(crate) fn knn_into<B: DistanceBrowser + ?Sized>(
     browser: &B,
     objects: &ObjectSet,
     query: VertexId,
     k: usize,
     variant: KnnVariant,
-) -> KnnResult {
+    scratch: &mut KnnScratch,
+) {
     assert!(k > 0, "k must be positive");
-    let mut eng = Engine::new(browser, objects, query);
-    let mut candidates = CandidateList::new(k);
+    scratch.begin(k);
+    let KnnScratch { heap, states, candidates, lows, leftovers, result } = scratch;
+    let mut eng = Engine::new(browser, objects, query, heap, states);
+    let reported = &mut result.neighbors;
     let mut d0k: Option<f64> = None;
-    let mut reported: Vec<Neighbor> = Vec::with_capacity(k);
     let use_d0k = matches!(variant, KnnVariant::EarlyEstimate | KnnVariant::MinDist);
     let use_kmindist = matches!(variant, KnnVariant::MinDist);
     let mut pq_nanos = 0u64;
@@ -226,7 +290,7 @@ pub fn knn<B: DistanceBrowser + ?Sized>(
                                 d0k = Some(candidates.dk());
                             }
                         }
-                        let bound = enqueue_bound(&candidates, &d0k);
+                        let bound = enqueue_bound(candidates, &d0k);
                         pq_nanos += t.elapsed().as_nanos() as u64;
                         if iv.lo <= bound {
                             eng.push(iv.lo, Kind::Object(o, version));
@@ -237,7 +301,7 @@ pub fn knn<B: DistanceBrowser + ?Sized>(
                     for child in children {
                         let child_key = eng.block_key(child);
                         let t = Instant::now();
-                        let bound = enqueue_bound(&candidates, &d0k);
+                        let bound = enqueue_bound(candidates, &d0k);
                         pq_nanos += t.elapsed().as_nanos() as u64;
                         if child_key < bound {
                             eng.push(child_key, Kind::Block(child));
@@ -251,7 +315,7 @@ pub fn knn<B: DistanceBrowser + ?Sized>(
                 if use_kmindist && candidates.is_full() {
                     let quick = candidates.kth_lo().is_some_and(|lo| iv.hi <= lo);
                     if quick {
-                        if let Some(kmin) = eng.kmindist(k) {
+                        if let Some(kmin) = eng.kmindist(k, lows) {
                             eng.stats.kmindist_final = Some(kmin);
                             if iv.hi <= kmin {
                                 eng.states.get_mut(&o).unwrap().confirmed = true;
@@ -298,7 +362,7 @@ pub fn knn<B: DistanceBrowser + ?Sized>(
                     if iv.hi < candidates.dk() {
                         candidates.upsert(o, iv);
                     }
-                    let bound = enqueue_bound(&candidates, &d0k);
+                    let bound = enqueue_bound(candidates, &d0k);
                     pq_nanos += t.elapsed().as_nanos() as u64;
                     if iv.lo <= bound {
                         eng.push(iv.lo, Kind::Object(o, version));
@@ -311,20 +375,21 @@ pub fn knn<B: DistanceBrowser + ?Sized>(
     // Fill any remaining slots from L (the paper's "report L"): refine to
     // exact so the filled tail is correctly ordered.
     if reported.len() < k {
-        let mut leftovers: Vec<(f64, ObjectId)> = candidates
-            .iter()
-            .filter(|(o, _, _)| !eng.states.get(o).is_some_and(|s| s.confirmed))
-            .map(|(o, _, _)| o)
-            .collect::<Vec<_>>()
-            .into_iter()
-            .map(|o| {
-                let state = eng.states.get_mut(&o).unwrap();
-                let d = state.refiner.refine_until_exact(browser);
-                (d, o)
-            })
-            .collect();
-        leftovers.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
-        for (d, o) in leftovers.into_iter().take(k - reported.len()) {
+        leftovers.clear();
+        for (o, _, _) in candidates.iter() {
+            if !eng.states.get(&o).is_some_and(|s| s.confirmed) {
+                leftovers.push((0.0, o));
+            }
+        }
+        for slot in leftovers.iter_mut() {
+            let state = eng.states.get_mut(&slot.1).unwrap();
+            slot.0 = state.refiner.refine_until_exact(browser);
+        }
+        // Unstable sort: keys are distinct (distance ties broken by the
+        // unique object id), and the stable sort would allocate.
+        leftovers.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        let need = k - reported.len();
+        for &(d, o) in leftovers.iter().take(need) {
             reported.push(Neighbor {
                 object: o,
                 vertex: eng.objects.vertex(o),
@@ -338,32 +403,52 @@ pub fn knn<B: DistanceBrowser + ?Sized>(
     // it (e.g. the estimate-quality figure), outside any timed section.
     eng.stats.pq_nanos = pq_nanos;
     if use_kmindist && eng.stats.kmindist_final.is_none() {
-        eng.stats.kmindist_final = eng.kmindist(k);
+        eng.stats.kmindist_final = eng.kmindist(k, lows);
     }
     eng.stats.d0k = d0k;
     eng.stats.dk_final = reported.iter().map(|n| n.interval.hi).fold(0.0, f64::max);
-    let stats = eng.stats;
-    KnnResult { neighbors: reported, stats }
+    result.stats = eng.stats;
 }
 
-/// The incremental algorithm (INN): best-first with collision-driven
-/// refinement but no candidate list, no `Dk`, no pruning. The baseline the
-/// paper's queue-size and refinement-count figures are normalized against.
+/// One-shot wrapper around [`knn_into`] with a fresh [`KnnScratch`].
+///
+/// Returns up to `k` neighbors: fewer only when the object set is smaller
+/// than `k`. Neighbor intervals always contain the true network distance;
+/// for [`KnnVariant::MinDist`] the reporting order is not sorted.
+pub fn knn<B: DistanceBrowser + ?Sized>(
+    browser: &B,
+    objects: &ObjectSet,
+    query: VertexId,
+    k: usize,
+    variant: KnnVariant,
+) -> KnnResult {
+    let mut scratch = KnnScratch::new();
+    knn_into(browser, objects, query, k, variant, &mut scratch);
+    scratch.into_result()
+}
+
+/// The incremental algorithm (INN) over reusable workspaces: best-first
+/// with collision-driven refinement but no candidate list, no `Dk`, no
+/// pruning. The baseline the paper's queue-size and refinement-count
+/// figures are normalized against.
 ///
 /// Being *incremental*, INN honors the distance-browsing contract: each
 /// reported neighbor carries its **exact** network distance (a consumer may
 /// stop at any point and must be able to act on what it has), so every
 /// confirmation pays the full refinement to exactness — the refinements the
 /// non-incremental kNN avoids by reporting intervals.
-pub fn inn<B: DistanceBrowser + ?Sized>(
+pub(crate) fn inn_into<B: DistanceBrowser + ?Sized>(
     browser: &B,
     objects: &ObjectSet,
     query: VertexId,
     k: usize,
-) -> KnnResult {
+    scratch: &mut KnnScratch,
+) {
     assert!(k > 0, "k must be positive");
-    let mut eng = Engine::new(browser, objects, query);
-    let mut reported: Vec<Neighbor> = Vec::with_capacity(k);
+    scratch.begin(k);
+    let KnnScratch { heap, states, result, .. } = scratch;
+    let mut eng = Engine::new(browser, objects, query, heap, states);
+    let reported = &mut result.neighbors;
 
     while let Some(QEntry { kind, .. }) = eng.heap.pop() {
         if reported.len() == k {
@@ -420,8 +505,19 @@ pub fn inn<B: DistanceBrowser + ?Sized>(
     }
 
     eng.stats.dk_final = reported.iter().map(|n| n.interval.hi).fold(0.0, f64::max);
-    let stats = eng.stats;
-    KnnResult { neighbors: reported, stats }
+    result.stats = eng.stats;
+}
+
+/// One-shot wrapper around [`inn_into`] with a fresh [`KnnScratch`].
+pub fn inn<B: DistanceBrowser + ?Sized>(
+    browser: &B,
+    objects: &ObjectSet,
+    query: VertexId,
+    k: usize,
+) -> KnnResult {
+    let mut scratch = KnnScratch::new();
+    inn_into(browser, objects, query, k, &mut scratch);
+    scratch.into_result()
 }
 
 #[cfg(test)]

@@ -24,6 +24,27 @@
 //! every run returns [`QueryStats`] with the counters the paper's figures
 //! report (refinements, maximum queue size, `D⁰k`/`KMINDIST` quality,
 //! KMINDIST prunes, Dijkstra visits).
+//!
+//! ## The serving layer: engines and sessions
+//!
+//! Every algorithm exists in two forms sharing one implementation:
+//!
+//! * a **free function** (`knn`, `inn`, `ine`, `ier`, `ine_disk`,
+//!   `ier_disk`) — a one-shot wrapper that builds a fresh workspace per
+//!   call; convenient for tests and scripts,
+//! * a **session method** ([`QuerySession::knn`], …) — runs the same core
+//!   over the session's reusable workspaces (priority queue, object-state
+//!   map, candidate list, Dijkstra arrays, result buffers), so a
+//!   steady-state query performs **zero hot-path heap allocations**.
+//!
+//! A [`QueryEngine`] pairs a shared `Arc` index with a shared object set
+//! and is `Send + Sync`: clone it into every worker thread and open one
+//! [`QuerySession`] per worker. Results from session methods are borrowed
+//! from the session's buffers and are bit-identical to the one-shot
+//! wrappers (locked by tests). Paired with the sharded buffer pool and the
+//! decoded-entries cache of `DiskSilcIndex`, this is the crate's concurrent
+//! query-serving architecture; `bench_throughput` in `silc-bench` measures
+//! it end to end.
 
 pub mod baselines;
 pub mod baselines_disk;
@@ -33,12 +54,14 @@ pub mod knn;
 pub mod objects;
 pub mod range;
 pub mod result;
+pub mod session;
 pub mod verify;
 
-pub use baselines::{ier, ine};
+pub use baselines::{ier, ine, BaselineScratch};
 pub use baselines_disk::{ier_disk, ine_disk};
 pub use edge_objects::{EdgeObject, EdgeObjectDistance};
-pub use knn::{inn, knn, KnnVariant};
+pub use knn::{inn, knn, KnnScratch, KnnVariant};
 pub use objects::{ObjectId, ObjectSet};
 pub use range::{within_distance, RangeResult};
 pub use result::{KnnResult, Neighbor, QueryStats};
+pub use session::{QueryEngine, QuerySession};

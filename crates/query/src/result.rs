@@ -49,7 +49,7 @@ pub struct QueryStats {
 }
 
 /// The outcome of a k-nearest-neighbor query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct KnnResult {
     /// The neighbors, in confirmation order. For kNN, kNN-I, INN, INE and
     /// IER this is non-decreasing distance order; for kNN-M it is not

@@ -8,11 +8,17 @@
 //! * [`PageStore`] — random access to fixed-size pages,
 //! * [`FilePageStore`] — a real file on disk, read with `pread`,
 //! * [`MemPageStore`] — an in-memory store for tests and baselines,
-//! * [`BufferPool`] — an LRU page cache with hit/miss/eviction counters and
-//!   wall-clock accounting of time spent in the underlying store.
+//! * [`BufferPool`] — a sharded LRU page cache with per-shard locks, store
+//!   reads outside the lock, concurrent-miss dedup, and hit/miss/eviction
+//!   counters with wall-clock accounting of time spent in the store,
+//! * [`ShardedCache`] — a generic concurrent LRU for objects *decoded* from
+//!   pages (entry lists, adjacency blocks), sharing the pool's LRU core.
 
+pub mod cache;
+pub(crate) mod lru;
 pub mod pool;
 pub mod store;
 
+pub use cache::{CacheStats, ShardedCache};
 pub use pool::{BufferPool, IoStats};
 pub use store::{FilePageStore, MemPageStore, PageId, PageStore, PAGE_SIZE};

@@ -1,0 +1,186 @@
+//! The intrusive LRU list shared by the page pool and the object caches.
+//!
+//! A fixed-capacity map from `u64` keys to clonable values with
+//! least-recently-used eviction, implemented as a slab of slots threaded
+//! onto an intrusive doubly-linked list (no per-entry allocation after the
+//! slab fills). Not synchronized — [`crate::BufferPool`] and
+//! [`crate::ShardedCache`] wrap one instance per shard behind a mutex.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+struct Slot<V> {
+    key: u64,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity LRU map from `u64` keys to values.
+pub(crate) struct LruList<V> {
+    capacity: usize,
+    map: HashMap<u64, usize>,
+    slots: Vec<Slot<V>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+}
+
+impl<V: Clone> LruList<V> {
+    /// An empty list holding at most `capacity` entries (minimum 1).
+    pub(crate) fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        LruList {
+            capacity,
+            map: HashMap::with_capacity(capacity * 2),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Maximum number of entries. (Sizing invariants are asserted in unit
+    /// tests; production callers track capacity themselves.)
+    #[cfg(test)]
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub(crate) fn get(&mut self, key: u64) -> Option<V> {
+        let &idx = self.map.get(&key)?;
+        self.detach(idx);
+        self.push_front(idx);
+        Some(self.slots[idx].value.clone())
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least recently used entry
+    /// when full. Returns `true` if an eviction happened.
+    pub(crate) fn insert(&mut self, key: u64, value: V) -> bool {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slots[idx].value = value;
+            self.detach(idx);
+            self.push_front(idx);
+            return false;
+        }
+        let mut evicted = false;
+        let idx = if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.detach(victim);
+            let old = self.slots[victim].key;
+            self.map.remove(&old);
+            evicted = true;
+            self.slots[victim].key = key;
+            self.slots[victim].value = value;
+            victim
+        } else if let Some(free) = self.free.pop() {
+            self.slots[free].key = key;
+            self.slots[free].value = value;
+            free
+        } else {
+            self.slots.push(Slot { key, value, prev: NIL, next: NIL });
+            self.slots.len() - 1
+        };
+        self.push_front(idx);
+        self.map.insert(key, idx);
+        evicted
+    }
+
+    /// Drops every entry, keeping the slot slab for reuse.
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+        self.free.clear();
+        for i in 0..self.slots.len() {
+            self.free.push(i);
+        }
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_order_and_eviction() {
+        let mut l = LruList::new(2);
+        assert!(!l.insert(1, "a"));
+        assert!(!l.insert(2, "b"));
+        assert_eq!(l.get(1), Some("a")); // touch 1 -> [1, 2]
+        assert!(l.insert(3, "c"), "inserting into a full list evicts");
+        assert_eq!(l.get(2), None, "LRU entry evicted");
+        assert_eq!(l.get(1), Some("a"));
+        assert_eq!(l.get(3), Some("c"));
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_without_eviction() {
+        let mut l = LruList::new(2);
+        l.insert(1, 10);
+        l.insert(2, 20);
+        assert!(!l.insert(1, 11), "refreshing a present key never evicts");
+        assert_eq!(l.get(1), Some(11));
+        assert_eq!(l.get(2), Some(20));
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut l = LruList::new(3);
+        for k in 0..3 {
+            l.insert(k, k);
+        }
+        l.clear();
+        assert_eq!(l.len(), 0);
+        assert_eq!(l.get(0), None);
+        for k in 10..13 {
+            assert!(!l.insert(k, k), "slab reuse after clear must not evict");
+        }
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let mut l = LruList::new(0);
+        assert_eq!(l.capacity(), 1);
+        l.insert(1, 1);
+        assert!(l.insert(2, 2));
+        assert_eq!(l.get(2), Some(2));
+    }
+}

@@ -1,17 +1,26 @@
-//! An LRU buffer pool over a [`PageStore`].
+//! A sharded LRU buffer pool over a [`PageStore`].
+//!
+//! The pool is the one shared structure every concurrent query thread goes
+//! through, so it is built for parallel readers: pages are partitioned
+//! across N independent shards (by page id), each with its own mutex, LRU
+//! list and I/O counters. Store reads happen **outside** the shard lock —
+//! a miss publishes the page id in the shard's inflight set, releases the
+//! lock, reads, then re-locks to insert; concurrent requests for the same
+//! page wait on the shard's condvar instead of issuing a duplicate read.
 
+use crate::lru::LruList;
 use crate::store::{PageId, PageStore};
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::HashSet;
 use std::io;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 /// Counters describing the pool's I/O behaviour since creation (or the last
 /// [`BufferPool::reset_stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStats {
-    /// Page requests served from the cache.
+    /// Page requests served from the cache (including requests that waited
+    /// for a concurrent loader of the same page).
     pub hits: u64,
     /// Page requests that went to the underlying store.
     pub misses: u64,
@@ -43,83 +52,91 @@ impl IoStats {
     pub fn read_seconds(&self) -> f64 {
         self.read_nanos as f64 / 1e9
     }
+
+    /// Element-wise sum — aggregation across shards.
+    fn add(&mut self, other: &IoStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.bytes_read += other.bytes_read;
+        self.read_nanos += other.read_nanos;
+    }
 }
 
-const NIL: usize = usize::MAX;
+/// Default shard count; clamped so every shard caches at least one page.
+const DEFAULT_SHARDS: usize = 8;
 
-struct Slot {
-    page: u64,
-    data: Arc<[u8]>,
-    prev: usize,
-    next: usize,
-}
-
-/// Intrusive doubly-linked LRU list over a slab of slots.
+/// Per-shard state: the LRU list of cached pages, the shard's inflight
+/// reads, and its I/O counters. All behind the shard mutex.
 struct LruState {
-    map: HashMap<u64, usize>,
-    slots: Vec<Slot>,
-    free: Vec<usize>,
-    head: usize, // most recently used
-    tail: usize, // least recently used
+    list: LruList<Arc<[u8]>>,
+    /// Pages currently being read from the store by some thread. A page is
+    /// never cached and inflight at the same time.
+    inflight: HashSet<u64>,
     stats: IoStats,
 }
 
 impl LruState {
-    fn detach(&mut self, idx: usize) {
-        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
-        if prev != NIL {
-            self.slots[prev].next = next;
-        } else {
-            self.head = next;
-        }
-        if next != NIL {
-            self.slots[next].prev = prev;
-        } else {
-            self.tail = prev;
-        }
-    }
-
-    fn push_front(&mut self, idx: usize) {
-        self.slots[idx].prev = NIL;
-        self.slots[idx].next = self.head;
-        if self.head != NIL {
-            self.slots[self.head].prev = idx;
-        }
-        self.head = idx;
-        if self.tail == NIL {
-            self.tail = idx;
+    fn new(capacity: usize) -> Self {
+        LruState {
+            list: LruList::new(capacity),
+            inflight: HashSet::new(),
+            stats: IoStats::default(),
         }
     }
 }
 
-/// A fixed-capacity LRU cache of pages in front of a [`PageStore`].
+struct Shard {
+    state: Mutex<LruState>,
+    /// Signalled whenever an inflight read completes (or fails).
+    loaded: Condvar,
+}
+
+impl Shard {
+    fn lock(&self) -> MutexGuard<'_, LruState> {
+        // A poisoned shard (a panic under the lock) keeps serving: the LRU
+        // structure is only mutated through small, non-panicking steps.
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A fixed-capacity sharded LRU cache of pages in front of a [`PageStore`].
 ///
-/// Thread-safe; the store read itself happens outside the lock would be
-/// ideal, but SILC queries are single-threaded per query and benchmark
-/// workloads run one pool per thread, so the simple design — read under the
-/// lock, which also dedups concurrent misses — is the right trade-off here.
+/// Thread-safe and built for concurrent readers: page ids are partitioned
+/// across shards, each with its own lock, so readers touching different
+/// pages rarely contend. Store reads run outside the shard lock; concurrent
+/// misses on the same page are deduplicated (one read, everyone else waits
+/// and is then served from memory — counted as a hit).
 pub struct BufferPool<S: PageStore> {
     store: S,
     capacity: usize,
-    state: Mutex<LruState>,
+    shards: Box<[Shard]>,
 }
 
 impl<S: PageStore> BufferPool<S> {
-    /// Creates a pool holding at most `capacity` pages (minimum 1).
+    /// Creates a pool holding at most `capacity` pages (minimum 1) across
+    /// the default shard count.
     pub fn new(store: S, capacity: usize) -> Self {
+        Self::with_shards(store, capacity, DEFAULT_SHARDS)
+    }
+
+    /// Creates a pool with an explicit shard count (minimum 1; clamped so
+    /// every shard caches at least one page). `shards = 1` gives a single
+    /// globally ordered LRU — useful when exact eviction order matters more
+    /// than concurrency.
+    pub fn with_shards(store: S, capacity: usize, shards: usize) -> Self {
         let capacity = capacity.max(1);
-        BufferPool {
-            store,
-            capacity,
-            state: Mutex::new(LruState {
-                map: HashMap::with_capacity(capacity * 2),
-                slots: Vec::with_capacity(capacity),
-                free: Vec::new(),
-                head: NIL,
-                tail: NIL,
-                stats: IoStats::default(),
-            }),
-        }
+        let shards = shards.clamp(1, capacity);
+        // Distribute capacity as evenly as possible; totals stay exact.
+        let base = capacity / shards;
+        let extra = capacity % shards;
+        let shards: Box<[Shard]> = (0..shards)
+            .map(|i| Shard {
+                state: Mutex::new(LruState::new(base + usize::from(i < extra))),
+                loaded: Condvar::new(),
+            })
+            .collect();
+        BufferPool { store, capacity, shards }
     }
 
     /// Creates a pool sized to `fraction` of the store's pages — the paper
@@ -130,9 +147,14 @@ impl<S: PageStore> BufferPool<S> {
         Self::new(store, cap)
     }
 
-    /// Maximum number of cached pages.
+    /// Maximum number of cached pages (summed over all shards).
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Number of shards the cache is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// The underlying store.
@@ -140,68 +162,103 @@ impl<S: PageStore> BufferPool<S> {
         &self.store
     }
 
+    #[inline]
+    fn shard(&self, page: u64) -> &Shard {
+        // Modulo keeps consecutive pages on different shards, so the
+        // sequential scans of entry lists spread across all locks.
+        &self.shards[(page % self.shards.len() as u64) as usize]
+    }
+
     /// Fetches a page, from cache when possible.
     pub fn get(&self, page: PageId) -> io::Result<Arc<[u8]>> {
-        let mut st = self.state.lock();
-        if let Some(&idx) = st.map.get(&page.0) {
-            st.stats.hits += 1;
-            st.detach(idx);
-            st.push_front(idx);
-            return Ok(Arc::clone(&st.slots[idx].data));
+        let shard = self.shard(page.0);
+        let mut st = shard.lock();
+        loop {
+            if let Some(data) = st.list.get(page.0) {
+                st.stats.hits += 1;
+                return Ok(data);
+            }
+            if st.inflight.contains(&page.0) {
+                // Another thread is reading this page: wait for it rather
+                // than duplicating the store read, then re-check the map.
+                st = shard.loaded.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+                continue;
+            }
+            st.inflight.insert(page.0);
+            break;
         }
-        // Miss: read from the store (timed), then insert with LRU eviction.
+        drop(st);
+
+        // The store read happens with no lock held. The guard covers a
+        // *panicking* store implementation: without it, an unwind here would
+        // leave the page id in the inflight set forever, deadlocking every
+        // future `get` of this page in its condvar wait.
+        struct InflightGuard<'a> {
+            shard: &'a Shard,
+            page: u64,
+            armed: bool,
+        }
+        impl Drop for InflightGuard<'_> {
+            fn drop(&mut self) {
+                if self.armed {
+                    self.shard.lock().inflight.remove(&self.page);
+                    self.shard.loaded.notify_all();
+                }
+            }
+        }
+        let mut guard = InflightGuard { shard, page: page.0, armed: true };
         let start = Instant::now();
-        let data = self.store.read_page(page)?;
+        let result = self.store.read_page(page);
         let nanos = start.elapsed().as_nanos() as u64;
+
+        let mut st = shard.lock();
+        guard.armed = false; // cleanup happens right here, under the lock
+        st.inflight.remove(&page.0);
+        shard.loaded.notify_all();
+        let data = match result {
+            Ok(data) => data,
+            Err(e) => {
+                // Waiters re-check, find neither a cached page nor an
+                // inflight read, and retry the store themselves.
+                return Err(e);
+            }
+        };
         st.stats.misses += 1;
         st.stats.bytes_read += data.len() as u64;
         st.stats.read_nanos += nanos;
-
-        let idx = if st.map.len() >= self.capacity {
-            // Evict the least recently used page.
-            let victim = st.tail;
-            debug_assert_ne!(victim, NIL);
-            st.detach(victim);
-            let old = st.slots[victim].page;
-            st.map.remove(&old);
+        if st.list.insert(page.0, Arc::clone(&data)) {
             st.stats.evictions += 1;
-            st.slots[victim].page = page.0;
-            st.slots[victim].data = Arc::clone(&data);
-            victim
-        } else if let Some(free) = st.free.pop() {
-            st.slots[free].page = page.0;
-            st.slots[free].data = Arc::clone(&data);
-            free
-        } else {
-            st.slots.push(Slot { page: page.0, data: Arc::clone(&data), prev: NIL, next: NIL });
-            st.slots.len() - 1
-        };
-        st.push_front(idx);
-        st.map.insert(page.0, idx);
+        }
         Ok(data)
     }
 
-    /// Snapshot of the I/O counters.
+    /// Snapshot of the I/O counters, aggregated across shards.
+    ///
+    /// Each shard's counters are internally consistent (`hits + misses`
+    /// equals the successful requests routed to it); the aggregate is a sum
+    /// of per-shard snapshots, so totals are exact once concurrent `get`s
+    /// have returned.
     pub fn stats(&self) -> IoStats {
-        self.state.lock().stats
+        let mut total = IoStats::default();
+        for shard in self.shards.iter() {
+            total.add(&shard.lock().stats);
+        }
+        total
     }
 
     /// Zeroes the I/O counters (the cache contents are kept).
     pub fn reset_stats(&self) {
-        self.state.lock().stats = IoStats::default();
+        for shard in self.shards.iter() {
+            shard.lock().stats = IoStats::default();
+        }
     }
 
     /// Drops every cached page (counters are kept). Used to cold-start
     /// experiment repetitions.
     pub fn clear(&self) {
-        let mut st = self.state.lock();
-        st.map.clear();
-        st.free.clear();
-        for i in 0..st.slots.len() {
-            st.free.push(i);
+        for shard in self.shards.iter() {
+            shard.lock().list.clear();
         }
-        st.head = NIL;
-        st.tail = NIL;
     }
 }
 
@@ -209,6 +266,7 @@ impl<S: PageStore> BufferPool<S> {
 mod tests {
     use super::*;
     use crate::store::{MemPageStore, PAGE_SIZE};
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn store_with(pages: usize) -> MemPageStore {
         let mut data = Vec::with_capacity(pages * PAGE_SIZE);
@@ -216,6 +274,27 @@ mod tests {
             data.extend(std::iter::repeat_n(p as u8, PAGE_SIZE));
         }
         MemPageStore::new(&data)
+    }
+
+    /// A store that counts (and can stall) physical reads — for dedup tests.
+    struct CountingStore {
+        inner: MemPageStore,
+        reads: AtomicU64,
+        delay: std::time::Duration,
+    }
+
+    impl PageStore for CountingStore {
+        fn read_page(&self, page: PageId) -> io::Result<Arc<[u8]>> {
+            self.reads.fetch_add(1, Ordering::Relaxed);
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            self.inner.read_page(page)
+        }
+
+        fn page_count(&self) -> u64 {
+            self.inner.page_count()
+        }
     }
 
     #[test]
@@ -232,7 +311,8 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recent() {
-        let pool = BufferPool::new(store_with(4), 2);
+        // Single shard: exact global LRU order is observable.
+        let pool = BufferPool::with_shards(store_with(4), 2, 1);
         pool.get(PageId(0)).unwrap(); // cache: [0]
         pool.get(PageId(1)).unwrap(); // cache: [1, 0]
         pool.get(PageId(0)).unwrap(); // touch 0 -> [0, 1]
@@ -248,6 +328,7 @@ mod tests {
     #[test]
     fn capacity_one_thrashes() {
         let pool = BufferPool::new(store_with(3), 1);
+        assert_eq!(pool.shard_count(), 1, "capacity bounds the shard count");
         for _ in 0..3 {
             pool.get(PageId(0)).unwrap();
             pool.get(PageId(1)).unwrap();
@@ -264,6 +345,18 @@ mod tests {
         assert_eq!(pool.capacity(), 5);
         let tiny = BufferPool::with_fraction(store_with(3), 0.05);
         assert_eq!(tiny.capacity(), 1);
+    }
+
+    #[test]
+    fn shard_capacities_sum_to_total() {
+        for cap in [1usize, 2, 5, 7, 8, 9, 64] {
+            let pool = BufferPool::new(store_with(4), cap);
+            assert_eq!(pool.capacity(), cap);
+            assert!(pool.shard_count() <= cap);
+            let shard_total: usize = pool.shards.iter().map(|s| s.lock().list.capacity()).sum();
+            assert_eq!(shard_total, cap, "per-shard capacities must sum to the total");
+            assert!(pool.shards.iter().all(|s| s.lock().list.capacity() >= 1));
+        }
     }
 
     #[test]
@@ -289,8 +382,10 @@ mod tests {
     fn error_propagates_without_poisoning() {
         let pool = BufferPool::new(store_with(2), 2);
         assert!(pool.get(PageId(10)).is_err());
-        // The pool still works afterwards.
+        // The pool still works afterwards, including for the failed page id
+        // (no stuck inflight entry).
         assert!(pool.get(PageId(0)).is_ok());
+        assert!(pool.get(PageId(10)).is_err());
     }
 
     #[test]
@@ -319,5 +414,117 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(pool.stats().requests(), 200);
+    }
+
+    #[test]
+    fn concurrent_misses_on_one_page_read_store_once() {
+        let store = CountingStore {
+            inner: store_with(2),
+            reads: AtomicU64::new(0),
+            delay: std::time::Duration::from_millis(20),
+        };
+        let pool = std::sync::Arc::new(BufferPool::new(store, 2));
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let p = std::sync::Arc::clone(&pool);
+                let b = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    b.wait();
+                    let data = p.get(PageId(1)).unwrap();
+                    assert_eq!(data[0], 1);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            pool.store().reads.load(Ordering::Relaxed),
+            1,
+            "concurrent misses must be deduplicated into one store read"
+        );
+        let s = pool.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 7, "waiters are served from memory and count as hits");
+    }
+
+    #[test]
+    fn panicking_store_does_not_strand_the_inflight_entry() {
+        // A store that panics (not Errs) on its first read of page 1: the
+        // unwinding thread must clean up its inflight entry, or every later
+        // get(1) deadlocks in the condvar wait.
+        struct PanicOnceStore {
+            inner: MemPageStore,
+            armed: std::sync::atomic::AtomicBool,
+        }
+        impl PageStore for PanicOnceStore {
+            fn read_page(&self, page: PageId) -> io::Result<Arc<[u8]>> {
+                if page.0 == 1 && self.armed.swap(false, Ordering::SeqCst) {
+                    panic!("injected store panic");
+                }
+                self.inner.read_page(page)
+            }
+            fn page_count(&self) -> u64 {
+                self.inner.page_count()
+            }
+        }
+        let store = PanicOnceStore {
+            inner: store_with(4),
+            armed: std::sync::atomic::AtomicBool::new(true),
+        };
+        let pool = std::sync::Arc::new(BufferPool::new(store, 2));
+        let p = std::sync::Arc::clone(&pool);
+        let crashed = std::thread::spawn(move || p.get(PageId(1))).join();
+        assert!(crashed.is_err(), "the injected panic must propagate");
+        // The next read of the same page must neither hang nor fail.
+        let data = pool.get(PageId(1)).unwrap();
+        assert_eq!(data[0], 1);
+        assert_eq!(pool.stats().misses, 1, "only the successful read is counted");
+    }
+
+    #[test]
+    fn stress_accounting_stays_consistent() {
+        // Many threads hammer a pool much smaller than the page set; at the
+        // end every counter identity must hold exactly — no lost updates.
+        const THREADS: u64 = 8;
+        const ITERS: u64 = 400;
+        const PAGES: u64 = 32;
+        let store = CountingStore {
+            inner: store_with(PAGES as usize),
+            reads: AtomicU64::new(0),
+            delay: std::time::Duration::ZERO,
+        };
+        let pool = std::sync::Arc::new(BufferPool::new(store, 8));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let p = std::sync::Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    // Each thread walks a different stride so the access
+                    // pattern mixes heavy sharing with private pages.
+                    let mut x = t;
+                    for i in 0..ITERS {
+                        x = (x.wrapping_mul(6364136223846793005).wrapping_add(t + i)) % PAGES;
+                        let data = p.get(PageId(x)).unwrap();
+                        assert_eq!(data[0] as u64, x, "wrong page content under contention");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.requests(), THREADS * ITERS, "hits + misses must equal total requests");
+        assert_eq!(
+            s.misses,
+            pool.store().reads.load(Ordering::Relaxed),
+            "every miss is exactly one store read"
+        );
+        assert_eq!(s.bytes_read, s.misses * PAGE_SIZE as u64);
+        assert!(s.evictions <= s.misses, "cannot evict more than was inserted");
+        // The cache never exceeds its capacity.
+        let cached: usize = pool.shards.iter().map(|sh| sh.lock().list.len()).sum();
+        assert!(cached <= pool.capacity());
     }
 }

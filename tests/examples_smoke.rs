@@ -47,3 +47,8 @@ fn distance_browsing_runs() {
 fn oracle_approx_runs() {
     run_example("oracle_approx");
 }
+
+#[test]
+fn concurrent_serving_runs() {
+    run_example("concurrent_serving");
+}

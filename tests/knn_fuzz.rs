@@ -1,0 +1,180 @@
+//! Proptest fuzz pass over the kNN tie variants.
+//!
+//! The `knn_ties` suite pins hand-built adversarial tie fixtures; this one
+//! sweeps *random* graphs and duplicated-distance object placements across
+//! all six algorithms (INN, kNN, kNN-I, kNN-M, INE, IER) against brute
+//! force. Two generators:
+//!
+//! * random road networks with objects intentionally **duplicated** onto
+//!   shared vertices (exact distance ties that refinement can never
+//!   separate), and
+//! * perfectly regular unit grids (`detour = 0`, `jitter = 0`), where whole
+//!   equivalence classes of paths tie by construction.
+//!
+//! Each case also runs the kNN variants through a `QuerySession` and
+//! requires bit-identity with the one-shot wrapper, so the fuzz pass covers
+//! the session reuse path for free.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use silc::{BuildConfig, SilcIndex};
+use silc_network::generate::{grid_network, road_network, GridConfig, RoadConfig};
+use silc_network::{dijkstra, SpatialNetwork, VertexId};
+use silc_query::{
+    ier, ine, inn, knn, verify::brute_force_knn, KnnResult, KnnVariant, ObjectSet, QueryEngine,
+};
+use std::sync::Arc;
+
+/// The k reported distances must equal the k smallest true distances as a
+/// multiset, and no reported object may lie beyond the (possibly tied) kth.
+fn check_against_truth(
+    g: &SpatialNetwork,
+    objects: &ObjectSet,
+    q: VertexId,
+    k: usize,
+    name: &str,
+    r: &KnnResult,
+) -> Result<(), String> {
+    let truth = brute_force_knn(g, objects, q, k);
+    if r.neighbors.len() != truth.len() {
+        return Err(format!(
+            "{name} q={q} k={k}: {} neighbors, want {}",
+            r.neighbors.len(),
+            truth.len()
+        ));
+    }
+    let mut got: Vec<f64> = r
+        .neighbors
+        .iter()
+        .map(|n| dijkstra::distance(g, q, n.vertex).expect("object reachable"))
+        .collect();
+    got.sort_by(f64::total_cmp);
+    let want: Vec<f64> = truth.iter().map(|&(_, d)| d).collect();
+    for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+        if (a - b).abs() > 1e-9 {
+            return Err(format!("{name} q={q} k={k} rank {i}: got {a}, want {b}"));
+        }
+    }
+    Ok(())
+}
+
+/// Objects on random vertices, with `dups` extra objects placed on already
+/// occupied vertices — guaranteed exact-distance ties from every query.
+fn objects_with_duplicates(g: &SpatialNetwork, base: usize, dups: usize, seed: u64) -> ObjectSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.vertex_count();
+    let mut vertices: Vec<VertexId> = Vec::with_capacity(base + dups);
+    for _ in 0..base.max(1) {
+        vertices.push(VertexId(rng.gen_range(0..n as u32)));
+    }
+    for _ in 0..dups {
+        let occupied = vertices[rng.gen_range(0..vertices.len())];
+        vertices.push(occupied);
+    }
+    ObjectSet::from_vertices(g, vertices, 4)
+}
+
+/// Runs all six algorithms plus the session path and compares each against
+/// brute force; any failure message aborts the proptest case.
+fn run_all(
+    g: &Arc<SpatialNetwork>,
+    idx: &Arc<SilcIndex>,
+    objects: &Arc<ObjectSet>,
+    q: VertexId,
+    k: usize,
+) -> Result<(), String> {
+    let engine = QueryEngine::new(Arc::clone(idx), Arc::clone(objects));
+    let mut session = engine.session();
+    for variant in [KnnVariant::Basic, KnnVariant::EarlyEstimate, KnnVariant::MinDist] {
+        let one_shot = knn(&**idx, objects, q, k, variant);
+        check_against_truth(g, objects, q, k, &format!("kNN {variant:?}"), &one_shot)?;
+        let via_session = session.knn(q, k, variant);
+        if via_session.neighbors.len() != one_shot.neighbors.len()
+            || via_session.neighbors.iter().zip(&one_shot.neighbors).any(|(a, b)| {
+                a.object != b.object
+                    || a.vertex != b.vertex
+                    || a.interval.lo.to_bits() != b.interval.lo.to_bits()
+                    || a.interval.hi.to_bits() != b.interval.hi.to_bits()
+            })
+        {
+            return Err(format!("session kNN {variant:?} diverged from one-shot at q={q} k={k}"));
+        }
+    }
+    check_against_truth(g, objects, q, k, "INN", &inn(&**idx, objects, q, k))?;
+    check_against_truth(g, objects, q, k, "INE", &ine(g, objects, q, k))?;
+    check_against_truth(g, objects, q, k, "IER", &ier(g, objects, q, k))?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn random_road_networks_with_duplicated_objects(
+        seed in 0u64..1_000_000,
+        vertices in 30usize..70,
+        base_objects in 3usize..12,
+        dups in 1usize..6,
+        k_raw in 1usize..14,
+    ) {
+        let g = Arc::new(road_network(&RoadConfig {
+            vertices,
+            seed,
+            ..Default::default()
+        }));
+        let idx = Arc::new(
+            SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 8, threads: 1 }).unwrap(),
+        );
+        let objects = Arc::new(objects_with_duplicates(&g, base_objects, dups, seed ^ 0xD0_D0));
+        let k = k_raw.min(objects.len());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37);
+        for _ in 0..3 {
+            let q = VertexId(rng.gen_range(0..g.vertex_count() as u32));
+            if let Err(msg) = run_all(&g, &idx, &objects, q, k) {
+                prop_assert!(false, "{}", msg);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn regular_unit_grids_slice_tie_groups_correctly(
+        seed in 0u64..1_000_000,
+        rows in 3usize..7,
+        cols in 3usize..7,
+        dups in 0usize..5,
+        k_raw in 1usize..10,
+    ) {
+        // detour = 0 and jitter = 0: edge weights equal exact Euclidean grid
+        // distances, so shortest-path distances tie in whole groups.
+        let g = Arc::new(grid_network(&GridConfig {
+            rows,
+            cols,
+            jitter: 0.0,
+            detour: 0.0,
+            keep_prob: 1.0,
+            seed,
+            ..Default::default()
+        }));
+        let idx = Arc::new(
+            SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 8, threads: 1 }).unwrap(),
+        );
+        let n = g.vertex_count();
+        // Every vertex holds an object; duplicates deepen the tie groups.
+        let mut vertices: Vec<VertexId> = (0..n as u32).map(VertexId).collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        for _ in 0..dups {
+            vertices.push(VertexId(rng.gen_range(0..n as u32)));
+        }
+        let objects = Arc::new(ObjectSet::from_vertices(&g, vertices, 4));
+        let k = k_raw.min(objects.len());
+        for _ in 0..2 {
+            let q = VertexId(rng.gen_range(0..n as u32));
+            if let Err(msg) = run_all(&g, &idx, &objects, q, k) {
+                prop_assert!(false, "{}", msg);
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Locks the session layer's allocation contract: once a `QuerySession`'s
+//! workspaces have grown to a workload's steady-state size, re-running a
+//! query performs **zero** heap allocations — the hot path is pure reuse.
+//!
+//! The whole test binary runs under a counting global allocator with
+//! per-thread counters (so the harness's own threads cannot contaminate a
+//! measurement).
+
+use silc::{BuildConfig, SilcIndex};
+use silc_network::generate::{road_network, RoadConfig};
+use silc_network::VertexId;
+use silc_query::{KnnVariant, ObjectSet, QueryEngine};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+struct CountingAllocator;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // Growth is an allocation for this test's purposes: a "reused"
+        // buffer that regrows every query is not allocation-free.
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations_on_this_thread() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+fn fixture() -> (Arc<SilcIndex>, Arc<ObjectSet>) {
+    let g = Arc::new(road_network(&RoadConfig { vertices: 200, seed: 1234, ..Default::default() }));
+    let idx = Arc::new(
+        SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 9, threads: 0 }).unwrap(),
+    );
+    let objects = Arc::new(ObjectSet::random(&g, 0.1, 77));
+    (idx, objects)
+}
+
+#[test]
+fn second_knn_call_in_a_session_allocates_nothing() {
+    let (idx, objects) = fixture();
+    let engine = QueryEngine::new(idx, objects);
+    let mut session = engine.session();
+    let q = VertexId(42);
+    let k = 10;
+
+    for variant in [KnnVariant::Basic, KnnVariant::EarlyEstimate, KnnVariant::MinDist] {
+        // First call: the workspaces grow to this query's size.
+        let first = session.knn(q, k, variant).neighbors.len();
+        assert_eq!(first, k);
+        // Second identical call: pure reuse.
+        let before = allocations_on_this_thread();
+        let second = session.knn(q, k, variant).neighbors.len();
+        let allocated = allocations_on_this_thread() - before;
+        assert_eq!(second, k);
+        assert_eq!(allocated, 0, "knn {variant:?}: the second call in a session must not allocate");
+    }
+}
+
+#[test]
+fn second_inn_call_in_a_session_allocates_nothing() {
+    let (idx, objects) = fixture();
+    let engine = QueryEngine::new(idx, objects);
+    let mut session = engine.session();
+    let q = VertexId(17);
+    let _ = session.inn(q, 8);
+    let before = allocations_on_this_thread();
+    let n = session.inn(q, 8).neighbors.len();
+    let allocated = allocations_on_this_thread() - before;
+    assert_eq!(n, 8);
+    assert_eq!(allocated, 0, "the second INN call in a session must not allocate");
+}
+
+#[test]
+fn steady_state_workload_stops_allocating() {
+    // Not just one repeated query: after one full pass over a query set,
+    // a second pass over the same set allocates nothing — the workspaces
+    // have reached the workload's high-water mark.
+    let (idx, objects) = fixture();
+    let engine = QueryEngine::new(idx, objects);
+    let mut session = engine.session();
+    let queries: Vec<VertexId> = (0..20u32).map(|i| VertexId(i * 9 % 200)).collect();
+    for &q in &queries {
+        let _ = session.knn(q, 10, KnnVariant::Basic);
+    }
+    let before = allocations_on_this_thread();
+    for &q in &queries {
+        let _ = session.knn(q, 10, KnnVariant::Basic);
+    }
+    let allocated = allocations_on_this_thread() - before;
+    assert_eq!(allocated, 0, "a repeated query pass must run allocation-free");
+}
+
+#[test]
+fn one_shot_wrappers_do_allocate() {
+    // Sanity check that the counter actually counts: the one-shot wrapper
+    // builds a fresh scratch, which cannot be free.
+    let (idx, objects) = fixture();
+    let before = allocations_on_this_thread();
+    let _ = silc_query::knn(&*idx, &objects, VertexId(42), 10, KnnVariant::Basic);
+    assert!(allocations_on_this_thread() > before, "the allocation counter must be live");
+}
