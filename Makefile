@@ -4,7 +4,8 @@
 #     cargo build --release && cargo test -q
 #
 .PHONY: build test bench bench-baseline bench-baseline-smoke bench-throughput \
-        bench-throughput-smoke figures lint fmt verify help
+        bench-throughput-smoke bench-tradeoff bench-tradeoff-smoke figures \
+        lint fmt verify help
 
 help:
 	@echo "SILC workspace targets:"
@@ -16,6 +17,8 @@ help:
 	@echo "  bench-baseline-smoke   CI smoke for the baseline recorder (tiny, writes to target/)"
 	@echo "  bench-throughput       re-record BENCH_throughput.json (multi-worker QPS/p50/p99)"
 	@echo "  bench-throughput-smoke CI smoke for the throughput harness (tiny, writes to target/)"
+	@echo "  bench-tradeoff         re-record BENCH_tradeoff.json (SILC vs PCP from one substrate)"
+	@echo "  bench-tradeoff-smoke   CI smoke for the trade-off harness (tiny, writes to target/)"
 	@echo "  figures                regenerate the paper's tables/figures as text"
 	@echo "  lint                   clippy -D warnings + rustfmt check"
 	@echo "  fmt                    rustfmt the whole workspace"
@@ -56,6 +59,19 @@ bench-throughput:
 # to target/ — only that the concurrent pipeline runs end to end.
 bench-throughput-smoke:
 	cargo run --release -p silc-bench --bin bench_throughput -- --smoke
+
+# Re-record the SILC-vs-PCP trade-off (BENCH_tradeoff.json): both indexes
+# built over the same network and served from the same buffer-pool
+# substrate — build time, on-disk bytes, QPS/p50/p99, cache hit rates, and
+# observed vs guaranteed ε error. Run ONLY when intentionally resetting the
+# comparison point.
+bench-tradeoff:
+	cargo run --release -p silc-bench --bin bench_tradeoff
+
+# CI smoke for the trade-off harness: tiny network, writes to target/ —
+# only that both build→serialize→serve pipelines run end to end.
+bench-tradeoff-smoke:
+	cargo run --release -p silc-bench --bin bench_tradeoff -- --smoke
 
 # Regenerate the paper's tables/figures as text via the figures binary.
 figures:

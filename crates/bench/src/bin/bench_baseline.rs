@@ -21,6 +21,7 @@
 //!   object density 0.07, over a fixed query sample.
 
 use silc::{BuildConfig, SilcIndex};
+use silc_bench::stats::percentile;
 use silc_network::generate::{road_network, RoadConfig};
 use silc_network::VertexId;
 use silc_query::{knn, KnnVariant, ObjectSet};
@@ -68,15 +69,6 @@ fn parse_args() -> Args {
         }
     }
     args
-}
-
-/// Percentile of a sorted-by-us sample (nearest-rank).
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
 }
 
 fn main() {

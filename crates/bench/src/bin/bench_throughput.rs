@@ -25,6 +25,7 @@
 
 use silc::disk::{write_index, DiskSilcIndex};
 use silc::{BuildConfig, DistanceBrowser, SilcIndex};
+use silc_bench::stats::percentile;
 use silc_network::generate::{road_network, RoadConfig};
 use silc_network::VertexId;
 use silc_query::{KnnVariant, ObjectSet, QueryEngine};
@@ -95,15 +96,6 @@ fn parse_args() -> Args {
         }
     }
     args
-}
-
-/// Percentile of a sorted sample (nearest-rank).
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
 }
 
 struct RunResult {

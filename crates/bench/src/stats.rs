@@ -9,6 +9,18 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
+/// Nearest-rank percentile of an already sorted sample; 0 for an empty
+/// slice. The one definition all three bench recorders (`bench_baseline`,
+/// `bench_throughput`, `bench_tradeoff`) report with, so the committed
+/// `BENCH_*.json` baselines stay mutually comparable.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
 /// Sample standard deviation; 0 for fewer than two samples.
 pub fn stddev(xs: &[f64]) -> f64 {
     if xs.len() < 2 {

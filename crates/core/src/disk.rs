@@ -32,7 +32,7 @@ use bytes::{Buf, BufMut};
 use silc_geom::{GridMapper, Rect};
 use silc_morton::{MortonBlock, MortonCode};
 use silc_network::{SpatialNetwork, VertexId};
-use silc_storage::{BufferPool, FilePageStore, PageId, PageStore, ShardedCache, PAGE_SIZE};
+use silc_storage::{BufferPool, FilePageStore, PageStore, TieredPool, PAGE_SIZE};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -120,11 +120,11 @@ pub struct DiskSilcIndex {
     directory: Vec<(u64, u32)>,
     entries_base: u64,
     min_ratio: f64,
-    pool: BufferPool<FilePageStore>,
-    /// Decoded entry lists per vertex, so repeated probes of the same
-    /// vertex's quadtree (every refinement step, every block descent) do not
-    /// re-deserialize its full block list from page bytes.
-    entry_cache: ShardedCache<Arc<[BlockEntry]>>,
+    /// The two-tier read path: the page pool plus decoded entry lists per
+    /// vertex, so repeated probes of the same vertex's quadtree (every
+    /// refinement step, every block descent) do not re-deserialize its full
+    /// block list from page bytes.
+    cached: TieredPool<FilePageStore, Arc<[BlockEntry]>>,
 }
 
 /// Both index types must stay shareable across query threads.
@@ -135,25 +135,19 @@ const _: () = {
 };
 
 impl DiskSilcIndex {
-    /// Decoded-entries cache size for `n` vertices: small relative to the
-    /// index (it holds decoded structs, not pages) but big enough that a
-    /// query's working set — the query vertex plus the refinement frontier —
-    /// stays decoded.
-    fn default_entry_cache(n: usize) -> usize {
-        (n / 8).clamp(32, 4096)
-    }
-
     /// Opens an index file, pairing it with the network it was built for.
     ///
     /// `cache_fraction` sizes the buffer pool relative to the file's page
     /// count; the paper uses 0.05. The decoded-entries cache gets a default
-    /// size (see [`Self::open_with_entry_cache`] to pick one).
+    /// size — big enough that a query's working set (the query vertex plus
+    /// the refinement frontier) stays decoded; see
+    /// [`Self::open_with_entry_cache`] to pick one explicitly.
     pub fn open<P: AsRef<Path>>(
         path: P,
         network: Arc<SpatialNetwork>,
         cache_fraction: f64,
     ) -> Result<Self, BuildError> {
-        let cache = Self::default_entry_cache(network.vertex_count());
+        let cache = silc_storage::default_decoded_capacity(network.vertex_count());
         Self::open_with_entry_cache(path, network, cache_fraction, cache)
     }
 
@@ -168,27 +162,12 @@ impl DiskSilcIndex {
         let store = FilePageStore::open(&path)?;
         let corrupt = |msg: &str| BuildError::Corrupt(msg.to_string());
 
-        // Read the metadata region directly (header, codes, directory).
-        let read_bytes =
-            |store: &FilePageStore, from: usize, len: usize| -> Result<Vec<u8>, BuildError> {
-                let mut out = Vec::with_capacity(len);
-                let mut page = from / PAGE_SIZE;
-                let mut off = from % PAGE_SIZE;
-                while out.len() < len {
-                    let data = store.read_page(PageId(page as u64)).map_err(BuildError::Io)?;
-                    let take = (len - out.len()).min(PAGE_SIZE - off);
-                    out.extend_from_slice(&data[off..off + take]);
-                    page += 1;
-                    off = 0;
-                }
-                Ok(out)
-            };
-
         let header_len = 8 + 4 + 4 + 32 + 8 + 8;
         if (store.page_count() as usize) * PAGE_SIZE < header_len {
             return Err(corrupt("file too small for header"));
         }
-        let header = read_bytes(&store, 0, header_len)?;
+        // Read the metadata region directly (header, codes, directory).
+        let header = silc_storage::read_span(&store, 0, header_len)?;
         let mut h = &header[..];
         let mut magic = [0u8; 8];
         h.copy_to_slice(&mut magic);
@@ -207,7 +186,7 @@ impl DiskSilcIndex {
         let min_ratio = h.get_f64_le();
         let entries_base = h.get_u64_le();
 
-        let meta = read_bytes(&store, header_len, n * 8 + n * 12)?;
+        let meta = silc_storage::read_span(&store, header_len, n * 8 + n * 12)?;
         let mut m = &meta[..];
         let mut codes = Vec::with_capacity(n);
         for _ in 0..n {
@@ -229,7 +208,6 @@ impl DiskSilcIndex {
             return Err(corrupt("entry region extends past end of file"));
         }
 
-        let pool = BufferPool::with_fraction(store, cache_fraction);
         Ok(DiskSilcIndex {
             mapper: GridMapper::new(bounds, q),
             network,
@@ -237,36 +215,33 @@ impl DiskSilcIndex {
             directory,
             entries_base,
             min_ratio,
-            pool,
-            entry_cache: ShardedCache::new(entry_cache_capacity),
+            cached: TieredPool::new(store, cache_fraction, entry_cache_capacity),
         })
     }
 
     /// I/O counters of the buffer pool.
     pub fn io_stats(&self) -> silc_storage::IoStats {
-        self.pool.stats()
+        self.cached.io_stats()
     }
 
     /// Hit/miss counters of the decoded-entries cache.
     pub fn entry_cache_stats(&self) -> silc_storage::CacheStats {
-        self.entry_cache.stats()
+        self.cached.cache_stats()
     }
 
     /// Zeroes the I/O counters (pool and decoded-entries cache).
     pub fn reset_io_stats(&self) {
-        self.pool.reset_stats();
-        self.entry_cache.reset_stats();
+        self.cached.reset_stats();
     }
 
     /// Drops all cached pages *and* decoded entries (cold start).
     pub fn clear_cache(&self) {
-        self.pool.clear();
-        self.entry_cache.clear();
+        self.cached.clear();
     }
 
     /// Number of pages in the index file.
     pub fn page_count(&self) -> u64 {
-        self.pool.store().page_count()
+        self.cached.store().page_count()
     }
 
     /// Fetches the whole shortest-path quadtree of `u` — the paper's access
@@ -280,30 +255,16 @@ impl DiskSilcIndex {
     /// Panics on I/O errors — a query against a vanished index file is not
     /// recoverable mid-flight.
     fn load_entries(&self, u: VertexId) -> Arc<[BlockEntry]> {
-        if let Some(entries) = self.entry_cache.get(u.index() as u64) {
-            return entries;
-        }
-        let entries = self.decode_entries(u);
-        self.entry_cache.insert(u.index() as u64, Arc::clone(&entries));
-        entries
+        self.cached.get_or_decode(u.index() as u64, |pool| self.decode_entries(pool, u))
     }
 
     /// Decodes `u`'s entry list from its pages through the buffer pool.
-    fn decode_entries(&self, u: VertexId) -> Arc<[BlockEntry]> {
+    fn decode_entries(&self, pool: &BufferPool<FilePageStore>, u: VertexId) -> Arc<[BlockEntry]> {
         let (start, count) = self.directory[u.index()];
         let byte_lo = self.entries_base + start * ENTRY_BYTES as u64;
         let byte_hi = byte_lo + count as u64 * ENTRY_BYTES as u64;
         let mut raw = Vec::with_capacity((byte_hi - byte_lo) as usize);
-        if count > 0 {
-            let page_lo = byte_lo / PAGE_SIZE as u64;
-            let page_hi = (byte_hi - 1) / PAGE_SIZE as u64;
-            for page in page_lo..=page_hi {
-                let data = self.pool.get(PageId(page)).expect("index page read failed");
-                let lo = byte_lo.max(page * PAGE_SIZE as u64) - page * PAGE_SIZE as u64;
-                let hi = byte_hi.min((page + 1) * PAGE_SIZE as u64) - page * PAGE_SIZE as u64;
-                raw.extend_from_slice(&data[lo as usize..hi as usize]);
-            }
-        }
+        pool.read_range(byte_lo, byte_hi, &mut raw).expect("index page read failed");
         let mut r = &raw[..];
         let mut entries = Vec::with_capacity(count as usize);
         for _ in 0..count {

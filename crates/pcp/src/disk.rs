@@ -1,0 +1,468 @@
+//! The disk-resident ε-approximate distance oracle.
+//!
+//! Storage parity with `silc::disk::DiskSilcIndex`: the split tree and the
+//! per-node pair directory stay pinned in memory (they are the structure a
+//! disk index keeps resident), while the `O(s²n)` pair payload is served
+//! from fixed-size pages through a `silc_storage::BufferPool`, with decoded
+//! pair groups cached in a `ShardedCache` (one group per split-tree node).
+//! A query descends the tree exactly like the memory oracle — the walk is
+//! literally the same function — and resolves each probed `(a, b)`
+//! orientation by a binary search in `a`'s cached group, so answers are
+//! **bit-identical** to [`DistanceOracle`] for the same build parameters.
+
+use crate::error::PcpError;
+use crate::format::{self, PairRecord};
+use crate::oracle::{locate_pair, DistanceOracle, PairData};
+use crate::split_tree::SplitTree;
+use bytes::Buf;
+use silc_network::VertexId;
+use silc_storage::{BufferPool, FilePageStore, MemPageStore, PageStore, TieredPool};
+use std::path::Path;
+use std::sync::Arc;
+
+/// A PCP distance oracle served from a page file through an LRU buffer
+/// pool, with a cache of decoded pair groups.
+///
+/// Cheaply shareable: wrap it in an [`Arc`] and query it from any number of
+/// threads. All interior state (the page pool, the decoded-pair cache) is
+/// sharded and internally synchronized.
+pub struct DiskDistanceOracle<S: PageStore = FilePageStore> {
+    tree: SplitTree,
+    /// Per-node `(first pair index, pair count)` into the pair region.
+    directory: Vec<(u64, u32)>,
+    pair_count: u64,
+    pairs_base: u64,
+    separation: f64,
+    stretch: f64,
+    /// The two-tier read path: page pool plus decoded pair groups keyed by
+    /// their `a`-side split-tree node, so the repeated probes of one locate
+    /// walk do not re-deserialize a group per lookup.
+    cached: TieredPool<S, Arc<[PairRecord]>>,
+}
+
+/// Both oracle forms must stay shareable across query threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DistanceOracle>();
+    assert_send_sync::<DiskDistanceOracle<FilePageStore>>();
+    assert_send_sync::<DiskDistanceOracle<MemPageStore>>();
+};
+
+impl DiskDistanceOracle<FilePageStore> {
+    /// Opens an oracle file written by [`crate::write_oracle`].
+    ///
+    /// `cache_fraction` sizes the buffer pool relative to the file's page
+    /// count (the paper's disk experiments use 0.05); the decoded-pair
+    /// cache gets a default size scaled to the tree
+    /// (see [`Self::open_with_pair_cache`] to pick one explicitly).
+    pub fn open<P: AsRef<Path>>(path: P, cache_fraction: f64) -> Result<Self, PcpError> {
+        Self::from_store(FilePageStore::open(path)?, cache_fraction, None)
+    }
+
+    /// Opens an oracle file with an explicit decoded-pair-group cache
+    /// capacity (in groups; minimum 1).
+    pub fn open_with_pair_cache<P: AsRef<Path>>(
+        path: P,
+        cache_fraction: f64,
+        pair_cache_capacity: usize,
+    ) -> Result<Self, PcpError> {
+        Self::from_store(FilePageStore::open(path)?, cache_fraction, Some(pair_cache_capacity))
+    }
+}
+
+impl<S: PageStore> DiskDistanceOracle<S> {
+    /// Opens an oracle from any [`PageStore`] holding the serialized bytes —
+    /// the seam the counting-store tests (and memory-backed deployments)
+    /// use. `pair_cache_capacity = None` picks the default sizing.
+    pub fn from_store(
+        store: S,
+        cache_fraction: f64,
+        pair_cache_capacity: Option<usize>,
+    ) -> Result<Self, PcpError> {
+        let parsed = format::parse(&store)?;
+        let cache = pair_cache_capacity
+            .unwrap_or_else(|| silc_storage::default_decoded_capacity(parsed.directory.len()));
+        Ok(DiskDistanceOracle {
+            tree: parsed.tree,
+            directory: parsed.directory,
+            pair_count: parsed.pair_count,
+            pairs_base: parsed.pairs_base,
+            separation: parsed.separation,
+            stretch: parsed.stretch,
+            cached: TieredPool::new(store, cache_fraction, cache),
+        })
+    }
+
+    /// Number of stored pairs (the oracle's size; `O(s²n)`).
+    pub fn pair_count(&self) -> usize {
+        self.pair_count as usize
+    }
+
+    /// Number of vertices the oracle answers for.
+    pub fn vertex_count(&self) -> usize {
+        self.tree.vertex_count()
+    }
+
+    /// The separation factor the oracle was built with.
+    pub fn separation(&self) -> f64 {
+        self.separation
+    }
+
+    /// Empirical network stretch `t` observed over representative pairs.
+    pub fn stretch(&self) -> f64 {
+        self.stretch
+    }
+
+    /// The a-priori relative error bound `≈ 4t/s`.
+    pub fn epsilon(&self) -> f64 {
+        4.0 * self.stretch / self.separation
+    }
+
+    /// I/O counters of the buffer pool.
+    pub fn io_stats(&self) -> silc_storage::IoStats {
+        self.cached.io_stats()
+    }
+
+    /// Hit/miss counters of the decoded-pair-group cache.
+    pub fn pair_cache_stats(&self) -> silc_storage::CacheStats {
+        self.cached.cache_stats()
+    }
+
+    /// Zeroes the I/O counters (pool and decoded-pair cache).
+    pub fn reset_io_stats(&self) {
+        self.cached.reset_stats();
+    }
+
+    /// Drops all cached pages *and* decoded pair groups (cold start).
+    pub fn clear_cache(&self) {
+        self.cached.clear();
+    }
+
+    /// Number of pages in the oracle file.
+    pub fn page_count(&self) -> u64 {
+        self.cached.store().page_count()
+    }
+
+    /// Fetches node `a`'s pair group: the decoded cache first, then the
+    /// buffer pool, then the store.
+    ///
+    /// # Panics
+    /// Panics on I/O errors — a query against a vanished oracle file is not
+    /// recoverable mid-flight — and on a pair group whose records are not
+    /// sorted (pair-region corruption that open-time metadata validation
+    /// cannot see without scanning the whole payload; an unsorted group
+    /// would silently break the binary search, so it fails loudly instead).
+    fn load_group(&self, a: u32) -> Arc<[PairRecord]> {
+        self.cached.get_or_decode(a as u64, |pool| self.decode_group(pool, a))
+    }
+
+    /// Decodes node `a`'s pair group from its pages through the pool.
+    fn decode_group(&self, pool: &BufferPool<S>, a: u32) -> Arc<[PairRecord]> {
+        let (start, count) = self.directory[a as usize];
+        let byte_lo = self.pairs_base + start * format::PAIR_BYTES as u64;
+        let byte_hi = byte_lo + count as u64 * format::PAIR_BYTES as u64;
+        let mut raw = Vec::with_capacity((byte_hi - byte_lo) as usize);
+        pool.read_range(byte_lo, byte_hi, &mut raw).expect("oracle page read failed");
+        let mut r = &raw[..];
+        let mut records = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            records.push(PairRecord {
+                b: r.get_u32_le(),
+                rep_a: r.get_u32_le(),
+                rep_b: r.get_u32_le(),
+                dist: r.get_f64_le(),
+            });
+        }
+        assert!(
+            records.windows(2).all(|w| w[0].b < w[1].b),
+            "corrupt oracle file: pair group {a} is not sorted by node id"
+        );
+        records.into()
+    }
+
+    /// Resolves one stored orientation `(a, b)` — the lookup `locate_pair`
+    /// drives: `a`'s group, binary-searched by `b`.
+    fn lookup(&self, a: u32, b: u32) -> Option<PairData> {
+        if self.directory[a as usize].1 == 0 {
+            return None;
+        }
+        let group = self.load_group(a);
+        group.binary_search_by_key(&b, |r| r.b).ok().map(|i| {
+            let r = group[i];
+            PairData { rep_a: VertexId(r.rep_a), rep_b: VertexId(r.rep_b), dist: r.dist }
+        })
+    }
+
+    fn locate(&self, u: VertexId, v: VertexId) -> (PairData, bool) {
+        locate_pair(&self.tree, u, v, |a, b| self.lookup(a, b))
+    }
+
+    /// Approximate network distance `u → v` (exact 0 when `u == v`) —
+    /// bit-identical to the memory oracle this file was written from.
+    pub fn distance(&self, u: VertexId, v: VertexId) -> f64 {
+        if u == v {
+            return 0.0;
+        }
+        self.locate(u, v).0.dist
+    }
+
+    /// The representative vertices of the pair covering `(u, v)`, oriented
+    /// so the first is on `u`'s side.
+    pub fn representatives(&self, u: VertexId, v: VertexId) -> Option<(VertexId, VertexId)> {
+        if u == v {
+            return None;
+        }
+        let (p, flipped) = self.locate(u, v);
+        Some(if flipped { (p.rep_b, p.rep_a) } else { (p.rep_a, p.rep_b) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{encode_oracle as encode, write_oracle, HEADER_BYTES, MAGIC};
+    use silc_network::generate::{road_network, RoadConfig};
+    use silc_network::SpatialNetwork;
+    use std::io;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn network() -> SpatialNetwork {
+        road_network(&RoadConfig { vertices: 140, seed: 77, ..Default::default() })
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("silc-pcp-disk-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    /// A store that counts physical reads — proves the oracle reads only
+    /// through the buffer pool.
+    struct CountingStore {
+        inner: MemPageStore,
+        reads: AtomicU64,
+    }
+
+    impl PageStore for CountingStore {
+        fn read_page(&self, page: silc_storage::PageId) -> io::Result<Arc<[u8]>> {
+            self.reads.fetch_add(1, Ordering::Relaxed);
+            self.inner.read_page(page)
+        }
+
+        fn page_count(&self) -> u64 {
+            self.inner.page_count()
+        }
+    }
+
+    #[test]
+    fn disk_distances_are_bit_identical_to_memory() {
+        let g = network();
+        let mem = DistanceOracle::build(&g, 10, 4.0);
+        let path = tmp("bitident.pcp");
+        write_oracle(&mem, &path).unwrap();
+        let disk = DiskDistanceOracle::open(&path, 0.25).unwrap();
+        assert_eq!(disk.pair_count(), mem.pair_count());
+        assert_eq!(disk.vertex_count(), g.vertex_count());
+        assert_eq!(disk.separation(), mem.separation());
+        assert_eq!(disk.stretch().to_bits(), mem.stretch().to_bits());
+        assert_eq!(disk.epsilon().to_bits(), mem.epsilon().to_bits());
+        let n = g.vertex_count() as u32;
+        for u in 0..n {
+            for v in 0..n {
+                let (u, v) = (VertexId(u), VertexId(v));
+                assert_eq!(
+                    mem.distance(u, v).to_bits(),
+                    disk.distance(u, v).to_bits(),
+                    "distance bits differ for {u}->{v}"
+                );
+                assert_eq!(
+                    mem.representatives(u, v),
+                    disk.representatives(u, v),
+                    "representatives differ for {u}->{v}"
+                );
+            }
+        }
+        assert!(disk.io_stats().requests() > 0, "disk queries must touch pages");
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let g = network();
+        let a = encode(&DistanceOracle::build(&g, 10, 3.0));
+        let b = encode(&DistanceOracle::build(&g, 10, 3.0));
+        assert_eq!(a, b, "equal oracles must serialize byte-exactly");
+    }
+
+    #[test]
+    fn warm_sweep_issues_zero_store_reads() {
+        let g = network();
+        let mem = DistanceOracle::build(&g, 10, 3.0);
+        let store =
+            CountingStore { inner: MemPageStore::new(&encode(&mem)), reads: AtomicU64::new(0) };
+        // Pool big enough for every page: after the cold sweep, nothing may
+        // reach the store again.
+        let disk = DiskDistanceOracle::from_store(store, 1.0, None).unwrap();
+        // Opening reads the pinned metadata straight from the store; only
+        // reads after this point belong to the query path.
+        let open_reads = disk.cached.store().reads.load(Ordering::Relaxed);
+        let n = g.vertex_count() as u32;
+        let sweep = |o: &DiskDistanceOracle<CountingStore>| {
+            for u in (0..n).step_by(3) {
+                for v in (0..n).step_by(5) {
+                    let _ = o.distance(VertexId(u), VertexId(v));
+                }
+            }
+        };
+        sweep(&disk);
+        let cold_reads = disk.cached.store().reads.load(Ordering::Relaxed) - open_reads;
+        assert!(cold_reads > 0, "the cold sweep must read the store");
+        assert_eq!(disk.io_stats().misses, cold_reads, "every miss is exactly one store read");
+        disk.reset_io_stats();
+        sweep(&disk);
+        assert_eq!(
+            disk.cached.store().reads.load(Ordering::Relaxed) - open_reads,
+            cold_reads,
+            "a warm sweep must issue zero store reads"
+        );
+        let warm = disk.io_stats();
+        assert_eq!(warm.misses, 0, "warm pool must not miss: {warm:?}");
+        let cache = disk.pair_cache_stats();
+        assert!(cache.hits > 0, "warm sweep must hit the decoded-pair cache");
+        // clear_cache drops both tiers: the next query reads the store again.
+        disk.clear_cache();
+        let _ = disk.distance(VertexId(0), VertexId(1));
+        assert!(disk.cached.store().reads.load(Ordering::Relaxed) - open_reads > cold_reads);
+    }
+
+    #[test]
+    fn tiny_pair_cache_still_answers_through_the_pool() {
+        let g = network();
+        let mem = DistanceOracle::build(&g, 10, 2.0);
+        let path = tmp("tinycache.pcp");
+        write_oracle(&mem, &path).unwrap();
+        let disk = DiskDistanceOracle::open_with_pair_cache(&path, 1.0, 1).unwrap();
+        for &(u, v) in &[(0u32, 100u32), (55, 7), (139, 2)] {
+            assert_eq!(
+                mem.distance(VertexId(u), VertexId(v)).to_bits(),
+                disk.distance(VertexId(u), VertexId(v)).to_bits()
+            );
+        }
+        assert!(disk.pair_cache_stats().requests() > 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let g = network();
+        let mut bytes = encode(&DistanceOracle::build(&g, 10, 2.0));
+        bytes[0] ^= 0xFF;
+        match DiskDistanceOracle::from_store(MemPageStore::new(&bytes), 0.5, None) {
+            Err(PcpError::Corrupt(msg)) => assert!(msg.contains("magic"), "{msg}"),
+            other => panic!("expected Corrupt, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let g = network();
+        let mut bytes = encode(&DistanceOracle::build(&g, 10, 2.0));
+        bytes[8] = 0xFE; // version little-endian low byte
+        match DiskDistanceOracle::from_store(MemPageStore::new(&bytes), 0.5, None) {
+            Err(PcpError::Corrupt(msg)) => assert!(msg.contains("version"), "{msg}"),
+            other => panic!("expected Corrupt, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let g = network();
+        let bytes = encode(&DistanceOracle::build(&g, 10, 3.0));
+        // Cut the pair region short (keep whole pages so the store opens).
+        for keep_pages in [1usize, bytes.len() / (2 * silc_storage::PAGE_SIZE)] {
+            let cut = (keep_pages * silc_storage::PAGE_SIZE).min(bytes.len() - 1);
+            let store = MemPageStore::new(&bytes[..cut]);
+            assert!(
+                DiskDistanceOracle::from_store(store, 0.5, None).is_err(),
+                "truncation to {cut} bytes must be rejected"
+            );
+        }
+        // A header shorter than HEADER_BYTES is rejected too.
+        let store = MemPageStore::new(&bytes[..HEADER_BYTES - 4]);
+        assert!(DiskDistanceOracle::from_store(store, 0.5, None).is_err());
+    }
+
+    #[test]
+    fn corrupt_directory_rejected() {
+        let g = network();
+        let mem = DistanceOracle::build(&g, 10, 2.0);
+        let bytes = encode(&mem);
+        // The directory's first group start sits right before the pair
+        // region; breaking contiguity must be caught.
+        let meta_len = {
+            let mut h = &bytes[HEADER_BYTES - 8..HEADER_BYTES];
+            h.get_u64_le() as usize
+        };
+        let dir_first_start = meta_len - mem.tree().raw_nodes().len() * 12;
+        let mut broken = bytes.clone();
+        broken[dir_first_start] = 1;
+        match DiskDistanceOracle::from_store(MemPageStore::new(&broken), 0.5, None) {
+            Err(PcpError::Corrupt(msg)) => assert!(msg.contains("contiguous"), "{msg}"),
+            other => panic!("expected Corrupt, got {:?}", other.map(|_| ())),
+        }
+        assert_eq!(&bytes[..8], MAGIC, "layout assumption: magic leads the header");
+    }
+
+    #[test]
+    fn unsorted_pair_group_fails_loudly() {
+        // Pair-region corruption is invisible to open-time metadata checks;
+        // an unsorted group must abort the query with a clear message, not
+        // silently miss pairs in the binary search.
+        let g = network();
+        let mem = DistanceOracle::build(&g, 10, 2.0);
+        let bytes = encode(&mem);
+        let pairs_base = {
+            let mut h = &bytes[HEADER_BYTES - 8..HEADER_BYTES];
+            h.get_u64_le() as usize
+        };
+        // Walk the serialized directory to find a group with ≥ 2 records,
+        // then duplicate its first b into its second — strict ordering
+        // broken, metadata untouched.
+        let node_count = mem.tree().raw_nodes().len();
+        let dir_base = pairs_base - node_count * 12;
+        let (start, _count) = (0..node_count)
+            .map(|i| {
+                let mut d = &bytes[dir_base + i * 12..dir_base + (i + 1) * 12];
+                (d.get_u64_le() as usize, d.get_u32_le())
+            })
+            .find(|&(_, count)| count >= 2)
+            .expect("some node stores at least two pairs");
+        let rec = |i: usize| pairs_base + (start + i) * crate::format::PAIR_BYTES;
+        let mut broken = bytes.clone();
+        let first_b: [u8; 4] = broken[rec(0)..rec(0) + 4].try_into().unwrap();
+        broken[rec(1)..rec(1) + 4].copy_from_slice(&first_b);
+        let disk = DiskDistanceOracle::from_store(MemPageStore::new(&broken), 1.0, None).unwrap();
+        let n = g.vertex_count() as u32;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for u in 0..n {
+                for v in 0..n {
+                    let _ = disk.distance(VertexId(u), VertexId(v));
+                }
+            }
+        }));
+        let err = result.expect_err("the corrupted group must abort a query");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("not sorted"), "unexpected panic message: {msg}");
+    }
+
+    #[test]
+    fn round_trip_through_a_real_file_is_byte_exact() {
+        let g = network();
+        let mem = DistanceOracle::build(&g, 10, 3.0);
+        let path = tmp("roundtrip.pcp");
+        write_oracle(&mem, &path).unwrap();
+        let on_disk = std::fs::read(&path).unwrap();
+        let encoded = encode(&mem);
+        assert_eq!(&on_disk[..encoded.len()], &encoded[..], "file must hold the exact encoding");
+        assert!(on_disk[encoded.len()..].iter().all(|&b| b == 0), "padding must be zeros");
+        assert_eq!(on_disk.len() % silc_storage::PAGE_SIZE, 0, "file must be page-aligned");
+    }
+}

@@ -1,0 +1,53 @@
+//! Errors raised while writing or opening a disk-resident oracle.
+
+use std::io;
+
+/// Why a disk-resident oracle could not be written or opened.
+#[derive(Debug)]
+pub enum PcpError {
+    /// An I/O error while writing or reading the oracle file.
+    Io(io::Error),
+    /// The oracle file is malformed (bad magic, unsupported version,
+    /// truncated or inconsistent regions).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for PcpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcpError::Io(e) => write!(f, "I/O error: {e}"),
+            PcpError::Corrupt(msg) => write!(f, "corrupt oracle file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PcpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PcpError::Io(e) => Some(e),
+            PcpError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for PcpError {
+    fn from(e: io::Error) -> Self {
+        PcpError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = PcpError::Io(io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_some());
+        let e = PcpError::Corrupt("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        assert!(e.source().is_none());
+    }
+}

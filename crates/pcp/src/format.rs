@@ -1,0 +1,262 @@
+//! The paged on-disk format of a PCP distance oracle.
+//!
+//! Storage parity with `silc::disk`: the structurally small parts (header,
+//! the code-sorted vertex array, the split-tree skeleton, the per-node pair
+//! directory) form a pinned metadata region read once at open time, while
+//! the `O(s²n)` pair payload — the part that grows with accuracy — is laid
+//! out in fixed-size pages served through a `silc_storage::BufferPool`.
+//!
+//! ## File layout
+//!
+//! ```text
+//! header    magic "SILCPCPD", version u32, n, node count, pair count,
+//!           separation, stretch, pair-region offset
+//! sorted    n × (u64 code, u32 vertex) — the code-sorted vertex array
+//! nodes     per split-tree node: block base u64 | level u8 | tight rect
+//!           4×f64 | span 2×u32 | child count u8 | children u32×c
+//! directory node count × (u64 first pair index, u32 pair count) — the
+//!           stored pairs grouped by their first (the `a`-side) node
+//! pairs     one 20-byte record per stored pair, groups concatenated in
+//!           node order, each group sorted by the `b`-side node id:
+//!           b u32 | rep_a u32 | rep_b u32 | dist f64
+//! ```
+//!
+//! Representative distances are stored as full `f64` bits, so the disk
+//! oracle's answers are **bit-identical** to the memory oracle it was
+//! written from (locked by tests in [`crate::disk`]).
+
+use crate::error::PcpError;
+use crate::oracle::DistanceOracle;
+use crate::split_tree::{Node, SplitTree};
+use bytes::{Buf, BufMut};
+use silc_geom::Rect;
+use silc_morton::{MortonBlock, MortonCode};
+use silc_storage::{read_span, FilePageStore, PageStore, PAGE_SIZE};
+use std::path::Path;
+
+pub(crate) const MAGIC: &[u8; 8] = b"SILCPCPD";
+pub(crate) const VERSION: u32 = 1;
+pub(crate) const HEADER_BYTES: usize = 8 + 4 + 4 + 4 + 8 + 8 + 8 + 8;
+/// Bytes per serialized pair record.
+pub const PAIR_BYTES: usize = 20;
+
+/// One decoded pair record of a directory group (the `a`-side node is the
+/// group key and is not repeated per record).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct PairRecord {
+    pub(crate) b: u32,
+    pub(crate) rep_a: u32,
+    pub(crate) rep_b: u32,
+    pub(crate) dist: f64,
+}
+
+/// Serializes `oracle` into the paged byte layout (what [`write_oracle`]
+/// writes before page padding). Deterministic: equal oracles encode to
+/// equal bytes (groups are emitted in node order, records sorted by `b`),
+/// so re-serialization round-trips byte-exactly. Public so tests and
+/// memory-backed deployments can feed a `MemPageStore` directly.
+pub fn encode_oracle(oracle: &DistanceOracle) -> Vec<u8> {
+    let tree = oracle.tree();
+    let nodes = tree.raw_nodes();
+    let sorted = tree.raw_sorted();
+    let n = sorted.len();
+    let node_count = nodes.len();
+
+    // Group the stored pairs by their a-side node — the unit the disk
+    // oracle decodes and caches — sorted by b for binary search.
+    let mut groups: Vec<Vec<PairRecord>> = vec![Vec::new(); node_count];
+    for (&(a, b), p) in oracle.pair_map() {
+        groups[a as usize].push(PairRecord { b, rep_a: p.rep_a.0, rep_b: p.rep_b.0, dist: p.dist });
+    }
+    for g in &mut groups {
+        g.sort_unstable_by_key(|r| r.b);
+    }
+    let pair_count: u64 = groups.iter().map(|g| g.len() as u64).sum();
+
+    let nodes_bytes: usize =
+        nodes.iter().map(|nd| 8 + 1 + 32 + 8 + 1 + 4 * nd.children.len()).sum();
+    let meta_len = HEADER_BYTES + n * 12 + nodes_bytes + node_count * 12;
+
+    let mut buf = Vec::with_capacity(meta_len + pair_count as usize * PAIR_BYTES);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(n as u32);
+    buf.put_u32_le(node_count as u32);
+    buf.put_u64_le(pair_count);
+    buf.put_f64_le(oracle.separation());
+    buf.put_f64_le(oracle.stretch());
+    buf.put_u64_le(meta_len as u64);
+    for &(code, v) in sorted {
+        buf.put_u64_le(code);
+        buf.put_u32_le(v);
+    }
+    for nd in nodes {
+        buf.put_u64_le(nd.block.start());
+        buf.put_u8(nd.block.level());
+        buf.put_f64_le(nd.rect.min_x);
+        buf.put_f64_le(nd.rect.min_y);
+        buf.put_f64_le(nd.rect.max_x);
+        buf.put_f64_le(nd.rect.max_y);
+        buf.put_u32_le(nd.span.0);
+        buf.put_u32_le(nd.span.1);
+        buf.put_u8(nd.children.len() as u8);
+        for c in &nd.children {
+            buf.put_u32_le(c.0);
+        }
+    }
+    let mut start = 0u64;
+    for g in &groups {
+        buf.put_u64_le(start);
+        buf.put_u32_le(g.len() as u32);
+        start += g.len() as u64;
+    }
+    debug_assert_eq!(buf.len(), meta_len);
+    for g in &groups {
+        for r in g {
+            buf.put_u32_le(r.b);
+            buf.put_u32_le(r.rep_a);
+            buf.put_u32_le(r.rep_b);
+            buf.put_f64_le(r.dist);
+        }
+    }
+    buf
+}
+
+/// Serializes `oracle` into a page file at `path`.
+pub fn write_oracle<P: AsRef<Path>>(oracle: &DistanceOracle, path: P) -> Result<(), PcpError> {
+    FilePageStore::create(path, &encode_oracle(oracle))?;
+    Ok(())
+}
+
+/// The pinned metadata of an oracle file, parsed and validated.
+pub(crate) struct Parsed {
+    pub(crate) tree: SplitTree,
+    /// Per-node `(first pair index, pair count)` into the pair region.
+    pub(crate) directory: Vec<(u64, u32)>,
+    pub(crate) pair_count: u64,
+    pub(crate) pairs_base: u64,
+    pub(crate) separation: f64,
+    pub(crate) stretch: f64,
+}
+
+/// Reads and validates the header + metadata region from a store.
+pub(crate) fn parse<S: PageStore>(store: &S) -> Result<Parsed, PcpError> {
+    let corrupt = |msg: &str| PcpError::Corrupt(msg.to_string());
+    let file_bytes = store.page_count() * PAGE_SIZE as u64;
+    if file_bytes < HEADER_BYTES as u64 {
+        return Err(corrupt("file too small for header"));
+    }
+    let header = read_span(store, 0, HEADER_BYTES)?;
+    let mut h = &header[..];
+    let mut magic = [0u8; 8];
+    h.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = h.get_u32_le();
+    if version != VERSION {
+        return Err(PcpError::Corrupt(format!(
+            "unsupported format version {version} (this build reads version {VERSION})"
+        )));
+    }
+    let n = h.get_u32_le() as usize;
+    let node_count = h.get_u32_le() as usize;
+    if n == 0 || node_count == 0 {
+        return Err(corrupt("empty oracle"));
+    }
+    if node_count >= 2 * n.max(1) {
+        return Err(corrupt("node count exceeds the compressed-tree bound"));
+    }
+    let pair_count = h.get_u64_le();
+    let separation = h.get_f64_le();
+    let stretch = h.get_f64_le();
+    let pairs_base = h.get_u64_le();
+    if !separation.is_finite() || separation <= 0.0 || !stretch.is_finite() || stretch < 1.0 {
+        return Err(corrupt("separation/stretch out of range"));
+    }
+
+    let min_meta = HEADER_BYTES + n * 12 + node_count * (8 + 1 + 32 + 8 + 1) + node_count * 12;
+    if pairs_base < min_meta as u64 || pairs_base > file_bytes {
+        return Err(corrupt("pair region offset out of range"));
+    }
+    let meta = read_span(store, HEADER_BYTES, pairs_base as usize - HEADER_BYTES)?;
+    let mut m = &meta[..];
+
+    let mut sorted = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for _ in 0..n {
+        let code = m.get_u64_le();
+        let v = m.get_u32_le();
+        if v as usize >= n || seen[v as usize] {
+            return Err(corrupt("sorted vertex array is not a permutation"));
+        }
+        seen[v as usize] = true;
+        sorted.push((code, v));
+    }
+
+    let mut nodes = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        if m.remaining() < 8 + 1 + 32 + 8 + 1 {
+            return Err(corrupt("truncated node region"));
+        }
+        let base = m.get_u64_le();
+        let level = m.get_u8();
+        if level > 32 || (level < 32 && base % (1u64 << (2 * level as u32)) != 0) {
+            return Err(corrupt("misaligned node block"));
+        }
+        let rect = Rect::new(m.get_f64_le(), m.get_f64_le(), m.get_f64_le(), m.get_f64_le());
+        let lo = m.get_u32_le();
+        let hi = m.get_u32_le();
+        if lo >= hi || hi as usize > n {
+            return Err(corrupt("bad node span"));
+        }
+        let child_count = m.get_u8() as usize;
+        if child_count == 1 || child_count > 4 || m.remaining() < 4 * child_count {
+            return Err(corrupt("bad child count"));
+        }
+        let mut children = Vec::with_capacity(child_count);
+        for _ in 0..child_count {
+            let c = m.get_u32_le();
+            if c as usize >= node_count {
+                return Err(corrupt("child node id out of range"));
+            }
+            children.push(crate::split_tree::NodeRef(c));
+        }
+        nodes.push(Node {
+            block: MortonBlock::new(MortonCode(base), level),
+            rect,
+            span: (lo, hi),
+            children,
+        });
+    }
+
+    if m.remaining() != node_count * 12 {
+        return Err(corrupt("metadata region size does not match node count"));
+    }
+    let mut directory = Vec::with_capacity(node_count);
+    let mut total = 0u64;
+    for _ in 0..node_count {
+        let start = m.get_u64_le();
+        let count = m.get_u32_le();
+        if start != total {
+            return Err(corrupt("directory groups are not contiguous"));
+        }
+        total += count as u64;
+        directory.push((start, count));
+    }
+    if total != pair_count {
+        return Err(corrupt("directory pair total does not match header"));
+    }
+    if pairs_base + pair_count * PAIR_BYTES as u64 > file_bytes {
+        return Err(corrupt("pair region extends past end of file"));
+    }
+
+    Ok(Parsed {
+        tree: SplitTree::from_raw(nodes, sorted),
+        directory,
+        pair_count,
+        pairs_base,
+        separation,
+        stretch,
+    })
+}

@@ -13,12 +13,40 @@
 //! * [`SplitTree`] — a compressed quadtree over the vertex positions,
 //! * [`wspd`] — the s-well-separated pair decomposition (`O(s²n)` pairs),
 //! * [`DistanceOracle`] — representative distances per pair plus the
-//!   pair-location query.
+//!   pair-location query,
+//! * [`write_oracle`] / [`DiskDistanceOracle`] — the same oracle with full
+//!   disk parity to `silc::disk`: a paged, versioned file format and a
+//!   served-from-pages form behind a sharded buffer pool.
+//!
+//! ## The ε guarantee
+//!
+//! With separation `s` and network stretch `t = max d_network/d_euclidean`
+//! (measured during the build), any query's relative error is bounded by
+//! `ε ≈ 4t/s` — [`DistanceOracle::epsilon`]. Raising `s` buys accuracy at
+//! `O(s²)` more pairs; the trade-off against the exact SILC index is what
+//! `bench_tradeoff` in `silc-bench` measures.
+//!
+//! ## The page format
+//!
+//! [`write_oracle`] lays the oracle out the way `DiskSilcIndex` lays out
+//! quadtrees: a versioned header, the split-tree skeleton, and a per-node
+//! pair directory form the pinned metadata, while the `O(s²n)` pair payload
+//! (20 bytes per pair, grouped by the pair's first node and sorted for
+//! binary search) fills fixed-size pages served through the
+//! `silc_storage::BufferPool` with decoded groups in a `ShardedCache`.
+//! Representative distances are stored as full `f64` bits, so
+//! [`DiskDistanceOracle::distance`] is bit-identical to the memory oracle.
 
+pub mod disk;
+pub mod error;
+pub mod format;
 pub mod oracle;
 pub mod split_tree;
 pub mod wspd;
 
+pub use disk::DiskDistanceOracle;
+pub use error::PcpError;
+pub use format::{encode_oracle, write_oracle, PAIR_BYTES};
 pub use oracle::DistanceOracle;
 pub use split_tree::{NodeRef, SplitTree};
 pub use wspd::{wspd, WspdPair};

@@ -17,11 +17,55 @@ use std::collections::HashMap;
 
 /// Stored payload of one pair.
 #[derive(Debug, Clone, Copy)]
-struct PairData {
-    rep_a: VertexId,
-    rep_b: VertexId,
+pub(crate) struct PairData {
+    pub(crate) rep_a: VertexId,
+    pub(crate) rep_b: VertexId,
     /// Representative network distance `rep_a → rep_b`.
-    dist: f64,
+    pub(crate) dist: f64,
+}
+
+/// The pair-location walk shared by the memory and disk oracles: descend
+/// the split tree mirroring the WSPD construction's split rule until the
+/// stored pair covering `(u, v)` is found. `lookup` resolves one stored
+/// orientation `(a, b)`; the walk probes both orientations at each step.
+///
+/// Both oracles answer through this one function over identical tree data,
+/// which is what makes their answers bit-identical by construction.
+pub(crate) fn locate_pair(
+    tree: &SplitTree,
+    u: VertexId,
+    v: VertexId,
+    mut lookup: impl FnMut(u32, u32) -> Option<PairData>,
+) -> (PairData, bool) {
+    let t = tree;
+    let mut a = t.root();
+    let mut b = t.root();
+    loop {
+        if a == b {
+            // Descend together until u and v part ways.
+            let ca = t.child_containing(a, u);
+            let cb = t.child_containing(b, v);
+            a = ca;
+            b = cb;
+            continue;
+        }
+        if let Some(p) = lookup(a.0, b.0) {
+            return (p, false);
+        }
+        if let Some(p) = lookup(b.0, a.0) {
+            return (p, true);
+        }
+        // Mirror the construction's split rule: split the larger
+        // diameter (ties split `a`-side of the stored orientation —
+        // which is the node that compares ≥).
+        if t.diameter(a) >= t.diameter(b) && !t.is_leaf(a) {
+            a = t.child_containing(a, u);
+        } else if !t.is_leaf(b) {
+            b = t.child_containing(b, v);
+        } else {
+            unreachable!("two leaves always form a stored pair");
+        }
+    }
 }
 
 /// An approximate network-distance oracle.
@@ -84,37 +128,19 @@ impl DistanceOracle {
         4.0 * self.stretch / self.separation
     }
 
+    /// The split tree the oracle was built on (serialization access).
+    pub(crate) fn tree(&self) -> &SplitTree {
+        &self.tree
+    }
+
+    /// The stored pairs keyed by split-tree node ids (serialization access).
+    pub(crate) fn pair_map(&self) -> &HashMap<(u32, u32), PairData> {
+        &self.pairs
+    }
+
     /// The well-separated pair covering `(u, v)` and its payload.
     fn locate(&self, u: VertexId, v: VertexId) -> (PairData, bool) {
-        let t = &self.tree;
-        let mut a = t.root();
-        let mut b = t.root();
-        loop {
-            if a == b {
-                // Descend together until u and v part ways.
-                let ca = t.child_containing(a, u);
-                let cb = t.child_containing(b, v);
-                a = ca;
-                b = cb;
-                continue;
-            }
-            if let Some(p) = self.pairs.get(&(a.0, b.0)) {
-                return (*p, false);
-            }
-            if let Some(p) = self.pairs.get(&(b.0, a.0)) {
-                return (*p, true);
-            }
-            // Mirror the construction's split rule: split the larger
-            // diameter (ties split `a`-side of the stored orientation —
-            // which is the node that compares ≥).
-            if t.diameter(a) >= t.diameter(b) && !t.is_leaf(a) {
-                a = t.child_containing(a, u);
-            } else if !t.is_leaf(b) {
-                b = t.child_containing(b, v);
-            } else {
-                unreachable!("two leaves always form a stored pair");
-            }
-        }
+        locate_pair(&self.tree, u, v, |a, b| self.pairs.get(&(a, b)).copied())
     }
 
     /// Approximate network distance `u → v` (exact 0 when `u == v`).

@@ -119,6 +119,32 @@ impl SplitTree {
         NodeRef(idx.0)
     }
 
+    /// Reassembles a tree from its serialized parts (the disk format's open
+    /// path). `sorted` must hold every vertex exactly once; per-vertex codes
+    /// are rebuilt from it.
+    pub(crate) fn from_raw(nodes: Vec<Node>, sorted: Vec<(u64, u32)>) -> Self {
+        let mut codes = vec![MortonCode(0); sorted.len()];
+        for &(c, v) in &sorted {
+            codes[v as usize] = MortonCode(c);
+        }
+        SplitTree { nodes, sorted, codes }
+    }
+
+    /// The nodes, in index order (serialization access).
+    pub(crate) fn raw_nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The code-sorted `(code, vertex)` array (serialization access).
+    pub(crate) fn raw_sorted(&self) -> &[(u64, u32)] {
+        &self.sorted
+    }
+
+    /// Number of vertices the tree was built over.
+    pub fn vertex_count(&self) -> usize {
+        self.sorted.len()
+    }
+
     /// The root node.
     pub fn root(&self) -> NodeRef {
         NodeRef(0)

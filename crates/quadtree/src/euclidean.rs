@@ -23,6 +23,22 @@ impl<T> PrQuadtree<T> {
         NearestIter { tree: self, q, heap }
     }
 
+    /// [`Self::nearest_iter`] over a caller-owned [`NearestScratch`]: the
+    /// search heap is reused across calls, so a steady-state search
+    /// allocates nothing. Yields exactly the sequence `nearest_iter` yields.
+    pub fn nearest_with<'a>(
+        &'a self,
+        q: Point,
+        scratch: &'a mut NearestScratch,
+    ) -> NearestWith<'a, T> {
+        scratch.heap.clear();
+        scratch.heap.push(QueueEntry {
+            dist: self.rect(self.root()).min_distance(&q),
+            kind: EntryKind::Node(self.root()),
+        });
+        NearestWith { tree: self, q, heap: &mut scratch.heap }
+    }
+
     /// The `k` Euclidean-nearest items to `q`.
     pub fn k_nearest(&self, q: Point, k: usize) -> Vec<(u32, f64)> {
         self.nearest_iter(q).take(k).collect()
@@ -63,6 +79,34 @@ impl PartialOrd for QueueEntry {
     }
 }
 
+/// The best-first advance shared by both iterator forms.
+fn advance<T>(
+    tree: &PrQuadtree<T>,
+    q: Point,
+    heap: &mut BinaryHeap<QueueEntry>,
+) -> Option<(u32, f64)> {
+    while let Some(QueueEntry { dist, kind }) = heap.pop() {
+        match kind {
+            EntryKind::Item(i) => return Some((i, dist)),
+            EntryKind::Node(n) => match tree.node(n) {
+                NodeView::Leaf(items) => {
+                    for &i in items {
+                        let d = tree.position(i).distance(&q);
+                        heap.push(QueueEntry { dist: d, kind: EntryKind::Item(i) });
+                    }
+                }
+                NodeView::Internal(children) => {
+                    for c in children {
+                        let d = tree.rect(c).min_distance(&q);
+                        heap.push(QueueEntry { dist: d, kind: EntryKind::Node(c) });
+                    }
+                }
+            },
+        }
+    }
+    None
+}
+
 /// Iterator created by [`PrQuadtree::nearest_iter`].
 pub struct NearestIter<'t, T> {
     tree: &'t PrQuadtree<T>,
@@ -74,26 +118,38 @@ impl<T> Iterator for NearestIter<'_, T> {
     type Item = (u32, f64);
 
     fn next(&mut self) -> Option<(u32, f64)> {
-        while let Some(QueueEntry { dist, kind }) = self.heap.pop() {
-            match kind {
-                EntryKind::Item(i) => return Some((i, dist)),
-                EntryKind::Node(n) => match self.tree.node(n) {
-                    NodeView::Leaf(items) => {
-                        for &i in items {
-                            let d = self.tree.position(i).distance(&self.q);
-                            self.heap.push(QueueEntry { dist: d, kind: EntryKind::Item(i) });
-                        }
-                    }
-                    NodeView::Internal(children) => {
-                        for c in children {
-                            let d = self.tree.rect(c).min_distance(&self.q);
-                            self.heap.push(QueueEntry { dist: d, kind: EntryKind::Node(c) });
-                        }
-                    }
-                },
-            }
-        }
-        None
+        advance(self.tree, self.q, &mut self.heap)
+    }
+}
+
+/// The reusable state of [`PrQuadtree::nearest_with`]: the search's
+/// priority queue, retained across searches so repeated queries (a session
+/// workload) allocate nothing once grown.
+#[derive(Default)]
+pub struct NearestScratch {
+    heap: BinaryHeap<QueueEntry>,
+}
+
+impl NearestScratch {
+    /// An empty scratch; the heap grows on first use and is then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Iterator created by [`PrQuadtree::nearest_with`] — identical sequence to
+/// [`NearestIter`], over a borrowed heap.
+pub struct NearestWith<'a, T> {
+    tree: &'a PrQuadtree<T>,
+    q: Point,
+    heap: &'a mut BinaryHeap<QueueEntry>,
+}
+
+impl<T> Iterator for NearestWith<'_, T> {
+    type Item = (u32, f64);
+
+    fn next(&mut self) -> Option<(u32, f64)> {
+        advance(self.tree, self.q, self.heap)
     }
 }
 
@@ -145,6 +201,24 @@ mod tests {
         for (g, b) in got.iter().zip(&brute) {
             assert!((g.1 - b.1).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn nearest_with_matches_nearest_iter_and_reuses_state() {
+        let t = PrQuadtree::build(random_points(150, 9), 5);
+        let mut scratch = NearestScratch::new();
+        for &(qx, qy) in &[(3.0, 4.0), (80.0, 80.0), (-5.0, 50.0)] {
+            let q = Point::new(qx, qy);
+            let owned: Vec<(u32, f64)> = t.nearest_iter(q).collect();
+            let reused: Vec<(u32, f64)> = t.nearest_with(q, &mut scratch).collect();
+            assert_eq!(owned, reused, "reused-heap search must yield the identical sequence");
+        }
+        // A partially consumed search leaves stale state; the next call must
+        // start fresh.
+        let q = Point::new(50.0, 50.0);
+        let _ = t.nearest_with(q, &mut scratch).take(3).count();
+        let full: Vec<(u32, f64)> = t.nearest_with(q, &mut scratch).collect();
+        assert_eq!(full.len(), 150);
     }
 
     #[test]

@@ -19,5 +19,5 @@
 pub mod euclidean;
 pub mod tree;
 
-pub use euclidean::NearestIter;
+pub use euclidean::{NearestIter, NearestScratch, NearestWith};
 pub use tree::{NodeId, NodeView, PrQuadtree};

@@ -1,0 +1,429 @@
+//! ε-approximate kNN over an approximate distance oracle.
+//!
+//! The paper's trade-off table (p.11) pits the exact SILC index against the
+//! PCP distance oracle; this module is the query seam that makes the two
+//! halves interchangeable in the serving stack. [`ApproxDistanceOracle`]
+//! abstracts "answers any vertex-pair distance within a relative error ε" —
+//! implemented by both the memory and the disk-resident PCP oracles — and
+//! [`approx_knn`] runs IER-style k-nearest-neighbor over it: candidates are
+//! drawn in Euclidean order from the object quadtree, each candidate's
+//! network distance is estimated with **one oracle probe** instead of a
+//! shortest-path computation, and the scan stops once the scaled Euclidean
+//! lower bound of the next candidate clears the kth candidate's distance
+//! upper bound.
+//!
+//! ## What the result guarantees
+//!
+//! With a sound oracle (relative error at most `ε = oracle.epsilon()`),
+//! every reported [`crate::Neighbor`] carries an interval containing its
+//! true network distance, built from two independent bounds — the oracle's
+//! `[d̃/(1+ε), d̃/(1−ε)]` band and the network's Euclidean lower bound
+//! `dE · min_ratio` — combined by intersection, falling back to the gap
+//! interval when float noise (or an oracle slightly past its first-order
+//! bound) makes them disjoint, the same honest-combination rule
+//! `silc::refine` uses. Ranking is by the oracle estimate, so the i-th
+//! reported true distance exceeds the exact i-th distance by at most a
+//! factor `(1+ε)/(1−ε)` — the ε-closeness the `pcp_bounds_fuzz` suite
+//! locks.
+
+use crate::objects::{ObjectId, ObjectSet};
+use crate::result::{KnnResult, Neighbor, QueryStats};
+use silc::DistInterval;
+use silc_network::{SpatialNetwork, VertexId};
+use silc_quadtree::NearestScratch;
+use silc_storage::PageStore;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An oracle answering vertex-pair network distances within a bounded
+/// relative error — the query stack's view of `silc_pcp`'s memory and disk
+/// oracles (and anything else that can estimate distances).
+pub trait ApproxDistanceOracle: Send + Sync {
+    /// Approximate network distance `u → v` (exact 0 when `u == v`).
+    fn distance(&self, u: VertexId, v: VertexId) -> f64;
+
+    /// The guaranteed relative error bound ε of [`Self::distance`].
+    fn epsilon(&self) -> f64;
+}
+
+impl ApproxDistanceOracle for silc_pcp::DistanceOracle {
+    fn distance(&self, u: VertexId, v: VertexId) -> f64 {
+        silc_pcp::DistanceOracle::distance(self, u, v)
+    }
+
+    fn epsilon(&self) -> f64 {
+        silc_pcp::DistanceOracle::epsilon(self)
+    }
+}
+
+impl<S: PageStore> ApproxDistanceOracle for silc_pcp::DiskDistanceOracle<S> {
+    fn distance(&self, u: VertexId, v: VertexId) -> f64 {
+        silc_pcp::DiskDistanceOracle::distance(self, u, v)
+    }
+
+    fn epsilon(&self) -> f64 {
+        silc_pcp::DiskDistanceOracle::epsilon(self)
+    }
+}
+
+/// Max-heap entry of the k-best buffer: ranked by the oracle estimate,
+/// deterministic ties by object id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ApproxBest {
+    approx: f64,
+    object: ObjectId,
+    interval: DistInterval,
+}
+
+impl Eq for ApproxBest {}
+
+impl Ord for ApproxBest {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.approx.total_cmp(&other.approx).then_with(|| self.object.cmp(&other.object))
+    }
+}
+
+impl PartialOrd for ApproxBest {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The reusable workspaces of [`approx_knn`]: the Euclidean search heap,
+/// the k-best buffer, the sorting sink, and the result. Create once (per
+/// session / thread); after the structures have grown to a workload's
+/// steady-state size, further queries allocate nothing.
+pub struct ApproxScratch {
+    nn: NearestScratch,
+    best: BinaryHeap<ApproxBest>,
+    /// Sink for sorting `best` without consuming its allocation.
+    sorted: Vec<ApproxBest>,
+    result: KnnResult,
+}
+
+impl Default for ApproxScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ApproxScratch {
+    /// Empty workspaces; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        ApproxScratch {
+            nn: NearestScratch::new(),
+            best: BinaryHeap::new(),
+            sorted: Vec::new(),
+            result: KnnResult::default(),
+        }
+    }
+
+    /// The result of the most recent query run through this scratch.
+    pub fn result(&self) -> &KnnResult {
+        &self.result
+    }
+
+    /// Consumes the scratch, yielding the last result — the one-shot path.
+    pub fn into_result(self) -> KnnResult {
+        self.result
+    }
+
+    /// Clears per-query state (allocations are retained).
+    fn begin(&mut self) {
+        self.best.clear();
+        self.sorted.clear();
+        self.result.neighbors.clear();
+        self.result.stats = QueryStats::default();
+    }
+}
+
+/// The true-distance interval of one candidate: the oracle's ε band around
+/// its estimate, intersected with the network's scaled Euclidean lower
+/// bound. Disjoint bounds (float noise, or an oracle a hair past its
+/// first-order ε) fall back to the gap interval — the honest-combination
+/// rule of `silc::refine`.
+fn candidate_interval(approx: f64, eps: f64, euclid_lo: f64) -> DistInterval {
+    if approx <= 0.0 && euclid_lo <= 0.0 {
+        // Co-located query and object: exactly 0. A zero estimate with a
+        // positive Euclidean bound instead falls through to the gap rule —
+        // the oracle may be within its relative contract while the network
+        // proves the distance positive.
+        return DistInterval::exact(0.0);
+    }
+    let band = if approx <= 0.0 {
+        DistInterval::exact(0.0)
+    } else {
+        let hi = if eps < 1.0 { approx / (1.0 - eps) } else { f64::INFINITY };
+        DistInterval::new(approx / (1.0 + eps), hi)
+    };
+    let lower = DistInterval::new(euclid_lo, f64::INFINITY);
+    band.intersect(&lower).unwrap_or_else(|| {
+        let gap_lo = band.hi.min(lower.hi);
+        let gap_hi = band.lo.max(lower.lo);
+        DistInterval::new(gap_lo, gap_hi)
+    })
+}
+
+/// The ε-approximate kNN core, writing into reusable workspaces.
+///
+/// The result lands in `scratch.result()`; the free function [`approx_knn`]
+/// and [`crate::QuerySession::approx_knn`] are its two callers.
+pub(crate) fn approx_knn_into<O: ApproxDistanceOracle + ?Sized>(
+    oracle: &O,
+    network: &SpatialNetwork,
+    objects: &ObjectSet,
+    query: VertexId,
+    k: usize,
+    scratch: &mut ApproxScratch,
+) {
+    assert!(k > 0, "k must be positive");
+    scratch.begin();
+    let ApproxScratch { nn, best, sorted, result } = scratch;
+    let eps = oracle.epsilon();
+    let min_ratio = network.min_weight_ratio();
+    let qpos = network.position(query);
+    let mut stats = QueryStats::default();
+
+    // Largest distance upper bound among the current k best — the sound
+    // termination threshold. Recomputed only when the buffer changes (not
+    // per candidate drawn). While the buffer is short, or while ε ≥ 1 makes
+    // every upper bound infinite (see the function docs), it stays ∞ and
+    // the scan cannot prune.
+    let mut kth_hi = f64::INFINITY;
+    for (item, euclid) in objects.quadtree().nearest_with(qpos, nn) {
+        let euclid_lo = euclid * min_ratio;
+        // Every undrawn object is at least `euclid_lo` away; once that
+        // clears the kth candidate's distance upper bound, nothing further
+        // can displace the current k.
+        if euclid_lo > kth_hi {
+            break;
+        }
+        stats.index_queries += 1;
+        let o = ObjectId(*objects.quadtree().payload(item));
+        let approx = oracle.distance(query, objects.vertex(o));
+        let interval = candidate_interval(approx, eps, euclid_lo);
+        let entry = ApproxBest { approx, object: o, interval };
+        let changed = if best.len() < k {
+            best.push(entry);
+            true
+        } else if entry < *best.peek().expect("k > 0") {
+            best.push(entry);
+            best.pop();
+            true
+        } else {
+            false
+        };
+        if changed && best.len() == k {
+            kth_hi = best.iter().map(|b| b.interval.hi).fold(0.0, f64::max);
+        }
+    }
+
+    sorted.clear();
+    sorted.extend(best.drain());
+    sorted.sort_unstable();
+    result.neighbors.extend(sorted.iter().map(|b| Neighbor {
+        object: b.object,
+        vertex: objects.vertex(b.object),
+        interval: b.interval,
+    }));
+    stats.dk_final = sorted.iter().map(|b| b.interval.hi).fold(0.0, f64::max);
+    result.stats = stats;
+}
+
+/// One-shot wrapper around the ε-approximate kNN core with a fresh
+/// [`ApproxScratch`].
+///
+/// Returns up to `k` neighbors in non-decreasing order of the oracle's
+/// distance estimate (fewer only when the object set is smaller than `k`);
+/// see the module docs for the ε guarantee their intervals carry.
+///
+/// **Degenerate regime:** when `oracle.epsilon() >= 1` the oracle admits a
+/// relative error of 100 % or more, so its estimates carry *no* distance
+/// upper bounds — no candidate can ever be proven unbeatable, and the scan
+/// soundly visits every object (one `O(log n)` oracle probe each; still no
+/// shortest-path computations). Early termination needs an oracle built
+/// accurate enough that ε < 1 — for the PCP oracle, a large enough
+/// separation `s` relative to the network stretch.
+pub fn approx_knn<O: ApproxDistanceOracle + ?Sized>(
+    oracle: &O,
+    network: &SpatialNetwork,
+    objects: &ObjectSet,
+    query: VertexId,
+    k: usize,
+) -> KnnResult {
+    let mut scratch = ApproxScratch::new();
+    approx_knn_into(oracle, network, objects, query, k, &mut scratch);
+    scratch.into_result()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::brute_force_knn;
+    use silc_network::generate::{road_network, RoadConfig};
+    use silc_network::{dijkstra, SpatialNetwork};
+    use silc_pcp::{write_oracle, DiskDistanceOracle, DistanceOracle};
+
+    fn fixture() -> (SpatialNetwork, ObjectSet, DistanceOracle) {
+        let g = road_network(&RoadConfig { vertices: 160, seed: 2024, ..Default::default() });
+        let objects = ObjectSet::random(&g, 0.15, 5);
+        let oracle = DistanceOracle::build(&g, 10, 12.0);
+        (g, objects, oracle)
+    }
+
+    /// Rank-wise ε-closeness: the i-th reported true distance may exceed the
+    /// exact i-th distance by at most (1+e)/(1−e), with the empirical-slack
+    /// e the oracle tests allow (the 4t/s bound is first-order).
+    fn check_eps_close(
+        g: &SpatialNetwork,
+        objects: &ObjectSet,
+        q: VertexId,
+        k: usize,
+        r: &KnnResult,
+        eps: f64,
+    ) {
+        let truth = brute_force_knn(g, objects, q, k);
+        assert_eq!(r.neighbors.len(), truth.len());
+        let e = (1.5 * eps + 0.05).min(0.95);
+        let factor = (1.0 + e) / (1.0 - e);
+        for (i, (n, &(_, exact))) in r.neighbors.iter().zip(&truth).enumerate() {
+            let d = dijkstra::distance(g, q, n.vertex).unwrap();
+            assert!(
+                d <= exact * factor + 1e-9,
+                "rank {i}: reported true distance {d} vs exact {exact} exceeds factor {factor}"
+            );
+            assert!(
+                n.interval.contains(d) || n.interval.lo - d < e * d + 1e-9,
+                "rank {i}: interval {} far from true distance {d}",
+                n.interval
+            );
+        }
+    }
+
+    #[test]
+    fn approx_knn_is_eps_close_to_exact() {
+        let (g, objects, oracle) = fixture();
+        for &q in &[0u32, 40, 81, 159] {
+            for k in [1usize, 4, 9] {
+                let r = approx_knn(&oracle, &g, &objects, VertexId(q), k);
+                check_eps_close(&g, &objects, VertexId(q), k, &r, oracle.epsilon());
+                assert!(r.stats.index_queries >= r.neighbors.len());
+            }
+        }
+    }
+
+    #[test]
+    fn memory_and_disk_oracles_answer_identically() {
+        let (g, objects, oracle) = fixture();
+        let dir = std::env::temp_dir().join("silc-approx-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("approx.pcp");
+        write_oracle(&oracle, &path).unwrap();
+        let disk = DiskDistanceOracle::open(&path, 0.3).unwrap();
+        for &q in &[5u32, 100] {
+            let a = approx_knn(&oracle, &g, &objects, VertexId(q), 6);
+            let b = approx_knn(&disk, &g, &objects, VertexId(q), 6);
+            assert_eq!(a.neighbors.len(), b.neighbors.len());
+            for (x, y) in a.neighbors.iter().zip(&b.neighbors) {
+                assert_eq!(x.object, y.object);
+                assert_eq!(x.interval.lo.to_bits(), y.interval.lo.to_bits());
+                assert_eq!(x.interval.hi.to_bits(), y.interval.hi.to_bits());
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn k_larger_than_object_count_returns_all() {
+        let (g, _, oracle) = fixture();
+        let objects = ObjectSet::from_vertices(&g, vec![VertexId(1), VertexId(2), VertexId(3)], 4);
+        let r = approx_knn(&oracle, &g, &objects, VertexId(0), 10);
+        assert_eq!(r.neighbors.len(), 3);
+    }
+
+    #[test]
+    fn query_on_object_vertex_returns_it_first() {
+        let (g, objects, oracle) = fixture();
+        let (o, v) = objects.iter().next().unwrap();
+        let r = approx_knn(&oracle, &g, &objects, v, 1);
+        assert_eq!(r.neighbors[0].object, o);
+        assert_eq!(r.neighbors[0].interval, DistInterval::exact(0.0));
+    }
+
+    #[test]
+    fn results_are_sorted_by_estimate() {
+        let (g, objects, oracle) = fixture();
+        let q = VertexId(33);
+        let r = approx_knn(&oracle, &g, &objects, q, 8);
+        let estimates: Vec<f64> =
+            r.neighbors.iter().map(|n| oracle.distance(q, n.vertex)).collect();
+        assert!(
+            estimates.windows(2).all(|w| w[0] <= w[1]),
+            "reporting order must be non-decreasing in the oracle estimate: {estimates:?}"
+        );
+    }
+
+    #[test]
+    fn candidate_interval_combines_honestly() {
+        // Oracle band wins when it is tighter than the Euclidean bound.
+        let iv = candidate_interval(10.0, 0.25, 2.0);
+        assert!((iv.lo - 8.0).abs() < 1e-12);
+        assert!((iv.hi - 10.0 / 0.75).abs() < 1e-12);
+        // The Euclidean lower bound tightens a loose band.
+        let iv = candidate_interval(10.0, 0.25, 9.0);
+        assert_eq!(iv.lo, 9.0);
+        // Disjoint bounds yield the gap interval, not a crash.
+        let iv = candidate_interval(10.0, 0.1, 20.0);
+        assert!((iv.lo - 10.0 / 0.9).abs() < 1e-12);
+        assert_eq!(iv.hi, 20.0);
+        // ε ≥ 1 leaves the upper side unbounded.
+        let iv = candidate_interval(10.0, 1.5, 0.0);
+        assert_eq!(iv.hi, f64::INFINITY);
+        // A zero estimate is exact only when the Euclidean bound agrees.
+        assert_eq!(candidate_interval(0.0, 0.5, 0.0), DistInterval::exact(0.0));
+        // A zero estimate for spatially distinct endpoints keeps the
+        // Euclidean evidence: the honest gap interval, not a false exact 0.
+        let iv = candidate_interval(0.0, 2.0, 3.0);
+        assert_eq!(iv, DistInterval::new(0.0, 3.0));
+    }
+
+    #[test]
+    fn vacuous_epsilon_scans_every_object_and_tight_epsilon_prunes() {
+        // ε ≥ 1 gives no distance upper bounds, so the scan cannot prune:
+        // it must (soundly) visit the whole object set. A tight-ε oracle
+        // over the same objects terminates early. Locks the documented
+        // degenerate regime.
+        struct FixedEps<'a>(&'a DistanceOracle, f64);
+        impl ApproxDistanceOracle for FixedEps<'_> {
+            fn distance(&self, u: VertexId, v: VertexId) -> f64 {
+                self.0.distance(u, v)
+            }
+            fn epsilon(&self) -> f64 {
+                self.1
+            }
+        }
+        let (g, objects, oracle) = fixture();
+        let q = VertexId(70);
+        let vacuous = approx_knn(&FixedEps(&oracle, 1.5), &g, &objects, q, 3);
+        assert_eq!(
+            vacuous.stats.index_queries,
+            objects.len(),
+            "with ε ≥ 1 every object must be probed"
+        );
+        let tight = approx_knn(&FixedEps(&oracle, 0.2), &g, &objects, q, 3);
+        assert!(
+            tight.stats.index_queries < objects.len(),
+            "a tight ε must let the Euclidean bound terminate the scan early \
+             ({} of {} probed)",
+            tight.stats.index_queries,
+            objects.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let (g, objects, oracle) = fixture();
+        let _ = approx_knn(&oracle, &g, &objects, VertexId(0), 0);
+    }
+}

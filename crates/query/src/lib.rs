@@ -37,6 +37,15 @@
 //!   map, candidate list, Dijkstra arrays, result buffers), so a
 //!   steady-state query performs **zero hot-path heap allocations**.
 //!
+//! The serving stack is also **oracle-generic**: [`ApproxDistanceOracle`]
+//! abstracts the ε-approximate distance oracles of `silc-pcp` (memory and
+//! disk-resident alike), and [`approx_knn`] / [`QuerySession::approx_knn`]
+//! run IER-style kNN over one — a single oracle probe per candidate in
+//! place of a shortest-path computation, with intervals that stay honest
+//! about the ε error. This is what lets the paper's two halves (exact SILC
+//! vs approximate PCP) be compared from the same disk substrate under the
+//! same concurrency (`bench_tradeoff` in `silc-bench`).
+//!
 //! A [`QueryEngine`] pairs a shared `Arc` index with a shared object set
 //! and is `Send + Sync`: clone it into every worker thread and open one
 //! [`QuerySession`] per worker. Results from session methods are borrowed
@@ -46,6 +55,7 @@
 //! query-serving architecture; `bench_throughput` in `silc-bench` measures
 //! it end to end.
 
+pub mod approx;
 pub mod baselines;
 pub mod baselines_disk;
 pub mod candidates;
@@ -57,6 +67,7 @@ pub mod result;
 pub mod session;
 pub mod verify;
 
+pub use approx::{approx_knn, ApproxDistanceOracle, ApproxScratch};
 pub use baselines::{ier, ine, BaselineScratch};
 pub use baselines_disk::{ier_disk, ine_disk};
 pub use edge_objects::{EdgeObject, EdgeObjectDistance};

@@ -21,6 +21,7 @@
 //! session method is bit-identical to the corresponding free function —
 //! both run the same `*_into` core.
 
+use crate::approx::{approx_knn_into, ApproxDistanceOracle, ApproxScratch};
 use crate::baselines::{ier_into, ine_into, BaselineScratch};
 use crate::baselines_disk::{ier_disk_into, ine_disk_into};
 use crate::knn::{inn_into, knn_into, KnnScratch, KnnVariant};
@@ -80,6 +81,7 @@ impl<B: DistanceBrowser + ?Sized> QueryEngine<B> {
             objects: Arc::clone(&self.objects),
             knn: KnnScratch::new(),
             baseline: BaselineScratch::new(),
+            approx: ApproxScratch::new(),
         }
     }
 }
@@ -94,6 +96,7 @@ pub struct QuerySession<B: DistanceBrowser + ?Sized> {
     objects: Arc<ObjectSet>,
     knn: KnnScratch,
     baseline: BaselineScratch,
+    approx: ApproxScratch,
 }
 
 impl<B: DistanceBrowser + ?Sized> QuerySession<B> {
@@ -153,6 +156,22 @@ impl<B: DistanceBrowser + ?Sized> QuerySession<B> {
     ) -> &KnnResult {
         ier_disk_into(paged, &self.objects, query, k, min_ratio, &mut self.baseline);
         self.baseline.result()
+    }
+
+    /// ε-approximate kNN ([`crate::approx_knn`]) over any
+    /// [`ApproxDistanceOracle`] — one oracle probe per Euclidean candidate
+    /// instead of a shortest-path computation — through the session
+    /// workspaces. The oracle is passed per call (it is an index in its own
+    /// right, shared like the browser), so one session can serve both exact
+    /// and approximate traffic.
+    pub fn approx_knn<O: ApproxDistanceOracle + ?Sized>(
+        &mut self,
+        oracle: &O,
+        query: VertexId,
+        k: usize,
+    ) -> &KnnResult {
+        approx_knn_into(oracle, self.browser.network(), &self.objects, query, k, &mut self.approx);
+        self.approx.result()
     }
 
     /// The result of the most recent SILC-algorithm query (`knn`/`inn`).
@@ -260,6 +279,26 @@ mod tests {
             );
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn session_approx_knn_is_bit_identical_to_one_shot() {
+        let (idx, objects) = fixture();
+        let g = idx.network();
+        let oracle = silc_pcp::DistanceOracle::build(g, 9, 8.0);
+        let engine = QueryEngine::new(idx.clone(), objects.clone());
+        let mut session = engine.session();
+        for &q in &[0u32, 60, 150] {
+            let q = VertexId(q);
+            for k in [1usize, 5, 11] {
+                let one_shot = crate::approx_knn(&oracle, g, &objects, q, k);
+                assert_bit_identical(
+                    session.approx_knn(&oracle, q, k),
+                    &one_shot,
+                    &format!("approx_knn q={q} k={k}"),
+                );
+            }
+        }
     }
 
     #[test]

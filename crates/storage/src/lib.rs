@@ -12,13 +12,17 @@
 //!   reads outside the lock, concurrent-miss dedup, and hit/miss/eviction
 //!   counters with wall-clock accounting of time spent in the store,
 //! * [`ShardedCache`] — a generic concurrent LRU for objects *decoded* from
-//!   pages (entry lists, adjacency blocks), sharing the pool's LRU core.
+//!   pages (entry lists, adjacency blocks), sharing the pool's LRU core,
+//! * [`TieredPool`] — a pool paired with a decoded-object cache, the
+//!   stats/reset/clear plumbing every disk-resident index shares.
 
 pub mod cache;
 pub(crate) mod lru;
 pub mod pool;
 pub mod store;
+pub mod tiered;
 
 pub use cache::{CacheStats, ShardedCache};
 pub use pool::{BufferPool, IoStats};
 pub use store::{FilePageStore, MemPageStore, PageId, PageStore, PAGE_SIZE};
+pub use tiered::{default_decoded_capacity, read_span, TieredPool};

@@ -9,7 +9,7 @@
 //! page wait on the shard's condvar instead of issuing a duplicate read.
 
 use crate::lru::LruList;
-use crate::store::{PageId, PageStore};
+use crate::store::{PageId, PageStore, PAGE_SIZE};
 use std::collections::HashSet;
 use std::io;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -230,6 +230,24 @@ impl<S: PageStore> BufferPool<S> {
             st.stats.evictions += 1;
         }
         Ok(data)
+    }
+
+    /// Appends the bytes in `[byte_lo, byte_hi)` to `out`, fetching each
+    /// covered page through the cache — the access pattern of decoding a
+    /// variable-length record region that ignores page boundaries.
+    pub fn read_range(&self, byte_lo: u64, byte_hi: u64, out: &mut Vec<u8>) -> io::Result<()> {
+        if byte_hi <= byte_lo {
+            return Ok(());
+        }
+        let page_lo = byte_lo / PAGE_SIZE as u64;
+        let page_hi = (byte_hi - 1) / PAGE_SIZE as u64;
+        for page in page_lo..=page_hi {
+            let data = self.get(PageId(page))?;
+            let lo = byte_lo.max(page * PAGE_SIZE as u64) - page * PAGE_SIZE as u64;
+            let hi = byte_hi.min((page + 1) * PAGE_SIZE as u64) - page * PAGE_SIZE as u64;
+            out.extend_from_slice(&data[lo as usize..hi as usize]);
+        }
+        Ok(())
     }
 
     /// Snapshot of the I/O counters, aggregated across shards.

@@ -1,0 +1,124 @@
+//! The paper's central trade-off, hands on: the exact SILC index vs the
+//! ε-approximate PCP oracle (trade-off table p.11), both built over the
+//! same network, both serialized to disk, both answering the same queries —
+//! and the oracle plugged straight into the serving stack through the
+//! `ApproxDistanceOracle` seam.
+//!
+//! ```sh
+//! cargo run -p silc-bench --release --example tradeoff_browsing
+//! ```
+
+use silc::disk::{write_index, DiskSilcIndex};
+use silc::{BuildConfig, SilcIndex};
+use silc_network::generate::{road_network, RoadConfig};
+use silc_network::VertexId;
+use silc_pcp::{write_oracle, DiskDistanceOracle, DistanceOracle};
+use silc_query::{approx_knn, knn, KnnVariant, ObjectSet, QueryEngine};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let n = silc_bench::example_vertices(800);
+    let network =
+        Arc::new(road_network(&RoadConfig { vertices: n, seed: 11, ..Default::default() }));
+    let dir = std::env::temp_dir().join("silc-tradeoff-example");
+    std::fs::create_dir_all(&dir).expect("create scratch directory");
+
+    // Build both halves of the trade-off over the same network.
+    let t = Instant::now();
+    let index = SilcIndex::build(network.clone(), &BuildConfig::default()).unwrap();
+    let silc_build = t.elapsed().as_secs_f64();
+    let silc_path = dir.join("example.idx");
+    write_index(&index, &silc_path).unwrap();
+    drop(index);
+    let disk_silc = Arc::new(DiskSilcIndex::open(&silc_path, network.clone(), 0.05).unwrap());
+
+    let t = Instant::now();
+    let oracle = DistanceOracle::build(&network, 10, 8.0);
+    let pcp_build = t.elapsed().as_secs_f64();
+    let pcp_path = dir.join("example.pcp");
+    write_oracle(&oracle, &pcp_path).unwrap();
+    let disk_pcp = DiskDistanceOracle::open(&pcp_path, 0.05).unwrap();
+
+    println!("network: {} vertices", network.vertex_count());
+    println!(
+        "SILC index: built in {silc_build:.2}s, {} KiB on disk (exact answers)",
+        std::fs::metadata(&silc_path).unwrap().len() / 1024
+    );
+    println!(
+        "PCP oracle: built in {pcp_build:.2}s, {} pairs, {} KiB on disk, ε bound {:.2}",
+        oracle.pair_count(),
+        std::fs::metadata(&pcp_path).unwrap().len() / 1024,
+        oracle.epsilon()
+    );
+
+    // The same distance queries through all three backends.
+    let nv = network.vertex_count() as u32;
+    let pairs: Vec<(VertexId, VertexId)> =
+        (0..120u32).map(|i| (VertexId((i * 37) % nv), VertexId((i * 101 + 13) % nv))).collect();
+    let mut rows = Vec::new();
+    for (name, f) in [
+        (
+            "SILC disk (exact)",
+            Box::new(|u, v| silc::path::network_distance(&*disk_silc, u, v).unwrap())
+                as Box<dyn Fn(VertexId, VertexId) -> f64>,
+        ),
+        ("PCP memory", Box::new(|u, v| oracle.distance(u, v))),
+        ("PCP disk", Box::new(|u, v| disk_pcp.distance(u, v))),
+    ] {
+        let t = Instant::now();
+        let answers: Vec<f64> = pairs.iter().map(|&(u, v)| f(u, v)).collect();
+        let us_per_query = t.elapsed().as_secs_f64() * 1e6 / pairs.len() as f64;
+        rows.push((name, us_per_query, answers));
+    }
+    let exact = rows[0].2.clone();
+    println!("\n{:<18} {:>12} {:>12} {:>12}", "backend", "µs/query", "mean err %", "max err %");
+    for (name, us, answers) in &rows {
+        let mut sum = 0.0;
+        let mut worst = 0.0f64;
+        let mut count = 0;
+        for (&e, &a) in exact.iter().zip(answers) {
+            if e > 0.0 {
+                let err = (a - e).abs() / e;
+                sum += err;
+                worst = worst.max(err);
+                count += 1;
+            }
+        }
+        println!(
+            "{:<18} {:>12.2} {:>12.1} {:>12.1}",
+            name,
+            us,
+            100.0 * sum / count as f64,
+            100.0 * worst
+        );
+    }
+
+    // The serving-stack view: ε-approximate kNN against exact kNN, through
+    // the same QueryEngine/QuerySession layer.
+    let objects = Arc::new(ObjectSet::random(&network, 0.08, 23));
+    let engine = QueryEngine::new(disk_silc.clone(), objects.clone());
+    let mut session = engine.session();
+    let q = VertexId(nv / 3);
+    let k = 5usize.min(objects.len());
+    let exact_knn = knn(&*disk_silc, &objects, q, k, KnnVariant::Basic);
+    let approx = approx_knn(&disk_pcp, &network, &objects, q, k);
+    let via_session = session.approx_knn(&disk_pcp, q, k);
+    assert_eq!(via_session.neighbors.len(), approx.neighbors.len());
+    println!("\n{k}-NN from {q}: exact vs ε-approximate (one oracle probe per candidate)");
+    for (e, a) in exact_knn.neighbors.iter().zip(&approx.neighbors) {
+        println!(
+            "  exact {:?} interval {}  |  approx {:?} interval {}",
+            e.object, e.interval, a.object, a.interval
+        );
+    }
+    let shared = approx
+        .neighbors
+        .iter()
+        .filter(|a| exact_knn.neighbors.iter().any(|e| e.object == a.object))
+        .count();
+    println!("  overlap with the exact result set: {shared}/{k}");
+
+    std::fs::remove_file(&silc_path).ok();
+    std::fs::remove_file(&pcp_path).ok();
+}

@@ -52,3 +52,8 @@ fn oracle_approx_runs() {
 fn concurrent_serving_runs() {
     run_example("concurrent_serving");
 }
+
+#[test]
+fn tradeoff_browsing_runs() {
+    run_example("tradeoff_browsing");
+}

@@ -1,0 +1,171 @@
+//! Proptest soundness suite for the PCP oracles and the ε-approximate kNN.
+//!
+//! On random road networks this locks, per case:
+//!
+//! * **memory/disk bit identity** — the disk-resident oracle (opened from
+//!   the serialized bytes through a `MemPageStore`, i.e. the full
+//!   format round trip) answers every sampled pair bit-identically to the
+//!   memory oracle it was written from;
+//! * **the ε bound** — both oracles' distances lie within the guaranteed
+//!   `(1 ± ε)` of exact Dijkstra, with the same empirical slack the unit
+//!   suite allows (`ε = 4t/s` is a first-order bound and the rect-based
+//!   separation test is conservative): relative error ≤ `1.5·ε + 0.05`;
+//! * **ε-close kNN** — the approximate kNN result's true distances exceed
+//!   the exact kNN's rank-wise by at most `(1+e)/(1−e)` for that slacked
+//!   `e` (checked whenever the bound is finite), and every reported
+//!   interval is consistent with the object's true distance under the same
+//!   slack;
+//! * **session bit identity** — `QuerySession::approx_knn` reproduces the
+//!   one-shot wrapper bit for bit.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use silc::{BuildConfig, SilcIndex};
+use silc_network::generate::{road_network, RoadConfig};
+use silc_network::{dijkstra, SpatialNetwork, VertexId};
+use silc_pcp::{DiskDistanceOracle, DistanceOracle};
+use silc_query::{approx_knn, verify::brute_force_knn, ObjectSet, QueryEngine};
+use silc_storage::MemPageStore;
+use std::sync::Arc;
+
+/// The slack the oracle's first-order `4t/s` bound is tested with
+/// (matches `silc-pcp`'s unit suite).
+fn slacked_eps(eps: f64) -> f64 {
+    1.5 * eps + 0.05
+}
+
+fn check_oracle_bounds(
+    g: &SpatialNetwork,
+    mem: &DistanceOracle,
+    disk: &DiskDistanceOracle<MemPageStore>,
+    seed: u64,
+) -> Result<(), String> {
+    let n = g.vertex_count() as u32;
+    let bound = slacked_eps(mem.epsilon());
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..40 {
+        let u = VertexId(rng.gen_range(0..n));
+        let v = VertexId(rng.gen_range(0..n));
+        let m = mem.distance(u, v);
+        let d = disk.distance(u, v);
+        if m.to_bits() != d.to_bits() {
+            return Err(format!("memory/disk distance bits differ for {u}->{v}: {m} vs {d}"));
+        }
+        if u == v {
+            if m != 0.0 {
+                return Err(format!("distance({u},{u}) must be exactly 0, got {m}"));
+            }
+            continue;
+        }
+        let truth = dijkstra::distance(g, u, v).ok_or_else(|| format!("{v} unreachable"))?;
+        let err = (m - truth).abs() / truth.max(1e-12);
+        if err > bound {
+            return Err(format!(
+                "{u}->{v}: oracle {m} vs exact {truth}, error {err:.4} exceeds (1±ε) slack {bound:.4}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_approx_knn(
+    g: &Arc<SpatialNetwork>,
+    idx: &Arc<SilcIndex>,
+    mem: &DistanceOracle,
+    disk: &DiskDistanceOracle<MemPageStore>,
+    objects: &Arc<ObjectSet>,
+    q: VertexId,
+    k: usize,
+) -> Result<(), String> {
+    let r = approx_knn(mem, g, objects, q, k);
+    let truth = brute_force_knn(g, objects, q, k);
+    if r.neighbors.len() != truth.len() {
+        return Err(format!(
+            "approx kNN q={q} k={k}: {} neighbors, want {}",
+            r.neighbors.len(),
+            truth.len()
+        ));
+    }
+    let e = slacked_eps(mem.epsilon());
+    // Rank-wise ε-closeness: meaningful only while the derived factor is
+    // finite (e < 1); interval consistency is checked regardless.
+    let factor = if e < 1.0 { (1.0 + e) / (1.0 - e) } else { f64::INFINITY };
+    for (i, (nb, &(_, exact))) in r.neighbors.iter().zip(&truth).enumerate() {
+        let d = dijkstra::distance(g, q, nb.vertex)
+            .ok_or_else(|| format!("object vertex {} unreachable", nb.vertex))?;
+        if d > exact * factor + 1e-9 {
+            return Err(format!(
+                "q={q} k={k} rank {i}: true distance {d} vs exact {exact} exceeds ε factor {factor:.4}"
+            ));
+        }
+        // The reported interval must be consistent with the true distance
+        // under the oracle's slacked ε (its lower bound may overshoot only
+        // when the oracle itself overshot, which the slack covers).
+        if nb.interval.lo > d * (1.0 + e) + 1e-9 || nb.interval.hi < d / (1.0 + e) - 1e-9 {
+            return Err(format!(
+                "q={q} k={k} rank {i}: interval {} inconsistent with true distance {d} at ε {e:.4}",
+                nb.interval
+            ));
+        }
+    }
+
+    // Memory and disk oracles drive the query to bit-identical results.
+    let rd = approx_knn(disk, g, objects, q, k);
+    // Session path: bit-identical to the one-shot wrapper.
+    let engine = QueryEngine::new(Arc::clone(idx), Arc::clone(objects));
+    let mut session = engine.session();
+    let rs = session.approx_knn(mem, q, k);
+    for (name, other) in [("disk-oracle", &rd), ("session", rs)] {
+        if other.neighbors.len() != r.neighbors.len()
+            || other.neighbors.iter().zip(&r.neighbors).any(|(a, b)| {
+                a.object != b.object
+                    || a.vertex != b.vertex
+                    || a.interval.lo.to_bits() != b.interval.lo.to_bits()
+                    || a.interval.hi.to_bits() != b.interval.hi.to_bits()
+            })
+        {
+            return Err(format!("{name} approx kNN diverged from one-shot at q={q} k={k}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn oracles_and_approx_knn_stay_within_eps(
+        seed in 0u64..1_000_000,
+        vertices in 40usize..90,
+        separation in 6.0f64..14.0,
+        density_pct in 8usize..25,
+        k_raw in 1usize..8,
+    ) {
+        let g = Arc::new(road_network(&RoadConfig { vertices, seed, ..Default::default() }));
+        let mem = DistanceOracle::build(&g, 8, separation);
+        // Full format round trip through an in-memory page store.
+        let disk = DiskDistanceOracle::from_store(
+            MemPageStore::new(&silc_pcp::encode_oracle(&mem)),
+            0.5,
+            None,
+        ).unwrap();
+        prop_assert_eq!(disk.pair_count(), mem.pair_count());
+        prop_assert_eq!(disk.epsilon().to_bits(), mem.epsilon().to_bits());
+        if let Err(msg) = check_oracle_bounds(&g, &mem, &disk, seed ^ 0xACE) {
+            prop_assert!(false, "{}", msg);
+        }
+
+        let idx = Arc::new(
+            SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 8, threads: 1 }).unwrap(),
+        );
+        let objects = Arc::new(ObjectSet::random(&g, density_pct as f64 / 100.0, seed ^ 0xB0B));
+        let k = k_raw.min(objects.len());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51DE);
+        for _ in 0..3 {
+            let q = VertexId(rng.gen_range(0..g.vertex_count() as u32));
+            if let Err(msg) = check_approx_knn(&g, &idx, &mem, &disk, &objects, q, k) {
+                prop_assert!(false, "{}", msg);
+            }
+        }
+    }
+}

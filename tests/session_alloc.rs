@@ -6,7 +6,7 @@
 //! per-thread counters (so the harness's own threads cannot contaminate a
 //! measurement).
 
-use silc::{BuildConfig, SilcIndex};
+use silc::{BuildConfig, DistanceBrowser, SilcIndex};
 use silc_network::generate::{road_network, RoadConfig};
 use silc_network::VertexId;
 use silc_query::{KnnVariant, ObjectSet, QueryEngine};
@@ -92,6 +92,25 @@ fn second_inn_call_in_a_session_allocates_nothing() {
     let allocated = allocations_on_this_thread() - before;
     assert_eq!(n, 8);
     assert_eq!(allocated, 0, "the second INN call in a session must not allocate");
+}
+
+#[test]
+fn second_approx_knn_call_in_a_session_allocates_nothing() {
+    // The ε-approximate path must honor the same contract: one oracle probe
+    // per candidate over the session's reusable Euclidean-search and k-best
+    // buffers — the second identical query is pure reuse.
+    let (idx, objects) = fixture();
+    let oracle = silc_pcp::DistanceOracle::build(idx.network(), 9, 8.0);
+    let engine = QueryEngine::new(idx, objects);
+    let mut session = engine.session();
+    let q = VertexId(42);
+    let first = session.approx_knn(&oracle, q, 10).neighbors.len();
+    assert_eq!(first, 10);
+    let before = allocations_on_this_thread();
+    let second = session.approx_knn(&oracle, q, 10).neighbors.len();
+    let allocated = allocations_on_this_thread() - before;
+    assert_eq!(second, 10);
+    assert_eq!(allocated, 0, "the second approx_knn call in a session must not allocate");
 }
 
 #[test]
