@@ -4,8 +4,8 @@
 #     cargo build --release && cargo test -q
 #
 .PHONY: build test bench bench-baseline bench-baseline-smoke bench-throughput \
-        bench-throughput-smoke bench-tradeoff bench-tradeoff-smoke figures \
-        lint fmt verify help
+        bench-throughput-smoke bench-tradeoff bench-tradeoff-smoke bench-check \
+        docs deep-fuzz figures lint fmt verify help
 
 help:
 	@echo "SILC workspace targets:"
@@ -19,6 +19,9 @@ help:
 	@echo "  bench-throughput-smoke CI smoke for the throughput harness (tiny, writes to target/)"
 	@echo "  bench-tradeoff         re-record BENCH_tradeoff.json (SILC vs PCP from one substrate)"
 	@echo "  bench-tradeoff-smoke   CI smoke for the trade-off harness (tiny, writes to target/)"
+	@echo "  bench-check            validate committed BENCH_*.json against the recorders' schemas"
+	@echo "  docs                   rustdoc with warnings denied (the CI docs gate)"
+	@echo "  deep-fuzz              the scheduled CI fuzz pass: both proptest suites at ~10x cases"
 	@echo "  figures                regenerate the paper's tables/figures as text"
 	@echo "  lint                   clippy -D warnings + rustfmt check"
 	@echo "  fmt                    rustfmt the whole workspace"
@@ -72,6 +75,24 @@ bench-tradeoff:
 # only that both build→serialize→serve pipelines run end to end.
 bench-tradeoff-smoke:
 	cargo run --release -p silc-bench --bin bench_tradeoff -- --smoke
+
+# Validate the committed bench records (and any smoke outputs already in
+# target/) against the recorders' current output schemas — the CI
+# bench-schema gate. Fails when a recorder's JSON fields drifted without
+# updating crates/bench/src/schema.rs and re-recording.
+bench-check:
+	cargo run --release -p silc-bench --bin bench_check
+
+# Rustdoc with warnings denied — keeps the crate-level docs from rotting.
+docs:
+	RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+# The scheduled CI deep-fuzz pass, runnable locally: both proptest suites
+# with the case count elevated ~10x over the PR-blocking defaults (the
+# proptest shim honors PROPTEST_CASES as an absolute override).
+deep-fuzz:
+	PROPTEST_CASES=160 cargo test --release -p silc-integration \
+		--test knn_fuzz --test pcp_bounds_fuzz
 
 # Regenerate the paper's tables/figures as text via the figures binary.
 figures:

@@ -1,0 +1,90 @@
+//! CI gate for the committed bench records: validates `BENCH_baseline.json`,
+//! `BENCH_throughput.json` and `BENCH_tradeoff.json` against the recorders'
+//! current output schemas (see `silc_bench::schema`) and fails on drift —
+//! a recorder whose fields changed without re-recording the committed
+//! baseline, or a hand-edited record that no recorder would produce.
+//!
+//! When the CI smoke runs have already produced fresh outputs under
+//! `target/`, those are validated too: that closes the loop end-to-end,
+//! proving the **current binaries'** output still matches the schema the
+//! committed files were checked against.
+//!
+//! ```text
+//! cargo run -p silc-bench --release --bin bench_check -- [--dir PATH]
+//!
+//! FLAGS
+//!   --dir PATH   repository root holding the BENCH_*.json files (default .)
+//! ```
+//!
+//! Exit code 0 when every present file validates; 1 otherwise. The three
+//! committed records are mandatory — a missing one is a failure.
+
+use silc_bench::schema::{
+    parse, validate, Shape, BASELINE_SCHEMA, THROUGHPUT_SCHEMA, TRADEOFF_SCHEMA,
+};
+use std::path::{Path, PathBuf};
+
+/// `(file, schema, required)`: the committed records are mandatory, the
+/// smoke outputs are validated only when a prior smoke run produced them.
+const CHECKS: &[(&str, &Shape, bool)] = &[
+    ("BENCH_baseline.json", &BASELINE_SCHEMA, true),
+    ("BENCH_throughput.json", &THROUGHPUT_SCHEMA, true),
+    ("BENCH_tradeoff.json", &TRADEOFF_SCHEMA, true),
+    ("target/bench_baseline_smoke.json", &BASELINE_SCHEMA, false),
+    ("target/bench_throughput_smoke.json", &THROUGHPUT_SCHEMA, false),
+    ("target/bench_tradeoff_smoke.json", &TRADEOFF_SCHEMA, false),
+];
+
+fn check_file(path: &Path, schema: &Shape) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let value = parse(&text)?;
+    validate(&value, schema)
+}
+
+fn main() {
+    let mut dir = PathBuf::from(".");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dir" => dir = PathBuf::from(it.next().expect("--dir PATH")),
+            "--help" | "-h" => {
+                println!("see the module docs at the top of bench_check.rs for usage");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut failures = 0usize;
+    for &(file, schema, required) in CHECKS {
+        let path = dir.join(file);
+        if !path.exists() {
+            if required {
+                eprintln!("FAIL {file}: missing (committed bench records are mandatory)");
+                failures += 1;
+            } else {
+                println!("skip {file}: not present (smoke output, optional)");
+            }
+            continue;
+        }
+        match check_file(&path, schema) {
+            Ok(()) => println!("  ok {file}"),
+            Err(e) => {
+                eprintln!("FAIL {file}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench schema drift: {failures} file(s) do not match the recorders' current output \
+             schema. If a recorder's fields changed intentionally, update \
+             crates/bench/src/schema.rs AND re-record the committed baseline."
+        );
+        std::process::exit(1);
+    }
+    println!("bench schemas are in sync");
+}

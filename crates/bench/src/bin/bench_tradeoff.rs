@@ -12,6 +12,13 @@
 //! observed relative error against the exact answers next to the oracle's
 //! guaranteed ε bound.
 //!
+//! The PCP oracle is built **twice** — serial (`threads = 1`) and parallel
+//! (`threads = 0`) — with both encodes asserted byte-identical in flight,
+//! and the record includes the batched build's probe counts (multi-target
+//! searches vs stored pairs) plus both error contracts: the v2 guaranteed
+//! ε (max per-pair cap) and the v1-era a-priori `4t/s` bound, next to the
+//! observed error.
+//!
 //! ```text
 //! cargo run -p silc-bench --release --bin bench_tradeoff -- [FLAGS]
 //!
@@ -197,23 +204,63 @@ fn main() {
             .expect("open disk SILC index"),
     );
 
-    // Build + serialize the ε-approximate PCP oracle.
-    let t = Instant::now();
-    let oracle = DistanceOracle::build(&network, grid_exponent, args.separation);
+    // Build the ε-approximate PCP oracle twice — serial, then parallel —
+    // asserting the batched build's determinism contract in flight. Both
+    // timers cover build **plus** serialization, mirroring the SILC timer
+    // above, and the serial artifact is the one served (so `build_s`
+    // describes exactly the file being benchmarked).
     let pcp_path = dir.join(format!("pcp-{}-{}.pcp", args.vertices, args.seed));
+    let t = Instant::now();
+    let oracle = DistanceOracle::build_with(
+        &network,
+        &silc_pcp::PcpBuildConfig { grid_exponent, separation: args.separation, threads: 1 },
+    );
     write_oracle(&oracle, &pcp_path).expect("serialize PCP oracle");
-    let pcp_build_s = t.elapsed().as_secs_f64();
+    let pcp_build_serial_s = t.elapsed().as_secs_f64();
+    // At least two workers even on a 1-core host, so the byte-equality
+    // assertion below always exercises the real chunked-worker path (with
+    // `threads: 0` it would degenerate to a second serial build there and
+    // prove nothing).
+    let parallel_threads =
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).max(2);
+    let t = Instant::now();
+    let parallel_oracle = DistanceOracle::build_with(
+        &network,
+        &silc_pcp::PcpBuildConfig {
+            grid_exponent,
+            separation: args.separation,
+            threads: parallel_threads,
+        },
+    );
+    let parallel_encoded = silc_pcp::encode_oracle(&parallel_oracle);
+    let pcp_build_parallel_s = t.elapsed().as_secs_f64();
+    assert_eq!(
+        silc_pcp::encode_oracle(&oracle),
+        parallel_encoded,
+        "serial and parallel PCP builds must encode byte-identically"
+    );
+    let parallel_workers = parallel_oracle.build_stats().workers;
+    drop(parallel_encoded);
+    drop(parallel_oracle);
+    let build_stats = oracle.build_stats().clone();
+    let pcp_build_s = pcp_build_serial_s;
     let pcp_bytes = std::fs::metadata(&pcp_path).expect("stat PCP oracle").len();
     let disk_pcp =
         DiskDistanceOracle::open(&pcp_path, cache_fraction).expect("open disk PCP oracle");
     eprintln!(
-        "# built: SILC {:.2}s / {} KiB on disk; PCP {:.2}s / {} pairs / {} KiB on disk, ε = {:.4}",
+        "# built: SILC {:.2}s / {} KiB on disk; PCP {:.2}s serial / {:.2}s parallel ({} workers), \
+         {} pairs via {} batched + {} refine SSSPs, {} KiB on disk, ε = {:.4} (a-priori {:.4})",
         silc_build_s,
         silc_bytes / 1024,
-        pcp_build_s,
+        pcp_build_serial_s,
+        pcp_build_parallel_s,
+        parallel_workers,
         oracle.pair_count(),
+        build_stats.batch_sources,
+        build_stats.refine_sources,
         pcp_bytes / 1024,
-        oracle.epsilon()
+        oracle.epsilon(),
+        oracle.epsilon_apriori()
     );
 
     // One deterministic query set shared by every backend.
@@ -257,10 +304,12 @@ fn main() {
     let (mem_mean, mem_max) = rel_error(&exact, &mem_answers);
     let (disk_mean, disk_max) = rel_error(&exact, &disk_answers);
     let guaranteed = oracle.epsilon();
+    let guaranteed_apriori = oracle.epsilon_apriori();
     if mem_max > guaranteed {
         eprintln!(
-            "# WARNING: observed error {mem_max:.4} exceeds the guaranteed bound {guaranteed:.4}; \
-             raise --separation before committing this record"
+            "# WARNING: observed error {mem_max:.4} exceeds the guaranteed v2 bound \
+             {guaranteed:.4} — the per-pair caps are unsound for this network; investigate \
+             before committing this record"
         );
     }
 
@@ -322,20 +371,34 @@ fn main() {
     // Hand-assembled JSON (the serde shims are no-op derives); one object
     // per backend so re-recorded files diff line by line.
     let fmt_opt = |o: Option<f64>| o.map_or("null".to_string(), |v| format!("{v:.6}"));
+    let host_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     let mut json = format!(
         "{{\n  \"vertices\": {},\n  \"seed\": {},\n  \"grid_exponent\": {},\n  \
          \"separation\": {},\n  \"cache_fraction\": {},\n  \"queries\": {},\n  \
-         \"pcp_pairs\": {},\n  \"pcp_stretch\": {:.6},\n  \"guaranteed_epsilon\": {:.6},\n  \
-         \"backends\": [\n",
+         \"host_threads\": {},\n  \"pcp_pairs\": {},\n  \"pcp_stretch\": {:.6},\n  \
+         \"pcp_build_serial_s\": {:.3},\n  \"pcp_build_parallel_s\": {:.3},\n  \
+         \"pcp_build_workers\": {},\n  \"pcp_batch_sssp\": {},\n  \
+         \"pcp_batch_settled\": {},\n  \"pcp_refine_sssp\": {},\n  \
+         \"pcp_refined_pairs\": {},\n  \"guaranteed_epsilon\": {:.6},\n  \
+         \"guaranteed_epsilon_apriori\": {:.6},\n  \"backends\": [\n",
         args.vertices,
         args.seed,
         grid_exponent,
         args.separation,
         cache_fraction,
         pairs.len(),
+        host_threads,
         oracle.pair_count(),
         oracle.stretch(),
+        pcp_build_serial_s,
+        pcp_build_parallel_s,
+        parallel_workers,
+        build_stats.batch_sources,
+        build_stats.batch_settled,
+        build_stats.refine_sources,
+        build_stats.refined_pairs,
         guaranteed,
+        guaranteed_apriori,
     );
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(

@@ -7,6 +7,7 @@
 //! `cargo run --bin figures` measure identical code paths.
 
 pub mod experiments;
+pub mod schema;
 pub mod stats;
 pub mod workloads;
 

@@ -4,7 +4,7 @@
 //! quadtree build per source, with no interaction between sources (the paper
 //! points this out on p.27, "Easily Parallelizable: data parallelism").
 //! Workers self-schedule chunks of vertex ids from a shared atomic counter,
-//! each owning one [`BuildScratch`] (SSSP workspace + Morton-ordered color
+//! each owning one `BuildScratch` (SSSP workspace + Morton-ordered color
 //! and distance buffers + quadtree scratch) for its whole lifetime, and
 //! write finished quadtrees directly into pre-allocated output slots — no
 //! channels, no per-source allocation beyond each tree's exact-size entry

@@ -732,6 +732,76 @@ pub struct PathResult {
     pub visited: usize,
 }
 
+/// Truncated multi-target Dijkstra over a reusable workspace: settles
+/// vertices from `source` in ascending `(distance, id)` order — exactly the
+/// classic loop's settle order — invoking `settle(v, d)` once per settled
+/// vertex with its **final** distance, and stopping as soon as `settle`
+/// returns `false` (or the reachable set is exhausted).
+///
+/// This is the batching primitive behind `silc-pcp`'s oracle construction:
+/// instead of one point-to-point search per `(source, target)` probe, a
+/// caller marks all targets of one source, runs a single truncated search,
+/// and stops when the last marked target settles. No parent or first-hop
+/// bookkeeping is done — the loop touches only distances, so it is cheaper
+/// per settle than [`full_sssp_into`] — and the workspace reset discipline
+/// is the same O(touched) as every other entry point.
+///
+/// Returns the number of vertices settled. Settled distances are exact and
+/// a deterministic function of the graph alone (the fixpoint over path
+/// sums), so batched callers observe bit-identical distances regardless of
+/// how probes are grouped.
+pub fn sssp_settle_until<F: FnMut(VertexId, f64) -> bool>(
+    g: &SpatialNetwork,
+    source: VertexId,
+    ws: &mut SsspWorkspace,
+    mut settle: F,
+) -> usize {
+    let gen = ws.begin(g);
+    let dist = &mut ws.dist[..];
+    let stamp = &mut ws.stamp[..];
+    let dirty = &mut ws.dirty;
+    let mut dlen = 0usize;
+    let heap = &mut ws.heap;
+
+    let si = source.index();
+    dist[si] = 0.0;
+    dirty[dlen] = source.0;
+    dlen += 1;
+    heap.push(pack(0.0, source.0));
+    let mut visited = 0usize;
+
+    while let Some(key) = heap.pop() {
+        let (d, u) = unpack(key);
+        let ui = u as usize;
+        if stamp[ui] == gen {
+            continue;
+        }
+        stamp[ui] = gen;
+        visited += 1;
+        if !settle(VertexId(u), d) {
+            break;
+        }
+        let (targets, weights) = g.out_edge_slices(VertexId(u));
+        for (&v, &w) in targets.iter().zip(weights) {
+            let vi = v as usize;
+            if stamp[vi] == gen {
+                continue;
+            }
+            let nd = d + w;
+            if nd < dist[vi] {
+                if dist[vi].is_infinite() {
+                    dirty[dlen] = v;
+                    dlen += 1;
+                }
+                dist[vi] = nd;
+                heap.push(pack(nd, v));
+            }
+        }
+    }
+    ws.dirty_len = dlen;
+    visited
+}
+
 /// Point-to-point Dijkstra with early termination at `target`.
 pub fn point_to_point(
     g: &SpatialNetwork,
@@ -1296,6 +1366,40 @@ mod tests {
         assert_eq!(order, vec![0, 1, 2, 3]);
         assert_eq!(exp.visited(), 4);
         assert!(exp.edges_relaxed() > 0);
+    }
+
+    #[test]
+    fn settle_until_matches_expander_and_stops_early() {
+        let g = road_network(&RoadConfig { vertices: 120, seed: 9, ..Default::default() });
+        let mut ws = SsspWorkspace::new();
+        for s in [VertexId(0), VertexId(57)] {
+            // Full run: settle order and distances equal the Expander's.
+            let mut got = Vec::new();
+            let visited = sssp_settle_until(&g, s, &mut ws, |v, d| {
+                got.push((v, d));
+                true
+            });
+            let mut exp = Expander::new(&g, s);
+            let mut want = Vec::new();
+            while let Some(step) = exp.next_settled() {
+                want.push(step);
+            }
+            assert_eq!(visited, want.len());
+            assert_eq!(got.len(), want.len());
+            for ((gv, gd), (wv, wd)) in got.iter().zip(&want) {
+                assert_eq!(gv, wv, "settle order diverges from the classic loop");
+                assert_eq!(gd.to_bits(), wd.to_bits(), "settled distance bits differ at {gv}");
+            }
+            // Truncated run: stop after the 10th settle; the reused
+            // workspace must still produce identical prefixes.
+            let mut prefix = Vec::new();
+            let visited = sssp_settle_until(&g, s, &mut ws, |v, d| {
+                prefix.push((v, d));
+                prefix.len() < 10
+            });
+            assert_eq!(visited, 10);
+            assert_eq!(&prefix[..], &got[..10]);
+        }
     }
 
     #[test]

@@ -34,6 +34,13 @@ pub struct DiskDistanceOracle<S: PageStore = FilePageStore> {
     pairs_base: u64,
     separation: f64,
     stretch: f64,
+    /// The guaranteed ε from the header: max per-pair cap (v2), or the
+    /// a-priori `4t/s` (v1 files, which carry no caps).
+    eps_max: f64,
+    /// Bytes per pair record — 28 for v2 files, 20 for v1.
+    pair_bytes: usize,
+    /// The opened file's format version.
+    version: u32,
     /// The two-tier read path: page pool plus decoded pair groups keyed by
     /// their `a`-side split-tree node, so the repeated probes of one locate
     /// walk do not re-deserialize a group per lookup.
@@ -89,8 +96,16 @@ impl<S: PageStore> DiskDistanceOracle<S> {
             pairs_base: parsed.pairs_base,
             separation: parsed.separation,
             stretch: parsed.stretch,
+            eps_max: parsed.eps_max,
+            pair_bytes: parsed.pair_bytes,
+            version: parsed.version,
             cached: TieredPool::new(store, cache_fraction, cache),
         })
+    }
+
+    /// The opened file's format version (1 or 2; see `crate::format`).
+    pub fn format_version(&self) -> u32 {
+        self.version
     }
 
     /// Number of stored pairs (the oracle's size; `O(s²n)`).
@@ -113,8 +128,16 @@ impl<S: PageStore> DiskDistanceOracle<S> {
         self.stretch
     }
 
-    /// The a-priori relative error bound `≈ 4t/s`.
+    /// The guaranteed relative error bound: the file's max per-pair cap
+    /// (v2), or the a-priori `4t/s` for v1 files that carry no caps —
+    /// bit-identical to the memory oracle this file was written from.
     pub fn epsilon(&self) -> f64 {
+        self.eps_max
+    }
+
+    /// The classic a-priori first-order bound `≈ 4t/s` (what v1 files
+    /// reported as their only ε).
+    pub fn epsilon_apriori(&self) -> f64 {
         4.0 * self.stretch / self.separation
     }
 
@@ -157,10 +180,12 @@ impl<S: PageStore> DiskDistanceOracle<S> {
     }
 
     /// Decodes node `a`'s pair group from its pages through the pool.
+    /// Version-aware: v1 records carry no cap, so the file's global
+    /// a-priori bound is substituted — exactly the ε a v1 oracle promised.
     fn decode_group(&self, pool: &BufferPool<S>, a: u32) -> Arc<[PairRecord]> {
         let (start, count) = self.directory[a as usize];
-        let byte_lo = self.pairs_base + start * format::PAIR_BYTES as u64;
-        let byte_hi = byte_lo + count as u64 * format::PAIR_BYTES as u64;
+        let byte_lo = self.pairs_base + start * self.pair_bytes as u64;
+        let byte_hi = byte_lo + count as u64 * self.pair_bytes as u64;
         let mut raw = Vec::with_capacity((byte_hi - byte_lo) as usize);
         pool.read_range(byte_lo, byte_hi, &mut raw).expect("oracle page read failed");
         let mut r = &raw[..];
@@ -171,11 +196,19 @@ impl<S: PageStore> DiskDistanceOracle<S> {
                 rep_a: r.get_u32_le(),
                 rep_b: r.get_u32_le(),
                 dist: r.get_f64_le(),
+                max_err: if self.version >= 2 { r.get_f64_le() } else { self.eps_max },
             });
         }
         assert!(
             records.windows(2).all(|w| w[0].b < w[1].b),
             "corrupt oracle file: pair group {a} is not sorted by node id"
+        );
+        // Cap-section corruption is invisible to open-time metadata
+        // validation; a nonsensical cap would silently poison interval
+        // math downstream, so it fails loudly here instead.
+        assert!(
+            records.iter().all(|rec| !rec.max_err.is_nan() && rec.max_err >= 0.0),
+            "corrupt oracle file: pair group {a} holds an invalid error cap"
         );
         records.into()
     }
@@ -189,7 +222,12 @@ impl<S: PageStore> DiskDistanceOracle<S> {
         let group = self.load_group(a);
         group.binary_search_by_key(&b, |r| r.b).ok().map(|i| {
             let r = group[i];
-            PairData { rep_a: VertexId(r.rep_a), rep_b: VertexId(r.rep_b), dist: r.dist }
+            PairData {
+                rep_a: VertexId(r.rep_a),
+                rep_b: VertexId(r.rep_b),
+                dist: r.dist,
+                max_err: r.max_err,
+            }
         })
     }
 
@@ -204,6 +242,25 @@ impl<S: PageStore> DiskDistanceOracle<S> {
             return 0.0;
         }
         self.locate(u, v).0.dist
+    }
+
+    /// Approximate distance together with the covering pair's own error cap
+    /// (v2; v1 files answer the global a-priori bound for every pair).
+    /// `(0, 0)` when `u == v`.
+    pub fn distance_with_epsilon(&self, u: VertexId, v: VertexId) -> (f64, f64) {
+        if u == v {
+            return (0.0, 0.0);
+        }
+        let (p, _) = self.locate(u, v);
+        (p.dist, p.max_err)
+    }
+
+    /// The error cap of the pair covering `(u, v)` (0 when `u == v`).
+    pub fn epsilon_for(&self, u: VertexId, v: VertexId) -> f64 {
+        if u == v {
+            return 0.0;
+        }
+        self.locate(u, v).0.max_err
     }
 
     /// The representative vertices of the pair covering `(u, v)`, oriented
@@ -451,6 +508,119 @@ mod tests {
         let err = result.expect_err("the corrupted group must abort a query");
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains("not sorted"), "unexpected panic message: {msg}");
+    }
+
+    #[test]
+    fn v1_file_opens_with_apriori_epsilon() {
+        // Backward compatibility: a version-1 file (20-byte records, no cap
+        // fields) must open, answer bit-identical distances, and fall back
+        // to the a-priori 4t/s bound — the only ε a v1 oracle ever had.
+        let g = network();
+        let mem = DistanceOracle::build(&g, 10, 4.0);
+        let v1 = crate::format::encode_oracle_v1(&mem);
+        let disk = DiskDistanceOracle::from_store(MemPageStore::new(&v1), 0.5, None).unwrap();
+        assert_eq!(disk.format_version(), 1);
+        assert_eq!(disk.pair_count(), mem.pair_count());
+        assert_eq!(disk.stretch().to_bits(), mem.stretch().to_bits());
+        assert_eq!(
+            disk.epsilon().to_bits(),
+            mem.epsilon_apriori().to_bits(),
+            "a v1 file's guaranteed ε is the a-priori bound"
+        );
+        let n = g.vertex_count() as u32;
+        for u in (0..n).step_by(3) {
+            for v in (0..n).step_by(7) {
+                let (u, v) = (VertexId(u), VertexId(v));
+                assert_eq!(mem.distance(u, v).to_bits(), disk.distance(u, v).to_bits());
+                let (d, eps) = disk.distance_with_epsilon(u, v);
+                assert_eq!(d.to_bits(), disk.distance(u, v).to_bits());
+                if u != v {
+                    assert_eq!(
+                        eps.to_bits(),
+                        disk.epsilon().to_bits(),
+                        "every v1 pair answers the global bound"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_cap_section_fails_loudly() {
+        // Cap bytes live in the pair region, invisible to open-time
+        // validation; a NaN or negative cap must abort the query loudly
+        // instead of silently poisoning downstream interval math.
+        let g = network();
+        let mem = DistanceOracle::build(&g, 10, 2.0);
+        let bytes = encode(&mem);
+        let pairs_base = {
+            let mut h = &bytes[HEADER_BYTES - 8..HEADER_BYTES];
+            h.get_u64_le() as usize
+        };
+        for bad in [f64::NAN, -0.25] {
+            // Corrupt the cap of the very first stored record.
+            let cap_at = pairs_base + crate::format::PAIR_BYTES - 8;
+            let mut broken = bytes.clone();
+            broken[cap_at..cap_at + 8].copy_from_slice(&bad.to_le_bytes());
+            let disk =
+                DiskDistanceOracle::from_store(MemPageStore::new(&broken), 1.0, None).unwrap();
+            let n = g.vertex_count() as u32;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                for u in 0..n {
+                    for v in 0..n {
+                        let _ = disk.distance(VertexId(u), VertexId(v));
+                    }
+                }
+            }));
+            let err = result.expect_err("the corrupted cap must abort a query");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("invalid error cap"), "unexpected panic message: {msg}");
+        }
+    }
+
+    #[test]
+    fn version_zero_rejected() {
+        let g = network();
+        let mut bytes = encode(&DistanceOracle::build(&g, 10, 2.0));
+        bytes[8..12].copy_from_slice(&0u32.to_le_bytes());
+        match DiskDistanceOracle::from_store(MemPageStore::new(&bytes), 0.5, None) {
+            Err(PcpError::Corrupt(msg)) => assert!(msg.contains("version"), "{msg}"),
+            other => panic!("expected Corrupt, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn truncated_v1_file_rejected() {
+        // The v1 span check must use v1 record sizes: cutting the pair
+        // region of a v1 file is caught at open time.
+        let g = network();
+        let mem = DistanceOracle::build(&g, 10, 3.0);
+        let bytes = crate::format::encode_oracle_v1(&mem);
+        let cut = (bytes.len() / (2 * silc_storage::PAGE_SIZE)) * silc_storage::PAGE_SIZE;
+        let store = MemPageStore::new(&bytes[..cut.min(bytes.len() - 1)]);
+        assert!(DiskDistanceOracle::from_store(store, 0.5, None).is_err());
+    }
+
+    #[test]
+    fn per_pair_epsilon_round_trips_bit_exactly() {
+        let g = network();
+        let mem = DistanceOracle::build(&g, 10, 4.0);
+        let disk =
+            DiskDistanceOracle::from_store(MemPageStore::new(&encode(&mem)), 0.5, None).unwrap();
+        assert_eq!(disk.format_version(), crate::format::VERSION);
+        assert_eq!(disk.epsilon().to_bits(), mem.epsilon().to_bits());
+        assert_eq!(disk.epsilon_apriori().to_bits(), mem.epsilon_apriori().to_bits());
+        let n = g.vertex_count() as u32;
+        for u in (0..n).step_by(5) {
+            for v in (0..n).step_by(11) {
+                let (u, v) = (VertexId(u), VertexId(v));
+                let (md, me) = mem.distance_with_epsilon(u, v);
+                let (dd, de) = disk.distance_with_epsilon(u, v);
+                assert_eq!(md.to_bits(), dd.to_bits(), "distance bits differ for {u}->{v}");
+                assert_eq!(me.to_bits(), de.to_bits(), "cap bits differ for {u}->{v}");
+                assert_eq!(disk.epsilon_for(u, v).to_bits(), mem.epsilon_for(u, v).to_bits());
+            }
+        }
     }
 
     #[test]

@@ -6,23 +6,34 @@
 //! the `O(s²n)` pair payload — the part that grows with accuracy — is laid
 //! out in fixed-size pages served through a `silc_storage::BufferPool`.
 //!
-//! ## File layout
+//! ## File layout (version 2, current)
 //!
 //! ```text
 //! header    magic "SILCPCPD", version u32, n, node count, pair count,
-//!           separation, stretch, pair-region offset
+//!           separation, stretch, guaranteed ε (max per-pair cap),
+//!           pair-region offset
 //! sorted    n × (u64 code, u32 vertex) — the code-sorted vertex array
 //! nodes     per split-tree node: block base u64 | level u8 | tight rect
 //!           4×f64 | span 2×u32 | child count u8 | children u32×c
 //! directory node count × (u64 first pair index, u32 pair count) — the
 //!           stored pairs grouped by their first (the `a`-side) node
-//! pairs     one 20-byte record per stored pair, groups concatenated in
+//! pairs     one 28-byte record per stored pair, groups concatenated in
 //!           node order, each group sorted by the `b`-side node id:
-//!           b u32 | rep_a u32 | rep_b u32 | dist f64
+//!           b u32 | rep_a u32 | rep_b u32 | dist f64 | max_err f64
 //! ```
 //!
-//! Representative distances are stored as full `f64` bits, so the disk
-//! oracle's answers are **bit-identical** to the memory oracle it was
+//! ## Versioning
+//!
+//! Version 2 added the **per-pair error caps**: an 8-byte `max_err` per
+//! pair record plus the guaranteed ε (the maximum cap) in the header, so a
+//! disk oracle can answer `distance_with_epsilon` without scanning the pair
+//! region at open time. Version 1 files (20-byte records, no cap fields)
+//! **remain readable**: the open path substitutes the classic a-priori
+//! `4·stretch/separation` bound for every pair, which is exactly what a v1
+//! oracle guaranteed. New files are always written as version 2.
+//!
+//! Representative distances and caps are stored as full `f64` bits, so the
+//! disk oracle's answers are **bit-identical** to the memory oracle it was
 //! written from (locked by tests in [`crate::disk`]).
 
 use crate::error::PcpError;
@@ -35,10 +46,15 @@ use silc_storage::{read_span, FilePageStore, PageStore, PAGE_SIZE};
 use std::path::Path;
 
 pub(crate) const MAGIC: &[u8; 8] = b"SILCPCPD";
-pub(crate) const VERSION: u32 = 1;
-pub(crate) const HEADER_BYTES: usize = 8 + 4 + 4 + 4 + 8 + 8 + 8 + 8;
-/// Bytes per serialized pair record.
-pub const PAIR_BYTES: usize = 20;
+/// Current (written) format version.
+pub(crate) const VERSION: u32 = 2;
+/// Header size of the current version (v1 lacks the guaranteed-ε field).
+pub(crate) const HEADER_BYTES: usize = 8 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 8;
+pub(crate) const HEADER_BYTES_V1: usize = HEADER_BYTES - 8;
+/// Bytes per serialized pair record in the current version.
+pub const PAIR_BYTES: usize = 28;
+/// Bytes per pair record in version-1 files (no per-pair cap).
+pub const PAIR_BYTES_V1: usize = 20;
 
 /// One decoded pair record of a directory group (the `a`-side node is the
 /// group key and is not repeated per record).
@@ -48,25 +64,48 @@ pub(crate) struct PairRecord {
     pub(crate) rep_a: u32,
     pub(crate) rep_b: u32,
     pub(crate) dist: f64,
+    /// The pair's own error cap (v2); for v1 files the open path fills in
+    /// the file's global a-priori bound.
+    pub(crate) max_err: f64,
 }
 
 /// Serializes `oracle` into the paged byte layout (what [`write_oracle`]
-/// writes before page padding). Deterministic: equal oracles encode to
-/// equal bytes (groups are emitted in node order, records sorted by `b`),
-/// so re-serialization round-trips byte-exactly. Public so tests and
-/// memory-backed deployments can feed a `MemPageStore` directly.
+/// writes before page padding), at the current format version.
+/// Deterministic: equal oracles encode to equal bytes (groups are emitted
+/// in node order, records sorted by `b`), so re-serialization round-trips
+/// byte-exactly. Public so tests and memory-backed deployments can feed a
+/// `MemPageStore` directly.
 pub fn encode_oracle(oracle: &DistanceOracle) -> Vec<u8> {
+    encode_with_version(oracle, VERSION)
+}
+
+/// Version-1 encoder, kept for the backward-compatibility tests: the layout
+/// old deployments hold on disk (20-byte records, no cap fields).
+#[cfg(test)]
+pub(crate) fn encode_oracle_v1(oracle: &DistanceOracle) -> Vec<u8> {
+    encode_with_version(oracle, 1)
+}
+
+fn encode_with_version(oracle: &DistanceOracle, version: u32) -> Vec<u8> {
     let tree = oracle.tree();
     let nodes = tree.raw_nodes();
     let sorted = tree.raw_sorted();
     let n = sorted.len();
     let node_count = nodes.len();
+    let (header_bytes, pair_bytes) =
+        if version >= 2 { (HEADER_BYTES, PAIR_BYTES) } else { (HEADER_BYTES_V1, PAIR_BYTES_V1) };
 
     // Group the stored pairs by their a-side node — the unit the disk
     // oracle decodes and caches — sorted by b for binary search.
     let mut groups: Vec<Vec<PairRecord>> = vec![Vec::new(); node_count];
     for (&(a, b), p) in oracle.pair_map() {
-        groups[a as usize].push(PairRecord { b, rep_a: p.rep_a.0, rep_b: p.rep_b.0, dist: p.dist });
+        groups[a as usize].push(PairRecord {
+            b,
+            rep_a: p.rep_a.0,
+            rep_b: p.rep_b.0,
+            dist: p.dist,
+            max_err: p.max_err,
+        });
     }
     for g in &mut groups {
         g.sort_unstable_by_key(|r| r.b);
@@ -75,16 +114,19 @@ pub fn encode_oracle(oracle: &DistanceOracle) -> Vec<u8> {
 
     let nodes_bytes: usize =
         nodes.iter().map(|nd| 8 + 1 + 32 + 8 + 1 + 4 * nd.children.len()).sum();
-    let meta_len = HEADER_BYTES + n * 12 + nodes_bytes + node_count * 12;
+    let meta_len = header_bytes + n * 12 + nodes_bytes + node_count * 12;
 
-    let mut buf = Vec::with_capacity(meta_len + pair_count as usize * PAIR_BYTES);
+    let mut buf = Vec::with_capacity(meta_len + pair_count as usize * pair_bytes);
     buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
+    buf.put_u32_le(version);
     buf.put_u32_le(n as u32);
     buf.put_u32_le(node_count as u32);
     buf.put_u64_le(pair_count);
     buf.put_f64_le(oracle.separation());
     buf.put_f64_le(oracle.stretch());
+    if version >= 2 {
+        buf.put_f64_le(oracle.epsilon());
+    }
     buf.put_u64_le(meta_len as u64);
     for &(code, v) in sorted {
         buf.put_u64_le(code);
@@ -117,6 +159,9 @@ pub fn encode_oracle(oracle: &DistanceOracle) -> Vec<u8> {
             buf.put_u32_le(r.rep_a);
             buf.put_u32_le(r.rep_b);
             buf.put_f64_le(r.dist);
+            if version >= 2 {
+                buf.put_f64_le(r.max_err);
+            }
         }
     }
     buf
@@ -137,28 +182,43 @@ pub(crate) struct Parsed {
     pub(crate) pairs_base: u64,
     pub(crate) separation: f64,
     pub(crate) stretch: f64,
+    /// The guaranteed ε: max per-pair cap for v2 files, the a-priori
+    /// `4·stretch/separation` for v1 files.
+    pub(crate) eps_max: f64,
+    /// Bytes per pair record in this file's version.
+    pub(crate) pair_bytes: usize,
+    /// The file's format version (1 or 2).
+    pub(crate) version: u32,
 }
 
-/// Reads and validates the header + metadata region from a store.
+/// Reads and validates the header + metadata region from a store. Accepts
+/// the current version and version 1 (see the module docs).
 pub(crate) fn parse<S: PageStore>(store: &S) -> Result<Parsed, PcpError> {
     let corrupt = |msg: &str| PcpError::Corrupt(msg.to_string());
     let file_bytes = store.page_count() * PAGE_SIZE as u64;
-    if file_bytes < HEADER_BYTES as u64 {
+    if file_bytes < HEADER_BYTES_V1 as u64 {
         return Err(corrupt("file too small for header"));
     }
-    let header = read_span(store, 0, HEADER_BYTES)?;
-    let mut h = &header[..];
+    let probe = read_span(store, 0, HEADER_BYTES_V1)?;
+    let mut h = &probe[..];
     let mut magic = [0u8; 8];
     h.copy_to_slice(&mut magic);
     if &magic != MAGIC {
         return Err(corrupt("bad magic"));
     }
     let version = h.get_u32_le();
-    if version != VERSION {
+    if version == 0 || version > VERSION {
         return Err(PcpError::Corrupt(format!(
-            "unsupported format version {version} (this build reads version {VERSION})"
+            "unsupported format version {version} (this build reads versions 1..={VERSION})"
         )));
     }
+    let (header_bytes, pair_bytes) =
+        if version >= 2 { (HEADER_BYTES, PAIR_BYTES) } else { (HEADER_BYTES_V1, PAIR_BYTES_V1) };
+    if file_bytes < header_bytes as u64 {
+        return Err(corrupt("file too small for header"));
+    }
+    let header = read_span(store, 0, header_bytes)?;
+    let mut h = &header[12..]; // past magic + version, already validated
     let n = h.get_u32_le() as usize;
     let node_count = h.get_u32_le() as usize;
     if n == 0 || node_count == 0 {
@@ -170,16 +230,20 @@ pub(crate) fn parse<S: PageStore>(store: &S) -> Result<Parsed, PcpError> {
     let pair_count = h.get_u64_le();
     let separation = h.get_f64_le();
     let stretch = h.get_f64_le();
+    let eps_max = if version >= 2 { h.get_f64_le() } else { 4.0 * stretch / separation };
     let pairs_base = h.get_u64_le();
     if !separation.is_finite() || separation <= 0.0 || !stretch.is_finite() || stretch < 1.0 {
         return Err(corrupt("separation/stretch out of range"));
     }
+    if eps_max.is_nan() || eps_max < 0.0 {
+        return Err(corrupt("guaranteed epsilon out of range"));
+    }
 
-    let min_meta = HEADER_BYTES + n * 12 + node_count * (8 + 1 + 32 + 8 + 1) + node_count * 12;
+    let min_meta = header_bytes + n * 12 + node_count * (8 + 1 + 32 + 8 + 1) + node_count * 12;
     if pairs_base < min_meta as u64 || pairs_base > file_bytes {
         return Err(corrupt("pair region offset out of range"));
     }
-    let meta = read_span(store, HEADER_BYTES, pairs_base as usize - HEADER_BYTES)?;
+    let meta = read_span(store, header_bytes, pairs_base as usize - header_bytes)?;
     let mut m = &meta[..];
 
     let mut sorted = Vec::with_capacity(n);
@@ -247,7 +311,7 @@ pub(crate) fn parse<S: PageStore>(store: &S) -> Result<Parsed, PcpError> {
     if total != pair_count {
         return Err(corrupt("directory pair total does not match header"));
     }
-    if pairs_base + pair_count * PAIR_BYTES as u64 > file_bytes {
+    if pairs_base + pair_count * pair_bytes as u64 > file_bytes {
         return Err(corrupt("pair region extends past end of file"));
     }
 
@@ -258,5 +322,8 @@ pub(crate) fn parse<S: PageStore>(store: &S) -> Result<Parsed, PcpError> {
         pairs_base,
         separation,
         stretch,
+        eps_max,
+        pair_bytes,
+        version,
     })
 }

@@ -11,32 +11,46 @@
 //! "Distance Oracle" rows of the paper's trade-off table (p.11).
 //!
 //! * [`SplitTree`] — a compressed quadtree over the vertex positions,
-//! * [`wspd`] — the s-well-separated pair decomposition (`O(s²n)` pairs),
-//! * [`DistanceOracle`] — representative distances per pair plus the
-//!   pair-location query,
+//! * [`wspd()`] — the s-well-separated pair decomposition (`O(s²n)` pairs),
+//! * [`build`] — the batched, parallel construction pipeline
+//!   ([`PcpBuildConfig`]): one truncated multi-target search per distinct
+//!   representative instead of one probe per pair, chunked self-scheduling
+//!   workers, and byte-identical output for any thread count,
+//! * [`DistanceOracle`] — representative distances **and per-pair error
+//!   caps** plus the pair-location query,
 //! * [`write_oracle`] / [`DiskDistanceOracle`] — the same oracle with full
 //!   disk parity to `silc::disk`: a paged, versioned file format and a
 //!   served-from-pages form behind a sharded buffer pool.
 //!
-//! ## The ε guarantee
+//! ## The ε guarantee: per-pair caps
 //!
-//! With separation `s` and network stretch `t = max d_network/d_euclidean`
-//! (measured during the build), any query's relative error is bounded by
-//! `ε ≈ 4t/s` — [`DistanceOracle::epsilon`]. Raising `s` buys accuracy at
-//! `O(s²)` more pairs; the trade-off against the exact SILC index is what
-//! `bench_tradeoff` in `silc-bench` measures.
+//! Every stored pair carries its **own** relative-error cap, computed from
+//! exact network radii during construction (with an exact-refinement
+//! fallback for the cap distribution's tail — see [`build`] for the
+//! derivation and soundness argument). [`DistanceOracle::epsilon`] is the
+//! maximum stored cap — a guarantee that actually binds on road networks —
+//! and [`DistanceOracle::epsilon_for`] /
+//! [`DistanceOracle::distance_with_epsilon`] expose the covering pair's cap
+//! per query, which is what lets `silc-query`'s approximate kNN intervals
+//! tighten. The classic first-order `4t/s` stretch bound survives as
+//! [`DistanceOracle::epsilon_apriori`] for comparison.
 //!
-//! ## The page format
+//! ## The page format (version 2)
 //!
 //! [`write_oracle`] lays the oracle out the way `DiskSilcIndex` lays out
-//! quadtrees: a versioned header, the split-tree skeleton, and a per-node
-//! pair directory form the pinned metadata, while the `O(s²n)` pair payload
-//! (20 bytes per pair, grouped by the pair's first node and sorted for
-//! binary search) fills fixed-size pages served through the
+//! quadtrees: a versioned header (now including the guaranteed ε), the
+//! split-tree skeleton, and a per-node pair directory form the pinned
+//! metadata, while the `O(s²n)` pair payload — 28 bytes per pair in v2:
+//! `b`-node, both representatives, the `f64` distance bits **and the `f64`
+//! cap bits** — fills fixed-size pages served through the
 //! `silc_storage::BufferPool` with decoded groups in a `ShardedCache`.
-//! Representative distances are stored as full `f64` bits, so
-//! [`DiskDistanceOracle::distance`] is bit-identical to the memory oracle.
+//! Version-1 files (20-byte records, no caps) remain readable; their pairs
+//! answer the file's global a-priori bound. Distances and caps are stored
+//! as full `f64` bits, so [`DiskDistanceOracle::distance`] and
+//! [`DiskDistanceOracle::distance_with_epsilon`] are bit-identical to the
+//! memory oracle.
 
+pub mod build;
 pub mod disk;
 pub mod error;
 pub mod format;
@@ -44,9 +58,10 @@ pub mod oracle;
 pub mod split_tree;
 pub mod wspd;
 
+pub use build::{PcpBuildConfig, PcpBuildStats};
 pub use disk::DiskDistanceOracle;
 pub use error::PcpError;
-pub use format::{encode_oracle, write_oracle, PAIR_BYTES};
+pub use format::{encode_oracle, write_oracle, PAIR_BYTES, PAIR_BYTES_V1};
 pub use oracle::DistanceOracle;
 pub use split_tree::{NodeRef, SplitTree};
 pub use wspd::{wspd, WspdPair};

@@ -1,18 +1,27 @@
 //! The ε-approximate distance oracle built on the WSPD.
 //!
 //! For every well-separated pair `(A, B)` the oracle stores one
-//! representative network distance `d(rep(A), rep(B))`. A query `(u, v)`
-//! locates its unique covering pair by descending the split tree — mirroring
-//! the construction's split rule, so the walk takes `O(tree depth)` — and
-//! returns the representative distance. With separation `s` and network
-//! stretch `t = max d_network/d_euclidean`, the relative error is bounded by
-//! roughly `4t/s` (shrinking the pair radii shrinks how far `u, v` can be
-//! from the representatives).
+//! representative network distance `d(rep(A), rep(B))` **and that pair's own
+//! error cap** — the relative error any query covered by the pair can
+//! suffer, derived from exact network radii during construction (see
+//! [`crate::build`]). A query `(u, v)` locates its unique covering pair by
+//! descending the split tree — mirroring the construction's split rule, so
+//! the walk takes `O(tree depth)` — and returns the representative distance
+//! (with, on request, its cap).
+//!
+//! Two error bounds coexist:
+//!
+//! * [`DistanceOracle::epsilon`] — the **guaranteed** bound: the maximum
+//!   stored per-pair cap. Honest by construction, and far tighter than the
+//!   classic stretch formula on road networks (one spatially-close but
+//!   network-far pair no longer poisons every query's bound).
+//! * [`DistanceOracle::epsilon_apriori`] — the classic first-order
+//!   `4t/s` formula over the global stretch `t`, kept for comparison (this
+//!   is what v1 oracle files report).
 
+use crate::build::{build_oracle, PcpBuildConfig, PcpBuildStats};
 use crate::split_tree::SplitTree;
-use crate::wspd::{wspd, WspdPair};
-use silc_network::astar::AStar;
-use silc_network::{SpatialNetwork, SsspWorkspace, VertexId};
+use silc_network::{SpatialNetwork, VertexId};
 use std::collections::HashMap;
 
 /// Stored payload of one pair.
@@ -22,6 +31,9 @@ pub(crate) struct PairData {
     pub(crate) rep_b: VertexId,
     /// Representative network distance `rep_a → rep_b`.
     pub(crate) dist: f64,
+    /// This pair's own relative-error cap (see [`crate::build`] for the
+    /// derivation and soundness argument).
+    pub(crate) max_err: f64,
 }
 
 /// The pair-location walk shared by the memory and disk oracles: descend
@@ -76,36 +88,41 @@ pub struct DistanceOracle {
     /// Max observed `d_network / d_euclidean` over representative pairs —
     /// an empirical estimate of the network stretch `t`.
     stretch: f64,
+    /// The guaranteed relative-error bound: the maximum stored per-pair cap.
+    eps_max: f64,
+    stats: PcpBuildStats,
 }
 
 impl DistanceOracle {
     /// Builds the oracle with separation factor `s` (larger `s` = more
-    /// pairs = better accuracy).
+    /// pairs = better accuracy), using all available cores.
     ///
-    /// Every representative distance is one A* computation — `O(s²n)` of
-    /// them — so all searches share one reusable [`SsspWorkspace`] instead
-    /// of allocating fresh search state per pair; networks must be strongly
+    /// Convenience over [`Self::build_with`]; the build is batched — one
+    /// truncated multi-target search per distinct representative instead of
+    /// one probe per pair — and its output is byte-identical for any thread
+    /// count, so defaulting to parallel is safe. Networks must be strongly
     /// connected.
     pub fn build(network: &SpatialNetwork, grid_exponent: u32, s: f64) -> Self {
-        let tree = SplitTree::build(network, grid_exponent);
-        let raw: Vec<WspdPair> = wspd(&tree, s);
-        let astar = AStar::new(network);
-        let mut ws = SsspWorkspace::with_capacity(network.vertex_count());
-        let mut pairs = HashMap::with_capacity(raw.len());
-        let mut stretch = 1.0f64;
-        for p in raw {
-            let rep_a = tree.representative(p.a);
-            let rep_b = tree.representative(p.b);
-            let dist = astar
-                .distance_with(&mut ws, rep_a, rep_b)
-                .expect("oracle requires a strongly connected network");
-            let euclid = network.euclidean(rep_a, rep_b);
-            if euclid > 0.0 {
-                stretch = stretch.max(dist / euclid);
-            }
-            pairs.insert((p.a.0, p.b.0), PairData { rep_a, rep_b, dist });
-        }
-        DistanceOracle { tree, pairs, separation: s, stretch }
+        Self::build_with(network, &PcpBuildConfig { grid_exponent, separation: s, threads: 0 })
+    }
+
+    /// Builds the oracle from an explicit [`PcpBuildConfig`] (grid
+    /// exponent, separation, worker threads). See [`crate::build`] for the
+    /// pipeline and the per-pair error-cap construction.
+    pub fn build_with(network: &SpatialNetwork, cfg: &PcpBuildConfig) -> Self {
+        build_oracle(network, cfg)
+    }
+
+    /// Assembles an oracle from the build pipeline's parts.
+    pub(crate) fn from_parts(
+        tree: SplitTree,
+        pairs: HashMap<(u32, u32), PairData>,
+        separation: f64,
+        stretch: f64,
+        eps_max: f64,
+        stats: PcpBuildStats,
+    ) -> Self {
+        DistanceOracle { tree, pairs, separation, stretch, eps_max, stats }
     }
 
     /// Number of stored pairs (the oracle's size; `O(s²n)`).
@@ -123,9 +140,25 @@ impl DistanceOracle {
         self.stretch
     }
 
-    /// The a-priori relative error bound `≈ 4t/s`.
+    /// The guaranteed relative error bound: the maximum per-pair cap stored
+    /// during construction. Sound on symmetric networks (see
+    /// [`crate::build`]), and typically far below [`Self::epsilon_apriori`]
+    /// on road networks.
     pub fn epsilon(&self) -> f64 {
+        self.eps_max
+    }
+
+    /// The classic a-priori first-order bound `≈ 4t/s` over the global
+    /// stretch `t` — near-vacuous on road networks where one
+    /// spatially-close-but-network-far pair inflates `t`; kept for
+    /// comparison and as the fallback bound of v1 oracle files.
+    pub fn epsilon_apriori(&self) -> f64 {
         4.0 * self.stretch / self.separation
+    }
+
+    /// Cost counters of the construction (probe batching, refinement).
+    pub fn build_stats(&self) -> &PcpBuildStats {
+        &self.stats
     }
 
     /// The split tree the oracle was built on (serialization access).
@@ -150,6 +183,26 @@ impl DistanceOracle {
         }
         let (p, _) = self.locate(u, v);
         p.dist
+    }
+
+    /// Approximate distance together with the covering pair's own error cap
+    /// — the per-query-honest `(estimate, ε)` the interval math in
+    /// `silc-query` consumes. `(0, 0)` when `u == v`.
+    pub fn distance_with_epsilon(&self, u: VertexId, v: VertexId) -> (f64, f64) {
+        if u == v {
+            return (0.0, 0.0);
+        }
+        let (p, _) = self.locate(u, v);
+        (p.dist, p.max_err)
+    }
+
+    /// The error cap of the pair covering `(u, v)` (0 when `u == v`): the
+    /// guaranteed relative error of [`Self::distance`] for this query.
+    pub fn epsilon_for(&self, u: VertexId, v: VertexId) -> f64 {
+        if u == v {
+            return 0.0;
+        }
+        self.locate(u, v).0.max_err
     }
 
     /// The representative vertices of the pair covering `(u, v)`, oriented
@@ -237,17 +290,83 @@ mod tests {
     }
 
     #[test]
-    fn error_within_theoretical_bound() {
+    fn error_within_guaranteed_bound() {
         let g = network();
         let o = DistanceOracle::build(&g, 10, 8.0);
         let (_, worst) = rel_error(&g, &o);
-        // ≈ 4t/s is a first-order bound; allow slack for the rect-based
-        // separation test.
+        // The per-pair caps are sound, so the guaranteed ε needs no slack —
+        // unlike the a-priori 4t/s bound it replaced.
         assert!(
-            worst <= 1.5 * o.epsilon() + 0.05,
-            "observed error {worst} far exceeds bound {}",
+            worst <= o.epsilon() + 1e-9,
+            "observed error {worst} exceeds the guaranteed bound {}",
             o.epsilon()
         );
+        assert!(o.epsilon().is_finite(), "guaranteed bound must be finite on road networks");
+    }
+
+    #[test]
+    fn per_pair_caps_bound_every_sampled_error() {
+        let g = network();
+        let o = DistanceOracle::build(&g, 10, 6.0);
+        let n = g.vertex_count() as u32;
+        let mut below_global = 0usize;
+        let mut total = 0usize;
+        for u in (0..n).step_by(7) {
+            let truth = dijkstra::full_sssp(&g, VertexId(u));
+            for v in (0..n).step_by(5) {
+                if u == v {
+                    continue;
+                }
+                let (approx, cap) = o.distance_with_epsilon(VertexId(u), VertexId(v));
+                assert_eq!(cap, o.epsilon_for(VertexId(u), VertexId(v)));
+                assert!(cap <= o.epsilon(), "a pair cap must not exceed the global bound");
+                let t = truth.dist[v as usize];
+                let err = (approx - t).abs() / t;
+                assert!(
+                    err <= cap + 1e-9,
+                    "({u},{v}): error {err:.4} exceeds the pair's own cap {cap:.4}"
+                );
+                total += 1;
+                if cap < o.epsilon() {
+                    below_global += 1;
+                }
+            }
+        }
+        // The point of per-pair caps: most queries carry a bound strictly
+        // tighter than the global worst case.
+        assert!(
+            below_global * 2 > total,
+            "per-pair caps should usually beat the global ε ({below_global}/{total})"
+        );
+    }
+
+    #[test]
+    fn serial_and_parallel_builds_are_identical() {
+        use crate::build::PcpBuildConfig;
+        let g = network();
+        let serial = DistanceOracle::build_with(
+            &g,
+            &PcpBuildConfig { grid_exponent: 10, separation: 5.0, threads: 1 },
+        );
+        let parallel = DistanceOracle::build_with(
+            &g,
+            &PcpBuildConfig { grid_exponent: 10, separation: 5.0, threads: 4 },
+        );
+        assert_eq!(
+            crate::format::encode_oracle(&serial),
+            crate::format::encode_oracle(&parallel),
+            "thread count must not change a single encoded byte"
+        );
+        assert_eq!(serial.build_stats().pairs, parallel.build_stats().pairs);
+        assert_eq!(serial.build_stats().batch_sources, parallel.build_stats().batch_sources);
+    }
+
+    #[test]
+    fn identity_queries_have_zero_cap() {
+        let g = network();
+        let o = DistanceOracle::build(&g, 10, 4.0);
+        assert_eq!(o.distance_with_epsilon(VertexId(9), VertexId(9)), (0.0, 0.0));
+        assert_eq!(o.epsilon_for(VertexId(9), VertexId(9)), 0.0);
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //! bounding rectangles is at least `s` times the larger of their radii; the
 //! decomposition covers every ordered vertex pair `(u, v)`, `u ≠ v`, by
 //! exactly one well-separated pair (Callahan & Kosaraju 1995 — reference
-//! [Call95] of the paper). The number of pairs is `O(s²·n)`.
+//! \[Call95\] of the paper). The number of pairs is `O(s²·n)`.
 
 use crate::split_tree::{NodeRef, SplitTree};
+use silc_geom::Rect;
 
 /// One well-separated pair of split-tree nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -15,16 +16,21 @@ pub struct WspdPair {
     pub b: NodeRef,
 }
 
+/// Euclidean gap between two rectangles (0 when they touch or overlap) —
+/// the lower bound on the distance between any two points of the rects that
+/// both the separation test and the per-pair error caps build on.
+pub(crate) fn rect_gap(rect_a: &Rect, rect_b: &Rect) -> f64 {
+    let dx = (rect_b.min_x - rect_a.max_x).max(rect_a.min_x - rect_b.max_x).max(0.0);
+    let dy = (rect_b.min_y - rect_a.max_y).max(rect_a.min_y - rect_b.max_y).max(0.0);
+    (dx * dx + dy * dy).sqrt()
+}
+
 /// Are nodes `a` and `b` s-well-separated?
 pub fn well_separated(tree: &SplitTree, a: NodeRef, b: NodeRef, s: f64) -> bool {
     let ra = tree.diameter(a) / 2.0;
     let rb = tree.diameter(b) / 2.0;
     let r = ra.max(rb);
-    let (rect_a, rect_b) = (tree.rect(a), tree.rect(b));
-    // Gap between the rectangles (0 when they touch/overlap).
-    let dx = (rect_b.min_x - rect_a.max_x).max(rect_a.min_x - rect_b.max_x).max(0.0);
-    let dy = (rect_b.min_y - rect_a.max_y).max(rect_a.min_y - rect_b.max_y).max(0.0);
-    let gap = (dx * dx + dy * dy).sqrt();
+    let gap = rect_gap(&tree.rect(a), &tree.rect(b));
     gap >= s * r
 }
 

@@ -14,17 +14,20 @@
 //!
 //! ## What the result guarantees
 //!
-//! With a sound oracle (relative error at most `ε = oracle.epsilon()`),
-//! every reported [`crate::Neighbor`] carries an interval containing its
-//! true network distance, built from two independent bounds — the oracle's
-//! `[d̃/(1+ε), d̃/(1−ε)]` band and the network's Euclidean lower bound
-//! `dE · min_ratio` — combined by intersection, falling back to the gap
-//! interval when float noise (or an oracle slightly past its first-order
-//! bound) makes them disjoint, the same honest-combination rule
-//! `silc::refine` uses. Ranking is by the oracle estimate, so the i-th
-//! reported true distance exceeds the exact i-th distance by at most a
-//! factor `(1+ε)/(1−ε)` — the ε-closeness the `pcp_bounds_fuzz` suite
-//! locks.
+//! With a sound oracle, every reported [`crate::Neighbor`] carries an
+//! interval containing its true network distance, built from two
+//! independent bounds — the oracle's `[d̃/(1+ε), d̃/(1−ε)]` band and the
+//! network's Euclidean lower bound `dE · min_ratio` — combined by
+//! intersection, falling back to the gap interval when float noise (or an
+//! oracle past its bound) makes them disjoint, the same honest-combination
+//! rule `silc::refine` uses. The ε of each band is **per candidate**:
+//! [`ApproxDistanceOracle::distance_with_epsilon`] lets oracles with
+//! per-pair error caps (the v2 PCP oracles) answer the covering pair's own
+//! cap, so intervals are typically far tighter than the global worst case
+//! would allow. Ranking is by the oracle estimate, so the i-th reported
+//! true distance exceeds the exact i-th distance by at most a factor
+//! `(1+ε)/(1−ε)` of the global ε — the ε-closeness the `pcp_bounds_fuzz`
+//! suite locks.
 
 use crate::objects::{ObjectId, ObjectSet};
 use crate::result::{KnnResult, Neighbor, QueryStats};
@@ -44,6 +47,15 @@ pub trait ApproxDistanceOracle: Send + Sync {
 
     /// The guaranteed relative error bound ε of [`Self::distance`].
     fn epsilon(&self) -> f64;
+
+    /// Approximate distance together with the error bound that holds for
+    /// *this* query — `(estimate, ε)`. Oracles with per-pair error caps
+    /// (the v2 PCP oracles) override this to answer the covering pair's own
+    /// cap, which is what lets [`approx_knn`] intervals tighten below the
+    /// global worst case; the default falls back to the global ε.
+    fn distance_with_epsilon(&self, u: VertexId, v: VertexId) -> (f64, f64) {
+        (self.distance(u, v), self.epsilon())
+    }
 }
 
 impl ApproxDistanceOracle for silc_pcp::DistanceOracle {
@@ -54,6 +66,10 @@ impl ApproxDistanceOracle for silc_pcp::DistanceOracle {
     fn epsilon(&self) -> f64 {
         silc_pcp::DistanceOracle::epsilon(self)
     }
+
+    fn distance_with_epsilon(&self, u: VertexId, v: VertexId) -> (f64, f64) {
+        silc_pcp::DistanceOracle::distance_with_epsilon(self, u, v)
+    }
 }
 
 impl<S: PageStore> ApproxDistanceOracle for silc_pcp::DiskDistanceOracle<S> {
@@ -63,6 +79,10 @@ impl<S: PageStore> ApproxDistanceOracle for silc_pcp::DiskDistanceOracle<S> {
 
     fn epsilon(&self) -> f64 {
         silc_pcp::DiskDistanceOracle::epsilon(self)
+    }
+
+    fn distance_with_epsilon(&self, u: VertexId, v: VertexId) -> (f64, f64) {
+        silc_pcp::DiskDistanceOracle::distance_with_epsilon(self, u, v)
     }
 }
 
@@ -179,7 +199,6 @@ pub(crate) fn approx_knn_into<O: ApproxDistanceOracle + ?Sized>(
     assert!(k > 0, "k must be positive");
     scratch.begin();
     let ApproxScratch { nn, best, sorted, result } = scratch;
-    let eps = oracle.epsilon();
     let min_ratio = network.min_weight_ratio();
     let qpos = network.position(query);
     let mut stats = QueryStats::default();
@@ -200,7 +219,10 @@ pub(crate) fn approx_knn_into<O: ApproxDistanceOracle + ?Sized>(
         }
         stats.index_queries += 1;
         let o = ObjectId(*objects.quadtree().payload(item));
-        let approx = oracle.distance(query, objects.vertex(o));
+        // Per-candidate bound: oracles with per-pair caps answer the
+        // covering pair's own ε here, so each interval is as tight as the
+        // construction can prove for *this* candidate.
+        let (approx, eps) = oracle.distance_with_epsilon(query, objects.vertex(o));
         let interval = candidate_interval(approx, eps, euclid_lo);
         let entry = ApproxBest { approx, object: o, interval };
         let changed = if best.len() < k {

@@ -305,7 +305,7 @@ pub(crate) fn ine_into(
     ine_core(objects, query, k, network.vertex_count(), scratch, mem_edges(network));
 }
 
-/// One-shot wrapper around [`ine_into`] with a fresh [`BaselineScratch`].
+/// One-shot wrapper around `ine_into` with a fresh [`BaselineScratch`].
 pub fn ine(network: &SpatialNetwork, objects: &ObjectSet, query: VertexId, k: usize) -> KnnResult {
     let mut scratch = BaselineScratch::new();
     ine_into(network, objects, query, k, &mut scratch);
@@ -340,7 +340,7 @@ pub(crate) fn ier_into(
     });
 }
 
-/// One-shot wrapper around [`ier_into`] with a fresh [`BaselineScratch`].
+/// One-shot wrapper around `ier_into` with a fresh [`BaselineScratch`].
 pub fn ier(network: &SpatialNetwork, objects: &ObjectSet, query: VertexId, k: usize) -> KnnResult {
     let mut scratch = BaselineScratch::new();
     ier_into(network, objects, query, k, &mut scratch);

@@ -2,8 +2,8 @@
 //!
 //! The paper's experiments are disk-resident end to end: the competitors
 //! read the *network* from disk just as SILC reads its quadtrees from disk.
-//! These variants run the same [`crate::baselines`] cores ([`ine_core`],
-//! [`ier_core`], [`p2p_core`] — one copy of each Dijkstra loop) but serve
+//! These variants run the same [`crate::baselines`] cores (`ine_core`,
+//! `ier_core`, `p2p_core` — one copy of each Dijkstra loop) but serve
 //! every adjacency list through `silc_network::paged::PagedNetwork`'s
 //! buffer pool, so their I/O cost is real and comparable with the
 //! disk-resident SILC index. They share [`BaselineScratch`] with the
@@ -31,7 +31,7 @@ pub(crate) fn ine_disk_into(
     });
 }
 
-/// One-shot wrapper around [`ine_disk_into`] with a fresh scratch.
+/// One-shot wrapper around `ine_disk_into` with a fresh scratch.
 pub fn ine_disk(
     network: &PagedNetwork,
     objects: &ObjectSet,
@@ -73,7 +73,7 @@ pub(crate) fn ier_disk_into(
     );
 }
 
-/// One-shot wrapper around [`ier_disk_into`] with a fresh scratch.
+/// One-shot wrapper around `ier_disk_into` with a fresh scratch.
 pub fn ier_disk(
     network: &PagedNetwork,
     objects: &ObjectSet,

@@ -410,7 +410,7 @@ pub(crate) fn knn_into<B: DistanceBrowser + ?Sized>(
     result.stats = eng.stats;
 }
 
-/// One-shot wrapper around [`knn_into`] with a fresh [`KnnScratch`].
+/// One-shot wrapper around `knn_into` with a fresh [`KnnScratch`].
 ///
 /// Returns up to `k` neighbors: fewer only when the object set is smaller
 /// than `k`. Neighbor intervals always contain the true network distance;
@@ -508,7 +508,7 @@ pub(crate) fn inn_into<B: DistanceBrowser + ?Sized>(
     result.stats = eng.stats;
 }
 
-/// One-shot wrapper around [`inn_into`] with a fresh [`KnnScratch`].
+/// One-shot wrapper around `inn_into` with a fresh [`KnnScratch`].
 pub fn inn<B: DistanceBrowser + ?Sized>(
     browser: &B,
     objects: &ObjectSet,

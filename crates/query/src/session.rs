@@ -110,7 +110,7 @@ impl<B: DistanceBrowser + ?Sized> QuerySession<B> {
         &self.objects
     }
 
-    /// The non-incremental kNN algorithm ([`crate::knn`]) and its kNN-I /
+    /// The non-incremental kNN algorithm ([`crate::knn()`]) and its kNN-I /
     /// kNN-M variants, through the session workspaces.
     pub fn knn(&mut self, query: VertexId, k: usize, variant: KnnVariant) -> &KnnResult {
         knn_into(&*self.browser, &self.objects, query, k, variant, &mut self.knn);

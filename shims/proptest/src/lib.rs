@@ -8,7 +8,13 @@
 //! * no shrinking — a failure reports the full generated inputs instead,
 //! * strategies compose structurally (ranges, tuples, vecs) but there are
 //!   no combinators (`prop_map`, `prop_filter`, …) because nothing in-tree
-//!   uses them.
+//!   uses them,
+//! * the `PROPTEST_CASES` environment variable overrides the case count of
+//!   **every** property, including ones with an in-source
+//!   `ProptestConfig::with_cases` (the real crate lets explicit configs
+//!   win). This is deliberate: it is the single lever the scheduled CI
+//!   deep-fuzz job pulls to run the committed suites at elevated depth
+//!   without touching the PR-blocking defaults.
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -35,6 +41,33 @@ impl Default for ProptestConfig {
     fn default() -> Self {
         ProptestConfig { cases: 256 }
     }
+}
+
+/// Applies the `PROPTEST_CASES` override to a property's configured case
+/// count (see the crate docs: unlike the real crate, the override also
+/// beats in-source `with_cases` so CI can deepen committed suites).
+///
+/// # Panics
+/// Panics when the variable is set but not a positive integer — a
+/// misconfigured CI job must fail loudly, not silently fuzz at the shallow
+/// default.
+#[doc(hidden)]
+pub fn __apply_env_override(config: ProptestConfig) -> ProptestConfig {
+    apply_override(config, std::env::var("PROPTEST_CASES").ok().as_deref())
+}
+
+/// The env-free core of [`__apply_env_override`], so tests can exercise the
+/// override logic without mutating the process-global environment (which
+/// would race against the other tests in the binary, all of which read the
+/// variable through the `proptest!` runner).
+fn apply_override(mut config: ProptestConfig, raw: Option<&str>) -> ProptestConfig {
+    if let Some(raw) = raw {
+        match raw.parse::<u32>() {
+            Ok(cases) if cases > 0 => config.cases = cases,
+            _ => panic!("PROPTEST_CASES must be a positive integer, got {raw:?}"),
+        }
+    }
+    config
 }
 
 /// A generator of values for one property input.
@@ -158,7 +191,7 @@ macro_rules! __proptest_items {
     ) => {
         $(#[$meta])*
         fn $name() {
-            let config: $crate::ProptestConfig = $cfg;
+            let config: $crate::ProptestConfig = $crate::__apply_env_override($cfg);
             let mut rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
                 0x5EED ^ $crate::__fnv1a(concat!(module_path!(), "::", stringify!($name))),
             );
@@ -279,6 +312,26 @@ mod tests {
         fn config_cases_is_respected(_x in 0u32..2) {
             // Only checks the macro accepts a config block; the case count
             // itself is exercised by `failure_reports_inputs` below.
+        }
+    }
+
+    #[test]
+    fn env_override_beats_explicit_config() {
+        // Exercised through the env-free core — mutating the real
+        // PROPTEST_CASES here would race against every other test in this
+        // binary, all of which read it through the proptest! runner.
+        // Without the variable, the explicit config wins.
+        assert_eq!(crate::apply_override(ProptestConfig::with_cases(8), None).cases, 8);
+        // With it, the override beats even an in-source with_cases — the
+        // deep-fuzz CI lever.
+        assert_eq!(crate::apply_override(ProptestConfig::with_cases(8), Some("160")).cases, 160);
+        // A malformed or non-positive value must fail loudly, not silently
+        // under-fuzz.
+        for bad in ["many", "0", "-3", ""] {
+            let result = std::panic::catch_unwind(|| {
+                crate::apply_override(ProptestConfig::default(), Some(bad))
+            });
+            assert!(result.is_err(), "PROPTEST_CASES={bad:?} must panic");
         }
     }
 
