@@ -4,8 +4,8 @@
 #     cargo build --release && cargo test -q
 #
 .PHONY: build test bench bench-baseline bench-baseline-smoke bench-throughput \
-        bench-throughput-smoke bench-tradeoff bench-tradeoff-smoke bench-check \
-        docs deep-fuzz figures lint fmt verify help
+        bench-throughput-smoke bench-tradeoff bench-tradeoff-smoke bench-scale \
+        bench-scale-smoke bench-check docs deep-fuzz figures lint fmt verify help
 
 help:
 	@echo "SILC workspace targets:"
@@ -19,6 +19,8 @@ help:
 	@echo "  bench-throughput-smoke CI smoke for the throughput harness (tiny, writes to target/)"
 	@echo "  bench-tradeoff         re-record BENCH_tradeoff.json (SILC vs PCP from one substrate)"
 	@echo "  bench-tradeoff-smoke   CI smoke for the trade-off harness (tiny, writes to target/)"
+	@echo "  bench-scale            re-record BENCH_scale.json (partitioned build + routed kNN at scale)"
+	@echo "  bench-scale-smoke      CI smoke for the scale harness (tiny, writes to target/)"
 	@echo "  bench-check            validate committed BENCH_*.json against the recorders' schemas"
 	@echo "  docs                   rustdoc with warnings denied (the CI docs gate)"
 	@echo "  deep-fuzz              the scheduled CI fuzz pass: both proptest suites at ~10x cases"
@@ -76,6 +78,19 @@ bench-tradeoff:
 bench-tradeoff-smoke:
 	cargo run --release -p silc-bench --bin bench_tradeoff -- --smoke
 
+# Re-record the scale record (BENCH_scale.json): FMI round-trip →
+# partitioned build → cross-shard routed kNN at n up to 100k, with the
+# quadratic single-index projection each size is beating. Run ONLY when
+# intentionally resetting the comparison point (the 100k size takes a
+# while).
+bench-scale:
+	cargo run --release -p silc-bench --bin bench_scale
+
+# CI smoke for the scale harness: one tiny size, short window, writes to
+# target/ — only that the partition→build→route pipeline runs end to end.
+bench-scale-smoke:
+	cargo run --release -p silc-bench --bin bench_scale -- --smoke
+
 # Validate the committed bench records (and any smoke outputs already in
 # target/) against the recorders' current output schemas — the CI
 # bench-schema gate. Fails when a recorder's JSON fields drifted without
@@ -87,12 +102,12 @@ bench-check:
 docs:
 	RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
-# The scheduled CI deep-fuzz pass, runnable locally: both proptest suites
+# The scheduled CI deep-fuzz pass, runnable locally: the proptest suites
 # with the case count elevated ~10x over the PR-blocking defaults (the
 # proptest shim honors PROPTEST_CASES as an absolute override).
 deep-fuzz:
 	PROPTEST_CASES=160 cargo test --release -p silc-integration \
-		--test knn_fuzz --test pcp_bounds_fuzz
+		--test knn_fuzz --test pcp_bounds_fuzz --test partition_fuzz
 
 # Regenerate the paper's tables/figures as text via the figures binary.
 figures:

@@ -1,8 +1,8 @@
 //! The committed bench records' schemas, and a minimal JSON reader to
 //! check them.
 //!
-//! The three recorder binaries (`bench_baseline`, `bench_throughput`,
-//! `bench_tradeoff`) hand-assemble their JSON output (the serde shims are
+//! The recorder binaries (`bench_baseline`, `bench_throughput`,
+//! `bench_tradeoff`, `bench_scale`) hand-assemble their JSON output (the serde shims are
 //! no-op derives), which means nothing ties the **committed**
 //! `BENCH_*.json` files to the recorders' current output shape: a PR can
 //! change a recorder's fields and silently leave the committed baselines
@@ -308,6 +308,41 @@ pub const TRADEOFF_SCHEMA: Shape = Shape::Obj(&[
     ),
 ]);
 
+/// Schema of `BENCH_scale.json` (`bench_scale` recorder).
+pub const SCALE_SCHEMA: Shape = Shape::Obj(&[
+    ("seed", Shape::Num),
+    ("shard_target", Shape::Num),
+    ("grid_exponent", Shape::Num),
+    ("cache_fraction", Shape::Num),
+    ("knn_k", Shape::Num),
+    ("knn_density", Shape::Num),
+    ("duration_ms", Shape::Num),
+    ("host_threads", Shape::Num),
+    ("base_vertices", Shape::Num),
+    ("base_build_s", Shape::Num),
+    (
+        "sizes",
+        Shape::Arr(&Shape::Obj(&[
+            ("vertices", Shape::Num),
+            ("shards", Shape::Num),
+            ("cut_edges", Shape::Num),
+            ("frontier_vertices", Shape::Num),
+            ("fmi_roundtrip_s", Shape::Num),
+            ("build_s", Shape::Num),
+            ("projected_single_s", Shape::Num),
+            ("speedup_vs_projected", Shape::Num),
+            ("bytes_total", Shape::Num),
+            ("engine_s", Shape::Num),
+            ("queries", Shape::Num),
+            ("qps", Shape::Num),
+            ("p50_us", Shape::Num),
+            ("p99_us", Shape::Num),
+            ("complete_fraction", Shape::Num),
+            ("shard_bytes", Shape::Arr(&Shape::Num)),
+        ])),
+    ),
+]);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +392,7 @@ mod tests {
             ("BENCH_baseline.json", &BASELINE_SCHEMA),
             ("BENCH_throughput.json", &THROUGHPUT_SCHEMA),
             ("BENCH_tradeoff.json", &TRADEOFF_SCHEMA),
+            ("BENCH_scale.json", &SCALE_SCHEMA),
         ] {
             let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../").to_string() + file;
             let text = std::fs::read_to_string(&path)

@@ -63,6 +63,7 @@ pub mod error;
 pub mod index;
 pub mod interval;
 pub mod mbr_baseline;
+pub mod partitioned;
 pub mod path;
 pub mod refine;
 pub mod sp_quadtree;
@@ -73,6 +74,7 @@ pub use disk::DiskSilcIndex;
 pub use error::BuildError;
 pub use index::{BuildConfig, IndexStats, SilcIndex};
 pub use interval::DistInterval;
+pub use partitioned::{PartitionedBuildConfig, PartitionedBuildError, PartitionedSilcIndex};
 pub use sp_quadtree::{BlockEntry, CellRect, SpQuadtree, COLOR_SOURCE};
 
 /// The most common imports.

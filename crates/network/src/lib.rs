@@ -26,6 +26,8 @@ pub mod generate;
 pub mod graph;
 pub mod io;
 pub mod paged;
+pub mod partition;
 
 pub use dijkstra::SsspWorkspace;
 pub use graph::{NetworkBuilder, SpatialNetwork, VertexId};
+pub use partition::{partition_network, NetworkPartition, PartitionConfig, PartitionError};

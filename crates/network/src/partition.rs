@@ -1,0 +1,438 @@
+//! Spatial partitioning of a network into vertex-disjoint shards.
+//!
+//! The SILC precomputation runs one full-graph SSSP per vertex — the
+//! O(n²·log n) wall the paper flags as the framework's scaling limit. The
+//! standard way through it is spatial: split the network into k
+//! vertex-disjoint cells, build one index per cell over the cell's
+//! *induced* subnetwork (every SSSP stops at the cell boundary), and track
+//! the cut edges so a query layer can reason soundly about paths that
+//! cross between cells. Total precompute work drops from n full-graph
+//! SSSPs to Σ per-shard work — a k-fold reduction for balanced shards.
+//!
+//! The partitioner here grows k regions simultaneously over the graph's
+//! undirected adjacency, seeded at evenly spaced ranks of the vertices'
+//! Morton order (so seeds spread over space, and regions stay spatially
+//! coherent). At each step the currently smallest region claims one
+//! unclaimed frontier vertex; ties break by region id, so the result is
+//! deterministic. Growing over adjacency — rather than cutting Morton
+//! ranges directly — guarantees every shard's induced subnetwork is
+//! *weakly connected*, which for symmetric networks (every generator in
+//! this crate) means strongly connected, the precondition for building a
+//! SILC index over the shard.
+//!
+//! Known limits (tracked in the roadmap): a shard of a *directed* network
+//! can be weakly but not strongly connected, in which case the per-shard
+//! index build reports the unreachable pair; and the partition is static —
+//! there is no incremental re-balancing when the network changes.
+
+use crate::{NetworkBuilder, SpatialNetwork, VertexId};
+use silc_geom::GridMapper;
+use silc_morton::MortonCode;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+/// Configuration for [`partition_network`].
+#[derive(Debug, Clone)]
+pub struct PartitionConfig {
+    /// Number of shards to aim for (clamped to the vertex count).
+    pub shards: usize,
+    /// Grid exponent of the Morton order used to place the k seeds
+    /// (clamped to `1..=16`). Only seed placement depends on it.
+    pub grid_exponent: u32,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig { shards: 8, grid_exponent: 10 }
+    }
+}
+
+/// Why a network could not be partitioned.
+#[derive(Debug)]
+pub enum PartitionError {
+    /// The network has no vertices.
+    Empty,
+    /// The network is not connected even undirected: region growth claimed
+    /// `reached` of `total` vertices and ran out of frontier.
+    Disconnected {
+        /// Vertices the k growing regions reached.
+        reached: usize,
+        /// Vertices in the network.
+        total: usize,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::Empty => write!(f, "cannot partition an empty network"),
+            PartitionError::Disconnected { reached, total } => {
+                write!(f, "network is disconnected: regions reached {reached} of {total} vertices")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// A directed edge whose endpoints live in different shards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CutEdge {
+    /// Global id of the edge's source.
+    pub source: VertexId,
+    /// Global id of the edge's target.
+    pub target: VertexId,
+    /// Edge weight.
+    pub weight: f64,
+}
+
+/// One cell of a [`NetworkPartition`]: the induced subnetwork plus the
+/// local↔global id maps and the exit frontier.
+pub struct Shard {
+    network: Arc<SpatialNetwork>,
+    globals: Vec<VertexId>,
+    exit_frontier: Vec<(u32, f64)>,
+}
+
+impl Shard {
+    /// The induced subnetwork over the shard's vertices (local ids).
+    pub fn network(&self) -> &SpatialNetwork {
+        &self.network
+    }
+
+    /// The induced subnetwork, shareable.
+    pub fn network_arc(&self) -> &Arc<SpatialNetwork> {
+        &self.network
+    }
+
+    /// Number of vertices in the shard.
+    pub fn vertex_count(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Global ids in local-id order (ascending by global id).
+    pub fn globals(&self) -> &[VertexId] {
+        &self.globals
+    }
+
+    /// Maps a local vertex id back to its global id.
+    pub fn to_global(&self, local: u32) -> VertexId {
+        self.globals[local as usize]
+    }
+
+    /// The shard's exit frontier: each `(local id, w)` is a vertex with at
+    /// least one *outgoing* cut edge, and `w` is the minimum weight among
+    /// its outgoing cut edges. Any path leaving the shard pays at least
+    /// the within-shard distance to some frontier vertex plus its `w` —
+    /// the lower bound the cross-shard query router builds on.
+    pub fn exit_frontier(&self) -> &[(u32, f64)] {
+        &self.exit_frontier
+    }
+}
+
+/// A spatial split of a network into k vertex-disjoint shards plus the
+/// cut-edge frontier between them. Produced by [`partition_network`].
+pub struct NetworkPartition {
+    shard_of: Vec<u32>,
+    local_of: Vec<u32>,
+    shards: Vec<Shard>,
+    cut_edges: Vec<CutEdge>,
+}
+
+impl NetworkPartition {
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// All shards, indexed by shard id.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// One shard.
+    pub fn shard(&self, s: usize) -> &Shard {
+        &self.shards[s]
+    }
+
+    /// Shard id of a global vertex.
+    pub fn shard_of(&self, v: VertexId) -> usize {
+        self.shard_of[v.index()] as usize
+    }
+
+    /// Local id of a global vertex within its shard.
+    pub fn local_of(&self, v: VertexId) -> u32 {
+        self.local_of[v.index()]
+    }
+
+    /// Maps `(shard, local id)` back to the global vertex id.
+    pub fn to_global(&self, shard: usize, local: u32) -> VertexId {
+        self.shards[shard].to_global(local)
+    }
+
+    /// All directed edges whose endpoints live in different shards,
+    /// grouped by source shard.
+    pub fn cut_edges(&self) -> &[CutEdge] {
+        &self.cut_edges
+    }
+}
+
+/// Splits `g` into `cfg.shards` vertex-disjoint shards (see the module
+/// docs for the algorithm). Fails on empty networks, and on disconnected
+/// networks whenever region growth cannot reach every vertex (a component
+/// containing no seed); run [`crate::analysis::largest_component`] first
+/// for inputs that may be disconnected.
+pub fn partition_network(
+    g: &SpatialNetwork,
+    cfg: &PartitionConfig,
+) -> Result<NetworkPartition, PartitionError> {
+    let n = g.vertex_count();
+    if n == 0 {
+        return Err(PartitionError::Empty);
+    }
+    let k = cfg.shards.clamp(1, n);
+
+    // Morton order of the vertices; seeds go at evenly spaced ranks so
+    // they spread over the occupied space, not the bounding box.
+    let mapper = GridMapper::new(*g.bounds(), cfg.grid_exponent.clamp(1, 16));
+    let codes: Vec<u64> =
+        g.positions().iter().map(|p| MortonCode::encode(mapper.to_grid(p)).value()).collect();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&v| (codes[v as usize], v));
+
+    const UNCLAIMED: u32 = u32::MAX;
+    let mut shard_of = vec![UNCLAIMED; n];
+    let mut queues: Vec<VecDeque<u32>> = vec![VecDeque::new(); k];
+    let mut sizes = vec![0usize; k];
+
+    let push_neighbors = |v: u32, queue: &mut VecDeque<u32>, shard_of: &[u32]| {
+        let (out, _) = g.out_edge_slices(VertexId(v));
+        let (inc, _) = g.in_edge_slices(VertexId(v));
+        for &t in out.iter().chain(inc) {
+            if shard_of[t as usize] == UNCLAIMED {
+                queue.push_back(t);
+            }
+        }
+    };
+
+    for (r, queue) in queues.iter_mut().enumerate() {
+        // Ranks r·n/k are strictly increasing for k ≤ n, so seeds are
+        // distinct vertices.
+        let seed = order[r * n / k];
+        shard_of[seed as usize] = r as u32;
+        sizes[r] = 1;
+        push_neighbors(seed, queue, &shard_of);
+    }
+
+    let mut claimed = k;
+    while claimed < n {
+        // The smallest region with a live frontier grows by one vertex;
+        // ties break by region id for determinism.
+        let mut best: Option<usize> = None;
+        for r in 0..k {
+            if !queues[r].is_empty() && best.is_none_or(|b| sizes[r] < sizes[b]) {
+                best = Some(r);
+            }
+        }
+        let Some(r) = best else {
+            return Err(PartitionError::Disconnected { reached: claimed, total: n });
+        };
+        while let Some(v) = queues[r].pop_front() {
+            if shard_of[v as usize] != UNCLAIMED {
+                continue; // claimed since it was enqueued
+            }
+            shard_of[v as usize] = r as u32;
+            sizes[r] += 1;
+            claimed += 1;
+            let mut queue = std::mem::take(&mut queues[r]);
+            push_neighbors(v, &mut queue, &shard_of);
+            queues[r] = queue;
+            break;
+        }
+    }
+
+    // Extract the induced subnetworks. Local ids are ascending global ids,
+    // so the maps are deterministic and binary-search friendly.
+    let mut globals: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+    for v in 0..n as u32 {
+        globals[shard_of[v as usize] as usize].push(VertexId(v));
+    }
+    let mut local_of = vec![0u32; n];
+    for shard_globals in &globals {
+        for (i, &v) in shard_globals.iter().enumerate() {
+            local_of[v.index()] = i as u32;
+        }
+    }
+
+    let mut cut_edges = Vec::new();
+    let mut shards = Vec::with_capacity(k);
+    for (s, shard_globals) in globals.into_iter().enumerate() {
+        let mut b = NetworkBuilder::with_capacity(shard_globals.len(), 0);
+        for &v in &shard_globals {
+            b.add_vertex(g.position(v));
+        }
+        let mut min_exit = vec![f64::INFINITY; shard_globals.len()];
+        for (i, &v) in shard_globals.iter().enumerate() {
+            for (t, w) in g.out_edges(v) {
+                if shard_of[t.index()] == s as u32 {
+                    b.add_edge(VertexId(i as u32), VertexId(local_of[t.index()]), w);
+                } else {
+                    cut_edges.push(CutEdge { source: v, target: t, weight: w });
+                    min_exit[i] = min_exit[i].min(w);
+                }
+            }
+        }
+        let exit_frontier = min_exit
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.is_finite())
+            .map(|(i, &w)| (i as u32, w))
+            .collect();
+        shards.push(Shard { network: Arc::new(b.build()), globals: shard_globals, exit_frontier });
+    }
+
+    Ok(NetworkPartition { shard_of, local_of, shards, cut_edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::is_strongly_connected;
+    use crate::generate::{road_network, RoadConfig};
+    use silc_geom::Point;
+
+    fn partition(n: usize, k: usize, seed: u64) -> (SpatialNetwork, NetworkPartition) {
+        let g = road_network(&RoadConfig { vertices: n, seed, ..Default::default() });
+        let p = partition_network(&g, &PartitionConfig { shards: k, ..Default::default() })
+            .expect("generated road networks are connected");
+        (g, p)
+    }
+
+    #[test]
+    fn cover_is_disjoint_and_complete() {
+        let (g, p) = partition(300, 5, 7);
+        assert_eq!(p.shard_count(), 5);
+        let total: usize = p.shards().iter().map(Shard::vertex_count).sum();
+        assert_eq!(total, g.vertex_count());
+        for v in g.vertices() {
+            let s = p.shard_of(v);
+            let local = p.local_of(v);
+            assert_eq!(p.to_global(s, local), v, "local↔global maps must invert");
+            assert_eq!(p.shard(s).network().position(VertexId(local)), g.position(v));
+        }
+    }
+
+    #[test]
+    fn shards_are_reasonably_balanced_and_connected() {
+        let (g, p) = partition(400, 8, 11);
+        let sizes: Vec<usize> = p.shards().iter().map(Shard::vertex_count).collect();
+        let avg = g.vertex_count() / p.shard_count();
+        assert!(sizes.iter().all(|&s| s >= 1));
+        assert!(
+            *sizes.iter().max().unwrap() <= 2 * avg,
+            "smallest-first growth keeps shards balanced: {sizes:?}"
+        );
+        for shard in p.shards() {
+            // Symmetric input ⇒ weakly connected shards are strongly
+            // connected — the precondition for a per-shard SILC build.
+            assert!(is_strongly_connected(shard.network()));
+        }
+    }
+
+    #[test]
+    fn cut_edges_and_exit_frontier_are_exact() {
+        let (g, p) = partition(250, 4, 3);
+        let intra: usize = p.shards().iter().map(|s| s.network().edge_count()).sum();
+        assert_eq!(intra + p.cut_edges().len(), g.edge_count());
+        for e in p.cut_edges() {
+            assert_ne!(p.shard_of(e.source), p.shard_of(e.target));
+            assert_eq!(g.edge_weight(e.source, e.target), Some(e.weight));
+        }
+        // Recompute each shard's exit frontier from the cut-edge list.
+        for (s, shard) in p.shards().iter().enumerate() {
+            let mut want: Vec<(u32, f64)> = Vec::new();
+            for (local, &v) in shard.globals().iter().enumerate() {
+                let min_w = p
+                    .cut_edges()
+                    .iter()
+                    .filter(|e| e.source == v)
+                    .map(|e| e.weight)
+                    .fold(f64::INFINITY, f64::min);
+                if min_w.is_finite() {
+                    want.push((local as u32, min_w));
+                }
+            }
+            assert_eq!(shard.exit_frontier(), &want[..], "shard {s}");
+        }
+    }
+
+    #[test]
+    fn intra_shard_edges_keep_weights() {
+        let (g, p) = partition(120, 3, 21);
+        for shard in p.shards() {
+            for (local, &v) in shard.globals().iter().enumerate() {
+                for (t_local, w) in shard.network().out_edges(VertexId(local as u32)) {
+                    let t = shard.to_global(t_local.0);
+                    assert_eq!(g.edge_weight(v, t), Some(w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioning_is_deterministic() {
+        let (_, a) = partition(200, 6, 5);
+        let (_, b) = partition(200, 6, 5);
+        assert_eq!(a.shard_of, b.shard_of);
+        assert_eq!(a.cut_edges().len(), b.cut_edges().len());
+    }
+
+    #[test]
+    fn single_shard_has_no_cut() {
+        let (g, p) = partition(80, 1, 2);
+        assert_eq!(p.shard_count(), 1);
+        assert!(p.cut_edges().is_empty());
+        assert!(p.shard(0).exit_frontier().is_empty());
+        assert_eq!(p.shard(0).network().edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn more_shards_than_vertices_clamps() {
+        let (g, p) = partition(10, 64, 1);
+        assert_eq!(p.shard_count(), g.vertex_count());
+        assert!(p.shards().iter().all(|s| s.vertex_count() == 1));
+    }
+
+    #[test]
+    fn empty_and_disconnected_inputs_fail() {
+        let empty = NetworkBuilder::new().build();
+        assert!(matches!(
+            partition_network(&empty, &PartitionConfig::default()),
+            Err(PartitionError::Empty)
+        ));
+
+        // Two disjoint triangles.
+        let mut b = NetworkBuilder::new();
+        for i in 0..6 {
+            let x = f64::from(i % 3) + if i < 3 { 0.0 } else { 100.0 };
+            b.add_vertex(Point::new(x, f64::from(i / 3)));
+        }
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_edge_sym(VertexId(u), VertexId(v), 1.0);
+        }
+        let g = b.build();
+        // One seed cannot reach the second triangle.
+        match partition_network(&g, &PartitionConfig { shards: 1, ..Default::default() }) {
+            Err(PartitionError::Disconnected { reached, total }) => {
+                assert_eq!((reached, total), (3, 6));
+            }
+            other => panic!("expected Disconnected, got {:?}", other.map(|_| ())),
+        }
+        // With one seed per component the growth covers everything — the
+        // components simply become separate shards with an empty cut.
+        let p = partition_network(&g, &PartitionConfig { shards: 2, ..Default::default() })
+            .expect("two seeds cover two components");
+        assert!(p.cut_edges().is_empty());
+    }
+}

@@ -54,6 +54,13 @@
 //! decoded-entries cache of `DiskSilcIndex`, this is the crate's concurrent
 //! query-serving architecture; `bench_throughput` in `silc-bench` measures
 //! it end to end.
+//!
+//! The same engine/session pattern extends across spatial shards:
+//! [`PartitionedEngine`] / [`PartitionedSession`] (module [`router`]) route
+//! a kNN over a `silc::PartitionedSilcIndex` — exact merging in the query's
+//! home shard, sound distance intervals for cross-cut candidates, and a
+//! `complete` flag certifying provably exact answers. `bench_scale` in
+//! `silc-bench` drives it at 100 k vertices.
 
 pub mod approx;
 pub mod baselines;
@@ -64,6 +71,7 @@ pub mod knn;
 pub mod objects;
 pub mod range;
 pub mod result;
+pub mod router;
 pub mod session;
 pub mod verify;
 
@@ -75,4 +83,8 @@ pub use knn::{inn, knn, KnnScratch, KnnVariant};
 pub use objects::{ObjectId, ObjectSet};
 pub use range::{within_distance, RangeResult};
 pub use result::{KnnResult, Neighbor, QueryStats};
+pub use router::{
+    partitioned_knn, PartitionedEngine, PartitionedKnnResult, PartitionedNeighbor,
+    PartitionedSession, RouterStats,
+};
 pub use session::{QueryEngine, QuerySession};

@@ -1,0 +1,708 @@
+//! Cross-shard kNN over a [`PartitionedSilcIndex`]: the session-layer
+//! router.
+//!
+//! A partitioned index answers *within-shard* distances exactly but knows
+//! nothing about paths that cross the cut. The router recovers global
+//! soundness from three ingredients:
+//!
+//! * **Home-shard exactness.** The query's own shard runs the ordinary
+//!   incremental algorithm (INN) over the shard-local object set: each
+//!   reported object carries its exact induced-subgraph distance, which
+//!   upper-bounds the global distance (the shard path exists globally).
+//! * **The exit bound.** Any path leaving shard `s` first walks inside
+//!   `s` to some exit-frontier vertex `f` and then pays at least `f`'s
+//!   cheapest outgoing cut edge, so
+//!   `exit(q) = min_f [ d_s(q, f) + min_cut_w(f) ]` lower-bounds every
+//!   shard-leaving path. A home object whose local distance is at most
+//!   `exit(q)` is therefore globally exact. The router first uses the
+//!   cheap Euclidean form (`ratio · ‖q − f‖`), then tightens with
+//!   shard-index interval lower bounds (the PR-1 interval machinery) only
+//!   when the cheap bound cannot certify exactness.
+//! * **The frontier graph.** For upper bounds across the cut, the router
+//!   precomputes a small graph over all cut-edge endpoints: cut edges
+//!   keep their exact weights, and frontier vertices of the same shard
+//!   are linked by shard-index interval *upper* bounds. A per-query
+//!   Dijkstra from the home frontier (seeded with interval upper bounds
+//!   from `q`) yields a realizable-cost bound `ub(x)` for every frontier
+//!   vertex, and an object `o` in shard `t` gets
+//!   `hi(o) = ub(x) + interval_t(x, o).hi` for a well-chosen entry `x`.
+//!
+//! A neighboring shard is expanded only when its lower bound — the
+//! larger of the exit bound and `ratio ·` its Euclidean rectangle
+//! distance — still collides with the current kth upper bound `Dk`
+//! (ties expand, mirroring the kNN collision rule). Every reported
+//! interval is sound; [`PartitionedKnnResult::complete`] is set exactly
+//! when the reported distance multiset provably equals the true global
+//! kNN multiset (all reported exact, and every un-expanded bound at or
+//! beyond the final `Dk`).
+
+use crate::knn::{inn_into, KnnScratch};
+use crate::objects::{ObjectId, ObjectSet};
+use silc::partitioned::PartitionedSilcIndex;
+use silc::{DistInterval, DistanceBrowser};
+use silc_network::VertexId;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// One vertex of the frontier graph.
+struct FrontierVertex {
+    /// Global vertex id.
+    global: VertexId,
+    /// Shard the vertex belongs to.
+    shard: u32,
+    /// Local id within that shard.
+    local: u32,
+}
+
+/// The precomputed graph over cut-edge endpoints (see the module docs).
+struct FrontierGraph {
+    verts: Vec<FrontierVertex>,
+    /// Frontier indices per shard.
+    of_shard: Vec<Vec<u32>>,
+    /// Upper-bound edges: exact cut edges plus intra-shard interval
+    /// upper bounds between frontier vertices of the same shard.
+    adj: Vec<Vec<(u32, f64)>>,
+}
+
+/// Per-shard slice of the global object set.
+struct ShardObjects {
+    /// Objects re-addressed to shard-local vertex ids; local object id
+    /// `i` is the `i`-th entry of `globals`.
+    set: Arc<ObjectSet>,
+    /// Local object id → global object id.
+    globals: Vec<ObjectId>,
+}
+
+struct EngineCore {
+    index: Arc<PartitionedSilcIndex>,
+    objects: Arc<ObjectSet>,
+    /// `min_weight_ratio` of the *global* network: `ratio · ‖a − b‖`
+    /// lower-bounds every global distance.
+    min_ratio: f64,
+    shard_objects: Vec<Option<ShardObjects>>,
+    frontier: FrontierGraph,
+}
+
+/// A shared, thread-safe pairing of a partitioned index and an object
+/// set, with the derived per-shard object sets and the frontier graph.
+/// Cheap to clone; spawn one [`PartitionedSession`] per worker thread.
+pub struct PartitionedEngine {
+    core: Arc<EngineCore>,
+}
+
+impl Clone for PartitionedEngine {
+    fn clone(&self) -> Self {
+        PartitionedEngine { core: Arc::clone(&self.core) }
+    }
+}
+
+/// Engines must stay shareable across query threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PartitionedEngine>();
+};
+
+impl PartitionedEngine {
+    /// Derives the per-shard object sets and the frontier graph. The
+    /// frontier graph costs one shard-index interval lookup per ordered
+    /// pair of same-shard frontier vertices — a one-time scan that makes
+    /// every later cross-shard query a cheap Dijkstra over a few hundred
+    /// nodes.
+    pub fn new(index: Arc<PartitionedSilcIndex>, objects: Arc<ObjectSet>) -> Self {
+        let part = index.partition();
+        let k = part.shard_count();
+
+        // Per-shard object sets, local object id i ↔ globals[i].
+        let mut locals: Vec<(Vec<VertexId>, Vec<ObjectId>)> = vec![Default::default(); k];
+        for (oid, v) in objects.iter() {
+            let s = part.shard_of(v);
+            locals[s].0.push(VertexId(part.local_of(v)));
+            locals[s].1.push(oid);
+        }
+        let shard_objects = locals
+            .into_iter()
+            .enumerate()
+            .map(|(s, (vertices, globals))| {
+                (!vertices.is_empty()).then(|| ShardObjects {
+                    set: Arc::new(ObjectSet::from_vertices(part.shard(s).network(), vertices, 8)),
+                    globals,
+                })
+            })
+            .collect();
+
+        // Frontier vertices: every endpoint of a cut edge.
+        let mut ids: Vec<VertexId> = Vec::new();
+        for e in part.cut_edges() {
+            ids.push(e.source);
+            ids.push(e.target);
+        }
+        ids.sort_unstable_by_key(|v| v.0);
+        ids.dedup();
+        let fidx: HashMap<u32, u32> =
+            ids.iter().enumerate().map(|(i, v)| (v.0, i as u32)).collect();
+        let verts: Vec<FrontierVertex> = ids
+            .iter()
+            .map(|&v| FrontierVertex {
+                global: v,
+                shard: part.shard_of(v) as u32,
+                local: part.local_of(v),
+            })
+            .collect();
+        let mut of_shard: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for (i, fv) in verts.iter().enumerate() {
+            of_shard[fv.shard as usize].push(i as u32);
+        }
+        let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); verts.len()];
+        for e in part.cut_edges() {
+            adj[fidx[&e.source.0] as usize].push((fidx[&e.target.0], e.weight));
+        }
+        for (s, members) in of_shard.iter().enumerate() {
+            let disk = index.shard_index(s);
+            for &a in members {
+                for &b in members {
+                    if a == b {
+                        continue;
+                    }
+                    let (va, vb) = (&verts[a as usize], &verts[b as usize]);
+                    let hi = disk.interval(VertexId(va.local), VertexId(vb.local)).hi;
+                    if hi.is_finite() {
+                        adj[a as usize].push((b, hi));
+                    }
+                }
+            }
+        }
+
+        let min_ratio = index.network().min_weight_ratio();
+        PartitionedEngine {
+            core: Arc::new(EngineCore {
+                index,
+                objects,
+                min_ratio,
+                shard_objects,
+                frontier: FrontierGraph { verts, of_shard, adj },
+            }),
+        }
+    }
+
+    /// The partitioned index.
+    pub fn index(&self) -> &Arc<PartitionedSilcIndex> {
+        &self.core.index
+    }
+
+    /// The global object set.
+    pub fn objects(&self) -> &Arc<ObjectSet> {
+        &self.core.objects
+    }
+
+    /// Number of frontier-graph vertices (cut-edge endpoints).
+    pub fn frontier_len(&self) -> usize {
+        self.core.frontier.verts.len()
+    }
+
+    /// Opens a per-thread session owning the reusable workspaces.
+    pub fn session(&self) -> PartitionedSession {
+        PartitionedSession {
+            core: Arc::clone(&self.core),
+            knn: KnnScratch::new(),
+            dist: Vec::new(),
+            heap: BinaryHeap::new(),
+            cands: Vec::new(),
+            his: Vec::new(),
+            order: Vec::new(),
+            result: PartitionedKnnResult::default(),
+        }
+    }
+}
+
+/// One global kNN answer entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionedNeighbor {
+    /// Object id in the *global* object set.
+    pub object: ObjectId,
+    /// Global vertex the object resides on.
+    pub vertex: VertexId,
+    /// Sound interval around the global network distance; exact for
+    /// candidates certified by the exit bound.
+    pub interval: DistInterval,
+    /// Shard the object lives in.
+    pub shard: u32,
+}
+
+/// Counters describing one routed query.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RouterStats {
+    /// Shard of the query vertex.
+    pub home_shard: u32,
+    /// Neighboring shards whose objects were scanned.
+    pub shards_expanded: u32,
+    /// Whether the frontier-graph Dijkstra ran.
+    pub frontier_dijkstra: bool,
+    /// Final exit lower bound used (∞ for a single-shard partition).
+    pub exit_lb: f64,
+    /// Candidates considered across all shards.
+    pub candidates: u32,
+    /// Cross-shard objects pruned by their lower bound.
+    pub pruned: u32,
+}
+
+/// Result of a routed kNN: the k best candidates by interval upper
+/// bound, plus whether that answer is provably the exact global kNN.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionedKnnResult {
+    /// Neighbors sorted by interval upper bound.
+    pub neighbors: Vec<PartitionedNeighbor>,
+    /// `true` when the reported distance multiset provably equals the
+    /// true global kNN distance multiset: every reported interval is
+    /// exact and every bound not expanded is at or beyond the final
+    /// `Dk`. When `false` the intervals are still sound (each contains
+    /// its object's true global distance), but a cross-cut object with
+    /// an overlapping interval might order differently.
+    pub complete: bool,
+    /// Query counters.
+    pub stats: RouterStats,
+}
+
+impl PartitionedKnnResult {
+    /// Object ids of the result, ascending.
+    pub fn object_ids(&self) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.neighbors.iter().map(|n| n.object).collect();
+        ids.sort_unstable_by_key(|o| o.0);
+        ids
+    }
+}
+
+/// Min-heap item for the frontier Dijkstra.
+#[derive(PartialEq)]
+struct HeapItem {
+    d: f64,
+    v: u32,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest first.
+        other.d.total_cmp(&self.d).then_with(|| other.v.cmp(&self.v))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A candidate during routing; `lo`/`hi` bound the global distance.
+#[derive(Clone, Copy)]
+struct Cand {
+    lo: f64,
+    hi: f64,
+    object: ObjectId,
+    vertex: VertexId,
+    shard: u32,
+}
+
+/// A per-thread routed-query handle with reusable workspaces. Not
+/// `Sync` by design — a session belongs to one worker.
+pub struct PartitionedSession {
+    core: Arc<EngineCore>,
+    knn: KnnScratch,
+    dist: Vec<f64>,
+    heap: BinaryHeap<HeapItem>,
+    cands: Vec<Cand>,
+    his: Vec<f64>,
+    order: Vec<(f64, u32)>,
+    result: PartitionedKnnResult,
+}
+
+impl PartitionedSession {
+    /// The k nearest objects of `q` by global network distance, routed
+    /// across shards (see the module docs). The result is borrowed from
+    /// the session; clone it to keep it past the next call.
+    ///
+    /// # Panics
+    /// Panics if `k` is zero.
+    pub fn knn(&mut self, q: VertexId, k: usize) -> &PartitionedKnnResult {
+        assert!(k > 0, "k must be positive");
+        let core = Arc::clone(&self.core);
+        let part = core.index.partition();
+        let network = core.index.network();
+        let ratio = core.min_ratio;
+
+        self.result = PartitionedKnnResult::default();
+        self.cands.clear();
+        let k_eff = k.min(core.objects.len());
+        if k_eff == 0 {
+            self.result.complete = true;
+            return &self.result;
+        }
+
+        let s = part.shard_of(q);
+        let q_local = VertexId(part.local_of(q));
+        let q_pos = network.position(q);
+        let home = part.shard(s);
+        let home_idx = core.index.shard_index(s);
+        self.result.stats.home_shard = s as u32;
+
+        // Cheap exit bound: ratio · ‖q − f‖ + f's cheapest outgoing cut
+        // edge, minimized over the home exit frontier. ∞ when the shard
+        // has no outgoing cut edges (single shard / isolated component):
+        // then every local distance is globally exact.
+        let exit_cheap = home
+            .exit_frontier()
+            .iter()
+            .map(|&(f, w)| ratio * q_pos.distance(&network.position(home.to_global(f))) + w)
+            .fold(f64::INFINITY, f64::min);
+        let mut exit_used = exit_cheap;
+        let mut tightened = false;
+        let tighten = |exit_used: &mut f64, tightened: &mut bool| {
+            if !*tightened {
+                // Shard-index interval lower bounds on d_s(q, f) dominate
+                // the Euclidean form; one pass over the exit frontier.
+                let tight = home
+                    .exit_frontier()
+                    .iter()
+                    .map(|&(f, w)| home_idx.interval(q_local, VertexId(f)).lo + w)
+                    .fold(f64::INFINITY, f64::min);
+                *exit_used = tight.max(*exit_used);
+                *tightened = true;
+            }
+        };
+
+        // 1. Home shard: exact local distances via INN.
+        if let Some(so) = core.shard_objects[s].as_ref() {
+            let kk = k_eff.min(so.set.len());
+            inn_into(&**home_idx, &so.set, q_local, kk, &mut self.knn);
+            for nb in &self.knn.result().neighbors {
+                let d = nb.interval.hi; // exact induced-subgraph distance
+                if d > exit_used {
+                    tighten(&mut exit_used, &mut tightened);
+                }
+                let gobj = so.globals[nb.object.index()];
+                let gv = home.to_global(nb.vertex.0);
+                let (lo, hi) = if d <= exit_used {
+                    (d, d) // no shard-leaving path can be shorter
+                } else {
+                    let lo = (ratio * q_pos.distance(&network.position(gv))).max(exit_used);
+                    (lo.min(d), d)
+                };
+                self.cands.push(Cand { lo, hi, object: gobj, vertex: gv, shard: s as u32 });
+            }
+        }
+
+        // 2. Candidate shards, nearest lower bound first.
+        self.order.clear();
+        for t in 0..part.shard_count() {
+            if t != s && core.shard_objects[t].is_some() {
+                let rect = part.shard(t).network().bounds();
+                self.order.push((ratio * rect.min_distance(&q_pos), t as u32));
+            }
+        }
+        self.order.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+
+        let mut dk = dk_of(&self.cands, k_eff, &mut self.his);
+        let order = std::mem::take(&mut self.order);
+        let mut dijkstra_ran = false;
+        let mut expanded = vec![false; part.shard_count()];
+        for &(lb_geo, t) in &order {
+            let t = t as usize;
+            if self.cands.len() >= k_eff && lb_geo.max(exit_used) > dk {
+                continue;
+            }
+            // About to cross the cut: make the exit bound as strong as
+            // the index allows, then re-check.
+            tighten(&mut exit_used, &mut tightened);
+            let lb_t = lb_geo.max(exit_used);
+            if self.cands.len() >= k_eff && lb_t > dk {
+                continue;
+            }
+            if !dijkstra_ran {
+                self.run_frontier_dijkstra(&core, q_local, s, home_idx);
+                dijkstra_ran = true;
+            }
+            expanded[t] = true;
+            self.result.stats.shards_expanded += 1;
+
+            let t_shard = part.shard(t);
+            let t_idx = core.index.shard_index(t);
+            let so = core.shard_objects[t].as_ref().expect("order only lists object shards");
+            let members = &core.frontier.of_shard[t];
+            for (local_oid, &gobj) in so.globals.iter().enumerate() {
+                let o_local = so.set.vertex(ObjectId(local_oid as u32));
+                let o_global = t_shard.to_global(o_local.0);
+                let o_pos = network.position(o_global);
+                let lo = (ratio * q_pos.distance(&o_pos)).max(lb_t);
+                if self.cands.len() >= k_eff && lo > dk {
+                    self.result.stats.pruned += 1;
+                    continue;
+                }
+                // Entry choice: the frontier vertex minimizing the bound
+                // proxy ub(x) + ‖x − o‖ (floats only); one interval
+                // lookup for the chosen entry.
+                let mut best: Option<(f64, u32)> = None;
+                for &fx in members {
+                    let u = self.dist[fx as usize];
+                    if !u.is_finite() {
+                        continue;
+                    }
+                    let f_pos = network.position(core.frontier.verts[fx as usize].global);
+                    let proxy = u + o_pos.distance(&f_pos);
+                    if best.is_none_or(|(b, _)| proxy < b) {
+                        best = Some((proxy, fx));
+                    }
+                }
+                let hi = match best {
+                    Some((_, fx)) => {
+                        let fv = &core.frontier.verts[fx as usize];
+                        self.dist[fx as usize] + t_idx.interval(VertexId(fv.local), o_local).hi
+                    }
+                    None => f64::INFINITY,
+                };
+                let lo = lo.min(hi);
+                self.cands.push(Cand { lo, hi, object: gobj, vertex: o_global, shard: t as u32 });
+                if self.cands.len() >= k_eff && hi < dk {
+                    dk = dk_of(&self.cands, k_eff, &mut self.his);
+                }
+            }
+        }
+
+        // 3. Select the k best by upper bound and decide completeness.
+        self.cands.sort_by(|a, b| {
+            a.hi.total_cmp(&b.hi)
+                .then_with(|| a.lo.total_cmp(&b.lo))
+                .then_with(|| a.object.0.cmp(&b.object.0))
+        });
+        self.cands.truncate(k_eff);
+        debug_assert_eq!(self.cands.len(), k_eff, "every object lives in some shard");
+        let dk_final = self.cands.last().map_or(f64::INFINITY, |c| c.hi);
+        let all_exact = self.cands.iter().all(|c| c.hi <= c.lo);
+        let bounds_hold = exit_used >= dk_final
+            && order
+                .iter()
+                .all(|&(lb_geo, t)| expanded[t as usize] || lb_geo.max(exit_used) >= dk_final);
+        self.result.complete = all_exact && bounds_hold;
+        self.result.stats.frontier_dijkstra = dijkstra_ran;
+        self.result.stats.exit_lb = exit_used;
+        self.result.stats.candidates =
+            (self.cands.len() + self.result.stats.pruned as usize) as u32;
+        self.result.neighbors = self
+            .cands
+            .iter()
+            .map(|c| PartitionedNeighbor {
+                object: c.object,
+                vertex: c.vertex,
+                interval: DistInterval::new(c.lo, c.hi),
+                shard: c.shard,
+            })
+            .collect();
+        self.order = order;
+        &self.result
+    }
+
+    /// Dijkstra over the frontier graph, seeded with interval upper
+    /// bounds from `q` to the home frontier. `dist[x]` ends up an upper
+    /// bound on the global distance `q → x` for every frontier vertex.
+    fn run_frontier_dijkstra(
+        &mut self,
+        core: &EngineCore,
+        q_local: VertexId,
+        home: usize,
+        home_idx: &silc::DiskSilcIndex,
+    ) {
+        let nf = core.frontier.verts.len();
+        self.dist.clear();
+        self.dist.resize(nf, f64::INFINITY);
+        self.heap.clear();
+        for &fx in &core.frontier.of_shard[home] {
+            let fv = &core.frontier.verts[fx as usize];
+            let d0 = home_idx.interval(q_local, VertexId(fv.local)).hi;
+            if d0.is_finite() && d0 < self.dist[fx as usize] {
+                self.dist[fx as usize] = d0;
+                self.heap.push(HeapItem { d: d0, v: fx });
+            }
+        }
+        while let Some(HeapItem { d, v }) = self.heap.pop() {
+            if d > self.dist[v as usize] {
+                continue;
+            }
+            for &(y, w) in &core.frontier.adj[v as usize] {
+                let nd = d + w;
+                if nd < self.dist[y as usize] {
+                    self.dist[y as usize] = nd;
+                    self.heap.push(HeapItem { d: nd, v: y });
+                }
+            }
+        }
+    }
+}
+
+/// The kth smallest upper bound among the candidates (∞ with fewer than
+/// `k` candidates) — the pruning radius `Dk`.
+fn dk_of(cands: &[Cand], k: usize, his: &mut Vec<f64>) -> f64 {
+    if cands.len() < k {
+        return f64::INFINITY;
+    }
+    his.clear();
+    his.extend(cands.iter().map(|c| c.hi));
+    let (_, kth, _) = his.select_nth_unstable_by(k - 1, f64::total_cmp);
+    *kth
+}
+
+/// One-shot routed kNN with a fresh session — the convenience wrapper
+/// mirroring [`crate::knn()`].
+pub fn partitioned_knn(
+    index: &Arc<PartitionedSilcIndex>,
+    objects: &Arc<ObjectSet>,
+    q: VertexId,
+    k: usize,
+) -> PartitionedKnnResult {
+    let engine = PartitionedEngine::new(Arc::clone(index), Arc::clone(objects));
+    let mut session = engine.session();
+    session.knn(q, k).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::inn;
+    use silc::partitioned::PartitionedBuildConfig;
+    use silc_network::generate::{road_network, RoadConfig};
+    use silc_network::partition::PartitionConfig;
+    use silc_network::{dijkstra, SpatialNetwork};
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("silc-router-tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn build(g: &Arc<SpatialNetwork>, shards: usize, name: &str) -> Arc<PartitionedSilcIndex> {
+        let cfg = PartitionedBuildConfig {
+            partition: PartitionConfig { shards, ..Default::default() },
+            grid_exponent: 9,
+            threads: 1,
+            cache_fraction: 0.5,
+        };
+        Arc::new(PartitionedSilcIndex::build_in_dir(Arc::clone(g), tmp_dir(name), &cfg).unwrap())
+    }
+
+    fn every_third(g: &Arc<SpatialNetwork>) -> Arc<ObjectSet> {
+        let vertices: Vec<VertexId> = g.vertices().filter(|v| v.0 % 3 == 0).collect();
+        Arc::new(ObjectSet::from_vertices(g, vertices, 8))
+    }
+
+    /// k smallest true global distances to the objects, ascending.
+    fn brute_topk(g: &SpatialNetwork, objects: &ObjectSet, q: VertexId, k: usize) -> Vec<f64> {
+        let mut dists: Vec<f64> =
+            objects.iter().map(|(_, v)| dijkstra::distance(g, q, v).expect("connected")).collect();
+        dists.sort_by(f64::total_cmp);
+        dists.truncate(k);
+        dists
+    }
+
+    #[test]
+    fn intervals_are_sound_and_complete_answers_are_exact() {
+        let g =
+            Arc::new(road_network(&RoadConfig { vertices: 220, seed: 71, ..Default::default() }));
+        let idx = build(&g, 4, "sound");
+        let objects = every_third(&g);
+        let engine = PartitionedEngine::new(Arc::clone(&idx), Arc::clone(&objects));
+        let mut session = engine.session();
+
+        let k = 6;
+        let mut complete_count = 0usize;
+        let mut expanded_any = false;
+        for q in g.vertices().step_by(7) {
+            let res = session.knn(q, k).clone();
+            assert_eq!(res.neighbors.len(), k);
+            // Sorted by upper bound.
+            for w in res.neighbors.windows(2) {
+                assert!(w[0].interval.hi <= w[1].interval.hi);
+            }
+            // Every interval contains the true global distance.
+            for nb in &res.neighbors {
+                let d = dijkstra::distance(&g, q, nb.vertex).expect("connected");
+                assert!(
+                    nb.interval.lo <= d + 1e-9 && d <= nb.interval.hi + 1e-9,
+                    "q={q:?} o={:?}: [{}, {}] must contain {d}",
+                    nb.object,
+                    nb.interval.lo,
+                    nb.interval.hi,
+                );
+                assert_eq!(objects.vertex(nb.object), nb.vertex);
+            }
+            expanded_any |= res.stats.shards_expanded > 0;
+            if res.complete {
+                complete_count += 1;
+                let truth = brute_topk(&g, &objects, q, k);
+                for (nb, d) in res.neighbors.iter().zip(&truth) {
+                    assert!(
+                        (nb.interval.hi - d).abs() < 1e-6,
+                        "complete answer must match the true kNN multiset",
+                    );
+                    assert!(nb.interval.hi <= nb.interval.lo + 1e-12, "complete ⇒ exact");
+                }
+            }
+        }
+        // Queries near the cut legitimately report intervals instead of
+        // exact distances; interior queries must still certify.
+        let queries = g.vertices().step_by(7).count();
+        assert!(
+            complete_count * 4 >= queries,
+            "router should certify interior answers exact ({complete_count}/{queries})"
+        );
+        assert!(expanded_any, "some boundary query must expand a neighbor shard");
+    }
+
+    #[test]
+    fn single_shard_partition_matches_inn_exactly() {
+        let g =
+            Arc::new(road_network(&RoadConfig { vertices: 150, seed: 72, ..Default::default() }));
+        let idx = build(&g, 1, "single");
+        let objects = every_third(&g);
+        let engine = PartitionedEngine::new(Arc::clone(&idx), Arc::clone(&objects));
+        assert_eq!(engine.frontier_len(), 0);
+        let mut session = engine.session();
+        for q in g.vertices().step_by(11) {
+            let res = session.knn(q, 5).clone();
+            assert!(res.complete, "one shard ⇒ always exact");
+            assert!(res.stats.exit_lb.is_infinite());
+            assert!(!res.stats.frontier_dijkstra);
+            let base = inn(&**idx.shard_index(0), &objects, q, 5);
+            let got: Vec<ObjectId> = res.neighbors.iter().map(|n| n.object).collect();
+            let want: Vec<ObjectId> = base.neighbors.iter().map(|n| n.object).collect();
+            for (nb, base_nb) in res.neighbors.iter().zip(&base.neighbors) {
+                assert!((nb.interval.hi - base_nb.interval.hi).abs() < 1e-9);
+            }
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn one_shot_wrapper_and_edge_cases() {
+        let g =
+            Arc::new(road_network(&RoadConfig { vertices: 120, seed: 73, ..Default::default() }));
+        let idx = build(&g, 3, "oneshot");
+        // More neighbors requested than objects exist: clamps to all.
+        let few: Vec<VertexId> = g.vertices().take(4).collect();
+        let objects = Arc::new(ObjectSet::from_vertices(&g, few, 8));
+        let res = partitioned_knn(&idx, &objects, VertexId(60), 50);
+        assert_eq!(res.neighbors.len(), 4);
+        assert_eq!(res.object_ids(), vec![ObjectId(0), ObjectId(1), ObjectId(2), ObjectId(3)]);
+        for nb in &res.neighbors {
+            let d = dijkstra::distance(&g, VertexId(60), nb.vertex).expect("connected");
+            assert!(nb.interval.lo <= d + 1e-9 && d <= nb.interval.hi + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let g =
+            Arc::new(road_network(&RoadConfig { vertices: 80, seed: 74, ..Default::default() }));
+        let idx = build(&g, 2, "zerok");
+        let objects = every_third(&g);
+        partitioned_knn(&idx, &objects, VertexId(0), 0);
+    }
+}

@@ -80,6 +80,11 @@ impl<V: Clone> LruList<V> {
         }
     }
 
+    /// Whether `key` is cached, without touching recency.
+    pub(crate) fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
     /// Looks up `key`, marking it most recently used on a hit.
     pub(crate) fn get(&mut self, key: u64) -> Option<V> {
         let &idx = self.map.get(&key)?;

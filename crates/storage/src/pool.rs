@@ -66,6 +66,44 @@ impl IoStats {
 /// Default shard count; clamped so every shard caches at least one page.
 const DEFAULT_SHARDS: usize = 8;
 
+/// Longest run of pages [`BufferPool::read_range`] reads with one store
+/// call — bounds the transient allocation (256 KiB) while still collapsing
+/// any realistic entry-region scan into a single syscall.
+const COALESCE_MAX_RUN: usize = 64;
+
+/// Outcome of probing a single page under its shard lock.
+enum Probe {
+    /// Cached; the hit has been counted.
+    Hit(Arc<[u8]>),
+    /// Another thread is loading it.
+    Busy,
+    /// Neither cached nor inflight; the caller now owns the inflight claim.
+    Claimed,
+}
+
+/// Releases a run of inflight claims if the owning read never completed
+/// (store error or panic) — without it, waiters on any claimed page would
+/// sleep in the condvar forever.
+struct RunGuard<'a, S: PageStore> {
+    pool: &'a BufferPool<S>,
+    first: u64,
+    count: usize,
+    armed: bool,
+}
+
+impl<S: PageStore> Drop for RunGuard<'_, S> {
+    fn drop(&mut self) {
+        if self.armed {
+            for i in 0..self.count as u64 {
+                let page = self.first + i;
+                let shard = self.pool.shard(page);
+                shard.lock().inflight.remove(&page);
+                shard.loaded.notify_all();
+            }
+        }
+    }
+}
+
 /// Per-shard state: the LRU list of cached pages, the shard's inflight
 /// reads, and its I/O counters. All behind the shard mutex.
 struct LruState {
@@ -232,20 +270,121 @@ impl<S: PageStore> BufferPool<S> {
         Ok(data)
     }
 
+    /// Probes one page under its shard lock without triggering a store
+    /// read: a cache hit is counted and returned, a page someone else is
+    /// loading reports [`Probe::Busy`], and anything else is claimed as
+    /// inflight by the caller ([`Probe::Claimed`]) — who then owns the read
+    /// and the cleanup.
+    fn probe(&self, page: u64) -> Probe {
+        let shard = self.shard(page);
+        let mut st = shard.lock();
+        if let Some(data) = st.list.get(page) {
+            st.stats.hits += 1;
+            return Probe::Hit(data);
+        }
+        if st.inflight.contains(&page) {
+            return Probe::Busy;
+        }
+        st.inflight.insert(page);
+        Probe::Claimed
+    }
+
+    /// Claims `page` as inflight if it is neither cached nor already being
+    /// loaded. Unlike [`BufferPool::probe`] this counts nothing: a `false`
+    /// just ends the run, and the page is probed properly later.
+    fn try_claim(&self, page: u64) -> bool {
+        let mut st = self.shard(page).lock();
+        if st.list.contains(page) || st.inflight.contains(&page) {
+            return false;
+        }
+        st.inflight.insert(page);
+        true
+    }
+
     /// Appends the bytes in `[byte_lo, byte_hi)` to `out`, fetching each
     /// covered page through the cache — the access pattern of decoding a
     /// variable-length record region that ignores page boundaries.
+    ///
+    /// Runs of consecutive uncached pages are claimed together and read
+    /// with a single [`PageStore::read_pages`] call (one syscall instead of
+    /// one per page on a file store), which is what makes cold sequential
+    /// scans of entry regions cheap. The I/O counters stay exact: every
+    /// covered page still counts exactly one hit or one miss, and every
+    /// miss corresponds to exactly one page fetched from the store.
     pub fn read_range(&self, byte_lo: u64, byte_hi: u64, out: &mut Vec<u8>) -> io::Result<()> {
         if byte_hi <= byte_lo {
             return Ok(());
         }
-        let page_lo = byte_lo / PAGE_SIZE as u64;
-        let page_hi = (byte_hi - 1) / PAGE_SIZE as u64;
-        for page in page_lo..=page_hi {
-            let data = self.get(PageId(page))?;
+        let slice_of = |data: &Arc<[u8]>, page: u64, out: &mut Vec<u8>| {
             let lo = byte_lo.max(page * PAGE_SIZE as u64) - page * PAGE_SIZE as u64;
             let hi = byte_hi.min((page + 1) * PAGE_SIZE as u64) - page * PAGE_SIZE as u64;
             out.extend_from_slice(&data[lo as usize..hi as usize]);
+        };
+        let page_lo = byte_lo / PAGE_SIZE as u64;
+        let page_hi = (byte_hi - 1) / PAGE_SIZE as u64;
+        let mut page = page_lo;
+        while page <= page_hi {
+            match self.probe(page) {
+                Probe::Hit(data) => {
+                    slice_of(&data, page, out);
+                    page += 1;
+                }
+                Probe::Busy => {
+                    // Someone else is loading it: `get` waits on the condvar
+                    // and counts the request once resolved.
+                    let data = self.get(PageId(page))?;
+                    slice_of(&data, page, out);
+                    page += 1;
+                }
+                Probe::Claimed => {
+                    // Extend the claim over the longest run of consecutive
+                    // pages that are neither cached nor inflight, then read
+                    // the whole run with one store call.
+                    let cap = COALESCE_MAX_RUN.min((page_hi - page + 1) as usize);
+                    let mut count = 1usize;
+                    while count < cap && self.try_claim(page + count as u64) {
+                        count += 1;
+                    }
+                    // The guard covers a panicking or failing store: the
+                    // claimed inflight entries must be released either way,
+                    // or future readers of these pages deadlock.
+                    let mut guard = RunGuard { pool: self, first: page, count, armed: true };
+                    let start = Instant::now();
+                    let pages = self.store.read_pages(PageId(page), count);
+                    let nanos = start.elapsed().as_nanos() as u64;
+                    let pages = pages?; // guard releases the claims on error
+                    if pages.len() != count {
+                        // A store must return exactly the requested run;
+                        // the guard releases the claims.
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("store returned {} pages for a run of {count}", pages.len()),
+                        ));
+                    }
+                    for (i, data) in pages.iter().enumerate() {
+                        let p = page + i as u64;
+                        let shard = self.shard(p);
+                        let mut st = shard.lock();
+                        st.inflight.remove(&p);
+                        st.stats.misses += 1;
+                        st.stats.bytes_read += data.len() as u64;
+                        if i == 0 {
+                            // The run's wall-clock is one store call; it is
+                            // attributed once, to the first page's shard, so
+                            // the aggregate stays exact.
+                            st.stats.read_nanos += nanos;
+                        }
+                        if st.list.insert(p, Arc::clone(data)) {
+                            st.stats.evictions += 1;
+                        }
+                        drop(st);
+                        shard.loaded.notify_all();
+                        slice_of(data, p, out);
+                    }
+                    guard.armed = false;
+                    page += count as u64;
+                }
+            }
         }
         Ok(())
     }
@@ -294,16 +433,20 @@ mod tests {
         MemPageStore::new(&data)
     }
 
-    /// A store that counts (and can stall) physical reads — for dedup tests.
+    /// A store that counts (and can stall) physical reads — for dedup and
+    /// coalescing tests. `reads` counts pages fetched, `calls` counts store
+    /// operations; a coalesced run is one call fetching many pages.
     struct CountingStore {
         inner: MemPageStore,
         reads: AtomicU64,
+        calls: AtomicU64,
         delay: std::time::Duration,
     }
 
     impl PageStore for CountingStore {
         fn read_page(&self, page: PageId) -> io::Result<Arc<[u8]>> {
             self.reads.fetch_add(1, Ordering::Relaxed);
+            self.calls.fetch_add(1, Ordering::Relaxed);
             if !self.delay.is_zero() {
                 std::thread::sleep(self.delay);
             }
@@ -312,6 +455,15 @@ mod tests {
 
         fn page_count(&self) -> u64 {
             self.inner.page_count()
+        }
+
+        fn read_pages(&self, first: PageId, count: usize) -> io::Result<Vec<Arc<[u8]>>> {
+            self.reads.fetch_add(count as u64, Ordering::Relaxed);
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            self.inner.read_pages(first, count)
         }
     }
 
@@ -439,6 +591,7 @@ mod tests {
         let store = CountingStore {
             inner: store_with(2),
             reads: AtomicU64::new(0),
+            calls: AtomicU64::new(0),
             delay: std::time::Duration::from_millis(20),
         };
         let pool = std::sync::Arc::new(BufferPool::new(store, 2));
@@ -511,6 +664,7 @@ mod tests {
         let store = CountingStore {
             inner: store_with(PAGES as usize),
             reads: AtomicU64::new(0),
+            calls: AtomicU64::new(0),
             delay: std::time::Duration::ZERO,
         };
         let pool = std::sync::Arc::new(BufferPool::new(store, 8));
@@ -544,5 +698,118 @@ mod tests {
         // The cache never exceeds its capacity.
         let cached: usize = pool.shards.iter().map(|sh| sh.lock().list.len()).sum();
         assert!(cached <= pool.capacity());
+    }
+
+    #[test]
+    fn read_range_coalesces_cold_contiguous_spans() {
+        const PAGES: usize = 8;
+        let store = CountingStore {
+            inner: store_with(PAGES),
+            reads: AtomicU64::new(0),
+            calls: AtomicU64::new(0),
+            delay: std::time::Duration::ZERO,
+        };
+        let pool = BufferPool::new(store, PAGES);
+        let lo = 100u64;
+        let hi = (PAGES * PAGE_SIZE - 50) as u64;
+        let mut out = Vec::new();
+        pool.read_range(lo, hi, &mut out).unwrap();
+        assert_eq!(out.len(), (hi - lo) as usize);
+        for (i, &b) in out.iter().enumerate() {
+            assert_eq!(b as usize, (lo as usize + i) / PAGE_SIZE, "wrong byte at offset {i}");
+        }
+        assert_eq!(
+            pool.store().calls.load(Ordering::Relaxed),
+            1,
+            "a cold contiguous span must be one physical store call"
+        );
+        assert_eq!(pool.store().reads.load(Ordering::Relaxed), PAGES as u64);
+        let s = pool.stats();
+        assert_eq!((s.misses, s.hits), (PAGES as u64, 0));
+        assert_eq!(s.bytes_read, (PAGES * PAGE_SIZE) as u64);
+        // Warm pass: all hits, zero further store traffic.
+        out.clear();
+        pool.read_range(lo, hi, &mut out).unwrap();
+        assert_eq!(pool.store().calls.load(Ordering::Relaxed), 1);
+        let s = pool.stats();
+        assert_eq!((s.misses, s.hits), (PAGES as u64, PAGES as u64));
+    }
+
+    #[test]
+    fn read_range_coalesces_around_cached_pages() {
+        const PAGES: usize = 8;
+        let store = CountingStore {
+            inner: store_with(PAGES),
+            reads: AtomicU64::new(0),
+            calls: AtomicU64::new(0),
+            delay: std::time::Duration::ZERO,
+        };
+        let pool = BufferPool::new(store, PAGES);
+        pool.get(PageId(3)).unwrap(); // pre-warm one page mid-span
+        let mut out = Vec::new();
+        pool.read_range(0, (PAGES * PAGE_SIZE) as u64, &mut out).unwrap();
+        assert_eq!(out.len(), PAGES * PAGE_SIZE);
+        // Two runs around the cached page: [0..=2] and [4..=7].
+        assert_eq!(pool.store().calls.load(Ordering::Relaxed), 3, "get + two coalesced runs");
+        assert_eq!(pool.store().reads.load(Ordering::Relaxed), PAGES as u64);
+        let s = pool.stats();
+        assert_eq!(s.misses, PAGES as u64);
+        assert_eq!(s.hits, 1, "the pre-warmed page is served from cache");
+        assert_eq!(s.misses, pool.store().reads.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn read_range_run_error_releases_claims() {
+        let pool = BufferPool::new(store_with(2), 4);
+        let mut out = Vec::new();
+        // Spans pages 0..=3 of a 2-page store: the coalesced run fails.
+        assert!(pool.read_range(0, 4 * PAGE_SIZE as u64, &mut out).is_err());
+        // No inflight entry may be stranded: every page in the failed run
+        // must still be fetchable (or fail fast) instead of deadlocking.
+        assert!(pool.get(PageId(0)).is_ok());
+        assert!(pool.get(PageId(1)).is_ok());
+        assert!(pool.get(PageId(2)).is_err());
+        out.clear();
+        pool.read_range(0, 2 * PAGE_SIZE as u64, &mut out).unwrap();
+        assert_eq!(out.len(), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn concurrent_read_ranges_stay_deduplicated() {
+        const PAGES: usize = 16;
+        let store = CountingStore {
+            inner: store_with(PAGES),
+            reads: AtomicU64::new(0),
+            calls: AtomicU64::new(0),
+            delay: std::time::Duration::from_millis(5),
+        };
+        let pool = std::sync::Arc::new(BufferPool::new(store, PAGES));
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let p = std::sync::Arc::clone(&pool);
+                let b = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    b.wait();
+                    let mut out = Vec::new();
+                    p.read_range(0, (PAGES * PAGE_SIZE) as u64, &mut out).unwrap();
+                    assert_eq!(out.len(), PAGES * PAGE_SIZE);
+                    for (i, &byte) in out.iter().enumerate() {
+                        assert_eq!(byte as usize, i / PAGE_SIZE);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.requests(), (4 * PAGES) as u64, "each thread touches every page once");
+        assert_eq!(
+            s.misses,
+            pool.store().reads.load(Ordering::Relaxed),
+            "every miss is exactly one page fetched from the store"
+        );
+        assert_eq!(s.bytes_read, s.misses * PAGE_SIZE as u64);
     }
 }

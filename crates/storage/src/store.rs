@@ -19,6 +19,17 @@ pub trait PageStore: Send + Sync {
 
     /// Number of pages in the store.
     fn page_count(&self) -> u64;
+
+    /// Reads `count` consecutive pages starting at `first`.
+    ///
+    /// The default implementation loops [`PageStore::read_page`]; stores
+    /// that can serve a contiguous run cheaper — one syscall instead of
+    /// `count` — should override it. On success the result holds exactly
+    /// `count` buffers of [`PAGE_SIZE`] bytes each; a failure anywhere in
+    /// the run fails the whole call.
+    fn read_pages(&self, first: PageId, count: usize) -> io::Result<Vec<Arc<[u8]>>> {
+        (0..count as u64).map(|i| self.read_page(PageId(first.0 + i))).collect()
+    }
 }
 
 /// A page store backed by a real file, read with positioned reads so
@@ -86,6 +97,33 @@ impl PageStore for FilePageStore {
 
     fn page_count(&self) -> u64 {
         self.pages
+    }
+
+    fn read_pages(&self, first: PageId, count: usize) -> io::Result<Vec<Arc<[u8]>>> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let last = first.0 + count as u64 - 1;
+        if last >= self.pages {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("pages {}..={} out of range ({} pages)", first.0, last, self.pages),
+            ));
+        }
+        let mut buf = vec![0u8; count * PAGE_SIZE];
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(&mut buf, first.0 * PAGE_SIZE as u64)?;
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let mut f = self.file.try_clone()?;
+            f.seek(SeekFrom::Start(first.0 * PAGE_SIZE as u64))?;
+            f.read_exact(&mut buf)?;
+        }
+        Ok(buf.chunks(PAGE_SIZE).map(|c| -> Arc<[u8]> { c.to_vec().into() }).collect())
     }
 }
 
@@ -162,6 +200,34 @@ mod tests {
         assert_eq!(&p2[..100], &data[2 * PAGE_SIZE..]);
         assert!(p2[100..].iter().all(|&b| b == 0));
         assert!(store.read_page(PageId(3)).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_pages_matches_single_page_reads() {
+        let path = tmp("batch.pages");
+        let mut data = Vec::new();
+        for i in 0..4 * PAGE_SIZE {
+            data.push((i % 253) as u8);
+        }
+        let store = FilePageStore::create(&path, &data).unwrap();
+        // The overridden batch read must agree with page-by-page reads.
+        let batch = store.read_pages(PageId(1), 3).unwrap();
+        assert_eq!(batch.len(), 3);
+        for (i, page) in batch.iter().enumerate() {
+            let single = store.read_page(PageId(1 + i as u64)).unwrap();
+            assert_eq!(&page[..], &single[..]);
+        }
+        assert!(store.read_pages(PageId(2), 3).is_err(), "run past EOF must fail");
+        assert!(store.read_pages(PageId(0), 0).unwrap().is_empty());
+
+        // The default (loop) implementation on MemPageStore agrees too.
+        let mem = MemPageStore::new(&data);
+        let mem_batch = mem.read_pages(PageId(1), 3).unwrap();
+        for (a, b) in batch.iter().zip(&mem_batch) {
+            assert_eq!(&a[..], &b[..]);
+        }
+        assert!(mem.read_pages(PageId(3), 2).is_err());
         std::fs::remove_file(&path).ok();
     }
 

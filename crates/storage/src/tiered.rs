@@ -23,16 +23,20 @@ pub fn default_decoded_capacity(n: usize) -> usize {
 
 /// Reads `len` bytes starting at byte offset `from` directly from a store
 /// (no pool, no cache) — the way disk indexes load their pinned metadata
-/// regions (headers, directories) exactly once at open time.
+/// regions (headers, directories) exactly once at open time. The whole
+/// span is fetched with one [`PageStore::read_pages`] call.
 pub fn read_span<S: PageStore>(store: &S, from: usize, len: usize) -> io::Result<Vec<u8>> {
+    if len == 0 {
+        return Ok(Vec::new());
+    }
+    let page_lo = from / PAGE_SIZE;
+    let page_hi = (from + len - 1) / PAGE_SIZE;
+    let pages = store.read_pages(PageId(page_lo as u64), page_hi - page_lo + 1)?;
     let mut out = Vec::with_capacity(len);
-    let mut page = from / PAGE_SIZE;
     let mut off = from % PAGE_SIZE;
-    while out.len() < len {
-        let data = store.read_page(PageId(page as u64))?;
+    for data in &pages {
         let take = (len - out.len()).min(PAGE_SIZE - off);
         out.extend_from_slice(&data[off..off + take]);
-        page += 1;
         off = 0;
     }
     Ok(out)

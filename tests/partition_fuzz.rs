@@ -1,0 +1,196 @@
+//! Proptest fuzz pass over the partitioned-index stack.
+//!
+//! Sweeps random road networks through the full pipeline — spatial
+//! partitioner → per-shard disk indexes → cross-shard kNN router — and
+//! checks the two laws the stack must never break:
+//!
+//! * **Partition well-formedness**: the shards are a disjoint cover of
+//!   the vertices with inverse local↔global maps, every original edge is
+//!   either an intra-shard edge with its weight preserved or appears in
+//!   the cut-edge list, and the exit frontier records exactly the
+//!   cut-edge sources with their minimum outgoing cut weight.
+//! * **Router soundness**: every interval a routed kNN reports contains
+//!   the true global network distance of its object, and whenever the
+//!   router claims `complete`, the reported distance multiset equals the
+//!   brute-force kNN distance multiset exactly.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use silc::partitioned::{PartitionedBuildConfig, PartitionedSilcIndex};
+use silc_network::generate::{road_network, RoadConfig};
+use silc_network::partition::{partition_network, PartitionConfig};
+use silc_network::{dijkstra, SpatialNetwork, VertexId};
+use silc_query::{ObjectSet, PartitionedEngine};
+use std::sync::Arc;
+
+/// Disjoint cover, inverse id maps, and exact edge accounting.
+fn check_partition(g: &SpatialNetwork, shards: usize, seed: u64) -> Result<(), String> {
+    let cfg = PartitionConfig { shards, ..Default::default() };
+    let part = partition_network(g, &cfg).map_err(|e| format!("partition failed: {e}"))?;
+    let n = g.vertex_count();
+
+    let mut seen = vec![false; n];
+    for (s, shard) in part.shards().iter().enumerate() {
+        for (local, &global) in shard.globals().iter().enumerate() {
+            if seen[global.0 as usize] {
+                return Err(format!("vertex {global:?} covered twice (seed {seed})"));
+            }
+            seen[global.0 as usize] = true;
+            if part.shard_of(global) != s || part.local_of(global) != local as u32 {
+                return Err(format!("id maps disagree at {global:?} (seed {seed})"));
+            }
+            let (gp, lp) = (g.position(global), shard.network().position(VertexId(local as u32)));
+            if gp != lp {
+                return Err(format!("position moved for {global:?} (seed {seed})"));
+            }
+        }
+    }
+    if seen.iter().any(|&s| !s) {
+        return Err(format!("cover misses a vertex (seed {seed})"));
+    }
+
+    // Every original edge is intra-shard (weight preserved) or a cut edge.
+    let mut intra = 0usize;
+    for u in g.vertices() {
+        let su = part.shard_of(u);
+        for (target, weight) in g.out_edges(u) {
+            if part.shard_of(target) == su {
+                intra += 1;
+                let shard = part.shard(su);
+                let (lu, lv) = (part.local_of(u), part.local_of(target));
+                let found = shard
+                    .network()
+                    .out_edges(VertexId(lu))
+                    .any(|(lt, lw)| lt == VertexId(lv) && lw == weight);
+                if !found {
+                    return Err(format!("intra edge {u:?}->{target:?} lost (seed {seed})"));
+                }
+            } else {
+                let found = part
+                    .cut_edges()
+                    .iter()
+                    .any(|c| c.source == u && c.target == target && c.weight == weight);
+                if !found {
+                    return Err(format!("cut edge {u:?}->{target:?} lost (seed {seed})"));
+                }
+            }
+        }
+    }
+    if intra + part.cut_edges().len() != g.edge_count() {
+        return Err(format!(
+            "edge accounting off: {intra} intra + {} cut != {} total (seed {seed})",
+            part.cut_edges().len(),
+            g.edge_count()
+        ));
+    }
+
+    // Exit frontiers: exactly the cut-edge sources, with the min weight.
+    for (s, shard) in part.shards().iter().enumerate() {
+        for &(local, w) in shard.exit_frontier() {
+            let global = shard.to_global(local);
+            let min = part
+                .cut_edges()
+                .iter()
+                .filter(|c| c.source == global)
+                .map(|c| c.weight)
+                .fold(f64::INFINITY, f64::min);
+            if (min - w).abs() > 1e-12 {
+                return Err(format!("exit frontier weight off at shard {s} (seed {seed})"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Routed kNN: sound intervals always; exact multiset when `complete`.
+fn check_router(
+    g: &Arc<SpatialNetwork>,
+    shards: usize,
+    seed: u64,
+    case: u64,
+) -> Result<(), String> {
+    let cfg = PartitionedBuildConfig {
+        partition: PartitionConfig { shards, ..Default::default() },
+        grid_exponent: 8,
+        threads: 1,
+        cache_fraction: 0.5,
+    };
+    let dir = std::env::temp_dir().join("silc-partition-fuzz").join(format!("case-{case}"));
+    std::fs::remove_dir_all(&dir).ok();
+    let index = Arc::new(
+        PartitionedSilcIndex::build_in_dir(Arc::clone(g), &dir, &cfg)
+            .map_err(|e| format!("build failed: {e} (seed {seed})"))?,
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5117);
+    let n = g.vertex_count() as u32;
+    let vertices: Vec<VertexId> =
+        (0..(n / 3).max(2)).map(|_| VertexId(rng.gen_range(0..n))).collect();
+    let objects = Arc::new(ObjectSet::from_vertices(g, vertices, 4));
+    let engine = PartitionedEngine::new(Arc::clone(&index), Arc::clone(&objects));
+    let mut session = engine.session();
+
+    for _ in 0..4 {
+        let q = VertexId(rng.gen_range(0..n));
+        let k = rng.gen_range(1..=6usize).min(objects.len());
+        let res = session.knn(q, k).clone();
+        if res.neighbors.len() != k {
+            return Err(format!(
+                "q={q:?}: {} neighbors, want {k} (seed {seed})",
+                res.neighbors.len()
+            ));
+        }
+        for nb in &res.neighbors {
+            let d = dijkstra::distance(g, q, nb.vertex)
+                .ok_or_else(|| format!("object unreachable (seed {seed})"))?;
+            if !(nb.interval.lo <= d + 1e-9 && d <= nb.interval.hi + 1e-9) {
+                return Err(format!(
+                    "q={q:?} o={:?}: [{}, {}] misses true {d} (seed {seed})",
+                    nb.object, nb.interval.lo, nb.interval.hi
+                ));
+            }
+        }
+        if res.complete {
+            let mut truth: Vec<f64> = objects
+                .iter()
+                .map(|(_, v)| dijkstra::distance(g, q, v).expect("connected"))
+                .collect();
+            truth.sort_by(f64::total_cmp);
+            truth.truncate(k);
+            for (nb, d) in res.neighbors.iter().zip(&truth) {
+                if (nb.interval.hi - d).abs() > 1e-6 {
+                    return Err(format!(
+                        "complete answer diverges: got {}, want {d} (q={q:?}, seed {seed})",
+                        nb.interval.hi
+                    ));
+                }
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn partition_laws_hold_on_random_road_networks(
+        seed in 0u64..1_000_000,
+        vertices in 60usize..200,
+        shards in 2usize..6,
+    ) {
+        let g = Arc::new(road_network(&RoadConfig {
+            vertices,
+            seed,
+            ..Default::default()
+        }));
+        if let Err(msg) = check_partition(&g, shards, seed) {
+            prop_assert!(false, "{}", msg);
+        }
+        let case = seed ^ ((vertices as u64) << 32) ^ ((shards as u64) << 56);
+        if let Err(msg) = check_router(&g, shards, seed, case) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+}
