@@ -5,7 +5,7 @@
 #
 .PHONY: build test bench bench-baseline bench-baseline-smoke bench-throughput \
         bench-throughput-smoke bench-tradeoff bench-tradeoff-smoke bench-scale \
-        bench-scale-smoke bench-check docs deep-fuzz figures lint fmt verify help
+        bench-scale-smoke bench-check chaos docs deep-fuzz figures lint fmt verify help
 
 help:
 	@echo "SILC workspace targets:"
@@ -22,8 +22,9 @@ help:
 	@echo "  bench-scale            re-record BENCH_scale.json (partitioned build + routed kNN at scale)"
 	@echo "  bench-scale-smoke      CI smoke for the scale harness (tiny, writes to target/)"
 	@echo "  bench-check            validate committed BENCH_*.json against the recorders' schemas"
+	@echo "  chaos                  fault-injection matrix: seeded disk faults, retries, dead shards"
 	@echo "  docs                   rustdoc with warnings denied (the CI docs gate)"
-	@echo "  deep-fuzz              the scheduled CI fuzz pass: both proptest suites at ~10x cases"
+	@echo "  deep-fuzz              the scheduled CI fuzz pass: the proptest suites at ~10x cases"
 	@echo "  figures                regenerate the paper's tables/figures as text"
 	@echo "  lint                   clippy -D warnings + rustfmt check"
 	@echo "  fmt                    rustfmt the whole workspace"
@@ -107,7 +108,14 @@ docs:
 # proptest shim honors PROPTEST_CASES as an absolute override).
 deep-fuzz:
 	PROPTEST_CASES=160 cargo test --release -p silc-integration \
-		--test knn_fuzz --test pcp_bounds_fuzz --test partition_fuzz
+		--test knn_fuzz --test pcp_bounds_fuzz --test partition_fuzz \
+		--test fault_injection
+
+# The fault-injection matrix on its own: seeded fault schedules against the
+# disk kNN path and the PCP oracle, plus dead-shard degradation of routed
+# queries. Every seed is fixed, so a failure here reproduces exactly.
+chaos:
+	cargo test --release -p silc-integration --test fault_injection
 
 # Regenerate the paper's tables/figures as text via the figures binary.
 figures:

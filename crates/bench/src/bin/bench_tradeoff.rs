@@ -19,6 +19,12 @@
 //! ε (max per-pair cap) and the v1-era a-priori `4t/s` bound, next to the
 //! observed error.
 //!
+//! The disk PCP backend is additionally served **twice** — once with the
+//! default per-page checksum verification (the recorded backend) and once
+//! with validation opted out via `disable_checksum_validation()` — so the
+//! record quantifies what corruption detection costs
+//! (`pcp_disk_nocksum_qps`, `checksum_overhead_pct`).
+//!
 //! ```text
 //! cargo run -p silc-bench --release --bin bench_tradeoff -- [FLAGS]
 //!
@@ -290,16 +296,37 @@ fn main() {
     let (mem_answers, mem_lat, mem_elapsed) =
         run_queries(&pairs, |u, v| oracle.distance(u, v), || {});
 
-    // The disk PCP oracle, from the same buffer-pool substrate.
+    // The disk PCP oracle, from the same buffer-pool substrate. v3 files
+    // verify a per-page checksum on every physical pool read; this is the
+    // default (and recorded) serving configuration.
     disk_pcp.clear_cache();
     let (disk_answers, disk_lat, disk_elapsed) =
         run_queries(&pairs, |u, v| disk_pcp.distance(u, v), || disk_pcp.reset_io_stats());
     let pcp_io = disk_pcp.io_stats();
     let pcp_cache = disk_pcp.pair_cache_stats();
 
+    // The same file with verification opted out, quantifying what the
+    // checksums cost on the disk-PCP serving path.
+    let mut unverified =
+        DiskDistanceOracle::open(&pcp_path, cache_fraction).expect("re-open disk PCP oracle");
+    unverified.disable_checksum_validation();
+    let (nocksum_answers, _, nocksum_elapsed) =
+        run_queries(&pairs, |u, v| unverified.distance(u, v), || unverified.reset_io_stats());
+    drop(unverified);
+
     for (i, (&m, &d)) in mem_answers.iter().zip(&disk_answers).enumerate() {
         assert_eq!(m.to_bits(), d.to_bits(), "memory/disk PCP answers diverged at query {i}");
     }
+    for (i, (&m, &d)) in mem_answers.iter().zip(&nocksum_answers).enumerate() {
+        assert_eq!(m.to_bits(), d.to_bits(), "unverified PCP answers diverged at query {i}");
+    }
+    let pcp_disk_qps = pairs.len() as f64 / disk_elapsed;
+    let pcp_nocksum_qps = pairs.len() as f64 / nocksum_elapsed;
+    let checksum_overhead_pct = (pcp_nocksum_qps / pcp_disk_qps - 1.0) * 100.0;
+    eprintln!(
+        "# checksum overhead on disk PCP: {pcp_disk_qps:.0} QPS verified vs \
+         {pcp_nocksum_qps:.0} QPS unverified ({checksum_overhead_pct:+.2} %)"
+    );
 
     let (mem_mean, mem_max) = rel_error(&exact, &mem_answers);
     let (disk_mean, disk_max) = rel_error(&exact, &disk_answers);
@@ -380,7 +407,9 @@ fn main() {
          \"pcp_build_workers\": {},\n  \"pcp_batch_sssp\": {},\n  \
          \"pcp_batch_settled\": {},\n  \"pcp_refine_sssp\": {},\n  \
          \"pcp_refined_pairs\": {},\n  \"guaranteed_epsilon\": {:.6},\n  \
-         \"guaranteed_epsilon_apriori\": {:.6},\n  \"backends\": [\n",
+         \"guaranteed_epsilon_apriori\": {:.6},\n  \
+         \"pcp_disk_nocksum_qps\": {:.1},\n  \
+         \"checksum_overhead_pct\": {:.3},\n  \"backends\": [\n",
         args.vertices,
         args.seed,
         grid_exponent,
@@ -399,6 +428,8 @@ fn main() {
         build_stats.refined_pairs,
         guaranteed,
         guaranteed_apriori,
+        pcp_nocksum_qps,
+        checksum_overhead_pct,
     );
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(

@@ -291,6 +291,8 @@ pub const TRADEOFF_SCHEMA: Shape = Shape::Obj(&[
     ("pcp_refined_pairs", Shape::Num),
     ("guaranteed_epsilon", Shape::Num),
     ("guaranteed_epsilon_apriori", Shape::Num),
+    ("pcp_disk_nocksum_qps", Shape::Num),
+    ("checksum_overhead_pct", Shape::Num),
     (
         "backends",
         Shape::Arr(&Shape::Obj(&[

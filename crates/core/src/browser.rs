@@ -7,6 +7,7 @@
 //! and the page-buffered [`crate::DiskSilcIndex`] both implement it, so every
 //! kNN variant runs unchanged against either.
 
+use crate::error::QueryError;
 use crate::interval::DistInterval;
 use crate::sp_quadtree::{BlockEntry, CellRect, COLOR_SOURCE};
 use silc_geom::{GridMapper, Point, Rect};
@@ -36,33 +37,92 @@ pub trait DistanceBrowser {
     fn global_min_ratio(&self) -> f64;
 
     // ------------------------------------------------------------------
+    // Fallible lookups
+    // ------------------------------------------------------------------
+    //
+    // The disk-resident index can genuinely fail a lookup (an I/O error
+    // that survived retries, a page that failed its checksum). The `try_*`
+    // family surfaces that as a `QueryError`; the infallible methods stay
+    // the convenient API for in-memory indexes and for callers that treat
+    // a failed disk as fatal — they are wrappers that panic only at this
+    // API boundary.
+
+    /// Fallible [`Self::entry`]. In-memory indexes never fail; the default
+    /// simply wraps the infallible lookup.
+    fn try_entry(&self, u: VertexId, code: MortonCode) -> Result<Option<BlockEntry>, QueryError> {
+        Ok(self.entry(u, code))
+    }
+
+    /// Fallible [`Self::min_lambda`].
+    fn try_min_lambda(&self, u: VertexId, rect: &CellRect) -> Result<Option<f64>, QueryError> {
+        Ok(self.min_lambda(u, rect))
+    }
+
+    /// Fallible [`Self::next_hop`]: a destination not covered by `u`'s
+    /// quadtree — impossible for a well-formed index — surfaces as
+    /// [`QueryError::Corrupt`] instead of a panic.
+    fn try_next_hop(
+        &self,
+        u: VertexId,
+        dest: VertexId,
+    ) -> Result<Option<(VertexId, f64)>, QueryError> {
+        if u == dest {
+            return Ok(None);
+        }
+        let Some(entry) = self.try_entry(u, self.vertex_code(dest))? else {
+            return Err(QueryError::Corrupt {
+                page: None,
+                detail: format!("quadtree of {u} does not cover destination {dest}"),
+            });
+        };
+        debug_assert_ne!(entry.color, COLOR_SOURCE, "distinct vertices share a cell");
+        Ok(Some(self.network().out_edge(u, entry.color as usize)))
+    }
+
+    /// Fallible [`Self::interval`].
+    fn try_interval(&self, u: VertexId, v: VertexId) -> Result<DistInterval, QueryError> {
+        if u == v {
+            return Ok(DistInterval::exact(0.0));
+        }
+        let euclid = self.network().euclidean(u, v);
+        Ok(match self.try_entry(u, self.vertex_code(v))? {
+            Some(e) => e.interval(euclid),
+            None => DistInterval::new(self.global_min_ratio() * euclid, f64::INFINITY),
+        })
+    }
+
+    /// Fallible [`Self::region_lower_bound`].
+    fn try_region_lower_bound(&self, u: VertexId, world: &Rect) -> Result<f64, QueryError> {
+        let euclid = world.min_distance(&self.network().position(u));
+        if euclid == 0.0 {
+            return Ok(0.0);
+        }
+        let rect = self.cell_rect_for(world);
+        let lambda = self.try_min_lambda(u, &rect)?.unwrap_or_else(|| self.global_min_ratio());
+        Ok(lambda * euclid)
+    }
+
+    // ------------------------------------------------------------------
     // Provided operations
     // ------------------------------------------------------------------
 
     /// The first edge on a shortest path `u → dest`: returns the next
     /// vertex and the edge weight. `None` when `u == dest`.
+    ///
+    /// # Panics
+    /// Panics where [`Self::try_next_hop`] would error (I/O failure,
+    /// corruption, uncovered destination).
     fn next_hop(&self, u: VertexId, dest: VertexId) -> Option<(VertexId, f64)> {
-        if u == dest {
-            return None;
-        }
-        let entry = self
-            .entry(u, self.vertex_code(dest))
-            .expect("destination vertex must be covered by the quadtree");
-        debug_assert_ne!(entry.color, COLOR_SOURCE, "distinct vertices share a cell");
-        Some(self.network().out_edge(u, entry.color as usize))
+        self.try_next_hop(u, dest).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// `DISTANCE_INTERVAL(u, v)`: an interval guaranteed to contain the
     /// network distance `u → v`, from one block lookup.
+    ///
+    /// # Panics
+    /// Panics where [`Self::try_interval`] would error.
     fn interval(&self, u: VertexId, v: VertexId) -> DistInterval {
-        if u == v {
-            return DistInterval::exact(0.0);
-        }
-        let euclid = self.network().euclidean(u, v);
-        match self.entry(u, self.vertex_code(v)) {
-            Some(e) => e.interval(euclid),
-            None => DistInterval::new(self.global_min_ratio() * euclid, f64::INFINITY),
-        }
+        self.try_interval(u, v).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The grid-cell rectangle covering `world`, expanded by one cell on
@@ -82,14 +142,11 @@ pub trait DistanceBrowser {
 
     /// `DISTANCE_INTERVAL(u, region).lo`: a lower bound on the network
     /// distance from `u` to *anything located on a vertex inside* `world`.
+    ///
+    /// # Panics
+    /// Panics where [`Self::try_region_lower_bound`] would error.
     fn region_lower_bound(&self, u: VertexId, world: &Rect) -> f64 {
-        let euclid = world.min_distance(&self.network().position(u));
-        if euclid == 0.0 {
-            return 0.0;
-        }
-        let rect = self.cell_rect_for(world);
-        let lambda = self.min_lambda(u, &rect).unwrap_or_else(|| self.global_min_ratio());
-        lambda * euclid
+        self.try_region_lower_bound(u, world).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 

@@ -7,16 +7,23 @@
 //! serves lookups through `silc_storage::BufferPool`, so those experiments
 //! measure genuine page reads.
 //!
-//! ## File layout
+//! ## File layout (format v2, magic `SILCIDX2`)
 //!
 //! ```text
-//! header   magic "SILCIDX1", n, q, world bounds, global min ratio,
-//!          entry-region offset
-//! codes    n × u64   — per-vertex grid-cell Morton codes
+//! header    magic "SILCIDX2", n, q, world bounds, global min ratio,
+//!           entry-region offset, checksum-table offset
+//! codes     n × u64   — per-vertex grid-cell Morton codes
 //! directory n × (u64, u32) — first entry index + entry count per vertex
-//! entries  one 19-byte record per Morton block, all vertices concatenated:
-//!          block base u64 | level u8 | color u16 | λ− f32 | λ+ f32
+//! entries   one 19-byte record per Morton block, all vertices concatenated:
+//!           block base u64 | level u8 | color u16 | λ− f32 | λ+ f32
+//! (page padding)
+//! checksums one 64-bit digest (8-lane FNV-1a) per payload page — verified on every physical
+//!           page read, so bit rot surfaces as a typed error naming the
+//!           page instead of a silently wrong distance
 //! ```
+//!
+//! Format v1 (`SILCIDX1`, no checksum table) stays readable;
+//! [`DiskSilcIndex::format_version`] reports which one a file is.
 //!
 //! Header, codes and directory are small and held in memory (they are the
 //! "directory" any disk index keeps pinned); only the entry region — the
@@ -25,18 +32,22 @@
 //! exact ones (correctness is preserved; bounds may be a hair looser).
 
 use crate::browser::DistanceBrowser;
-use crate::error::BuildError;
+use crate::error::{BuildError, QueryError};
 use crate::index::SilcIndex;
 use crate::sp_quadtree::{BlockEntry, CellRect};
 use bytes::{Buf, BufMut};
 use silc_geom::{GridMapper, Rect};
 use silc_morton::{MortonBlock, MortonCode};
 use silc_network::{SpatialNetwork, VertexId};
-use silc_storage::{BufferPool, FilePageStore, PageStore, TieredPool, PAGE_SIZE};
+use silc_storage::{
+    BufferPool, ChecksumTable, FilePageStore, PageStore, RetryPolicy, TieredPool, PAGE_SIZE,
+};
+use std::io;
 use std::path::Path;
 use std::sync::Arc;
 
-const MAGIC: &[u8; 8] = b"SILCIDX1";
+const MAGIC_V1: &[u8; 8] = b"SILCIDX1";
+const MAGIC_V2: &[u8; 8] = b"SILCIDX2";
 /// Bytes per serialized block entry.
 pub const ENTRY_BYTES: usize = 19;
 
@@ -60,8 +71,9 @@ fn f32_up(x: f64) -> f32 {
     }
 }
 
-/// Serializes `index` into a page file at `path`.
-pub fn write_index<P: AsRef<Path>>(index: &SilcIndex, path: P) -> Result<(), BuildError> {
+/// Serializes `index` in the given format version (1 or 2); v2 appends
+/// the per-page checksum table.
+fn encode_with_version(index: &SilcIndex, version: u32) -> Vec<u8> {
     let g = index.network();
     let n = g.vertex_count();
     let mut directory: Vec<(u64, u32)> = Vec::with_capacity(n);
@@ -72,12 +84,16 @@ pub fn write_index<P: AsRef<Path>>(index: &SilcIndex, path: P) -> Result<(), Bui
         next_entry += count as u64;
     }
 
-    let header_len = 8 + 4 + 4 + 32 + 8 + 8;
+    // The v2 header carries one extra u64: the checksum-table offset.
+    let header_len = 8 + 4 + 4 + 32 + 8 + 8 + if version >= 2 { 8 } else { 0 };
     let meta_len = header_len + n * 8 + n * 12;
     let entries_base = meta_len as u64;
+    let payload_len = meta_len + next_entry as usize * ENTRY_BYTES;
+    // The checksum table starts on the page boundary after the payload.
+    let cksum_base = payload_len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
 
-    let mut buf = Vec::with_capacity(meta_len + next_entry as usize * ENTRY_BYTES);
-    buf.put_slice(MAGIC);
+    let mut buf = Vec::with_capacity(payload_len);
+    buf.put_slice(if version >= 2 { MAGIC_V2 } else { MAGIC_V1 });
     buf.put_u32_le(n as u32);
     buf.put_u32_le(index.mapper().q());
     let b = index.mapper().bounds();
@@ -87,6 +103,9 @@ pub fn write_index<P: AsRef<Path>>(index: &SilcIndex, path: P) -> Result<(), Bui
     buf.put_f64_le(b.max_y);
     buf.put_f64_le(index.global_min_ratio());
     buf.put_u64_le(entries_base);
+    if version >= 2 {
+        buf.put_u64_le(cksum_base as u64);
+    }
     for v in g.vertices() {
         buf.put_u64_le(index.vertex_code(v).value());
     }
@@ -104,7 +123,34 @@ pub fn write_index<P: AsRef<Path>>(index: &SilcIndex, path: P) -> Result<(), Bui
             buf.put_f32_le(f32_up(e.lambda_hi));
         }
     }
-    FilePageStore::create(path, &buf)?;
+    if version >= 2 {
+        // Digest the page-padded payload image, then append the table on
+        // the next page boundary.
+        let table = ChecksumTable::compute(&buf);
+        buf.resize(cksum_base, 0);
+        buf.extend_from_slice(&table.to_bytes());
+    }
+    buf
+}
+
+/// Serializes `index` into the current (v2, checksummed) byte image.
+pub fn encode_index(index: &SilcIndex) -> Vec<u8> {
+    encode_with_version(index, 2)
+}
+
+/// Serializes `index` into a page file at `path` (format v2). The write is
+/// crash-safe: a temp file in the target directory, fsynced, then
+/// atomically renamed — a crash mid-write never leaves a truncated index
+/// at `path`.
+pub fn write_index<P: AsRef<Path>>(index: &SilcIndex, path: P) -> Result<(), BuildError> {
+    FilePageStore::create(path, &encode_index(index))?;
+    Ok(())
+}
+
+/// Serializes `index` in the legacy v1 format (no checksum table) — kept
+/// so the backward-compatibility path stays exercised by tests.
+pub fn write_index_v1<P: AsRef<Path>>(index: &SilcIndex, path: P) -> Result<(), BuildError> {
+    FilePageStore::create(path, &encode_with_version(index, 1))?;
     Ok(())
 }
 
@@ -120,11 +166,14 @@ pub struct DiskSilcIndex {
     directory: Vec<(u64, u32)>,
     entries_base: u64,
     min_ratio: f64,
+    /// On-disk format version (1 = legacy, 2 = checksummed).
+    version: u32,
     /// The two-tier read path: the page pool plus decoded entry lists per
     /// vertex, so repeated probes of the same vertex's quadtree (every
     /// refinement step, every block descent) do not re-deserialize its full
-    /// block list from page bytes.
-    cached: TieredPool<FilePageStore, Arc<[BlockEntry]>>,
+    /// block list from page bytes. The store is type-erased so a wrapper
+    /// (fault injection, instrumentation) can be slotted in at open time.
+    cached: TieredPool<Box<dyn PageStore>, Arc<[BlockEntry]>>,
 }
 
 /// Both index types must stay shareable across query threads.
@@ -160,20 +209,39 @@ impl DiskSilcIndex {
         entry_cache_capacity: usize,
     ) -> Result<Self, BuildError> {
         let store = FilePageStore::open(&path)?;
-        let corrupt = |msg: &str| BuildError::Corrupt(msg.to_string());
+        Self::from_store(Box::new(store), network, cache_fraction, entry_cache_capacity)
+    }
 
-        let header_len = 8 + 4 + 4 + 32 + 8 + 8;
-        if (store.page_count() as usize) * PAGE_SIZE < header_len {
+    /// Opens an index from an arbitrary page store — the seam that lets
+    /// tests wrap the file in a fault injector, or serve an index from any
+    /// other page source. Validates the format exactly like
+    /// [`Self::open`]; v2 files additionally get their metadata pages
+    /// checksum-verified here and their entry pages verified lazily in the
+    /// buffer pool.
+    pub fn from_store(
+        store: Box<dyn PageStore>,
+        network: Arc<SpatialNetwork>,
+        cache_fraction: f64,
+        entry_cache_capacity: usize,
+    ) -> Result<Self, BuildError> {
+        let corrupt = |msg: &str| BuildError::Corrupt(msg.to_string());
+        let file_len = store.page_count() * PAGE_SIZE as u64;
+
+        let base_header_len = 8 + 4 + 4 + 32 + 8 + 8;
+        if file_len < base_header_len as u64 + 8 {
             return Err(corrupt("file too small for header"));
         }
-        // Read the metadata region directly (header, codes, directory).
+        let magic_bytes = silc_storage::read_span(&store, 0, 8)?;
+        // Infallible: read_span returned exactly the 8 bytes requested.
+        let version = match <&[u8; 8]>::try_from(&magic_bytes[..]).unwrap() {
+            m if m == MAGIC_V1 => 1,
+            m if m == MAGIC_V2 => 2,
+            _ => return Err(corrupt("bad magic")),
+        };
+        let header_len = base_header_len + if version >= 2 { 8 } else { 0 };
+
         let header = silc_storage::read_span(&store, 0, header_len)?;
-        let mut h = &header[..];
-        let mut magic = [0u8; 8];
-        h.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
-            return Err(corrupt("bad magic"));
-        }
+        let mut h = &header[8..];
         let n = h.get_u32_le() as usize;
         if n != network.vertex_count() {
             return Err(corrupt("index vertex count does not match network"));
@@ -186,8 +254,36 @@ impl DiskSilcIndex {
         let min_ratio = h.get_f64_le();
         let entries_base = h.get_u64_le();
 
-        let meta = silc_storage::read_span(&store, header_len, n * 8 + n * 12)?;
-        let mut m = &meta[..];
+        // v2: load the checksum table, then re-read the metadata region
+        // verified against it. (The 72 header bytes parsed above get
+        // re-verified as part of the metadata span.)
+        let meta_len = header_len + n * 8 + n * 12;
+        let checks = if version >= 2 {
+            let cksum_base = h.get_u64_le();
+            if cksum_base % PAGE_SIZE as u64 != 0 {
+                return Err(corrupt("checksum table is not page-aligned"));
+            }
+            let payload_pages = (cksum_base / PAGE_SIZE as u64) as usize;
+            let table_bytes = payload_pages * 8;
+            if cksum_base + table_bytes as u64 > file_len {
+                return Err(corrupt("checksum table extends past end of file"));
+            }
+            let raw = silc_storage::read_span(&store, cksum_base as usize, table_bytes)?;
+            let table = ChecksumTable::from_bytes(&raw, payload_pages)
+                .map_err(|e| BuildError::Corrupt(e.to_string()))?;
+            if meta_len > cksum_base as usize {
+                return Err(corrupt("metadata region overlaps checksum table"));
+            }
+            Some(Arc::new(table))
+        } else {
+            None
+        };
+        let meta = match &checks {
+            Some(table) => silc_storage::checksum::read_span_verified(&store, 0, meta_len, table)
+                .map_err(|e| BuildError::Corrupt(e.to_string()))?,
+            None => silc_storage::read_span(&store, 0, meta_len)?,
+        };
+        let mut m = &meta[header_len..];
         let mut codes = Vec::with_capacity(n);
         for _ in 0..n {
             codes.push(MortonCode(m.get_u64_le()));
@@ -204,10 +300,18 @@ impl DiskSilcIndex {
             directory.push((start, count));
         }
         let needed = entries_base + total_entries * ENTRY_BYTES as u64;
-        if needed > store.page_count() * PAGE_SIZE as u64 {
+        let entry_limit = match &checks {
+            Some(table) => (table.pages() * PAGE_SIZE) as u64,
+            None => file_len,
+        };
+        if needed > entry_limit {
             return Err(corrupt("entry region extends past end of file"));
         }
 
+        let mut cached = TieredPool::new(store, cache_fraction, entry_cache_capacity);
+        if let Some(table) = checks {
+            cached.set_checksums(table);
+        }
         Ok(DiskSilcIndex {
             mapper: GridMapper::new(bounds, q),
             network,
@@ -215,8 +319,30 @@ impl DiskSilcIndex {
             directory,
             entries_base,
             min_ratio,
-            cached: TieredPool::new(store, cache_fraction, entry_cache_capacity),
+            version,
+            cached,
         })
+    }
+
+    /// The on-disk format version this index was opened from: 1 (legacy,
+    /// no checksums) or 2 (per-page checksum table).
+    pub fn format_version(&self) -> u32 {
+        self.version
+    }
+
+    /// Sets how the buffer pool retries transient store faults. Configure
+    /// before sharing the index across threads.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.cached.set_retry_policy(retry);
+    }
+
+    /// Opts this open out of per-page checksum verification (`SILCIDX2`
+    /// files verify on every physical page read by default; v1 files carry
+    /// no checksums and are unaffected). For trusted media and for
+    /// measuring the verification overhead — corruption then goes
+    /// undetected. Configure before sharing the index across threads.
+    pub fn disable_checksum_validation(&mut self) {
+        self.cached.clear_checksums();
     }
 
     /// I/O counters of the buffer pool.
@@ -251,20 +377,24 @@ impl DiskSilcIndex {
     /// Per-vertex quadtrees average `O(√n)` entries, typically well under
     /// one page, so a cold load is one sequential page read.
     ///
-    /// # Panics
-    /// Panics on I/O errors — a query against a vanished index file is not
-    /// recoverable mid-flight.
-    fn load_entries(&self, u: VertexId) -> Arc<[BlockEntry]> {
-        self.cached.get_or_decode(u.index() as u64, |pool| self.decode_entries(pool, u))
+    /// A store fault (after the pool's retries) or a checksum mismatch
+    /// propagates; nothing is cached for `u`, so a later call re-attempts
+    /// the read.
+    fn try_load_entries(&self, u: VertexId) -> io::Result<Arc<[BlockEntry]>> {
+        self.cached.try_get_or_decode(u.index() as u64, |pool| self.decode_entries(pool, u))
     }
 
     /// Decodes `u`'s entry list from its pages through the buffer pool.
-    fn decode_entries(&self, pool: &BufferPool<FilePageStore>, u: VertexId) -> Arc<[BlockEntry]> {
+    fn decode_entries(
+        &self,
+        pool: &BufferPool<Box<dyn PageStore>>,
+        u: VertexId,
+    ) -> io::Result<Arc<[BlockEntry]>> {
         let (start, count) = self.directory[u.index()];
         let byte_lo = self.entries_base + start * ENTRY_BYTES as u64;
         let byte_hi = byte_lo + count as u64 * ENTRY_BYTES as u64;
         let mut raw = Vec::with_capacity((byte_hi - byte_lo) as usize);
-        pool.read_range(byte_lo, byte_hi, &mut raw).expect("index page read failed");
+        pool.read_range(byte_lo, byte_hi, &mut raw)?;
         let mut r = &raw[..];
         let mut entries = Vec::with_capacity(count as usize);
         for _ in 0..count {
@@ -280,7 +410,7 @@ impl DiskSilcIndex {
                 lambda_hi,
             });
         }
-        entries.into()
+        Ok(entries.into())
     }
 
     fn min_lambda_walk(
@@ -325,21 +455,35 @@ impl DistanceBrowser for DiskSilcIndex {
         self.codes[v.index()]
     }
 
+    /// # Panics
+    /// Panics where [`DistanceBrowser::try_entry`] would error (I/O
+    /// failure after retries, checksum mismatch) — the infallible API
+    /// boundary for callers that treat a failed disk as fatal.
     fn entry(&self, u: VertexId, code: MortonCode) -> Option<BlockEntry> {
-        let entries = self.load_entries(u);
-        let idx = entries.partition_point(|e| e.block.end() <= code.0);
-        entries.get(idx).filter(|e| e.block.contains_code(code)).copied()
+        self.try_entry(u, code).unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// # Panics
+    /// Panics where [`DistanceBrowser::try_min_lambda`] would error.
     fn min_lambda(&self, u: VertexId, rect: &CellRect) -> Option<f64> {
-        let entries = self.load_entries(u);
-        let mut best = None;
-        Self::min_lambda_walk(&entries, MortonBlock::root(self.mapper.q()), rect, &mut best);
-        best
+        self.try_min_lambda(u, rect).unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn global_min_ratio(&self) -> f64 {
         self.min_ratio
+    }
+
+    fn try_entry(&self, u: VertexId, code: MortonCode) -> Result<Option<BlockEntry>, QueryError> {
+        let entries = self.try_load_entries(u)?;
+        let idx = entries.partition_point(|e| e.block.end() <= code.0);
+        Ok(entries.get(idx).filter(|e| e.block.contains_code(code)).copied())
+    }
+
+    fn try_min_lambda(&self, u: VertexId, rect: &CellRect) -> Result<Option<f64>, QueryError> {
+        let entries = self.try_load_entries(u)?;
+        let mut best = None;
+        Self::min_lambda_walk(&entries, MortonBlock::root(self.mapper.q()), rect, &mut best);
+        Ok(best)
     }
 }
 
@@ -513,6 +657,94 @@ mod tests {
             ..Default::default()
         }));
         assert!(DiskSilcIndex::open(&dst, g, 0.2).is_err());
+    }
+
+    #[test]
+    fn v1_files_stay_readable_and_report_their_version() {
+        let g = Arc::new(grid_network(&GridConfig {
+            rows: 8,
+            cols: 8,
+            seed: 41,
+            ..Default::default()
+        }));
+        let idx =
+            SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 8, threads: 2 }).unwrap();
+        let p1 = tmp("compat-v1.idx");
+        let p2 = tmp("compat-v2.idx");
+        write_index_v1(&idx, &p1).unwrap();
+        write_index(&idx, &p2).unwrap();
+        let d1 = DiskSilcIndex::open(&p1, g.clone(), 0.25).unwrap();
+        let d2 = DiskSilcIndex::open(&p2, g.clone(), 0.25).unwrap();
+        assert_eq!(d1.format_version(), 1);
+        assert_eq!(d2.format_version(), 2);
+        // Same answers from both formats.
+        for v in g.vertices() {
+            assert_eq!(d1.next_hop(VertexId(0), v), d2.next_hop(VertexId(0), v));
+            assert_eq!(d1.interval(VertexId(7), v), d2.interval(VertexId(7), v));
+        }
+    }
+
+    #[test]
+    fn bit_flip_in_entry_region_is_a_typed_corrupt_error() {
+        let (_, disk) = build_pair("bitflip-src.idx");
+        let src = tmp("bitflip-src.idx");
+        let dst = tmp("bitflip.idx");
+        let mut data = std::fs::read(&src).unwrap();
+        // Flip one bit in the first entry page (past the pinned metadata).
+        let meta_pages = (disk.entries_base as usize).div_ceil(PAGE_SIZE);
+        let victim = meta_pages.max(1); // an entry-region page
+        data[victim * PAGE_SIZE + 100] ^= 0x10;
+        std::fs::write(&dst, &data).unwrap();
+        let g = Arc::new(grid_network(&GridConfig {
+            rows: 8,
+            cols: 8,
+            seed: 41,
+            ..Default::default()
+        }));
+        let bad = DiskSilcIndex::open(&dst, g.clone(), 0.25).unwrap();
+        // Some vertex's entries live on the flipped page; scanning all of
+        // them must surface exactly a typed Corrupt naming that page —
+        // never a silently wrong answer.
+        let mut hit = None;
+        for u in g.vertices() {
+            match bad.try_entry(u, bad.vertex_code(VertexId(0))) {
+                Ok(_) => {}
+                Err(QueryError::Corrupt { page, detail }) => {
+                    assert_eq!(page, Some(victim as u64), "wrong page named: {detail}");
+                    assert!(detail.contains("checksum mismatch"), "{detail}");
+                    hit = Some(u);
+                    break;
+                }
+                Err(e) => panic!("expected Corrupt, got {e}"),
+            }
+        }
+        assert!(hit.is_some(), "no lookup touched the corrupted page");
+        // The checksum counters saw the fault; nothing was retried.
+        let stats = bad.io_stats();
+        assert!(stats.faults_seen >= 1);
+        assert_eq!(stats.retries, 0, "checksum mismatches must not be retried");
+    }
+
+    #[test]
+    fn every_page_aligned_truncation_is_rejected_or_detected() {
+        let (_, _) = build_pair("truncsweep-src.idx");
+        let src = tmp("truncsweep-src.idx");
+        let data = std::fs::read(&src).unwrap();
+        let pages = data.len() / PAGE_SIZE;
+        let g = Arc::new(grid_network(&GridConfig {
+            rows: 8,
+            cols: 8,
+            seed: 41,
+            ..Default::default()
+        }));
+        for keep in 0..pages {
+            let dst = tmp("truncsweep.idx");
+            std::fs::write(&dst, &data[..keep * PAGE_SIZE]).unwrap();
+            assert!(
+                DiskSilcIndex::open(&dst, g.clone(), 0.25).is_err(),
+                "truncation to {keep}/{pages} pages must not open"
+            );
+        }
     }
 
     #[test]

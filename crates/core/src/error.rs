@@ -1,6 +1,7 @@
-//! Errors raised while building or loading a SILC index.
+//! Errors raised while building, loading or querying a SILC index.
 
 use silc_network::VertexId;
+use std::io;
 
 /// Why an index could not be built or loaded.
 #[derive(Debug)]
@@ -58,6 +59,59 @@ impl From<std::io::Error> for BuildError {
     }
 }
 
+/// Why a query against a disk-resident index could not complete.
+///
+/// Raised by the fallible (`try_*`) lookup path: transient store faults
+/// that survived the pool's retries, and corruption the page checksums
+/// caught. The infallible lookup methods panic with this error's message
+/// at the API boundary instead.
+#[derive(Debug)]
+pub enum QueryError {
+    /// An I/O error reading index pages (retries already exhausted).
+    Io(io::Error),
+    /// The index data is corrupt: a page failed checksum verification
+    /// (`page` names it) or decoded bytes violated a structural invariant.
+    Corrupt {
+        /// The page that failed verification, when known.
+        page: Option<u64>,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Io(e) => write!(f, "index I/O error: {e}"),
+            QueryError::Corrupt { page: Some(p), detail } => {
+                write!(f, "corrupt index: page {p}: {detail}")
+            }
+            QueryError::Corrupt { page: None, detail } => write!(f, "corrupt index: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Io(e) => Some(e),
+            QueryError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for QueryError {
+    /// Lifts an I/O error, recognizing the typed page-corruption payload
+    /// of `silc_storage::corrupt_page` so checksum failures keep naming
+    /// their page across the layer boundary.
+    fn from(e: io::Error) -> Self {
+        match silc_storage::as_page_corrupt(&e) {
+            Some(pc) => QueryError::Corrupt { page: Some(pc.page), detail: pc.detail.clone() },
+            None => QueryError::Io(e),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +133,20 @@ mod tests {
         let e = BuildError::Io(std::io::Error::other("x"));
         assert!(e.source().is_some());
         assert!(BuildError::EmptyNetwork.source().is_none());
+    }
+
+    #[test]
+    fn query_error_recovers_the_corrupt_page() {
+        let e = QueryError::from(silc_storage::corrupt_page(7, "checksum mismatch"));
+        match &e {
+            QueryError::Corrupt { page: Some(7), detail } => {
+                assert!(detail.contains("checksum mismatch"))
+            }
+            other => panic!("expected typed corruption, got {other:?}"),
+        }
+        assert!(e.to_string().contains("page 7"));
+        let e = QueryError::from(std::io::Error::other("disk gone"));
+        assert!(matches!(e, QueryError::Io(_)));
+        assert!(e.to_string().contains("disk gone"));
     }
 }

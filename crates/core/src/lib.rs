@@ -38,6 +38,13 @@
 //! | [`disk`] | [`DiskSilcIndex`]: the index serialized onto real disk pages behind an LRU buffer pool |
 //! | [`mbr_baseline`] | the rejected R-tree-style MBR storage design (ablation A1) |
 //!
+//! The disk-resident forms are built for disks that misbehave: page files
+//! carry per-page checksums (format `SILCIDX2`; v1 files stay readable),
+//! transient read failures are retried inside the buffer pool, and every
+//! surviving fault surfaces as a typed [`QueryError`] — corruption names
+//! the poisoned page — through `try_`-prefixed fallible twins of the query
+//! methods. See the `silc-storage` crate docs for the full fault model.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -71,7 +78,7 @@ pub mod spmap;
 
 pub use browser::DistanceBrowser;
 pub use disk::DiskSilcIndex;
-pub use error::BuildError;
+pub use error::{BuildError, QueryError};
 pub use index::{BuildConfig, IndexStats, SilcIndex};
 pub use interval::DistInterval;
 pub use partitioned::{PartitionedBuildConfig, PartitionedBuildError, PartitionedSilcIndex};

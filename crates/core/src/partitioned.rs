@@ -159,15 +159,32 @@ impl PartitionedSilcIndex {
         dir: P,
         cfg: &PartitionedBuildConfig,
     ) -> Result<Self, PartitionedBuildError> {
+        Self::open_dir_with(network, dir, cfg, |_, store| Box::new(store))
+    }
+
+    /// Like [`Self::open_dir`], but `wrap` may replace each shard's page
+    /// store before the shard index is built over it — the seam fault-
+    /// injection tests use to make individual shards flaky or dead.
+    /// `wrap` receives the shard number and the freshly opened file store.
+    pub fn open_dir_with<P: AsRef<Path>>(
+        network: Arc<SpatialNetwork>,
+        dir: P,
+        cfg: &PartitionedBuildConfig,
+        mut wrap: impl FnMut(usize, silc_storage::FilePageStore) -> Box<dyn silc_storage::PageStore>,
+    ) -> Result<Self, PartitionedBuildError> {
         let dir = dir.as_ref();
         let partition = Arc::new(partition_network(&network, &cfg.partition)?);
         let mut shards = Vec::with_capacity(partition.shard_count());
         let mut shard_bytes = Vec::with_capacity(partition.shard_count());
         for (s, shard) in partition.shards().iter().enumerate() {
             let path = dir.join(shard_file(s));
-            let disk =
-                DiskSilcIndex::open(&path, Arc::clone(shard.network_arc()), cfg.cache_fraction)
-                    .map_err(|source| PartitionedBuildError::Shard { shard: s, source })?;
+            let wrap_err = |source: BuildError| PartitionedBuildError::Shard { shard: s, source };
+            let store = silc_storage::FilePageStore::open(&path)
+                .map_err(|e| wrap_err(BuildError::Io(e)))?;
+            let local = Arc::clone(shard.network_arc());
+            let cache = silc_storage::default_decoded_capacity(local.vertex_count());
+            let disk = DiskSilcIndex::from_store(wrap(s, store), local, cfg.cache_fraction, cache)
+                .map_err(wrap_err)?;
             shard_bytes.push(fs::metadata(&path)?.len());
             shards.push(Arc::new(disk));
         }
@@ -219,6 +236,8 @@ impl PartitionedSilcIndex {
             total.evictions += s.evictions;
             total.bytes_read += s.bytes_read;
             total.read_nanos += s.read_nanos;
+            total.retries += s.retries;
+            total.faults_seen += s.faults_seen;
         }
         total
     }

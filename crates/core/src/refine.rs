@@ -9,6 +9,7 @@
 //! oracles whose estimates are sums of *two* intervals.
 
 use crate::browser::DistanceBrowser;
+use crate::error::QueryError;
 use crate::interval::DistInterval;
 use silc_network::VertexId;
 use std::cmp::Ordering;
@@ -30,9 +31,22 @@ pub struct RefinableDistance {
 impl RefinableDistance {
     /// Starts refinement with the zero-hop interval
     /// `[λ−·dE(q,o), λ+·dE(q,o)]`.
+    ///
+    /// # Panics
+    /// Panics where [`Self::try_new`] would error (disk failure on the
+    /// initial lookup).
     pub fn new<B: DistanceBrowser + ?Sized>(b: &B, origin: VertexId, target: VertexId) -> Self {
-        let interval = b.interval(origin, target);
-        RefinableDistance { origin, target, cur: origin, prefix: 0.0, interval, refinements: 0 }
+        Self::try_new(b, origin, target).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::new`].
+    pub fn try_new<B: DistanceBrowser + ?Sized>(
+        b: &B,
+        origin: VertexId,
+        target: VertexId,
+    ) -> Result<Self, QueryError> {
+        let interval = b.try_interval(origin, target)?;
+        Ok(RefinableDistance { origin, target, cur: origin, prefix: 0.0, interval, refinements: 0 })
     }
 
     /// The origin object's vertex.
@@ -64,41 +78,70 @@ impl RefinableDistance {
 
     /// Advances one hop along the shortest path, tightening the interval.
     /// Returns `false` (and does nothing) once the distance is exact.
+    ///
+    /// # Panics
+    /// Panics where [`Self::try_refine`] would error.
     pub fn refine<B: DistanceBrowser + ?Sized>(&mut self, b: &B) -> bool {
+        self.try_refine(b).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::refine`]. On an error the state is unchanged —
+    /// the interval stays the last sound one, so a caller may keep (or
+    /// report) it even after the disk went away.
+    pub fn try_refine<B: DistanceBrowser + ?Sized>(&mut self, b: &B) -> Result<bool, QueryError> {
         if self.is_exact() {
-            return false;
+            return Ok(false);
         }
-        let Some((next, w)) = b.next_hop(self.cur, self.target) else {
+        let Some((next, w)) = b.try_next_hop(self.cur, self.target)? else {
             // cur == target: the interval should already be exact.
             self.interval = DistInterval::exact(self.prefix);
-            return false;
+            return Ok(false);
         };
+        // Complete every fallible lookup *before* mutating state, so an
+        // error leaves a consistent (merely unrefined) distance.
+        let tail =
+            if next == self.target { None } else { Some(b.try_interval(next, self.target)?) };
         self.refinements += 1;
         self.cur = next;
         self.prefix += w;
-        if self.cur == self.target {
-            self.interval = DistInterval::exact(self.prefix);
-        } else {
-            let tail = b.interval(self.cur, self.target).offset(self.prefix);
-            // Bounds can only tighten: intersect with what we already knew.
-            // Both intervals contain the true distance in exact arithmetic,
-            // but floating-point slop can make them barely disjoint; the
-            // distance then lies in the (noise-sized) gap between their
-            // facing endpoints, so that gap is the tightest sound interval.
-            self.interval = tail.intersect(&self.interval).unwrap_or_else(|| {
-                let gap_lo = tail.hi.min(self.interval.hi);
-                let gap_hi = tail.lo.max(self.interval.lo);
-                DistInterval::new(gap_lo, gap_hi)
-            });
+        match tail {
+            None => self.interval = DistInterval::exact(self.prefix),
+            Some(t) => {
+                let tail = t.offset(self.prefix);
+                // Bounds can only tighten: intersect with what we already
+                // knew. Both intervals contain the true distance in exact
+                // arithmetic, but floating-point slop can make them barely
+                // disjoint; the distance then lies in the (noise-sized) gap
+                // between their facing endpoints, so that gap is the
+                // tightest sound interval.
+                self.interval = tail.intersect(&self.interval).unwrap_or_else(|| {
+                    let gap_lo = tail.hi.min(self.interval.hi);
+                    let gap_hi = tail.lo.max(self.interval.lo);
+                    DistInterval::new(gap_lo, gap_hi)
+                });
+            }
         }
-        true
+        Ok(true)
     }
 
     /// Refines to the exact network distance (worst case: walks the whole
     /// path).
+    ///
+    /// # Panics
+    /// Panics where [`Self::try_refine_until_exact`] would error.
     pub fn refine_until_exact<B: DistanceBrowser + ?Sized>(&mut self, b: &B) -> f64 {
         while self.refine(b) {}
         self.interval.lo
+    }
+
+    /// Fallible [`Self::refine_until_exact`]. An error aborts the walk
+    /// with the state consistent at the last completed hop.
+    pub fn try_refine_until_exact<B: DistanceBrowser + ?Sized>(
+        &mut self,
+        b: &B,
+    ) -> Result<f64, QueryError> {
+        while self.try_refine(b)? {}
+        Ok(self.interval.lo)
     }
 }
 

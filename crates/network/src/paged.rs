@@ -133,17 +133,25 @@ impl PagedNetwork {
         self.positions[v.index()]
     }
 
-    /// Reads the adjacency list of `v` from disk pages.
+    /// Reads the adjacency list of `v` from disk pages — the
+    /// panic-at-the-boundary wrapper around [`Self::try_out_edges`] for
+    /// the INE/IER baselines, whose scans treat a vanished network file
+    /// as fatal.
     ///
     /// # Panics
-    /// Panics on I/O errors (a query against a vanished file cannot
-    /// continue).
+    /// Panics on I/O errors; use [`Self::try_out_edges`] to handle them.
     pub fn out_edges(&self, v: VertexId, out: &mut Vec<(VertexId, f64)>) {
+        self.try_out_edges(v, out).unwrap_or_else(|e| panic!("network page read failed: {e}"))
+    }
+
+    /// Fallible adjacency read: I/O trouble comes back as the error (the
+    /// scratch vector is then left cleared, holding no partial list).
+    pub fn try_out_edges(&self, v: VertexId, out: &mut Vec<(VertexId, f64)>) -> io::Result<()> {
         out.clear();
         let start = self.offsets[v.index()] as u64;
         let end = self.offsets[v.index() + 1] as u64;
         if start == end {
-            return;
+            return Ok(());
         }
         let byte_lo = self.edges_base + start * EDGE_BYTES as u64;
         let byte_hi = self.edges_base + end * EDGE_BYTES as u64;
@@ -152,7 +160,7 @@ impl PagedNetwork {
         // Gather the raw records across the page range.
         let mut raw = Vec::with_capacity((byte_hi - byte_lo) as usize);
         for page in page_lo..=page_hi {
-            let data = self.pool.get(PageId(page)).expect("network page read failed");
+            let data = self.pool.get(PageId(page))?;
             let lo = byte_lo.max(page * PAGE_SIZE as u64) - page * PAGE_SIZE as u64;
             let hi = byte_hi.min((page + 1) * PAGE_SIZE as u64) - page * PAGE_SIZE as u64;
             raw.extend_from_slice(&data[lo as usize..hi as usize]);
@@ -163,6 +171,12 @@ impl PagedNetwork {
             let weight = r.get_f64_le();
             out.push((VertexId(target), weight));
         }
+        Ok(())
+    }
+
+    /// Replaces the pool's retry policy for transient store faults.
+    pub fn set_retry_policy(&mut self, retry: silc_storage::RetryPolicy) {
+        self.pool.set_retry_policy(retry);
     }
 
     /// I/O counters of the buffer pool.

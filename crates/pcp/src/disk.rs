@@ -16,7 +16,8 @@ use crate::oracle::{locate_pair, DistanceOracle, PairData};
 use crate::split_tree::SplitTree;
 use bytes::Buf;
 use silc_network::VertexId;
-use silc_storage::{BufferPool, FilePageStore, MemPageStore, PageStore, TieredPool};
+use silc_storage::{BufferPool, FilePageStore, MemPageStore, PageStore, RetryPolicy, TieredPool};
+use std::io;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -89,6 +90,10 @@ impl<S: PageStore> DiskDistanceOracle<S> {
         let parsed = format::parse(&store)?;
         let cache = pair_cache_capacity
             .unwrap_or_else(|| silc_storage::default_decoded_capacity(parsed.directory.len()));
+        let mut cached = TieredPool::new(store, cache_fraction, cache);
+        if let Some(table) = parsed.checks {
+            cached.set_checksums(table);
+        }
         Ok(DiskDistanceOracle {
             tree: parsed.tree,
             directory: parsed.directory,
@@ -99,13 +104,28 @@ impl<S: PageStore> DiskDistanceOracle<S> {
             eps_max: parsed.eps_max,
             pair_bytes: parsed.pair_bytes,
             version: parsed.version,
-            cached: TieredPool::new(store, cache_fraction, cache),
+            cached,
         })
     }
 
-    /// The opened file's format version (1 or 2; see `crate::format`).
+    /// The opened file's format version (1, 2 or 3; see `crate::format`).
     pub fn format_version(&self) -> u32 {
         self.version
+    }
+
+    /// Sets how the buffer pool retries transient store faults. Configure
+    /// before sharing the oracle across threads.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.cached.set_retry_policy(retry);
+    }
+
+    /// Opts this open out of per-page checksum verification (v3 files
+    /// verify on every physical page read by default; v1/v2 files carry no
+    /// checksums and are unaffected). For trusted media and for measuring
+    /// the verification overhead — corruption then goes undetected.
+    /// Configure before sharing the oracle across threads.
+    pub fn disable_checksum_validation(&mut self) {
+        self.cached.clear_checksums();
     }
 
     /// Number of stored pairs (the oracle's size; `O(s²n)`).
@@ -167,27 +187,26 @@ impl<S: PageStore> DiskDistanceOracle<S> {
     }
 
     /// Fetches node `a`'s pair group: the decoded cache first, then the
-    /// buffer pool, then the store.
-    ///
-    /// # Panics
-    /// Panics on I/O errors — a query against a vanished oracle file is not
-    /// recoverable mid-flight — and on a pair group whose records are not
-    /// sorted (pair-region corruption that open-time metadata validation
-    /// cannot see without scanning the whole payload; an unsorted group
-    /// would silently break the binary search, so it fails loudly instead).
-    fn load_group(&self, a: u32) -> Arc<[PairRecord]> {
-        self.cached.get_or_decode(a as u64, |pool| self.decode_group(pool, a))
+    /// buffer pool, then the store. A store fault (after the pool's
+    /// retries), a checksum mismatch, or structural corruption of the group
+    /// (records not sorted — which would silently break the binary search —
+    /// or an invalid error cap) surfaces as a typed error; nothing is
+    /// cached, so a later call re-attempts the read.
+    fn try_load_group(&self, a: u32) -> Result<Arc<[PairRecord]>, PcpError> {
+        Ok(self.cached.try_get_or_decode(a as u64, |pool| self.decode_group(pool, a))?)
     }
 
     /// Decodes node `a`'s pair group from its pages through the pool.
     /// Version-aware: v1 records carry no cap, so the file's global
     /// a-priori bound is substituted — exactly the ε a v1 oracle promised.
-    fn decode_group(&self, pool: &BufferPool<S>, a: u32) -> Arc<[PairRecord]> {
+    /// Structural violations come back as `InvalidData`, which
+    /// [`PcpError::from`] lifts to [`PcpError::Corrupt`].
+    fn decode_group(&self, pool: &BufferPool<S>, a: u32) -> io::Result<Arc<[PairRecord]>> {
         let (start, count) = self.directory[a as usize];
         let byte_lo = self.pairs_base + start * self.pair_bytes as u64;
         let byte_hi = byte_lo + count as u64 * self.pair_bytes as u64;
         let mut raw = Vec::with_capacity((byte_hi - byte_lo) as usize);
-        pool.read_range(byte_lo, byte_hi, &mut raw).expect("oracle page read failed");
+        pool.read_range(byte_lo, byte_hi, &mut raw)?;
         let mut r = &raw[..];
         let mut records = Vec::with_capacity(count as usize);
         for _ in 0..count {
@@ -199,28 +218,32 @@ impl<S: PageStore> DiskDistanceOracle<S> {
                 max_err: if self.version >= 2 { r.get_f64_le() } else { self.eps_max },
             });
         }
-        assert!(
-            records.windows(2).all(|w| w[0].b < w[1].b),
-            "corrupt oracle file: pair group {a} is not sorted by node id"
-        );
+        if !records.windows(2).all(|w| w[0].b < w[1].b) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("pair group {a} is not sorted by node id"),
+            ));
+        }
         // Cap-section corruption is invisible to open-time metadata
         // validation; a nonsensical cap would silently poison interval
         // math downstream, so it fails loudly here instead.
-        assert!(
-            records.iter().all(|rec| !rec.max_err.is_nan() && rec.max_err >= 0.0),
-            "corrupt oracle file: pair group {a} holds an invalid error cap"
-        );
-        records.into()
+        if !records.iter().all(|rec| !rec.max_err.is_nan() && rec.max_err >= 0.0) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("pair group {a} holds an invalid error cap"),
+            ));
+        }
+        Ok(records.into())
     }
 
     /// Resolves one stored orientation `(a, b)` — the lookup `locate_pair`
     /// drives: `a`'s group, binary-searched by `b`.
-    fn lookup(&self, a: u32, b: u32) -> Option<PairData> {
+    fn try_lookup(&self, a: u32, b: u32) -> Result<Option<PairData>, PcpError> {
         if self.directory[a as usize].1 == 0 {
-            return None;
+            return Ok(None);
         }
-        let group = self.load_group(a);
-        group.binary_search_by_key(&b, |r| r.b).ok().map(|i| {
+        let group = self.try_load_group(a)?;
+        Ok(group.binary_search_by_key(&b, |r| r.b).ok().map(|i| {
             let r = group[i];
             PairData {
                 rep_a: VertexId(r.rep_a),
@@ -228,56 +251,115 @@ impl<S: PageStore> DiskDistanceOracle<S> {
                 dist: r.dist,
                 max_err: r.max_err,
             }
-        })
+        }))
     }
 
-    fn locate(&self, u: VertexId, v: VertexId) -> (PairData, bool) {
-        locate_pair(&self.tree, u, v, |a, b| self.lookup(a, b))
+    fn try_locate(&self, u: VertexId, v: VertexId) -> Result<(PairData, bool), PcpError> {
+        // The locate walk is infallible given a lookup closure; thread the
+        // first error out through a capture so the walk stays the exact
+        // same function the memory oracle uses (bit-identity). On error a
+        // dummy hit terminates the walk at once and is discarded below.
+        let mut failed: Option<PcpError> = None;
+        let result = locate_pair(&self.tree, u, v, |a, b| match self.try_lookup(a, b) {
+            Ok(hit) => hit,
+            Err(e) => {
+                failed = Some(e);
+                Some(PairData { rep_a: VertexId(0), rep_b: VertexId(0), dist: 0.0, max_err: 0.0 })
+            }
+        });
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(result),
+        }
     }
 
     /// Approximate network distance `u → v` (exact 0 when `u == v`) —
     /// bit-identical to the memory oracle this file was written from.
+    ///
+    /// # Panics
+    /// Panics where [`Self::try_distance`] would error (I/O failure after
+    /// retries, checksum mismatch, structural corruption of a pair group).
     pub fn distance(&self, u: VertexId, v: VertexId) -> f64 {
+        self.try_distance(u, v).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::distance`].
+    pub fn try_distance(&self, u: VertexId, v: VertexId) -> Result<f64, PcpError> {
         if u == v {
-            return 0.0;
+            return Ok(0.0);
         }
-        self.locate(u, v).0.dist
+        Ok(self.try_locate(u, v)?.0.dist)
     }
 
     /// Approximate distance together with the covering pair's own error cap
-    /// (v2; v1 files answer the global a-priori bound for every pair).
+    /// (v2+; v1 files answer the global a-priori bound for every pair).
     /// `(0, 0)` when `u == v`.
+    ///
+    /// # Panics
+    /// Panics where [`Self::try_distance_with_epsilon`] would error.
     pub fn distance_with_epsilon(&self, u: VertexId, v: VertexId) -> (f64, f64) {
+        self.try_distance_with_epsilon(u, v).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::distance_with_epsilon`].
+    pub fn try_distance_with_epsilon(
+        &self,
+        u: VertexId,
+        v: VertexId,
+    ) -> Result<(f64, f64), PcpError> {
         if u == v {
-            return (0.0, 0.0);
+            return Ok((0.0, 0.0));
         }
-        let (p, _) = self.locate(u, v);
-        (p.dist, p.max_err)
+        let (p, _) = self.try_locate(u, v)?;
+        Ok((p.dist, p.max_err))
     }
 
     /// The error cap of the pair covering `(u, v)` (0 when `u == v`).
+    ///
+    /// # Panics
+    /// Panics where [`Self::try_epsilon_for`] would error.
     pub fn epsilon_for(&self, u: VertexId, v: VertexId) -> f64 {
+        self.try_epsilon_for(u, v).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::epsilon_for`].
+    pub fn try_epsilon_for(&self, u: VertexId, v: VertexId) -> Result<f64, PcpError> {
         if u == v {
-            return 0.0;
+            return Ok(0.0);
         }
-        self.locate(u, v).0.max_err
+        Ok(self.try_locate(u, v)?.0.max_err)
     }
 
     /// The representative vertices of the pair covering `(u, v)`, oriented
     /// so the first is on `u`'s side.
+    ///
+    /// # Panics
+    /// Panics where [`Self::try_representatives`] would error.
     pub fn representatives(&self, u: VertexId, v: VertexId) -> Option<(VertexId, VertexId)> {
+        self.try_representatives(u, v).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::representatives`].
+    pub fn try_representatives(
+        &self,
+        u: VertexId,
+        v: VertexId,
+    ) -> Result<Option<(VertexId, VertexId)>, PcpError> {
         if u == v {
-            return None;
+            return Ok(None);
         }
-        let (p, flipped) = self.locate(u, v);
-        Some(if flipped { (p.rep_b, p.rep_a) } else { (p.rep_a, p.rep_b) })
+        let (p, flipped) = self.try_locate(u, v)?;
+        Ok(Some(if flipped { (p.rep_b, p.rep_a) } else { (p.rep_a, p.rep_b) }))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::format::{encode_oracle as encode, write_oracle, HEADER_BYTES, MAGIC};
+    use crate::format::{
+        encode_oracle as encode, encode_oracle_v2, write_oracle, HEADER_BYTES, HEADER_BYTES_V2,
+        MAGIC,
+    };
     use silc_network::generate::{road_network, RoadConfig};
     use silc_network::SpatialNetwork;
     use std::io;
@@ -449,13 +531,15 @@ mod tests {
 
     #[test]
     fn corrupt_directory_rejected() {
+        // v2 bytes: no checksum table, so the flip reaches the structural
+        // validator (under v3 the page checksum would catch it first).
         let g = network();
         let mem = DistanceOracle::build(&g, 10, 2.0);
-        let bytes = encode(&mem);
+        let bytes = encode_oracle_v2(&mem);
         // The directory's first group start sits right before the pair
         // region; breaking contiguity must be caught.
         let meta_len = {
-            let mut h = &bytes[HEADER_BYTES - 8..HEADER_BYTES];
+            let mut h = &bytes[HEADER_BYTES_V2 - 8..HEADER_BYTES_V2];
             h.get_u64_le() as usize
         };
         let dir_first_start = meta_len - mem.tree().raw_nodes().len() * 12;
@@ -475,9 +559,9 @@ mod tests {
         // silently miss pairs in the binary search.
         let g = network();
         let mem = DistanceOracle::build(&g, 10, 2.0);
-        let bytes = encode(&mem);
+        let bytes = encode_oracle_v2(&mem);
         let pairs_base = {
-            let mut h = &bytes[HEADER_BYTES - 8..HEADER_BYTES];
+            let mut h = &bytes[HEADER_BYTES_V2 - 8..HEADER_BYTES_V2];
             h.get_u64_le() as usize
         };
         // Walk the serialized directory to find a group with ≥ 2 records,
@@ -552,9 +636,9 @@ mod tests {
         // instead of silently poisoning downstream interval math.
         let g = network();
         let mem = DistanceOracle::build(&g, 10, 2.0);
-        let bytes = encode(&mem);
+        let bytes = encode_oracle_v2(&mem);
         let pairs_base = {
-            let mut h = &bytes[HEADER_BYTES - 8..HEADER_BYTES];
+            let mut h = &bytes[HEADER_BYTES_V2 - 8..HEADER_BYTES_V2];
             h.get_u64_le() as usize
         };
         for bad in [f64::NAN, -0.25] {
@@ -620,6 +704,89 @@ mod tests {
                 assert_eq!(me.to_bits(), de.to_bits(), "cap bits differ for {u}->{v}");
                 assert_eq!(disk.epsilon_for(u, v).to_bits(), mem.epsilon_for(u, v).to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn v2_file_opens_with_its_caps() {
+        // Backward compatibility one version back: a v2 file (per-pair caps
+        // but no checksum table) opens, reports its version, and answers
+        // bit-identically including the per-pair ε.
+        let g = network();
+        let mem = DistanceOracle::build(&g, 10, 4.0);
+        let v2 = encode_oracle_v2(&mem);
+        let disk = DiskDistanceOracle::from_store(MemPageStore::new(&v2), 0.5, None).unwrap();
+        assert_eq!(disk.format_version(), 2);
+        assert_eq!(disk.epsilon().to_bits(), mem.epsilon().to_bits());
+        let n = g.vertex_count() as u32;
+        for u in (0..n).step_by(3) {
+            for v in (0..n).step_by(7) {
+                let (u, v) = (VertexId(u), VertexId(v));
+                let (md, me) = mem.distance_with_epsilon(u, v);
+                let (dd, de) = disk.distance_with_epsilon(u, v);
+                assert_eq!(md.to_bits(), dd.to_bits());
+                assert_eq!(me.to_bits(), de.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn checksums_catch_pair_region_bit_flips() {
+        // A bit flip anywhere in the pair region of a v3 file must surface
+        // as a typed Corrupt error naming the page — never a silently wrong
+        // distance.
+        let g = network();
+        let mem = DistanceOracle::build(&g, 10, 3.0);
+        let bytes = encode(&mem);
+        let pairs_base = {
+            let mut h = &bytes[HEADER_BYTES - 8..HEADER_BYTES];
+            h.get_u64_le() as usize
+        };
+        let victim_page = pairs_base / silc_storage::PAGE_SIZE + 1;
+        let flip_at = victim_page * silc_storage::PAGE_SIZE + 17;
+        let mut broken = bytes.clone();
+        broken[flip_at] ^= 0x04;
+        let disk = DiskDistanceOracle::from_store(MemPageStore::new(&broken), 1.0, None).unwrap();
+        assert_eq!(disk.format_version(), 3);
+        let n = g.vertex_count() as u32;
+        let mut hit = false;
+        'sweep: for u in 0..n {
+            for v in 0..n {
+                match disk.try_distance(VertexId(u), VertexId(v)) {
+                    Ok(d) => {
+                        assert_eq!(
+                            d.to_bits(),
+                            mem.distance(VertexId(u), VertexId(v)).to_bits(),
+                            "an Ok answer must still be bit-identical"
+                        );
+                    }
+                    Err(PcpError::Corrupt(msg)) => {
+                        assert!(msg.contains("checksum mismatch"), "{msg}");
+                        assert!(msg.contains(&format!("page {victim_page}")), "{msg}");
+                        hit = true;
+                        break 'sweep;
+                    }
+                    Err(e) => panic!("expected Corrupt, got {e}"),
+                }
+            }
+        }
+        assert!(hit, "no probe touched the corrupted page");
+        let stats = disk.io_stats();
+        assert!(stats.faults_seen >= 1);
+        assert_eq!(stats.retries, 0, "checksum mismatches must not be retried");
+    }
+
+    #[test]
+    fn metadata_corruption_is_caught_at_open() {
+        // v3 verifies the whole pinned metadata span at open time.
+        let g = network();
+        let mem = DistanceOracle::build(&g, 10, 2.0);
+        let bytes = encode(&mem);
+        let mut broken = bytes.clone();
+        broken[HEADER_BYTES + 40] ^= 0x01; // somewhere in the sorted array
+        match DiskDistanceOracle::from_store(MemPageStore::new(&broken), 0.5, None) {
+            Err(PcpError::Corrupt(msg)) => assert!(msg.contains("checksum mismatch"), "{msg}"),
+            other => panic!("expected Corrupt, got {:?}", other.map(|_| ())),
         }
     }
 

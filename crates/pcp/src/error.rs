@@ -31,7 +31,17 @@ impl std::error::Error for PcpError {
 }
 
 impl From<io::Error> for PcpError {
+    /// Lifts an I/O error. Two flavors carry corruption, not I/O trouble,
+    /// and become [`PcpError::Corrupt`]: the typed page-checksum payload of
+    /// `silc_storage::corrupt_page` (keeping the page it names) and any
+    /// other `InvalidData` error (the decoders' structural checks).
     fn from(e: io::Error) -> Self {
+        if let Some(pc) = silc_storage::as_page_corrupt(&e) {
+            return PcpError::Corrupt(format!("page {}: {}", pc.page, pc.detail));
+        }
+        if e.kind() == io::ErrorKind::InvalidData {
+            return PcpError::Corrupt(e.to_string());
+        }
         PcpError::Io(e)
     }
 }
@@ -49,5 +59,21 @@ mod tests {
         let e = PcpError::Corrupt("bad magic".into());
         assert!(e.to_string().contains("bad magic"));
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn corruption_shaped_io_errors_become_typed_corruption() {
+        let e = PcpError::from(silc_storage::corrupt_page(9, "checksum mismatch"));
+        match &e {
+            PcpError::Corrupt(msg) => {
+                assert!(msg.contains("page 9"), "{msg}");
+                assert!(msg.contains("checksum mismatch"), "{msg}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let e = PcpError::from(io::Error::new(io::ErrorKind::InvalidData, "group 3 is unsorted"));
+        assert!(matches!(&e, PcpError::Corrupt(msg) if msg.contains("unsorted")));
+        let e = PcpError::from(io::Error::other("disk gone"));
+        assert!(matches!(e, PcpError::Io(_)));
     }
 }

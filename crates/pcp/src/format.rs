@@ -6,12 +6,12 @@
 //! the `O(s²n)` pair payload — the part that grows with accuracy — is laid
 //! out in fixed-size pages served through a `silc_storage::BufferPool`.
 //!
-//! ## File layout (version 2, current)
+//! ## File layout (version 3, current)
 //!
 //! ```text
 //! header    magic "SILCPCPD", version u32, n, node count, pair count,
 //!           separation, stretch, guaranteed ε (max per-pair cap),
-//!           pair-region offset
+//!           checksum-table offset, pair-region offset
 //! sorted    n × (u64 code, u32 vertex) — the code-sorted vertex array
 //! nodes     per split-tree node: block base u64 | level u8 | tight rect
 //!           4×f64 | span 2×u32 | child count u8 | children u32×c
@@ -20,9 +20,18 @@
 //! pairs     one 28-byte record per stored pair, groups concatenated in
 //!           node order, each group sorted by the `b`-side node id:
 //!           b u32 | rep_a u32 | rep_b u32 | dist f64 | max_err f64
+//! (page padding)
+//! checksums one 64-bit digest (8-lane FNV-1a) per payload page — verified on every physical
+//!           page read, so pair-region bit rot surfaces as a typed error
+//!           naming the page instead of a silently wrong distance
 //! ```
 //!
 //! ## Versioning
+//!
+//! Version 3 added the **per-page checksum table**: the metadata region is
+//! verified once at open time and every pair page on its physical read.
+//! The new `cksum_base` header field sits *before* `pairs_base`, so the
+//! pair-region offset stays the last 8 header bytes in every version.
 //!
 //! Version 2 added the **per-pair error caps**: an 8-byte `max_err` per
 //! pair record plus the guaranteed ε (the maximum cap) in the header, so a
@@ -30,7 +39,8 @@
 //! region at open time. Version 1 files (20-byte records, no cap fields)
 //! **remain readable**: the open path substitutes the classic a-priori
 //! `4·stretch/separation` bound for every pair, which is exactly what a v1
-//! oracle guaranteed. New files are always written as version 2.
+//! oracle guaranteed. Versions 1 and 2 stay readable (without page
+//! verification — they carry no table); new files are always version 3.
 //!
 //! Representative distances and caps are stored as full `f64` bits, so the
 //! disk oracle's answers are **bit-identical** to the memory oracle it was
@@ -42,15 +52,23 @@ use crate::split_tree::{Node, SplitTree};
 use bytes::{Buf, BufMut};
 use silc_geom::Rect;
 use silc_morton::{MortonBlock, MortonCode};
-use silc_storage::{read_span, FilePageStore, PageStore, PAGE_SIZE};
+use silc_storage::{
+    read_span, read_span_verified, ChecksumTable, FilePageStore, PageStore, PAGE_SIZE,
+};
 use std::path::Path;
+use std::sync::Arc;
 
 pub(crate) const MAGIC: &[u8; 8] = b"SILCPCPD";
 /// Current (written) format version.
-pub(crate) const VERSION: u32 = 2;
-/// Header size of the current version (v1 lacks the guaranteed-ε field).
-pub(crate) const HEADER_BYTES: usize = 8 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 8;
-pub(crate) const HEADER_BYTES_V1: usize = HEADER_BYTES - 8;
+pub(crate) const VERSION: u32 = 3;
+/// Header size of the current version. The pair-region offset is always
+/// the *last* 8 header bytes; v3 inserted the checksum-table offset right
+/// before it.
+pub(crate) const HEADER_BYTES: usize = HEADER_BYTES_V2 + 8;
+/// Header size of version 2 (no checksum-table offset).
+pub(crate) const HEADER_BYTES_V2: usize = 8 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 8;
+/// Header size of version 1 (additionally lacks the guaranteed-ε field).
+pub(crate) const HEADER_BYTES_V1: usize = HEADER_BYTES_V2 - 8;
 /// Bytes per serialized pair record in the current version.
 pub const PAIR_BYTES: usize = 28;
 /// Bytes per pair record in version-1 files (no per-pair cap).
@@ -86,14 +104,30 @@ pub(crate) fn encode_oracle_v1(oracle: &DistanceOracle) -> Vec<u8> {
     encode_with_version(oracle, 1)
 }
 
+/// Version-2 encoder (no checksum table), kept for the backward-
+/// compatibility path and for corruption tests whose byte flips must reach
+/// the structural validators rather than be caught by a page checksum.
+#[cfg(test)]
+pub(crate) fn encode_oracle_v2(oracle: &DistanceOracle) -> Vec<u8> {
+    encode_with_version(oracle, 2)
+}
+
+pub(crate) fn header_bytes_for(version: u32) -> usize {
+    match version {
+        1 => HEADER_BYTES_V1,
+        2 => HEADER_BYTES_V2,
+        _ => HEADER_BYTES,
+    }
+}
+
 fn encode_with_version(oracle: &DistanceOracle, version: u32) -> Vec<u8> {
     let tree = oracle.tree();
     let nodes = tree.raw_nodes();
     let sorted = tree.raw_sorted();
     let n = sorted.len();
     let node_count = nodes.len();
-    let (header_bytes, pair_bytes) =
-        if version >= 2 { (HEADER_BYTES, PAIR_BYTES) } else { (HEADER_BYTES_V1, PAIR_BYTES_V1) };
+    let header_bytes = header_bytes_for(version);
+    let pair_bytes = if version >= 2 { PAIR_BYTES } else { PAIR_BYTES_V1 };
 
     // Group the stored pairs by their a-side node — the unit the disk
     // oracle decodes and caches — sorted by b for binary search.
@@ -115,8 +149,11 @@ fn encode_with_version(oracle: &DistanceOracle, version: u32) -> Vec<u8> {
     let nodes_bytes: usize =
         nodes.iter().map(|nd| 8 + 1 + 32 + 8 + 1 + 4 * nd.children.len()).sum();
     let meta_len = header_bytes + n * 12 + nodes_bytes + node_count * 12;
+    let payload_len = meta_len + pair_count as usize * pair_bytes;
+    // The checksum table (v3) starts on the page boundary after the payload.
+    let cksum_base = payload_len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
 
-    let mut buf = Vec::with_capacity(meta_len + pair_count as usize * pair_bytes);
+    let mut buf = Vec::with_capacity(payload_len);
     buf.put_slice(MAGIC);
     buf.put_u32_le(version);
     buf.put_u32_le(n as u32);
@@ -126,6 +163,9 @@ fn encode_with_version(oracle: &DistanceOracle, version: u32) -> Vec<u8> {
     buf.put_f64_le(oracle.stretch());
     if version >= 2 {
         buf.put_f64_le(oracle.epsilon());
+    }
+    if version >= 3 {
+        buf.put_u64_le(cksum_base as u64);
     }
     buf.put_u64_le(meta_len as u64);
     for &(code, v) in sorted {
@@ -164,6 +204,13 @@ fn encode_with_version(oracle: &DistanceOracle, version: u32) -> Vec<u8> {
             }
         }
     }
+    if version >= 3 {
+        // Digest the page-padded payload image, then append the table on
+        // the next page boundary.
+        let table = ChecksumTable::compute(&buf);
+        buf.resize(cksum_base, 0);
+        buf.extend_from_slice(&table.to_bytes());
+    }
     buf
 }
 
@@ -187,8 +234,10 @@ pub(crate) struct Parsed {
     pub(crate) eps_max: f64,
     /// Bytes per pair record in this file's version.
     pub(crate) pair_bytes: usize,
-    /// The file's format version (1 or 2).
+    /// The file's format version (1, 2 or 3).
     pub(crate) version: u32,
+    /// The per-page checksum table (v3 files; earlier versions carry none).
+    pub(crate) checks: Option<Arc<ChecksumTable>>,
 }
 
 /// Reads and validates the header + metadata region from a store. Accepts
@@ -212,8 +261,8 @@ pub(crate) fn parse<S: PageStore>(store: &S) -> Result<Parsed, PcpError> {
             "unsupported format version {version} (this build reads versions 1..={VERSION})"
         )));
     }
-    let (header_bytes, pair_bytes) =
-        if version >= 2 { (HEADER_BYTES, PAIR_BYTES) } else { (HEADER_BYTES_V1, PAIR_BYTES_V1) };
+    let header_bytes = header_bytes_for(version);
+    let pair_bytes = if version >= 2 { PAIR_BYTES } else { PAIR_BYTES_V1 };
     if file_bytes < header_bytes as u64 {
         return Err(corrupt("file too small for header"));
     }
@@ -231,6 +280,7 @@ pub(crate) fn parse<S: PageStore>(store: &S) -> Result<Parsed, PcpError> {
     let separation = h.get_f64_le();
     let stretch = h.get_f64_le();
     let eps_max = if version >= 2 { h.get_f64_le() } else { 4.0 * stretch / separation };
+    let cksum_base = if version >= 3 { h.get_u64_le() } else { 0 };
     let pairs_base = h.get_u64_le();
     if !separation.is_finite() || separation <= 0.0 || !stretch.is_finite() || stretch < 1.0 {
         return Err(corrupt("separation/stretch out of range"));
@@ -239,12 +289,33 @@ pub(crate) fn parse<S: PageStore>(store: &S) -> Result<Parsed, PcpError> {
         return Err(corrupt("guaranteed epsilon out of range"));
     }
 
+    // v3: load the checksum table so the metadata read below is verified.
+    let checks = if version >= 3 {
+        if cksum_base % PAGE_SIZE as u64 != 0 || cksum_base == 0 {
+            return Err(corrupt("checksum table is not page-aligned"));
+        }
+        let table_pages = (cksum_base / PAGE_SIZE as u64) as usize;
+        let table_bytes = table_pages * 8;
+        if cksum_base + table_bytes as u64 > file_bytes {
+            return Err(corrupt("checksum table extends past end of file"));
+        }
+        let raw = read_span(store, cksum_base as usize, table_bytes)?;
+        Some(Arc::new(ChecksumTable::from_bytes(&raw, table_pages)?))
+    } else {
+        None
+    };
+    // The payload (everything checksummed) ends where the table starts.
+    let payload_end = if version >= 3 { cksum_base } else { file_bytes };
+
     let min_meta = header_bytes + n * 12 + node_count * (8 + 1 + 32 + 8 + 1) + node_count * 12;
-    if pairs_base < min_meta as u64 || pairs_base > file_bytes {
+    if pairs_base < min_meta as u64 || pairs_base > payload_end {
         return Err(corrupt("pair region offset out of range"));
     }
-    let meta = read_span(store, header_bytes, pairs_base as usize - header_bytes)?;
-    let mut m = &meta[..];
+    let meta = match &checks {
+        Some(table) => read_span_verified(store, 0, pairs_base as usize, table)?,
+        None => read_span(store, 0, pairs_base as usize)?,
+    };
+    let mut m = &meta[header_bytes..];
 
     let mut sorted = Vec::with_capacity(n);
     let mut seen = vec![false; n];
@@ -311,7 +382,7 @@ pub(crate) fn parse<S: PageStore>(store: &S) -> Result<Parsed, PcpError> {
     if total != pair_count {
         return Err(corrupt("directory pair total does not match header"));
     }
-    if pairs_base + pair_count * pair_bytes as u64 > file_bytes {
+    if pairs_base + pair_count * pair_bytes as u64 > payload_end {
         return Err(corrupt("pair region extends past end of file"));
     }
 
@@ -325,5 +396,6 @@ pub(crate) fn parse<S: PageStore>(store: &S) -> Result<Parsed, PcpError> {
         eps_max,
         pair_bytes,
         version,
+        checks,
     })
 }

@@ -75,6 +75,11 @@ pub(crate) fn locate_pair(
         } else if !t.is_leaf(b) {
             b = t.child_containing(b, v);
         } else {
+            // WSPD invariant of the in-memory tree: two distinct leaves are
+            // always a stored (well-separated) pair, so one of the lookups
+            // above must have hit. Fallible disk lookups keep this
+            // unreachable by answering a placeholder hit on error and
+            // discarding the walk (`DiskDistanceOracle::try_locate`).
             unreachable!("two leaves always form a stored pair");
         }
     }

@@ -31,8 +31,9 @@
 
 use crate::objects::{ObjectId, ObjectSet};
 use crate::result::{KnnResult, Neighbor, QueryStats};
-use silc::DistInterval;
+use silc::{DistInterval, QueryError};
 use silc_network::{SpatialNetwork, VertexId};
+use silc_pcp::PcpError;
 use silc_quadtree::NearestScratch;
 use silc_storage::PageStore;
 use std::cmp::Ordering;
@@ -55,6 +56,28 @@ pub trait ApproxDistanceOracle: Send + Sync {
     /// global worst case; the default falls back to the global ε.
     fn distance_with_epsilon(&self, u: VertexId, v: VertexId) -> (f64, f64) {
         (self.distance(u, v), self.epsilon())
+    }
+
+    /// Fallible flavor of [`Self::distance_with_epsilon`]: disk-backed
+    /// oracles surface I/O and corruption as a typed [`QueryError`] instead
+    /// of panicking. Infallible (in-memory) oracles keep the default, which
+    /// cannot fail.
+    fn try_distance_with_epsilon(
+        &self,
+        u: VertexId,
+        v: VertexId,
+    ) -> Result<(f64, f64), QueryError> {
+        Ok(self.distance_with_epsilon(u, v))
+    }
+}
+
+/// Lifts a PCP oracle error into the query stack's error type. Corruption
+/// stays corruption (the page it names travels in the detail string); plain
+/// I/O trouble stays I/O.
+fn oracle_err(e: PcpError) -> QueryError {
+    match e {
+        PcpError::Io(io) => QueryError::Io(io),
+        PcpError::Corrupt(detail) => QueryError::Corrupt { page: None, detail },
     }
 }
 
@@ -83,6 +106,14 @@ impl<S: PageStore> ApproxDistanceOracle for silc_pcp::DiskDistanceOracle<S> {
 
     fn distance_with_epsilon(&self, u: VertexId, v: VertexId) -> (f64, f64) {
         silc_pcp::DiskDistanceOracle::distance_with_epsilon(self, u, v)
+    }
+
+    fn try_distance_with_epsilon(
+        &self,
+        u: VertexId,
+        v: VertexId,
+    ) -> Result<(f64, f64), QueryError> {
+        silc_pcp::DiskDistanceOracle::try_distance_with_epsilon(self, u, v).map_err(oracle_err)
     }
 }
 
@@ -184,10 +215,9 @@ fn candidate_interval(approx: f64, eps: f64, euclid_lo: f64) -> DistInterval {
     })
 }
 
-/// The ε-approximate kNN core, writing into reusable workspaces.
-///
-/// The result lands in `scratch.result()`; the free function [`approx_knn`]
-/// and [`crate::QuerySession::approx_knn`] are its two callers.
+/// Panic-at-the-boundary wrapper around [`try_approx_knn_into`] for callers
+/// that treat oracle I/O failure as fatal; the fallible core is the single
+/// implementation, so both paths produce bit-identical answers.
 pub(crate) fn approx_knn_into<O: ApproxDistanceOracle + ?Sized>(
     oracle: &O,
     network: &SpatialNetwork,
@@ -196,6 +226,24 @@ pub(crate) fn approx_knn_into<O: ApproxDistanceOracle + ?Sized>(
     k: usize,
     scratch: &mut ApproxScratch,
 ) {
+    try_approx_knn_into(oracle, network, objects, query, k, scratch)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The ε-approximate kNN core, writing into reusable workspaces.
+///
+/// The result lands in `scratch.result()`; the free function [`approx_knn`]
+/// and [`crate::QuerySession::approx_knn`] are its callers. Oracle probe
+/// failures (disk faults, checksum mismatches) surface as the typed error;
+/// the scratch then holds no meaningful result.
+pub(crate) fn try_approx_knn_into<O: ApproxDistanceOracle + ?Sized>(
+    oracle: &O,
+    network: &SpatialNetwork,
+    objects: &ObjectSet,
+    query: VertexId,
+    k: usize,
+    scratch: &mut ApproxScratch,
+) -> Result<(), QueryError> {
     assert!(k > 0, "k must be positive");
     scratch.begin();
     let ApproxScratch { nn, best, sorted, result } = scratch;
@@ -222,7 +270,7 @@ pub(crate) fn approx_knn_into<O: ApproxDistanceOracle + ?Sized>(
         // Per-candidate bound: oracles with per-pair caps answer the
         // covering pair's own ε here, so each interval is as tight as the
         // construction can prove for *this* candidate.
-        let (approx, eps) = oracle.distance_with_epsilon(query, objects.vertex(o));
+        let (approx, eps) = oracle.try_distance_with_epsilon(query, objects.vertex(o))?;
         let interval = candidate_interval(approx, eps, euclid_lo);
         let entry = ApproxBest { approx, object: o, interval };
         let changed = if best.len() < k {
@@ -250,6 +298,7 @@ pub(crate) fn approx_knn_into<O: ApproxDistanceOracle + ?Sized>(
     }));
     stats.dk_final = sorted.iter().map(|b| b.interval.hi).fold(0.0, f64::max);
     result.stats = stats;
+    Ok(())
 }
 
 /// One-shot wrapper around the ε-approximate kNN core with a fresh
@@ -276,6 +325,21 @@ pub fn approx_knn<O: ApproxDistanceOracle + ?Sized>(
     let mut scratch = ApproxScratch::new();
     approx_knn_into(oracle, network, objects, query, k, &mut scratch);
     scratch.into_result()
+}
+
+/// Fallible one-shot flavor of [`approx_knn`]: oracle probe failures (disk
+/// faults, checksum mismatches) come back as a typed [`QueryError`] instead
+/// of a panic. On `Ok` the result is bit-identical to [`approx_knn`]'s.
+pub fn try_approx_knn<O: ApproxDistanceOracle + ?Sized>(
+    oracle: &O,
+    network: &SpatialNetwork,
+    objects: &ObjectSet,
+    query: VertexId,
+    k: usize,
+) -> Result<KnnResult, QueryError> {
+    let mut scratch = ApproxScratch::new();
+    try_approx_knn_into(oracle, network, objects, query, k, &mut scratch)?;
+    Ok(scratch.into_result())
 }
 
 #[cfg(test)]

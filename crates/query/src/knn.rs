@@ -26,7 +26,7 @@ use crate::candidates::CandidateList;
 use crate::objects::{ObjectId, ObjectSet};
 use crate::result::{KnnResult, Neighbor, QueryStats};
 use silc::refine::RefinableDistance;
-use silc::DistanceBrowser;
+use silc::{DistanceBrowser, QueryError};
 use silc_network::VertexId;
 use silc_quadtree::{NodeId, NodeView};
 use std::cmp::Ordering;
@@ -155,20 +155,20 @@ impl<'a, B: DistanceBrowser + ?Sized> Engine<'a, B> {
         query: VertexId,
         heap: &'a mut BinaryHeap<QEntry>,
         states: &'a mut HashMap<ObjectId, ObjState>,
-    ) -> Self {
+    ) -> Result<Self, QueryError> {
         let mut e =
             Engine { browser, objects, query, heap, states, seq: 0, stats: QueryStats::default() };
         if !objects.is_empty() {
             let root = objects.quadtree().root();
-            let key = e.block_key(root);
+            let key = e.block_key(root)?;
             e.push(key, Kind::Block(root));
         }
-        e
+        Ok(e)
     }
 
-    fn block_key(&self, node: NodeId) -> f64 {
+    fn block_key(&self, node: NodeId) -> Result<f64, QueryError> {
         let rect = self.objects.quadtree().rect(node);
-        self.browser.region_lower_bound(self.query, &rect)
+        self.browser.try_region_lower_bound(self.query, &rect)
     }
 
     fn push(&mut self, key: f64, kind: Kind) {
@@ -180,28 +180,28 @@ impl<'a, B: DistanceBrowser + ?Sized> Engine<'a, B> {
 
     /// Ensures the object has a refiner, creating the zero-hop interval on
     /// first contact. Returns (interval, version).
-    fn touch(&mut self, o: ObjectId) -> (silc::DistInterval, u32) {
+    fn touch(&mut self, o: ObjectId) -> Result<(silc::DistInterval, u32), QueryError> {
         let vertex = self.objects.vertex(o);
         let state = match self.states.entry(o) {
             MapEntry::Occupied(e) => e.into_mut(),
             MapEntry::Vacant(e) => e.insert(ObjState {
-                refiner: RefinableDistance::new(self.browser, self.query, vertex),
+                refiner: RefinableDistance::try_new(self.browser, self.query, vertex)?,
                 version: 0,
                 confirmed: false,
             }),
         };
-        (state.refiner.interval(), state.version)
+        Ok((state.refiner.interval(), state.version))
     }
 
     /// One refinement step; no-ops (already exact) are not counted as
     /// refinement operations since they touch no quadtree.
-    fn refine(&mut self, o: ObjectId) -> (silc::DistInterval, u32) {
+    fn refine(&mut self, o: ObjectId) -> Result<(silc::DistInterval, u32), QueryError> {
         let state = self.states.get_mut(&o).expect("refining an untouched object");
-        if state.refiner.refine(self.browser) {
+        if state.refiner.try_refine(self.browser)? {
             self.stats.refinements += 1;
         }
         state.version += 1;
-        (state.refiner.interval(), state.version)
+        Ok((state.refiner.interval(), state.version))
     }
 
     /// `KMINDIST`: the minimum possible distance of the kth nearest
@@ -226,11 +226,12 @@ impl<'a, B: DistanceBrowser + ?Sized> Engine<'a, B> {
     }
 }
 
-/// The non-incremental best-first kNN algorithm and its kNN-I / kNN-M
-/// variants (paper §6), writing into reusable workspaces.
+/// Infallible [`try_knn_into`] — the panic-at-the-boundary wrapper the
+/// in-memory callers use.
 ///
-/// The result lands in `scratch.result()`; the free function [`knn`] and
-/// [`crate::QuerySession::knn`] are its two callers.
+/// # Panics
+/// Panics where [`try_knn_into`] would error (disk failure after retries,
+/// checksum mismatch).
 pub(crate) fn knn_into<B: DistanceBrowser + ?Sized>(
     browser: &B,
     objects: &ObjectSet,
@@ -239,10 +240,27 @@ pub(crate) fn knn_into<B: DistanceBrowser + ?Sized>(
     variant: KnnVariant,
     scratch: &mut KnnScratch,
 ) {
+    try_knn_into(browser, objects, query, k, variant, scratch).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The non-incremental best-first kNN algorithm and its kNN-I / kNN-M
+/// variants (paper §6), writing into reusable workspaces.
+///
+/// The result lands in `scratch.result()`; the free function [`knn`] and
+/// [`crate::QuerySession::knn`] are its two callers. On an error the
+/// scratch holds a partial (unreported) result and must not be read.
+pub(crate) fn try_knn_into<B: DistanceBrowser + ?Sized>(
+    browser: &B,
+    objects: &ObjectSet,
+    query: VertexId,
+    k: usize,
+    variant: KnnVariant,
+    scratch: &mut KnnScratch,
+) -> Result<(), QueryError> {
     assert!(k > 0, "k must be positive");
     scratch.begin(k);
     let KnnScratch { heap, states, candidates, lows, leftovers, result } = scratch;
-    let mut eng = Engine::new(browser, objects, query, heap, states);
+    let mut eng = Engine::new(browser, objects, query, heap, states)?;
     let reported = &mut result.neighbors;
     let mut d0k: Option<f64> = None;
     let use_d0k = matches!(variant, KnnVariant::EarlyEstimate | KnnVariant::MinDist);
@@ -282,7 +300,7 @@ pub(crate) fn knn_into<B: DistanceBrowser + ?Sized>(
                         if eng.states.get(&o).is_some_and(|s| s.confirmed) {
                             continue;
                         }
-                        let (iv, version) = eng.touch(o);
+                        let (iv, version) = eng.touch(o)?;
                         let t = Instant::now();
                         if iv.hi < candidates.dk() {
                             candidates.upsert(o, iv);
@@ -299,7 +317,7 @@ pub(crate) fn knn_into<B: DistanceBrowser + ?Sized>(
                 }
                 NodeView::Internal(children) => {
                     for child in children {
-                        let child_key = eng.block_key(child);
+                        let child_key = eng.block_key(child)?;
                         let t = Instant::now();
                         let bound = enqueue_bound(candidates, &d0k);
                         pq_nanos += t.elapsed().as_nanos() as u64;
@@ -357,7 +375,7 @@ pub(crate) fn knn_into<B: DistanceBrowser + ?Sized>(
                     let t = Instant::now();
                     candidates.remove(o);
                     pq_nanos += t.elapsed().as_nanos() as u64;
-                    let (iv, version) = eng.refine(o);
+                    let (iv, version) = eng.refine(o)?;
                     let t = Instant::now();
                     if iv.hi < candidates.dk() {
                         candidates.upsert(o, iv);
@@ -383,7 +401,7 @@ pub(crate) fn knn_into<B: DistanceBrowser + ?Sized>(
         }
         for slot in leftovers.iter_mut() {
             let state = eng.states.get_mut(&slot.1).unwrap();
-            slot.0 = state.refiner.refine_until_exact(browser);
+            slot.0 = state.refiner.try_refine_until_exact(browser)?;
         }
         // Unstable sort: keys are distinct (distance ties broken by the
         // unique object id), and the stable sort would allocate.
@@ -408,6 +426,7 @@ pub(crate) fn knn_into<B: DistanceBrowser + ?Sized>(
     eng.stats.d0k = d0k;
     eng.stats.dk_final = reported.iter().map(|n| n.interval.hi).fold(0.0, f64::max);
     result.stats = eng.stats;
+    Ok(())
 }
 
 /// One-shot wrapper around `knn_into` with a fresh [`KnnScratch`].
@@ -415,6 +434,9 @@ pub(crate) fn knn_into<B: DistanceBrowser + ?Sized>(
 /// Returns up to `k` neighbors: fewer only when the object set is smaller
 /// than `k`. Neighbor intervals always contain the true network distance;
 /// for [`KnnVariant::MinDist`] the reporting order is not sorted.
+///
+/// # Panics
+/// Panics where [`try_knn`] would error.
 pub fn knn<B: DistanceBrowser + ?Sized>(
     browser: &B,
     objects: &ObjectSet,
@@ -422,9 +444,22 @@ pub fn knn<B: DistanceBrowser + ?Sized>(
     k: usize,
     variant: KnnVariant,
 ) -> KnnResult {
+    try_knn(browser, objects, query, k, variant).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`knn`]: a disk fault that survived the pool's retries or a
+/// page that failed its checksum surfaces as a [`QueryError`] instead of a
+/// panic. Answers on the `Ok` path are identical to [`knn`]'s.
+pub fn try_knn<B: DistanceBrowser + ?Sized>(
+    browser: &B,
+    objects: &ObjectSet,
+    query: VertexId,
+    k: usize,
+    variant: KnnVariant,
+) -> Result<KnnResult, QueryError> {
     let mut scratch = KnnScratch::new();
-    knn_into(browser, objects, query, k, variant, &mut scratch);
-    scratch.into_result()
+    try_knn_into(browser, objects, query, k, variant, &mut scratch)?;
+    Ok(scratch.into_result())
 }
 
 /// The incremental algorithm (INN) over reusable workspaces: best-first
@@ -444,10 +479,22 @@ pub(crate) fn inn_into<B: DistanceBrowser + ?Sized>(
     k: usize,
     scratch: &mut KnnScratch,
 ) {
+    try_inn_into(browser, objects, query, k, scratch).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`inn_into`]: the single implementation both entry points run.
+/// On an error the scratch holds a partial result and must not be read.
+pub(crate) fn try_inn_into<B: DistanceBrowser + ?Sized>(
+    browser: &B,
+    objects: &ObjectSet,
+    query: VertexId,
+    k: usize,
+    scratch: &mut KnnScratch,
+) -> Result<(), QueryError> {
     assert!(k > 0, "k must be positive");
     scratch.begin(k);
     let KnnScratch { heap, states, result, .. } = scratch;
-    let mut eng = Engine::new(browser, objects, query, heap, states);
+    let mut eng = Engine::new(browser, objects, query, heap, states)?;
     let reported = &mut result.neighbors;
 
     while let Some(QEntry { kind, .. }) = eng.heap.pop() {
@@ -465,13 +512,13 @@ pub(crate) fn inn_into<B: DistanceBrowser + ?Sized>(
                 NodeView::Leaf(items) => {
                     for &item in items {
                         let o = ObjectId(*eng.objects.quadtree().payload(item));
-                        let (iv, version) = eng.touch(o);
+                        let (iv, version) = eng.touch(o)?;
                         eng.push(iv.lo, Kind::Object(o, version));
                     }
                 }
                 NodeView::Internal(children) => {
                     for child in children {
-                        let key = eng.block_key(child);
+                        let key = eng.block_key(child)?;
                         eng.push(key, Kind::Block(child));
                     }
                 }
@@ -488,7 +535,7 @@ pub(crate) fn inn_into<B: DistanceBrowser + ?Sized>(
                     let state = eng.states.get_mut(&o).unwrap();
                     state.confirmed = true;
                     let before = state.refiner.refinements();
-                    let exact = state.refiner.refine_until_exact(browser);
+                    let exact = state.refiner.try_refine_until_exact(browser)?;
                     let extra = state.refiner.refinements() - before;
                     eng.stats.refinements += extra;
                     reported.push(Neighbor {
@@ -497,7 +544,7 @@ pub(crate) fn inn_into<B: DistanceBrowser + ?Sized>(
                         interval: silc::DistInterval::exact(exact),
                     });
                 } else {
-                    let (iv, version) = eng.refine(o);
+                    let (iv, version) = eng.refine(o)?;
                     eng.push(iv.lo, Kind::Object(o, version));
                 }
             }
@@ -506,18 +553,33 @@ pub(crate) fn inn_into<B: DistanceBrowser + ?Sized>(
 
     eng.stats.dk_final = reported.iter().map(|n| n.interval.hi).fold(0.0, f64::max);
     result.stats = eng.stats;
+    Ok(())
 }
 
 /// One-shot wrapper around `inn_into` with a fresh [`KnnScratch`].
+///
+/// # Panics
+/// Panics where [`try_inn`] would error.
 pub fn inn<B: DistanceBrowser + ?Sized>(
     browser: &B,
     objects: &ObjectSet,
     query: VertexId,
     k: usize,
 ) -> KnnResult {
+    try_inn(browser, objects, query, k).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`inn`]: disk faults and checksum failures surface as a
+/// [`QueryError`] instead of a panic.
+pub fn try_inn<B: DistanceBrowser + ?Sized>(
+    browser: &B,
+    objects: &ObjectSet,
+    query: VertexId,
+    k: usize,
+) -> Result<KnnResult, QueryError> {
     let mut scratch = KnnScratch::new();
-    inn_into(browser, objects, query, k, &mut scratch);
-    scratch.into_result()
+    try_inn_into(browser, objects, query, k, &mut scratch)?;
+    Ok(scratch.into_result())
 }
 
 #[cfg(test)]

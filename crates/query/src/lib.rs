@@ -61,6 +61,13 @@
 //! home shard, sound distance intervals for cross-cut candidates, and a
 //! `complete` flag certifying provably exact answers. `bench_scale` in
 //! `silc-bench` drives it at 100 k vertices.
+//!
+//! Every session entry point has a fallible twin ([`QuerySession::try_knn`],
+//! [`QuerySession::try_inn`], [`QuerySession::try_approx_knn`]) that
+//! surfaces disk faults as typed [`silc::QueryError`]s instead of
+//! panicking, and the partitioned router degrades gracefully when a shard
+//! dies — healthy shards keep serving, the answer stays sound, and the
+//! dead shards are reported in `degraded` (see [`router`]'s module docs).
 
 pub mod approx;
 pub mod baselines;
@@ -75,11 +82,11 @@ pub mod router;
 pub mod session;
 pub mod verify;
 
-pub use approx::{approx_knn, ApproxDistanceOracle, ApproxScratch};
+pub use approx::{approx_knn, try_approx_knn, ApproxDistanceOracle, ApproxScratch};
 pub use baselines::{ier, ine, BaselineScratch};
 pub use baselines_disk::{ier_disk, ine_disk};
 pub use edge_objects::{EdgeObject, EdgeObjectDistance};
-pub use knn::{inn, knn, KnnScratch, KnnVariant};
+pub use knn::{inn, knn, try_inn, try_knn, KnnScratch, KnnVariant};
 pub use objects::{ObjectId, ObjectSet};
 pub use range::{within_distance, RangeResult};
 pub use result::{KnnResult, Neighbor, QueryStats};

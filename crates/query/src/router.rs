@@ -35,8 +35,23 @@
 //! when the reported distance multiset provably equals the true global
 //! kNN multiset (all reported exact, and every un-expanded bound at or
 //! beyond the final `Dk`).
+//!
+//! ## Graceful degradation
+//!
+//! Every shard-index probe the router makes is fallible (the shards are
+//! disk-resident). When a probe fails — an I/O error or a checksum
+//! mismatch — the router does **not** panic and does not abandon the
+//! query: it marks the shard unavailable for the rest of the session,
+//! keeps serving from the healthy shards, and substitutes each lost
+//! bound with a weaker one that is still sound (the Euclidean lower
+//! bound `ratio · ‖·‖` below, `+∞` above). The answer then reports
+//! `complete = false` and lists the offending shards in
+//! [`PartitionedKnnResult::degraded`]; every returned interval still
+//! contains its object's true global distance. A dead shard that the
+//! geometric bounds prune anyway degrades nothing — its objects are
+//! provably too far without touching its index.
 
-use crate::knn::{inn_into, KnnScratch};
+use crate::knn::{try_inn_into, KnnScratch};
 use crate::objects::{ObjectId, ObjectSet};
 use silc::partitioned::PartitionedSilcIndex;
 use silc::{DistInterval, DistanceBrowser};
@@ -164,7 +179,13 @@ impl PartitionedEngine {
                         continue;
                     }
                     let (va, vb) = (&verts[a as usize], &verts[b as usize]);
-                    let hi = disk.interval(VertexId(va.local), VertexId(vb.local)).hi;
+                    // Frontier edges are optional upper bounds: a probe
+                    // that fails (I/O, checksum) just contributes no edge,
+                    // which weakens later Dijkstra bounds but stays sound.
+                    let hi = match disk.try_interval(VertexId(va.local), VertexId(vb.local)) {
+                        Ok(iv) => iv.hi,
+                        Err(_) => f64::INFINITY,
+                    };
                     if hi.is_finite() {
                         adj[a as usize].push((b, hi));
                     }
@@ -202,6 +223,7 @@ impl PartitionedEngine {
     /// Opens a per-thread session owning the reusable workspaces.
     pub fn session(&self) -> PartitionedSession {
         PartitionedSession {
+            down: vec![false; self.core.index.partition().shard_count()],
             core: Arc::clone(&self.core),
             knn: KnnScratch::new(),
             dist: Vec::new(),
@@ -258,6 +280,11 @@ pub struct PartitionedKnnResult {
     /// its object's true global distance), but a cross-cut object with
     /// an overlapping interval might order differently.
     pub complete: bool,
+    /// Shards whose index probes failed while answering this query
+    /// (sorted, deduplicated). Their contributions were replaced by
+    /// weaker-but-sound bounds (see the module docs); non-empty implies
+    /// `complete == false`. Empty on a fully healthy run.
+    pub degraded: Vec<u32>,
     /// Query counters.
     pub stats: RouterStats,
 }
@@ -314,6 +341,10 @@ pub struct PartitionedSession {
     his: Vec<f64>,
     order: Vec<(f64, u32)>,
     result: PartitionedKnnResult,
+    /// Shards whose index probes have failed in this session. A down
+    /// shard is not probed again (its bounds degrade immediately); see
+    /// [`Self::restore_shards`] to retry after recovery.
+    down: Vec<bool>,
 }
 
 impl PartitionedSession {
@@ -356,38 +387,79 @@ impl PartitionedSession {
             .fold(f64::INFINITY, f64::min);
         let mut exit_used = exit_cheap;
         let mut tightened = false;
-        let tighten = |exit_used: &mut f64, tightened: &mut bool| {
+        // Tracks the home shard's health through the query. The exit
+        // bound, the home INN, and the frontier Dijkstra seeds all probe
+        // its index; the first failure downgrades every later use to the
+        // index-free (geometric) form.
+        let mut home_ok = !self.down[s];
+        let tighten = |exit_used: &mut f64, tightened: &mut bool, home_ok: &mut bool| {
             if !*tightened {
                 // Shard-index interval lower bounds on d_s(q, f) dominate
                 // the Euclidean form; one pass over the exit frontier.
-                let tight = home
-                    .exit_frontier()
-                    .iter()
-                    .map(|&(f, w)| home_idx.interval(q_local, VertexId(f)).lo + w)
-                    .fold(f64::INFINITY, f64::min);
-                *exit_used = tight.max(*exit_used);
+                // The exit bound is a minimum over *all* exit vertices, so
+                // a single failed probe discards the whole tightening (a
+                // partial minimum would be too large — unsound); the cheap
+                // Euclidean bound already in `exit_used` stays valid.
+                if *home_ok {
+                    let mut tight = f64::INFINITY;
+                    for &(f, w) in home.exit_frontier() {
+                        match home_idx.try_interval(q_local, VertexId(f)) {
+                            Ok(iv) => tight = tight.min(iv.lo + w),
+                            Err(_) => {
+                                *home_ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if *home_ok {
+                        *exit_used = tight.max(*exit_used);
+                    }
+                }
                 *tightened = true;
             }
         };
 
-        // 1. Home shard: exact local distances via INN.
+        // 1. Home shard: exact local distances via INN. If the home index
+        // errors, fall back to every home object with only its Euclidean
+        // lower bound — sound, never exact, and the query degrades.
         if let Some(so) = core.shard_objects[s].as_ref() {
-            let kk = k_eff.min(so.set.len());
-            inn_into(&**home_idx, &so.set, q_local, kk, &mut self.knn);
-            for nb in &self.knn.result().neighbors {
-                let d = nb.interval.hi; // exact induced-subgraph distance
-                if d > exit_used {
-                    tighten(&mut exit_used, &mut tightened);
+            let mut served_exact = false;
+            if home_ok {
+                let kk = k_eff.min(so.set.len());
+                match try_inn_into(&**home_idx, &so.set, q_local, kk, &mut self.knn) {
+                    Ok(()) => served_exact = true,
+                    Err(_) => home_ok = false,
                 }
-                let gobj = so.globals[nb.object.index()];
-                let gv = home.to_global(nb.vertex.0);
-                let (lo, hi) = if d <= exit_used {
-                    (d, d) // no shard-leaving path can be shorter
-                } else {
-                    let lo = (ratio * q_pos.distance(&network.position(gv))).max(exit_used);
-                    (lo.min(d), d)
-                };
-                self.cands.push(Cand { lo, hi, object: gobj, vertex: gv, shard: s as u32 });
+            }
+            if served_exact {
+                for nb in &self.knn.result().neighbors {
+                    let d = nb.interval.hi; // exact induced-subgraph distance
+                    if d > exit_used {
+                        tighten(&mut exit_used, &mut tightened, &mut home_ok);
+                    }
+                    let gobj = so.globals[nb.object.index()];
+                    let gv = home.to_global(nb.vertex.0);
+                    let (lo, hi) = if d <= exit_used {
+                        (d, d) // no shard-leaving path can be shorter
+                    } else {
+                        let lo = (ratio * q_pos.distance(&network.position(gv))).max(exit_used);
+                        (lo.min(d), d)
+                    };
+                    self.cands.push(Cand { lo, hi, object: gobj, vertex: gv, shard: s as u32 });
+                }
+            } else {
+                for (local_oid, &gobj) in so.globals.iter().enumerate() {
+                    let lv = so.set.vertex(ObjectId(local_oid as u32));
+                    let gv = home.to_global(lv.0);
+                    let lo = ratio * q_pos.distance(&network.position(gv));
+                    self.cands.push(Cand {
+                        lo,
+                        hi: f64::INFINITY,
+                        object: gobj,
+                        vertex: gv,
+                        shard: s as u32,
+                    });
+                }
             }
         }
 
@@ -404,6 +476,7 @@ impl PartitionedSession {
         let mut dk = dk_of(&self.cands, k_eff, &mut self.his);
         let order = std::mem::take(&mut self.order);
         let mut dijkstra_ran = false;
+        let mut dijkstra_did_run = false;
         let mut expanded = vec![false; part.shard_count()];
         for &(lb_geo, t) in &order {
             let t = t as usize;
@@ -412,13 +485,22 @@ impl PartitionedSession {
             }
             // About to cross the cut: make the exit bound as strong as
             // the index allows, then re-check.
-            tighten(&mut exit_used, &mut tightened);
+            tighten(&mut exit_used, &mut tightened, &mut home_ok);
             let lb_t = lb_geo.max(exit_used);
             if self.cands.len() >= k_eff && lb_t > dk {
                 continue;
             }
             if !dijkstra_ran {
-                self.run_frontier_dijkstra(&core, q_local, s, home_idx);
+                if home_ok {
+                    home_ok = self.run_frontier_dijkstra(&core, q_local, s, home_idx);
+                    dijkstra_did_run = true;
+                } else {
+                    // No usable seeds from a failed home index: every
+                    // frontier upper bound is ∞, cross-shard candidates
+                    // keep only their geometric lower bounds.
+                    self.dist.clear();
+                    self.dist.resize(core.frontier.verts.len(), f64::INFINITY);
+                }
                 dijkstra_ran = true;
             }
             expanded[t] = true;
@@ -428,6 +510,7 @@ impl PartitionedSession {
             let t_idx = core.index.shard_index(t);
             let so = core.shard_objects[t].as_ref().expect("order only lists object shards");
             let members = &core.frontier.of_shard[t];
+            let mut t_ok = !self.down[t];
             for (local_oid, &gobj) in so.globals.iter().enumerate() {
                 let o_local = so.set.vertex(ObjectId(local_oid as u32));
                 let o_global = t_shard.to_global(o_local.0);
@@ -439,7 +522,9 @@ impl PartitionedSession {
                 }
                 // Entry choice: the frontier vertex minimizing the bound
                 // proxy ub(x) + ‖x − o‖ (floats only); one interval
-                // lookup for the chosen entry.
+                // lookup for the chosen entry. A shard whose index has
+                // failed is not probed: its candidates keep hi = ∞,
+                // still a sound (if uninformative) upper bound.
                 let mut best: Option<(f64, u32)> = None;
                 for &fx in members {
                     let u = self.dist[fx as usize];
@@ -453,11 +538,17 @@ impl PartitionedSession {
                     }
                 }
                 let hi = match best {
-                    Some((_, fx)) => {
+                    Some((_, fx)) if t_ok => {
                         let fv = &core.frontier.verts[fx as usize];
-                        self.dist[fx as usize] + t_idx.interval(VertexId(fv.local), o_local).hi
+                        match t_idx.try_interval(VertexId(fv.local), o_local) {
+                            Ok(iv) => self.dist[fx as usize] + iv.hi,
+                            Err(_) => {
+                                t_ok = false;
+                                f64::INFINITY
+                            }
+                        }
                     }
-                    None => f64::INFINITY,
+                    _ => f64::INFINITY,
                 };
                 let lo = lo.min(hi);
                 self.cands.push(Cand { lo, hi, object: gobj, vertex: o_global, shard: t as u32 });
@@ -465,7 +556,17 @@ impl PartitionedSession {
                     dk = dk_of(&self.cands, k_eff, &mut self.his);
                 }
             }
+            if !t_ok {
+                self.down[t] = true;
+                self.result.degraded.push(t as u32);
+            }
         }
+        if !home_ok {
+            self.down[s] = true;
+            self.result.degraded.push(s as u32);
+        }
+        self.result.degraded.sort_unstable();
+        self.result.degraded.dedup();
 
         // 3. Select the k best by upper bound and decide completeness.
         self.cands.sort_by(|a, b| {
@@ -481,8 +582,8 @@ impl PartitionedSession {
             && order
                 .iter()
                 .all(|&(lb_geo, t)| expanded[t as usize] || lb_geo.max(exit_used) >= dk_final);
-        self.result.complete = all_exact && bounds_hold;
-        self.result.stats.frontier_dijkstra = dijkstra_ran;
+        self.result.complete = all_exact && bounds_hold && self.result.degraded.is_empty();
+        self.result.stats.frontier_dijkstra = dijkstra_did_run;
         self.result.stats.exit_lb = exit_used;
         self.result.stats.candidates =
             (self.cands.len() + self.result.stats.pruned as usize) as u32;
@@ -503,20 +604,32 @@ impl PartitionedSession {
     /// Dijkstra over the frontier graph, seeded with interval upper
     /// bounds from `q` to the home frontier. `dist[x]` ends up an upper
     /// bound on the global distance `q → x` for every frontier vertex.
+    ///
+    /// Returns `false` when a seed probe failed. Failed seeds are simply
+    /// omitted — a missing seed leaves its frontier vertex at ∞, which is
+    /// a sound upper bound — so the distances are usable either way; the
+    /// flag only reports the home shard as degraded.
     fn run_frontier_dijkstra(
         &mut self,
         core: &EngineCore,
         q_local: VertexId,
         home: usize,
         home_idx: &silc::DiskSilcIndex,
-    ) {
+    ) -> bool {
         let nf = core.frontier.verts.len();
         self.dist.clear();
         self.dist.resize(nf, f64::INFINITY);
         self.heap.clear();
+        let mut ok = true;
         for &fx in &core.frontier.of_shard[home] {
             let fv = &core.frontier.verts[fx as usize];
-            let d0 = home_idx.interval(q_local, VertexId(fv.local)).hi;
+            let d0 = match home_idx.try_interval(q_local, VertexId(fv.local)) {
+                Ok(iv) => iv.hi,
+                Err(_) => {
+                    ok = false;
+                    continue;
+                }
+            };
             if d0.is_finite() && d0 < self.dist[fx as usize] {
                 self.dist[fx as usize] = d0;
                 self.heap.push(HeapItem { d: d0, v: fx });
@@ -534,6 +647,21 @@ impl PartitionedSession {
                 }
             }
         }
+        ok
+    }
+
+    /// Shards this session has marked unavailable after failed probes
+    /// (ascending). They are skipped — not probed — by later queries,
+    /// which report them in [`PartitionedKnnResult::degraded`] whenever
+    /// their objects could not be ruled out geometrically.
+    pub fn unavailable_shards(&self) -> Vec<u32> {
+        (0..self.down.len() as u32).filter(|&s| self.down[s as usize]).collect()
+    }
+
+    /// Clears the unavailable markings, letting later queries probe every
+    /// shard again — the recovery hook after an operator fixes the disk.
+    pub fn restore_shards(&mut self) {
+        self.down.iter_mut().for_each(|d| *d = false);
     }
 }
 
@@ -694,6 +822,121 @@ mod tests {
             let d = dijkstra::distance(&g, VertexId(60), nb.vertex).expect("connected");
             assert!(nb.interval.lo <= d + 1e-9 && d <= nb.interval.hi + 1e-9);
         }
+    }
+
+    /// Opens the partitioned index at `dir` with every shard store wrapped
+    /// in a fault injector, returning the index plus the control handles.
+    fn open_faulty(
+        g: &Arc<SpatialNetwork>,
+        dir: &std::path::Path,
+        shards: usize,
+    ) -> (
+        Arc<PartitionedSilcIndex>,
+        Vec<Arc<silc_storage::FaultInjectingPageStore<silc_storage::FilePageStore>>>,
+    ) {
+        let cfg = PartitionedBuildConfig {
+            partition: PartitionConfig { shards, ..Default::default() },
+            grid_exponent: 9,
+            threads: 1,
+            cache_fraction: 0.5,
+        };
+        let mut handles = Vec::new();
+        let idx = PartitionedSilcIndex::open_dir_with(Arc::clone(g), dir, &cfg, |_, store| {
+            let f = Arc::new(silc_storage::FaultInjectingPageStore::passthrough(store));
+            handles.push(Arc::clone(&f));
+            Box::new(f)
+        })
+        .unwrap();
+        (Arc::new(idx), handles)
+    }
+
+    #[test]
+    fn dead_neighbor_shard_degrades_soundly() {
+        let g =
+            Arc::new(road_network(&RoadConfig { vertices: 220, seed: 71, ..Default::default() }));
+        // Build once on disk, then reopen through fault injectors.
+        build(&g, 4, "degrade-neighbor");
+        let dir = std::env::temp_dir().join("silc-router-tests").join("degrade-neighbor");
+        let (idx, handles) = open_faulty(&g, &dir, 4);
+        let objects = every_third(&g);
+        let engine = PartitionedEngine::new(Arc::clone(&idx), Arc::clone(&objects));
+
+        // Find a query that expands at least one neighbor shard when
+        // everything is healthy.
+        let mut probe = engine.session();
+        let q = g
+            .vertices()
+            .find(|&q| probe.knn(q, 6).stats.shards_expanded > 0)
+            .expect("some query must cross the cut");
+        let home = idx.partition().shard_of(q);
+
+        // Kill every shard but the home one and drop their warm caches so
+        // the next probes really hit the dead stores.
+        for (s, h) in handles.iter().enumerate() {
+            if s != home {
+                h.kill();
+                idx.shard_index(s).clear_cache();
+            }
+        }
+
+        let mut session = engine.session();
+        let res = session.knn(q, 6).clone();
+        assert!(!res.complete, "a dead shard can never yield a certified answer");
+        assert!(!res.degraded.is_empty(), "the dead shard must be reported");
+        assert!(!res.degraded.contains(&(home as u32)), "the home shard stayed healthy");
+        assert_eq!(res.neighbors.len(), 6);
+        for nb in &res.neighbors {
+            let d = dijkstra::distance(&g, q, nb.vertex).expect("connected");
+            assert!(
+                nb.interval.lo <= d + 1e-9 && d <= nb.interval.hi + 1e-9,
+                "degraded interval [{}, {}] must still contain {d}",
+                nb.interval.lo,
+                nb.interval.hi,
+            );
+        }
+        // The session remembers: the dead shards are skipped (not probed)
+        // and reported again by the next affected query.
+        assert_eq!(session.unavailable_shards(), res.degraded);
+        let again = session.knn(q, 6).clone();
+        assert_eq!(again.degraded, res.degraded);
+        assert!(!again.complete);
+    }
+
+    #[test]
+    fn dead_home_shard_still_answers_with_sound_intervals() {
+        let g =
+            Arc::new(road_network(&RoadConfig { vertices: 220, seed: 75, ..Default::default() }));
+        build(&g, 3, "degrade-home");
+        let dir = std::env::temp_dir().join("silc-router-tests").join("degrade-home");
+        let (idx, handles) = open_faulty(&g, &dir, 3);
+        let objects = every_third(&g);
+        let engine = PartitionedEngine::new(Arc::clone(&idx), Arc::clone(&objects));
+
+        let q = VertexId(0);
+        let home = idx.partition().shard_of(q);
+        handles[home].kill();
+        idx.shard_index(home).clear_cache();
+
+        let mut session = engine.session();
+        let res = session.knn(q, 5).clone();
+        assert!(!res.complete);
+        assert!(res.degraded.contains(&(home as u32)), "home failure must be reported");
+        assert_eq!(res.neighbors.len(), 5);
+        for nb in &res.neighbors {
+            let d = dijkstra::distance(&g, q, nb.vertex).expect("connected");
+            assert!(
+                nb.interval.lo <= d + 1e-9 && d <= nb.interval.hi + 1e-9,
+                "home-degraded interval [{}, {}] must still contain {d}",
+                nb.interval.lo,
+                nb.interval.hi,
+            );
+        }
+        // restore_shards lets the session probe again (the store is still
+        // dead here, so the next query degrades again rather than panics).
+        session.restore_shards();
+        assert!(session.unavailable_shards().is_empty());
+        let after = session.knn(q, 5).clone();
+        assert!(after.degraded.contains(&(home as u32)));
     }
 
     #[test]

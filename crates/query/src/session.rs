@@ -21,13 +21,13 @@
 //! session method is bit-identical to the corresponding free function —
 //! both run the same `*_into` core.
 
-use crate::approx::{approx_knn_into, ApproxDistanceOracle, ApproxScratch};
+use crate::approx::{approx_knn_into, try_approx_knn_into, ApproxDistanceOracle, ApproxScratch};
 use crate::baselines::{ier_into, ine_into, BaselineScratch};
 use crate::baselines_disk::{ier_disk_into, ine_disk_into};
-use crate::knn::{inn_into, knn_into, KnnScratch, KnnVariant};
+use crate::knn::{inn_into, knn_into, try_inn_into, try_knn_into, KnnScratch, KnnVariant};
 use crate::objects::ObjectSet;
 use crate::result::KnnResult;
-use silc::DistanceBrowser;
+use silc::{DistanceBrowser, QueryError};
 use silc_network::paged::PagedNetwork;
 use silc_network::VertexId;
 use std::sync::Arc;
@@ -117,11 +117,33 @@ impl<B: DistanceBrowser + ?Sized> QuerySession<B> {
         self.knn.result()
     }
 
+    /// Fallible flavor of [`Self::knn`] for disk-resident indexes: page
+    /// I/O failures and checksum mismatches come back as a typed
+    /// [`QueryError`] instead of a panic. On `Ok` the answer is
+    /// bit-identical to [`Self::knn`]'s (both run the same core); on `Err`
+    /// the session stays usable but holds no meaningful result.
+    pub fn try_knn(
+        &mut self,
+        query: VertexId,
+        k: usize,
+        variant: KnnVariant,
+    ) -> Result<&KnnResult, QueryError> {
+        try_knn_into(&*self.browser, &self.objects, query, k, variant, &mut self.knn)?;
+        Ok(self.knn.result())
+    }
+
     /// The incremental algorithm INN ([`crate::inn`]), through the session
     /// workspaces.
     pub fn inn(&mut self, query: VertexId, k: usize) -> &KnnResult {
         inn_into(&*self.browser, &self.objects, query, k, &mut self.knn);
         self.knn.result()
+    }
+
+    /// Fallible flavor of [`Self::inn`]; see [`Self::try_knn`] for the
+    /// error contract.
+    pub fn try_inn(&mut self, query: VertexId, k: usize) -> Result<&KnnResult, QueryError> {
+        try_inn_into(&*self.browser, &self.objects, query, k, &mut self.knn)?;
+        Ok(self.knn.result())
     }
 
     /// The INE competitor ([`crate::ine`]) over the engine's in-memory
@@ -172,6 +194,26 @@ impl<B: DistanceBrowser + ?Sized> QuerySession<B> {
     ) -> &KnnResult {
         approx_knn_into(oracle, self.browser.network(), &self.objects, query, k, &mut self.approx);
         self.approx.result()
+    }
+
+    /// Fallible flavor of [`Self::approx_knn`]: disk-oracle probe failures
+    /// come back as a typed [`QueryError`]; see [`Self::try_knn`] for the
+    /// contract.
+    pub fn try_approx_knn<O: ApproxDistanceOracle + ?Sized>(
+        &mut self,
+        oracle: &O,
+        query: VertexId,
+        k: usize,
+    ) -> Result<&KnnResult, QueryError> {
+        try_approx_knn_into(
+            oracle,
+            self.browser.network(),
+            &self.objects,
+            query,
+            k,
+            &mut self.approx,
+        )?;
+        Ok(self.approx.result())
     }
 
     /// The result of the most recent SILC-algorithm query (`knn`/`inn`).
@@ -296,6 +338,37 @@ mod tests {
                     session.approx_knn(&oracle, q, k),
                     &one_shot,
                     &format!("approx_knn q={q} k={k}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fallible_session_methods_are_bit_identical_to_infallible() {
+        // try_knn/try_inn/try_approx_knn run the same cores as their
+        // panicking twins; on a healthy index every Ok answer must match
+        // bit for bit.
+        let (idx, objects) = fixture();
+        let oracle = silc_pcp::DistanceOracle::build(idx.network(), 9, 8.0);
+        let engine = QueryEngine::new(idx.clone(), objects.clone());
+        let mut session = engine.session();
+        let mut fallible = engine.session();
+        for &q in &[0u32, 77, 179] {
+            let q = VertexId(q);
+            for k in [1usize, 6] {
+                let a = session.knn(q, k, KnnVariant::MinDist).clone();
+                assert_bit_identical(
+                    fallible.try_knn(q, k, KnnVariant::MinDist).unwrap(),
+                    &a,
+                    "try_knn",
+                );
+                let a = session.inn(q, k).clone();
+                assert_bit_identical(fallible.try_inn(q, k).unwrap(), &a, "try_inn");
+                let a = session.approx_knn(&oracle, q, k).clone();
+                assert_bit_identical(
+                    fallible.try_approx_knn(&oracle, q, k).unwrap(),
+                    &a,
+                    "try_approx_knn",
                 );
             }
         }

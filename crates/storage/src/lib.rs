@@ -14,15 +14,30 @@
 //! * [`ShardedCache`] — a generic concurrent LRU for objects *decoded* from
 //!   pages (entry lists, adjacency blocks), sharing the pool's LRU core,
 //! * [`TieredPool`] — a pool paired with a decoded-object cache, the
-//!   stats/reset/clear plumbing every disk-resident index shares.
+//!   stats/reset/clear plumbing every disk-resident index shares,
+//! * [`ChecksumTable`] — per-page digests (8-lane FNV-1a) the pool verifies on
+//!   every physical read, so bit rot surfaces as a typed error naming the
+//!   page ([`PageCorrupt`]) instead of a silently wrong answer,
+//! * [`RetryPolicy`] — deterministic bounded-backoff retries of transient
+//!   store faults inside the pool, with exact `retries`/`faults_seen`
+//!   counters in [`IoStats`],
+//! * [`FaultInjectingPageStore`] — seeded, reproducible fault injection
+//!   (transient, permanent, bit-flip, torn reads) for chaos tests.
 
 pub mod cache;
+pub mod checksum;
+pub mod fault;
 pub(crate) mod lru;
 pub mod pool;
 pub mod store;
 pub mod tiered;
 
 pub use cache::{CacheStats, ShardedCache};
-pub use pool::{BufferPool, IoStats};
+pub use checksum::{
+    as_page_corrupt, corrupt_page, fnv1a64, fnv1a64x8, read_span_verified, ChecksumTable,
+    PageCorrupt,
+};
+pub use fault::{FaultCounts, FaultInjectingPageStore, FaultKind, FaultRates};
+pub use pool::{BufferPool, IoStats, RetryPolicy};
 pub use store::{FilePageStore, MemPageStore, PageId, PageStore, PAGE_SIZE};
 pub use tiered::{default_decoded_capacity, read_span, TieredPool};

@@ -8,12 +8,13 @@
 //! lock, reads, then re-locks to insert; concurrent requests for the same
 //! page wait on the shard's condvar instead of issuing a duplicate read.
 
+use crate::checksum::ChecksumTable;
 use crate::lru::LruList;
 use crate::store::{PageId, PageStore, PAGE_SIZE};
 use std::collections::HashSet;
 use std::io;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Counters describing the pool's I/O behaviour since creation (or the last
 /// [`BufferPool::reset_stats`]).
@@ -30,6 +31,13 @@ pub struct IoStats {
     pub bytes_read: u64,
     /// Wall-clock nanoseconds spent reading from the underlying store.
     pub read_nanos: u64,
+    /// Store read attempts re-issued after a transient fault (per the
+    /// pool's [`RetryPolicy`]).
+    pub retries: u64,
+    /// Store faults observed: transient errors, permanent errors, torn
+    /// (short) reads, and checksum mismatches — whether or not a retry
+    /// later succeeded.
+    pub faults_seen: u64,
 }
 
 impl IoStats {
@@ -60,7 +68,71 @@ impl IoStats {
         self.evictions += other.evictions;
         self.bytes_read += other.bytes_read;
         self.read_nanos += other.read_nanos;
+        self.retries += other.retries;
+        self.faults_seen += other.faults_seen;
     }
+}
+
+/// How a [`BufferPool`] retries transient store faults.
+///
+/// *Transient* means `io::ErrorKind::Interrupted`, `TimedOut` or
+/// `WouldBlock`, plus torn (short) reads — the faults a healthy disk can
+/// recover from on the next attempt. Permanent errors and checksum
+/// mismatches are never retried. Backoff doubles per attempt up to
+/// `backoff_max` with no jitter, so a given fault schedule always produces
+/// the same retry sequence (deterministic tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per store call, the first one included (minimum 1).
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles per further retry.
+    pub backoff: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_max: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 1 ms initial backoff, 20 ms cap.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(20),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A single attempt: every fault propagates immediately.
+    pub fn no_retry() -> Self {
+        RetryPolicy { max_attempts: 1, backoff: Duration::ZERO, backoff_max: Duration::ZERO }
+    }
+
+    /// Default attempts with zero backoff — what deterministic tests use.
+    pub fn fast() -> Self {
+        RetryPolicy { max_attempts: 3, backoff: Duration::ZERO, backoff_max: Duration::ZERO }
+    }
+
+    /// Sleep before retry number `retry` (1-based), doubling and capped.
+    fn delay(&self, retry: u32) -> Duration {
+        self.backoff.saturating_mul(1u32 << (retry - 1).min(16)).min(self.backoff_max)
+    }
+}
+
+/// Is this the kind of store error a retry can plausibly clear?
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+    )
+}
+
+/// Faults seen and retries issued during one store call sequence; merged
+/// into the shard's [`IoStats`] under its lock afterwards.
+#[derive(Default, Clone, Copy)]
+struct FaultAcct {
+    faults: u64,
+    retries: u64,
 }
 
 /// Default shard count; clamped so every shard caches at least one page.
@@ -149,6 +221,8 @@ pub struct BufferPool<S: PageStore> {
     store: S,
     capacity: usize,
     shards: Box<[Shard]>,
+    retry: RetryPolicy,
+    checks: Option<Arc<ChecksumTable>>,
 }
 
 impl<S: PageStore> BufferPool<S> {
@@ -174,7 +248,7 @@ impl<S: PageStore> BufferPool<S> {
                 loaded: Condvar::new(),
             })
             .collect();
-        BufferPool { store, capacity, shards }
+        BufferPool { store, capacity, shards, retry: RetryPolicy::default(), checks: None }
     }
 
     /// Creates a pool sized to `fraction` of the store's pages — the paper
@@ -198,6 +272,136 @@ impl<S: PageStore> BufferPool<S> {
     /// The underlying store.
     pub fn store(&self) -> &S {
         &self.store
+    }
+
+    /// Sets how transient store faults are retried (see [`RetryPolicy`]).
+    /// Configure before sharing the pool across threads.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = RetryPolicy { max_attempts: retry.max_attempts.max(1), ..retry };
+    }
+
+    /// The pool's current retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Verifies every page fetched from the store against `checks` —
+    /// cache hits pay nothing. A mismatch surfaces as the typed error of
+    /// [`corrupt_page`](crate::checksum::corrupt_page), naming the page.
+    /// Configure before sharing the pool across threads.
+    pub fn set_checksums(&mut self, checks: Arc<ChecksumTable>) {
+        self.checks = Some(checks);
+    }
+
+    /// Drops checksum verification for this pool — the per-open opt-out
+    /// for trusted media and overhead measurements (`bench_tradeoff`
+    /// records verified and unverified QPS side by side). Configure before
+    /// sharing the pool across threads.
+    pub fn clear_checksums(&mut self) {
+        self.checks = None;
+    }
+
+    /// One store call for a single page, with retries on transient faults
+    /// and checksum verification, accounting into `acct`. Runs with no
+    /// shard lock held.
+    fn fetch_page(&self, page: PageId, acct: &mut FaultAcct) -> io::Result<Arc<[u8]>> {
+        let mut attempt = 1u32;
+        loop {
+            let result = self.store.read_page(page).and_then(|data| {
+                if data.len() != PAGE_SIZE {
+                    // A torn read: the store delivered fewer bytes than a
+                    // page. Modeled as transient — re-reading a healthy
+                    // store yields the full page.
+                    return Err(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        format!("torn read: page {} returned {} bytes", page.0, data.len()),
+                    ));
+                }
+                Ok(data)
+            });
+            match result {
+                Ok(data) => {
+                    if let Some(checks) = &self.checks {
+                        if let Err(e) = checks.verify(page.0, &data) {
+                            acct.faults += 1; // corruption is never retried
+                            return Err(e);
+                        }
+                    }
+                    return Ok(data);
+                }
+                Err(e) => {
+                    acct.faults += 1;
+                    if is_transient(&e) && attempt < self.retry.max_attempts {
+                        acct.retries += 1;
+                        let d = self.retry.delay(attempt);
+                        if !d.is_zero() {
+                            std::thread::sleep(d);
+                        }
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// One store call for a run of pages, with the same retry, torn-read
+    /// and checksum semantics as [`Self::fetch_page`].
+    fn fetch_run(
+        &self,
+        first: PageId,
+        count: usize,
+        acct: &mut FaultAcct,
+    ) -> io::Result<Vec<Arc<[u8]>>> {
+        let mut attempt = 1u32;
+        loop {
+            let result = self.store.read_pages(first, count).and_then(|pages| {
+                if pages.len() != count {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        format!("torn run: {} pages returned for a run of {count}", pages.len()),
+                    ));
+                }
+                if let Some(i) = pages.iter().position(|p| p.len() != PAGE_SIZE) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        format!(
+                            "torn read: page {} returned {} bytes",
+                            first.0 + i as u64,
+                            pages[i].len()
+                        ),
+                    ));
+                }
+                Ok(pages)
+            });
+            match result {
+                Ok(pages) => {
+                    if let Some(checks) = &self.checks {
+                        for (i, data) in pages.iter().enumerate() {
+                            if let Err(e) = checks.verify(first.0 + i as u64, data) {
+                                acct.faults += 1;
+                                return Err(e);
+                            }
+                        }
+                    }
+                    return Ok(pages);
+                }
+                Err(e) => {
+                    acct.faults += 1;
+                    if is_transient(&e) && attempt < self.retry.max_attempts {
+                        acct.retries += 1;
+                        let d = self.retry.delay(attempt);
+                        if !d.is_zero() {
+                            std::thread::sleep(d);
+                        }
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
+        }
     }
 
     #[inline]
@@ -245,14 +449,17 @@ impl<S: PageStore> BufferPool<S> {
             }
         }
         let mut guard = InflightGuard { shard, page: page.0, armed: true };
+        let mut acct = FaultAcct::default();
         let start = Instant::now();
-        let result = self.store.read_page(page);
+        let result = self.fetch_page(page, &mut acct);
         let nanos = start.elapsed().as_nanos() as u64;
 
         let mut st = shard.lock();
         guard.armed = false; // cleanup happens right here, under the lock
         st.inflight.remove(&page.0);
         shard.loaded.notify_all();
+        st.stats.faults_seen += acct.faults;
+        st.stats.retries += acct.retries;
         let data = match result {
             Ok(data) => data,
             Err(e) => {
@@ -349,18 +556,18 @@ impl<S: PageStore> BufferPool<S> {
                     // claimed inflight entries must be released either way,
                     // or future readers of these pages deadlock.
                     let mut guard = RunGuard { pool: self, first: page, count, armed: true };
+                    let mut acct = FaultAcct::default();
                     let start = Instant::now();
-                    let pages = self.store.read_pages(PageId(page), count);
+                    let pages = self.fetch_run(PageId(page), count, &mut acct);
                     let nanos = start.elapsed().as_nanos() as u64;
-                    let pages = pages?; // guard releases the claims on error
-                    if pages.len() != count {
-                        // A store must return exactly the requested run;
-                        // the guard releases the claims.
-                        return Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!("store returned {} pages for a run of {count}", pages.len()),
-                        ));
+                    if acct.faults != 0 {
+                        // Like read_nanos, the run's fault counters are
+                        // attributed once, to the first page's shard.
+                        let mut st = self.shard(page).lock();
+                        st.stats.faults_seen += acct.faults;
+                        st.stats.retries += acct.retries;
                     }
+                    let pages = pages?; // guard releases the claims on error
                     for (i, data) in pages.iter().enumerate() {
                         let p = page + i as u64;
                         let shard = self.shard(p);
@@ -698,6 +905,103 @@ mod tests {
         // The cache never exceeds its capacity.
         let cached: usize = pool.shards.iter().map(|sh| sh.lock().list.len()).sum();
         assert!(cached <= pool.capacity());
+    }
+
+    #[test]
+    fn transient_faults_are_retried_with_exact_counters() {
+        use crate::fault::{FaultInjectingPageStore, FaultKind};
+        let store = FaultInjectingPageStore::scripted(
+            store_with(2),
+            [Some(FaultKind::Transient), None, Some(FaultKind::Torn), None],
+        );
+        let mut pool = BufferPool::new(store, 2);
+        pool.set_retry_policy(RetryPolicy::fast());
+        // One transient error, then one torn read — each absorbed by one
+        // retry, invisible to the caller.
+        assert_eq!(pool.get(PageId(0)).unwrap()[0], 0);
+        assert_eq!(pool.get(PageId(1)).unwrap()[0], 1);
+        let s = pool.stats();
+        assert_eq!((s.faults_seen, s.retries), (2, 2));
+        assert_eq!((s.misses, s.hits), (2, 0));
+        assert_eq!(s.bytes_read, 2 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_transient_error() {
+        use crate::fault::{FaultInjectingPageStore, FaultKind};
+        let store =
+            FaultInjectingPageStore::scripted(store_with(2), vec![Some(FaultKind::Transient); 5]);
+        let mut pool = BufferPool::new(store, 2);
+        pool.set_retry_policy(RetryPolicy::fast()); // 3 attempts
+        let err = pool.get(PageId(0)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        let s = pool.stats();
+        assert_eq!((s.faults_seen, s.retries), (3, 2), "3 attempts = 2 retries");
+        assert_eq!(s.misses, 0, "a failed read is not a miss");
+        // Two script entries remain; the next get consumes them and then
+        // succeeds on the third attempt.
+        assert_eq!(pool.get(PageId(0)).unwrap()[0], 0);
+        let s = pool.stats();
+        assert_eq!((s.faults_seen, s.retries, s.misses), (5, 4, 1));
+    }
+
+    #[test]
+    fn permanent_faults_propagate_without_retry() {
+        use crate::fault::{FaultInjectingPageStore, FaultKind};
+        let store = FaultInjectingPageStore::scripted(store_with(2), [Some(FaultKind::Permanent)]);
+        let mut pool = BufferPool::new(store, 2);
+        pool.set_retry_policy(RetryPolicy::fast());
+        assert!(pool.get(PageId(1)).is_err());
+        let s = pool.stats();
+        assert_eq!((s.faults_seen, s.retries), (1, 0), "permanent faults are not retried");
+        assert_eq!(pool.store().injected().permanent, 1, "exactly one store attempt");
+        // The page is dead in the store; the pool keeps failing it while
+        // other pages still work.
+        assert!(pool.get(PageId(1)).is_err());
+        assert!(pool.get(PageId(0)).is_ok());
+    }
+
+    #[test]
+    fn checksum_mismatch_is_typed_and_not_retried() {
+        use crate::checksum::{as_page_corrupt, ChecksumTable};
+        let mut payload = Vec::new();
+        for p in 0..2usize {
+            payload.extend(std::iter::repeat_n(p as u8, PAGE_SIZE));
+        }
+        let table = Arc::new(ChecksumTable::compute(&payload));
+        payload[PAGE_SIZE + 5] ^= 0x10; // flip one bit in page 1
+        let mut pool = BufferPool::new(MemPageStore::new(&payload), 2);
+        pool.set_checksums(Arc::clone(&table));
+        assert!(pool.get(PageId(0)).is_ok(), "intact page verifies");
+        let err = pool.get(PageId(1)).unwrap_err();
+        let pc = as_page_corrupt(&err).expect("typed corruption payload");
+        assert_eq!(pc.page, 1, "the error names the corrupt page");
+        let s = pool.stats();
+        assert_eq!((s.faults_seen, s.retries), (1, 0), "corruption is never retried");
+        assert_eq!(s.misses, 1, "only the verified read is a miss");
+    }
+
+    #[test]
+    fn read_range_retries_faulty_coalesced_runs() {
+        use crate::fault::{FaultInjectingPageStore, FaultKind};
+        const PAGES: usize = 4;
+        // Attempt 1 of the run dies on its second page; attempt 2 sees an
+        // exhausted script and succeeds.
+        let store = FaultInjectingPageStore::scripted(
+            store_with(PAGES),
+            [None, Some(FaultKind::Transient)],
+        );
+        let mut pool = BufferPool::new(store, PAGES);
+        pool.set_retry_policy(RetryPolicy::fast());
+        let mut out = Vec::new();
+        pool.read_range(0, (PAGES * PAGE_SIZE) as u64, &mut out).unwrap();
+        assert_eq!(out.len(), PAGES * PAGE_SIZE);
+        for (i, &b) in out.iter().enumerate() {
+            assert_eq!(b as usize, i / PAGE_SIZE);
+        }
+        let s = pool.stats();
+        assert_eq!((s.faults_seen, s.retries), (1, 1));
+        assert_eq!((s.misses, s.hits), (PAGES as u64, 0));
     }
 
     #[test]

@@ -32,6 +32,41 @@ pub trait PageStore: Send + Sync {
     }
 }
 
+/// Boxed stores are stores: lets an index hold a `Box<dyn PageStore>` so a
+/// fault-injecting wrapper (or any other decorator) can be slotted in at
+/// open time without making the index generic.
+impl PageStore for Box<dyn PageStore> {
+    fn read_page(&self, page: PageId) -> io::Result<Arc<[u8]>> {
+        (**self).read_page(page)
+    }
+
+    fn page_count(&self) -> u64 {
+        (**self).page_count()
+    }
+
+    fn read_pages(&self, first: PageId, count: usize) -> io::Result<Vec<Arc<[u8]>>> {
+        (**self).read_pages(first, count)
+    }
+}
+
+/// Shared stores are stores: an `Arc`-wrapped store can be handed to an
+/// index while the caller keeps a second handle — how chaos tests keep
+/// control of a `FaultInjectingPageStore` (to `kill()` it or read its
+/// counters) after the index has swallowed it.
+impl<S: PageStore + ?Sized> PageStore for Arc<S> {
+    fn read_page(&self, page: PageId) -> io::Result<Arc<[u8]>> {
+        (**self).read_page(page)
+    }
+
+    fn page_count(&self) -> u64 {
+        (**self).page_count()
+    }
+
+    fn read_pages(&self, first: PageId, count: usize) -> io::Result<Vec<Arc<[u8]>>> {
+        (**self).read_pages(first, count)
+    }
+}
+
 /// A page store backed by a real file, read with positioned reads so
 /// concurrent readers never contend on a seek cursor.
 pub struct FilePageStore {
@@ -40,10 +75,20 @@ pub struct FilePageStore {
 }
 
 impl FilePageStore {
-    /// Creates (truncating) a page file at `path` from `data`, padding the
+    /// Creates (replacing) a page file at `path` from `data`, padding the
     /// final page with zeros. Returns the opened store.
+    ///
+    /// The write is crash-safe: data goes to a sibling temp file in the
+    /// same directory, is fsynced, and is then atomically renamed over
+    /// `path` (with the directory fsynced where the platform allows). A
+    /// crash mid-write leaves at worst a stale `.tmp` file — never a
+    /// truncated index at the final path.
     pub fn create<P: AsRef<Path>>(path: P, data: &[u8]) -> io::Result<Self> {
-        let mut file = File::create(path.as_ref())?;
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        let mut file = File::create(&tmp)?;
         file.write_all(data)?;
         let rem = data.len() % PAGE_SIZE;
         if rem != 0 {
@@ -51,6 +96,12 @@ impl FilePageStore {
         }
         file.sync_all()?;
         drop(file);
+        std::fs::rename(&tmp, path)?;
+        // Persist the rename itself: fsync the containing directory.
+        #[cfg(unix)]
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            File::open(dir)?.sync_all()?;
+        }
         Self::open(path)
     }
 
@@ -228,6 +279,23 @@ mod tests {
             assert_eq!(&a[..], &b[..]);
         }
         assert!(mem.read_pages(PageId(3), 2).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn create_is_atomic_and_leaves_no_temp_file() {
+        let path = tmp("atomic.pages");
+        let old = vec![1u8; PAGE_SIZE];
+        FilePageStore::create(&path, &old).unwrap();
+        // A stale temp file from a crashed writer must not break a fresh
+        // create; the final file is replaced wholesale.
+        let tmp_path = tmp("atomic.pages.tmp");
+        std::fs::write(&tmp_path, b"stale garbage from a crashed writer").unwrap();
+        let new = vec![2u8; 2 * PAGE_SIZE];
+        let store = FilePageStore::create(&path, &new).unwrap();
+        assert_eq!(store.page_count(), 2);
+        assert_eq!(store.read_page(PageId(0)).unwrap()[0], 2);
+        assert!(!tmp_path.exists(), "the temp file must be renamed away");
         std::fs::remove_file(&path).ok();
     }
 

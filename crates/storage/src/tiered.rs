@@ -10,9 +10,11 @@
 //! oracle, paged adjacency, …) gets identical semantics for free.
 
 use crate::cache::{CacheStats, ShardedCache};
-use crate::pool::{BufferPool, IoStats};
+use crate::checksum::ChecksumTable;
+use crate::pool::{BufferPool, IoStats, RetryPolicy};
 use crate::store::{PageId, PageStore, PAGE_SIZE};
 use std::io;
+use std::sync::Arc;
 
 /// Default decoded-cache capacity for an index serving `n` distinct keys:
 /// small relative to the index (it holds decoded structs, not pages) but
@@ -68,6 +70,22 @@ impl<S: PageStore, V: Clone> TieredPool<S, V> {
         &self.pool
     }
 
+    /// Sets the pool's [`RetryPolicy`]. Configure before sharing.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.pool.set_retry_policy(retry);
+    }
+
+    /// Enables per-page checksum verification in the pool. Configure
+    /// before sharing.
+    pub fn set_checksums(&mut self, checks: Arc<ChecksumTable>) {
+        self.pool.set_checksums(checks);
+    }
+
+    /// Drops checksum verification (see [`BufferPool::clear_checksums`]).
+    pub fn clear_checksums(&mut self) {
+        self.pool.clear_checksums();
+    }
+
     /// The underlying page store.
     pub fn store(&self) -> &S {
         self.pool.store()
@@ -114,6 +132,22 @@ impl<S: PageStore, V: Clone> TieredPool<S, V> {
         let v = decode(&self.pool);
         self.cache.insert(key, v.clone());
         v
+    }
+
+    /// Fallible [`Self::get_or_decode`]: a decode error propagates and
+    /// nothing is cached, so a later retry re-attempts the read instead of
+    /// serving a poisoned value.
+    pub fn try_get_or_decode(
+        &self,
+        key: u64,
+        decode: impl FnOnce(&BufferPool<S>) -> io::Result<V>,
+    ) -> io::Result<V> {
+        if let Some(v) = self.cache.get(key) {
+            return Ok(v);
+        }
+        let v = decode(&self.pool)?;
+        self.cache.insert(key, v.clone());
+        Ok(v)
     }
 }
 
@@ -164,6 +198,20 @@ mod tests {
         assert_eq!(tiered.io_stats(), io_before);
         let cs = tiered.cache_stats();
         assert_eq!((cs.hits, cs.misses), (1, 1));
+    }
+
+    #[test]
+    fn try_get_or_decode_caches_success_not_failure() {
+        let tiered: TieredPool<MemPageStore, u8> = TieredPool::new(store_with(2), 1.0, 4);
+        let err =
+            tiered.try_get_or_decode(9, |pool| pool.get(PageId(55)).map(|p| p[0])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // The failure was not cached: the next attempt decodes for real.
+        let v = tiered.try_get_or_decode(9, |pool| pool.get(PageId(1)).map(|p| p[0])).unwrap();
+        assert_eq!(v, 1);
+        // And the success *was* cached.
+        let v = tiered.try_get_or_decode(9, |_| unreachable!("must be cached")).unwrap();
+        assert_eq!(v, 1);
     }
 
     #[test]

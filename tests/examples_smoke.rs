@@ -57,3 +57,8 @@ fn concurrent_serving_runs() {
 fn tradeoff_browsing_runs() {
     run_example("tradeoff_browsing");
 }
+
+#[test]
+fn chaos_survival_runs() {
+    run_example("chaos_survival");
+}
