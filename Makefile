@@ -109,7 +109,7 @@ docs:
 deep-fuzz:
 	PROPTEST_CASES=160 cargo test --release -p silc-integration \
 		--test knn_fuzz --test pcp_bounds_fuzz --test partition_fuzz \
-		--test fault_injection
+		--test fault_injection --test format_identity_fuzz
 
 # The fault-injection matrix on its own: seeded fault schedules against the
 # disk kNN path and the PCP oracle, plus dead-shard degradation of routed

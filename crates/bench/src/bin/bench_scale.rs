@@ -120,6 +120,13 @@ struct SizeResult {
     projected_single_s: f64,
     speedup_vs_projected: f64,
     bytes_total: u64,
+    /// Sum of the shards' compressed (v3 delta+varint) entry regions, as
+    /// stored on disk.
+    entry_bytes: u64,
+    /// The same entry counts at the fixed 19-byte v2 record width — the
+    /// arithmetic projection of what the uncompressed format would occupy
+    /// (no second build; entry counts come from the opened shards).
+    entry_bytes_fixed: u64,
     shard_bytes: Vec<u64>,
     engine_s: f64,
     queries: usize,
@@ -191,12 +198,24 @@ fn run_size(
     let ratio = n as f64 / base_n as f64;
     let projected_single_s = base_s * ratio * ratio;
     let part = index.partition();
+    // Bytes-on-disk of the compressed entry regions against the fixed
+    // 19-byte-record projection — the scale-level compression measurement
+    // (computed arithmetically from the opened shards' entry counts, no
+    // second build).
+    let entry_bytes: u64 =
+        (0..index.shard_count()).map(|s| index.shard_index(s).entry_region_bytes()).sum();
+    let entry_bytes_fixed: u64 = (0..index.shard_count())
+        .map(|s| index.shard_index(s).entry_count() * silc::disk::ENTRY_BYTES as u64)
+        .sum();
     eprintln!(
-        "# built {} shards in {build_s:.2}s ({} cut edges, {} bytes); \
-         projected single-index build {projected_single_s:.1}s",
+        "# built {} shards in {build_s:.2}s ({} cut edges, {} bytes, entry regions {} B \
+         vs {} B fixed-width = {:.1} %); projected single-index build {projected_single_s:.1}s",
         part.shard_count(),
         part.cut_edges().len(),
-        index.total_bytes()
+        index.total_bytes(),
+        entry_bytes,
+        entry_bytes_fixed,
+        100.0 * entry_bytes as f64 / entry_bytes_fixed.max(1) as f64,
     );
 
     let objects = Arc::new(ObjectSet::random(&network, w.density, args.seed ^ 0xBA5E));
@@ -242,6 +261,8 @@ fn run_size(
         projected_single_s,
         speedup_vs_projected: projected_single_s / build_s,
         bytes_total: index.total_bytes(),
+        entry_bytes,
+        entry_bytes_fixed,
         shard_bytes: index.shard_bytes().to_vec(),
         engine_s,
         queries: latencies_us.len(),
@@ -321,7 +342,8 @@ fn main() {
             "    {{\"vertices\": {}, \"shards\": {}, \"cut_edges\": {}, \
              \"frontier_vertices\": {}, \"fmi_roundtrip_s\": {:.4}, \"build_s\": {:.4}, \
              \"projected_single_s\": {:.4}, \"speedup_vs_projected\": {:.2}, \
-             \"bytes_total\": {}, \"engine_s\": {:.4}, \"queries\": {}, \"qps\": {:.1}, \
+             \"bytes_total\": {}, \"entry_bytes\": {}, \"entry_bytes_fixed\": {}, \
+             \"engine_s\": {:.4}, \"queries\": {}, \"qps\": {:.1}, \
              \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"complete_fraction\": {:.4},\n     \
              \"shard_bytes\": [{}]}}{}\n",
             r.vertices,
@@ -333,6 +355,8 @@ fn main() {
             r.projected_single_s,
             r.speedup_vs_projected,
             r.bytes_total,
+            r.entry_bytes,
+            r.entry_bytes_fixed,
             r.engine_s,
             r.queries,
             r.qps,

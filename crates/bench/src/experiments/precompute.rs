@@ -160,7 +160,9 @@ pub fn table1(vertices: usize, seed: u64) -> Report {
     // SILC.
     let idx =
         SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 10, threads: 0 }).expect("build");
-    let silc_bytes = idx.stats().total_blocks * silc::disk::ENTRY_BYTES + n * 12;
+    // The actual current-format (compressed) disk image, not an arithmetic
+    // projection — the delta+varint entry coding makes record-width math lie.
+    let silc_bytes = silc::disk::encode_index(&idx).len();
     let t = Instant::now();
     for &(s, d) in &pairs {
         sink += silc::path::shortest_path(&idx, s, d).unwrap().path.len();
@@ -177,7 +179,7 @@ pub fn table1(vertices: usize, seed: u64) -> Report {
     // WSPD distance oracles at two separations (ε-approximate distances).
     for s_factor in [4.0, 8.0] {
         let oracle = DistanceOracle::build(&g, 10, s_factor);
-        let bytes = oracle.pair_count() * 24; // two reps + one f64 per pair
+        let bytes = silc_pcp::encode_oracle(&oracle).len();
         let t = Instant::now();
         for &(s, d) in &pairs {
             dsink += oracle.distance(s, d);

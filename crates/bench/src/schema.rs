@@ -293,6 +293,14 @@ pub const TRADEOFF_SCHEMA: Shape = Shape::Obj(&[
     ("guaranteed_epsilon_apriori", Shape::Num),
     ("pcp_disk_nocksum_qps", Shape::Num),
     ("checksum_overhead_pct", Shape::Num),
+    ("silc_v2_bytes", Shape::Num),
+    ("silc_v2_qps", Shape::Num),
+    ("silc_v2_decode_s", Shape::Num),
+    ("silc_v3_decode_s", Shape::Num),
+    ("pcp_v3_bytes", Shape::Num),
+    ("pcp_v3_qps", Shape::Num),
+    ("pcp_v3_decode_s", Shape::Num),
+    ("pcp_v4_decode_s", Shape::Num),
     (
         "backends",
         Shape::Arr(&Shape::Obj(&[
@@ -334,6 +342,8 @@ pub const SCALE_SCHEMA: Shape = Shape::Obj(&[
             ("projected_single_s", Shape::Num),
             ("speedup_vs_projected", Shape::Num),
             ("bytes_total", Shape::Num),
+            ("entry_bytes", Shape::Num),
+            ("entry_bytes_fixed", Shape::Num),
             ("engine_s", Shape::Num),
             ("queries", Shape::Num),
             ("qps", Shape::Num),

@@ -7,23 +7,39 @@
 //! serves lookups through `silc_storage::BufferPool`, so those experiments
 //! measure genuine page reads.
 //!
-//! ## File layout (format v2, magic `SILCIDX2`)
+//! ## File layout (format v3, magic `SILCIDX3`)
 //!
 //! ```text
-//! header    magic "SILCIDX2", n, q, world bounds, global min ratio,
-//!           entry-region offset, checksum-table offset
+//! header    magic "SILCIDX3", n, q, world bounds, global min ratio,
+//!           entry-region offset, entry-region length, checksum-table offset
 //! codes     n × u64   — per-vertex grid-cell Morton codes
-//! directory n × (u64, u32) — first entry index + entry count per vertex
-//! entries   one 19-byte record per Morton block, all vertices concatenated:
-//!           block base u64 | level u8 | color u16 | λ− f32 | λ+ f32
+//! directory n × (u64, u32) — per vertex: byte offset of its record span
+//!           (relative to the entry region) + entry count
+//! entries   variable-length records, all vertices concatenated; within a
+//!           vertex the blocks are sorted by Morton base and disjoint, so
+//!           each record stores (LEB128 varints unless noted):
+//!           level | gap = base − previous block's end | color | λ− f32 | λ+ f32
+//!           The first record's gap is its absolute base. A tiling quadtree
+//!           has gap 0 almost everywhere, so the usual record is
+//!           1 + 1 + 1 + 8 = 11 bytes against the fixed 19 of v2.
 //! (page padding)
 //! checksums one 64-bit digest (8-lane FNV-1a) per payload page — verified on every physical
 //!           page read, so bit rot surfaces as a typed error naming the
 //!           page instead of a silently wrong distance
 //! ```
 //!
-//! Format v1 (`SILCIDX1`, no checksum table) stays readable;
-//! [`DiskSilcIndex::format_version`] reports which one a file is.
+//! λ bounds are byte-identical to v2's, so a v3 file decodes into exactly
+//! the same [`BlockEntry`] values as the v2 encoding of the same index —
+//! everything above the entry cache cannot tell the formats apart. Varint
+//! decoding is canonical and fully validated (level ≤ q, aligned base,
+//! block inside the grid, exact span consumption), so corrupt bytes that
+//! slip past the page checksums still surface as a typed
+//! [`QueryError::Corrupt`], never a panic or a silently wrong answer.
+//!
+//! Formats v1 (`SILCIDX1`, no checksum table) and v2 (`SILCIDX2`, fixed
+//! 19-byte records) stay readable; [`DiskSilcIndex::format_version`]
+//! reports which one a file is, and [`write_index_with_version`] can still
+//! produce them.
 //!
 //! Header, codes and directory are small and held in memory (they are the
 //! "directory" any disk index keeps pinned); only the entry region — the
@@ -39,8 +55,10 @@ use bytes::{Buf, BufMut};
 use silc_geom::{GridMapper, Rect};
 use silc_morton::{MortonBlock, MortonCode};
 use silc_network::{SpatialNetwork, VertexId};
+use silc_storage::varint::{self, VarintReader};
 use silc_storage::{
-    BufferPool, ChecksumTable, FilePageStore, PageStore, RetryPolicy, TieredPool, PAGE_SIZE,
+    BufferPool, ChecksumTable, FilePageStore, PageStore, PrefetchPolicy, RetryPolicy, TieredPool,
+    PAGE_SIZE,
 };
 use std::io;
 use std::path::Path;
@@ -48,7 +66,11 @@ use std::sync::Arc;
 
 const MAGIC_V1: &[u8; 8] = b"SILCIDX1";
 const MAGIC_V2: &[u8; 8] = b"SILCIDX2";
-/// Bytes per serialized block entry.
+const MAGIC_V3: &[u8; 8] = b"SILCIDX3";
+/// The format version [`write_index`] and [`encode_index`] produce.
+pub const CURRENT_VERSION: u32 = 3;
+/// Bytes per serialized block entry in the fixed-record formats (v1/v2);
+/// v3 records are variable-length.
 pub const ENTRY_BYTES: usize = 19;
 
 /// Rounds toward −∞ when narrowing to `f32`.
@@ -71,29 +93,124 @@ fn f32_up(x: f64) -> f32 {
     }
 }
 
-/// Serializes `index` in the given format version (1 or 2); v2 appends
-/// the per-page checksum table.
+/// Appends one vertex's v3 record span: per entry, varint level, varint
+/// gap from the previous block's end (the first entry's absolute base),
+/// varint color, then the two λ `f32`s bit-identical to the v2 encoding.
+fn encode_entries_v3(entries: &[BlockEntry], buf: &mut Vec<u8>) {
+    let mut prev_end = 0u64;
+    for e in entries {
+        varint::encode_u64(e.block.level() as u64, buf);
+        let base = e.block.start();
+        debug_assert!(base >= prev_end, "blocks must be sorted and disjoint");
+        varint::encode_u64(base - prev_end, buf);
+        varint::encode_u64(e.color as u64, buf);
+        buf.put_f32_le(f32_down(e.lambda_lo));
+        buf.put_f32_le(f32_up(e.lambda_hi));
+        prev_end = e.block.end();
+    }
+}
+
+/// Decodes one vertex's v3 record span, validating every invariant the
+/// encoder maintains: canonical varints, level ≤ `q`, aligned base, block
+/// inside the `4^q`-cell grid, blocks sorted and disjoint (gaps are
+/// non-negative by construction), and the span consumed exactly. Any
+/// violation is an error — corrupt bytes can never produce a wrong entry
+/// list or a panic.
+fn decode_entries_v3(raw: &[u8], count: u32, q: u32) -> io::Result<Arc<[BlockEntry]>> {
+    let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let grid_end = 1u64 << (2 * q); // q ≤ 16, validated at open
+    let mut r = VarintReader::new(raw);
+    let mut entries = Vec::with_capacity(count as usize);
+    let mut prev_end = 0u64;
+    for _ in 0..count {
+        let level = r.u64()?;
+        if level > q as u64 {
+            return Err(invalid(format!("block level {level} exceeds grid exponent {q}")));
+        }
+        let size = 1u64 << (2 * level as u32);
+        let gap = r.u64()?;
+        let base = prev_end
+            .checked_add(gap)
+            .ok_or_else(|| invalid("block base overflows u64".to_string()))?;
+        if base % size != 0 {
+            return Err(invalid(format!("block base {base:#x} unaligned for level {level}")));
+        }
+        let end =
+            base.checked_add(size).ok_or_else(|| invalid("block end overflows u64".to_string()))?;
+        if end > grid_end {
+            return Err(invalid(format!("block [{base:#x}, {end:#x}) extends past the grid")));
+        }
+        let color = r.u64()?;
+        let color =
+            u16::try_from(color).map_err(|_| invalid(format!("color {color} out of range")))?;
+        let lambda_lo = (r.f32_le()? as f64).max(0.0);
+        let lambda_hi = r.f32_le()? as f64;
+        entries.push(BlockEntry {
+            block: MortonBlock::new(MortonCode(base), level as u8),
+            color,
+            lambda_lo,
+            lambda_hi,
+        });
+        prev_end = end;
+    }
+    if r.remaining() != 0 {
+        return Err(invalid(format!("{} trailing bytes after {count} records", r.remaining())));
+    }
+    Ok(entries.into())
+}
+
+/// Serializes `index` in the given format version: 1 = fixed records, no
+/// checksums; 2 = fixed records + per-page checksum table; 3 = delta+varint
+/// records + checksum table.
 fn encode_with_version(index: &SilcIndex, version: u32) -> Vec<u8> {
+    assert!((1..=CURRENT_VERSION).contains(&version), "unknown SILC format version {version}");
     let g = index.network();
     let n = g.vertex_count();
+
+    // The entry region and its directory. v1/v2 directories address fixed
+    // 19-byte records by entry index; the v3 directory addresses each
+    // vertex's variable-length span by byte offset.
+    let mut entry_buf: Vec<u8> = Vec::new();
     let mut directory: Vec<(u64, u32)> = Vec::with_capacity(n);
-    let mut next_entry = 0u64;
     for v in g.vertices() {
         let count = index.tree(v).block_count() as u32;
-        directory.push((next_entry, count));
-        next_entry += count as u64;
+        if version >= 3 {
+            directory.push((entry_buf.len() as u64, count));
+            encode_entries_v3(index.tree(v).entries(), &mut entry_buf);
+        } else {
+            directory.push(((entry_buf.len() / ENTRY_BYTES) as u64, count));
+            for e in index.tree(v).entries() {
+                entry_buf.put_u64_le(e.block.start());
+                entry_buf.put_u8(e.block.level());
+                entry_buf.put_u16_le(e.color);
+                entry_buf.put_f32_le(f32_down(e.lambda_lo));
+                entry_buf.put_f32_le(f32_up(e.lambda_hi));
+            }
+        }
     }
 
-    // The v2 header carries one extra u64: the checksum-table offset.
-    let header_len = 8 + 4 + 4 + 32 + 8 + 8 + if version >= 2 { 8 } else { 0 };
+    // v2 added the checksum-table offset to the header; v3 adds the entry
+    // region's byte length (variable-length records need an explicit end).
+    let header_len = 8
+        + 4
+        + 4
+        + 32
+        + 8
+        + 8
+        + if version >= 3 { 8 } else { 0 }
+        + if version >= 2 { 8 } else { 0 };
     let meta_len = header_len + n * 8 + n * 12;
     let entries_base = meta_len as u64;
-    let payload_len = meta_len + next_entry as usize * ENTRY_BYTES;
+    let payload_len = meta_len + entry_buf.len();
     // The checksum table starts on the page boundary after the payload.
     let cksum_base = payload_len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
 
     let mut buf = Vec::with_capacity(payload_len);
-    buf.put_slice(if version >= 2 { MAGIC_V2 } else { MAGIC_V1 });
+    buf.put_slice(match version {
+        1 => MAGIC_V1,
+        2 => MAGIC_V2,
+        _ => MAGIC_V3,
+    });
     buf.put_u32_le(n as u32);
     buf.put_u32_le(index.mapper().q());
     let b = index.mapper().bounds();
@@ -103,6 +220,9 @@ fn encode_with_version(index: &SilcIndex, version: u32) -> Vec<u8> {
     buf.put_f64_le(b.max_y);
     buf.put_f64_le(index.global_min_ratio());
     buf.put_u64_le(entries_base);
+    if version >= 3 {
+        buf.put_u64_le(entry_buf.len() as u64);
+    }
     if version >= 2 {
         buf.put_u64_le(cksum_base as u64);
     }
@@ -114,15 +234,7 @@ fn encode_with_version(index: &SilcIndex, version: u32) -> Vec<u8> {
         buf.put_u32_le(count);
     }
     debug_assert_eq!(buf.len(), meta_len);
-    for v in g.vertices() {
-        for e in index.tree(v).entries() {
-            buf.put_u64_le(e.block.start());
-            buf.put_u8(e.block.level());
-            buf.put_u16_le(e.color);
-            buf.put_f32_le(f32_down(e.lambda_lo));
-            buf.put_f32_le(f32_up(e.lambda_hi));
-        }
-    }
+    buf.extend_from_slice(&entry_buf);
     if version >= 2 {
         // Digest the page-padded payload image, then append the table on
         // the next page boundary.
@@ -133,25 +245,44 @@ fn encode_with_version(index: &SilcIndex, version: u32) -> Vec<u8> {
     buf
 }
 
-/// Serializes `index` into the current (v2, checksummed) byte image.
+/// Serializes `index` into the current ([`CURRENT_VERSION`]) byte image.
 pub fn encode_index(index: &SilcIndex) -> Vec<u8> {
-    encode_with_version(index, 2)
+    encode_with_version(index, CURRENT_VERSION)
 }
 
-/// Serializes `index` into a page file at `path` (format v2). The write is
-/// crash-safe: a temp file in the target directory, fsynced, then
-/// atomically renamed — a crash mid-write never leaves a truncated index
-/// at `path`.
+/// Serializes `index` in an explicit format version — the writer knob
+/// that keeps every older format producible for compatibility tests and
+/// for the old-vs-new trade-off benchmark.
+///
+/// # Panics
+/// Panics if `version` is not in `1..=`[`CURRENT_VERSION`].
+pub fn encode_index_with_version(index: &SilcIndex, version: u32) -> Vec<u8> {
+    encode_with_version(index, version)
+}
+
+/// Serializes `index` into a page file at `path` (format
+/// [`CURRENT_VERSION`]). The write is crash-safe: a temp file in the
+/// target directory, fsynced, then atomically renamed — a crash mid-write
+/// never leaves a truncated index at `path`.
 pub fn write_index<P: AsRef<Path>>(index: &SilcIndex, path: P) -> Result<(), BuildError> {
-    FilePageStore::create(path, &encode_index(index))?;
+    write_index_with_version(index, path, CURRENT_VERSION)
+}
+
+/// [`write_index`] with an explicit format version (see
+/// [`encode_index_with_version`]).
+pub fn write_index_with_version<P: AsRef<Path>>(
+    index: &SilcIndex,
+    path: P,
+    version: u32,
+) -> Result<(), BuildError> {
+    FilePageStore::create(path, &encode_with_version(index, version))?;
     Ok(())
 }
 
 /// Serializes `index` in the legacy v1 format (no checksum table) — kept
 /// so the backward-compatibility path stays exercised by tests.
 pub fn write_index_v1<P: AsRef<Path>>(index: &SilcIndex, path: P) -> Result<(), BuildError> {
-    FilePageStore::create(path, &encode_with_version(index, 1))?;
-    Ok(())
+    write_index_with_version(index, path, 1)
 }
 
 /// A SILC index served from a page file through an LRU buffer pool.
@@ -163,10 +294,15 @@ pub struct DiskSilcIndex {
     network: Arc<SpatialNetwork>,
     mapper: GridMapper,
     codes: Vec<MortonCode>,
+    /// Per vertex: where its records start (entry index for v1/v2, byte
+    /// offset into the entry region for v3) and how many there are.
     directory: Vec<(u64, u32)>,
     entries_base: u64,
+    /// Byte length of the entry region.
+    entries_len: u64,
     min_ratio: f64,
-    /// On-disk format version (1 = legacy, 2 = checksummed).
+    /// On-disk format version (1 = legacy, 2 = checksummed, 3 =
+    /// compressed).
     version: u32,
     /// The two-tier read path: the page pool plus decoded entry lists per
     /// vertex, so repeated probes of the same vertex's quadtree (every
@@ -236,9 +372,11 @@ impl DiskSilcIndex {
         let version = match <&[u8; 8]>::try_from(&magic_bytes[..]).unwrap() {
             m if m == MAGIC_V1 => 1,
             m if m == MAGIC_V2 => 2,
+            m if m == MAGIC_V3 => 3,
             _ => return Err(corrupt("bad magic")),
         };
-        let header_len = base_header_len + if version >= 2 { 8 } else { 0 };
+        let header_len =
+            base_header_len + if version >= 3 { 8 } else { 0 } + if version >= 2 { 8 } else { 0 };
 
         let header = silc_storage::read_span(&store, 0, header_len)?;
         let mut h = &header[8..];
@@ -253,6 +391,7 @@ impl DiskSilcIndex {
         let bounds = Rect::new(h.get_f64_le(), h.get_f64_le(), h.get_f64_le(), h.get_f64_le());
         let min_ratio = h.get_f64_le();
         let entries_base = h.get_u64_le();
+        let entries_len_field = if version >= 3 { Some(h.get_u64_le()) } else { None };
 
         // v2: load the checksum table, then re-read the metadata region
         // verified against it. (The 72 header bytes parsed above get
@@ -290,16 +429,36 @@ impl DiskSilcIndex {
         }
         let mut directory = Vec::with_capacity(n);
         let mut total_entries = 0u64;
-        for _ in 0..n {
+        let mut prev_start = 0u64;
+        for i in 0..n {
             let start = m.get_u64_le();
             let count = m.get_u32_le();
-            if start != total_entries {
+            if version >= 3 {
+                // Byte-offset directory: spans are contiguous, so each
+                // vertex's span ends where the next one starts.
+                if i == 0 && start != 0 {
+                    return Err(corrupt("directory does not start at offset 0"));
+                }
+                if start < prev_start {
+                    return Err(corrupt("directory offsets are not sorted"));
+                }
+                prev_start = start;
+            } else if start != total_entries {
                 return Err(corrupt("directory entries are not contiguous"));
             }
             total_entries += count as u64;
             directory.push((start, count));
         }
-        let needed = entries_base + total_entries * ENTRY_BYTES as u64;
+        let entries_len = match entries_len_field {
+            Some(len) => {
+                if prev_start > len {
+                    return Err(corrupt("directory offset past entry region"));
+                }
+                len
+            }
+            None => total_entries * ENTRY_BYTES as u64,
+        };
+        let needed = entries_base + entries_len;
         let entry_limit = match &checks {
             Some(table) => (table.pages() * PAGE_SIZE) as u64,
             None => file_len,
@@ -318,6 +477,7 @@ impl DiskSilcIndex {
             codes,
             directory,
             entries_base,
+            entries_len,
             min_ratio,
             version,
             cached,
@@ -325,15 +485,35 @@ impl DiskSilcIndex {
     }
 
     /// The on-disk format version this index was opened from: 1 (legacy,
-    /// no checksums) or 2 (per-page checksum table).
+    /// no checksums), 2 (per-page checksum table) or 3 (compressed
+    /// delta+varint records).
     pub fn format_version(&self) -> u32 {
         self.version
+    }
+
+    /// Total number of block entries across all vertices — with
+    /// [`Self::entry_region_bytes`], what a size projection between
+    /// formats needs.
+    pub fn entry_count(&self) -> u64 {
+        self.directory.iter().map(|&(_, count)| count as u64).sum()
+    }
+
+    /// Byte length of the (possibly compressed) entry region.
+    pub fn entry_region_bytes(&self) -> u64 {
+        self.entries_len
     }
 
     /// Sets how the buffer pool retries transient store faults. Configure
     /// before sharing the index across threads.
     pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
         self.cached.set_retry_policy(retry);
+    }
+
+    /// Sets the buffer pool's readahead hint for cold entry-region scans
+    /// (see [`PrefetchPolicy`]). Configure before sharing the index across
+    /// threads.
+    pub fn set_prefetch_policy(&mut self, prefetch: PrefetchPolicy) {
+        self.cached.set_prefetch_policy(prefetch);
     }
 
     /// Opts this open out of per-page checksum verification (`SILCIDX2`
@@ -391,10 +571,24 @@ impl DiskSilcIndex {
         u: VertexId,
     ) -> io::Result<Arc<[BlockEntry]>> {
         let (start, count) = self.directory[u.index()];
-        let byte_lo = self.entries_base + start * ENTRY_BYTES as u64;
-        let byte_hi = byte_lo + count as u64 * ENTRY_BYTES as u64;
-        let mut raw = Vec::with_capacity((byte_hi - byte_lo) as usize);
+        let (byte_lo, byte_hi) = if self.version >= 3 {
+            let end = self.directory.get(u.index() + 1).map_or(self.entries_len, |d| d.0);
+            (self.entries_base + start, self.entries_base + end)
+        } else {
+            let lo = self.entries_base + start * ENTRY_BYTES as u64;
+            (lo, lo + count as u64 * ENTRY_BYTES as u64)
+        };
+        let mut raw = Vec::with_capacity((byte_hi.saturating_sub(byte_lo)) as usize);
         pool.read_range(byte_lo, byte_hi, &mut raw)?;
+        if self.version >= 3 {
+            // Any decode failure — truncated or malformed varint, invariant
+            // violation — is structural corruption; normalize it to one
+            // InvalidData error naming the vertex, which the query layer
+            // lifts to a typed `Corrupt`.
+            return decode_entries_v3(&raw, count, self.mapper.q()).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("vertex {}: {e}", u.index()))
+            });
+        }
         let mut r = &raw[..];
         let mut entries = Vec::with_capacity(count as usize);
         for _ in 0..count {
@@ -660,7 +854,7 @@ mod tests {
     }
 
     #[test]
-    fn v1_files_stay_readable_and_report_their_version() {
+    fn old_formats_stay_readable_and_all_answer_bit_identically() {
         let g = Arc::new(grid_network(&GridConfig {
             rows: 8,
             cols: 8,
@@ -669,18 +863,176 @@ mod tests {
         }));
         let idx =
             SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 8, threads: 2 }).unwrap();
-        let p1 = tmp("compat-v1.idx");
-        let p2 = tmp("compat-v2.idx");
-        write_index_v1(&idx, &p1).unwrap();
-        write_index(&idx, &p2).unwrap();
-        let d1 = DiskSilcIndex::open(&p1, g.clone(), 0.25).unwrap();
+        let mut opened = Vec::new();
+        for version in 1..=CURRENT_VERSION {
+            let p = tmp(&format!("compat-v{version}.idx"));
+            write_index_with_version(&idx, &p, version).unwrap();
+            let d = DiskSilcIndex::open(&p, g.clone(), 0.25).unwrap();
+            assert_eq!(d.format_version(), version);
+            opened.push(d);
+        }
+        assert_eq!(opened[0].entry_count(), opened[2].entry_count());
+        // Every format decodes into bit-identical entries — λ included.
+        let reference = &opened[0];
+        for d in &opened[1..] {
+            for u in g.vertices() {
+                for v in g.vertices() {
+                    let code = reference.vertex_code(v);
+                    assert_eq!(
+                        reference.try_entry(u, code).unwrap(),
+                        d.try_entry(u, code).unwrap(),
+                        "v{} entry differs from v1 for {u}->{v}",
+                        d.format_version()
+                    );
+                }
+                assert_eq!(d.next_hop(VertexId(0), u), reference.next_hop(VertexId(0), u));
+            }
+        }
+    }
+
+    #[test]
+    fn v3_entry_region_shrinks_by_at_least_thirty_percent() {
+        let g = Arc::new(grid_network(&GridConfig {
+            rows: 8,
+            cols: 8,
+            seed: 41,
+            ..Default::default()
+        }));
+        let idx =
+            SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 8, threads: 2 }).unwrap();
+        let p2 = tmp("shrink-v2.idx");
+        let p3 = tmp("shrink-v3.idx");
+        write_index_with_version(&idx, &p2, 2).unwrap();
+        write_index_with_version(&idx, &p3, 3).unwrap();
         let d2 = DiskSilcIndex::open(&p2, g.clone(), 0.25).unwrap();
-        assert_eq!(d1.format_version(), 1);
-        assert_eq!(d2.format_version(), 2);
-        // Same answers from both formats.
-        for v in g.vertices() {
-            assert_eq!(d1.next_hop(VertexId(0), v), d2.next_hop(VertexId(0), v));
-            assert_eq!(d1.interval(VertexId(7), v), d2.interval(VertexId(7), v));
+        let d3 = DiskSilcIndex::open(&p3, g, 0.25).unwrap();
+        let (v2_bytes, v3_bytes) = (d2.entry_region_bytes(), d3.entry_region_bytes());
+        assert_eq!(v2_bytes, d2.entry_count() * ENTRY_BYTES as u64);
+        assert!(
+            (v3_bytes as f64) <= 0.7 * v2_bytes as f64,
+            "v3 entry region {v3_bytes} B not ≤ 70% of v2's {v2_bytes} B"
+        );
+    }
+
+    #[test]
+    fn v3_span_decoder_round_trips_and_rejects_malformed_bytes() {
+        let q = 8u32;
+        let entries = [
+            BlockEntry {
+                block: MortonBlock::new(MortonCode(0), 2),
+                color: 3,
+                lambda_lo: 1.0,
+                lambda_hi: 2.5,
+            },
+            BlockEntry {
+                block: MortonBlock::new(MortonCode(16), 2),
+                color: 700,
+                lambda_lo: 1.25,
+                lambda_hi: 4.0,
+            },
+            BlockEntry {
+                block: MortonBlock::new(MortonCode(64), 3),
+                color: 0,
+                lambda_lo: 0.5,
+                lambda_hi: 0.75,
+            },
+        ];
+        let mut buf = Vec::new();
+        encode_entries_v3(&entries, &mut buf);
+        let back = decode_entries_v3(&buf, entries.len() as u32, q).unwrap();
+        assert_eq!(&back[..], &entries[..], "round trip must be bit-identical");
+        // Empty span, zero entries: fine.
+        assert!(decode_entries_v3(&[], 0, q).unwrap().is_empty());
+
+        let kind = |raw: &[u8], count: u32| decode_entries_v3(raw, count, q).unwrap_err();
+        // Truncation anywhere inside the span is an error, never a panic.
+        for cut in 0..buf.len() {
+            let e = kind(&buf[..cut], entries.len() as u32);
+            assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+        // Trailing bytes after the last record.
+        let mut long = buf.clone();
+        long.push(0);
+        assert_eq!(
+            kind(&long, entries.len() as u32).kind(),
+            io::ErrorKind::InvalidData,
+            "trailing bytes must be rejected"
+        );
+        // Over-long varint in the level field.
+        assert_eq!(kind(&[0x80; 11], 1).kind(), io::ErrorKind::InvalidData);
+        // Non-canonical varint (0 as two bytes).
+        assert_eq!(kind(&[0x80, 0x00], 1).kind(), io::ErrorKind::InvalidData);
+        // Level above the grid exponent.
+        let mut bad = Vec::new();
+        silc_storage::varint::encode_u64(q as u64 + 1, &mut bad);
+        assert!(kind(&bad, 1).to_string().contains("exceeds grid exponent"));
+        // Unaligned base: level 2 (16 cells) at base 4.
+        let mut bad = Vec::new();
+        for v in [2u64, 4, 0] {
+            silc_storage::varint::encode_u64(v, &mut bad);
+        }
+        bad.extend_from_slice(&[0u8; 8]);
+        assert!(kind(&bad, 1).to_string().contains("unaligned"));
+        // Block past the grid: level q at a gap that lands outside 4^q.
+        let mut bad = Vec::new();
+        for v in [0u64, 1u64 << (2 * q), 0] {
+            silc_storage::varint::encode_u64(v, &mut bad);
+        }
+        bad.extend_from_slice(&[0u8; 8]);
+        assert!(kind(&bad, 1).to_string().contains("past the grid"));
+        // Color out of u16 range.
+        let mut bad = Vec::new();
+        for v in [0u64, 0, 1 << 16] {
+            silc_storage::varint::encode_u64(v, &mut bad);
+        }
+        bad.extend_from_slice(&[0u8; 8]);
+        assert!(kind(&bad, 1).to_string().contains("color"));
+        // A gap that overflows the base accumulator.
+        let mut bad = Vec::new();
+        encode_entries_v3(&entries[..1], &mut bad);
+        let mut second = Vec::new();
+        for v in [0u64, u64::MAX, 0] {
+            silc_storage::varint::encode_u64(v, &mut second);
+        }
+        second.extend_from_slice(&[0u8; 8]);
+        bad.extend_from_slice(&second);
+        let e = kind(&bad, 2);
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn corrupt_v3_records_surface_as_typed_corruption_not_panics() {
+        // Bytes that pass the page checksums but violate the record
+        // structure (a rewritten file with a recomputed table) must fail
+        // with a pageless typed Corrupt at query time.
+        let (_, disk) = build_pair("v3-tamper-src.idx");
+        assert_eq!(disk.format_version(), 3);
+        let src = tmp("v3-tamper-src.idx");
+        let mut data = std::fs::read(&src).unwrap();
+        let entries_base = disk.entries_base as usize;
+        // Stomp the first vertex's level varint with an over-long varint.
+        data[entries_base] = 0x80;
+        data[entries_base + 1] = 0x80;
+        // Recompute the checksum table so corruption reaches the decoder.
+        let cksum_base = u64::from_le_bytes(data[72..80].try_into().unwrap()) as usize;
+        let table = ChecksumTable::compute(&data[..cksum_base]);
+        data.truncate(cksum_base);
+        data.extend_from_slice(&table.to_bytes());
+        data.resize(data.len().div_ceil(PAGE_SIZE) * PAGE_SIZE, 0);
+        let dst = tmp("v3-tamper.idx");
+        std::fs::write(&dst, &data).unwrap();
+        let g = Arc::new(grid_network(&GridConfig {
+            rows: 8,
+            cols: 8,
+            seed: 41,
+            ..Default::default()
+        }));
+        let bad = DiskSilcIndex::open(&dst, g, 0.25).unwrap();
+        match bad.try_entry(VertexId(0), bad.vertex_code(VertexId(1))) {
+            Err(QueryError::Corrupt { page: None, detail }) => {
+                assert!(detail.contains("vertex 0"), "{detail}");
+            }
+            other => panic!("expected pageless Corrupt, got {other:?}"),
         }
     }
 

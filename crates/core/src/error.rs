@@ -103,10 +103,16 @@ impl std::error::Error for QueryError {
 impl From<io::Error> for QueryError {
     /// Lifts an I/O error, recognizing the typed page-corruption payload
     /// of `silc_storage::corrupt_page` so checksum failures keep naming
-    /// their page across the layer boundary.
+    /// their page across the layer boundary. Any other `InvalidData` error
+    /// — a record decoder rejecting malformed bytes (bad varint,
+    /// structural invariant violated) — is corruption too, just without a
+    /// page to name.
     fn from(e: io::Error) -> Self {
         match silc_storage::as_page_corrupt(&e) {
             Some(pc) => QueryError::Corrupt { page: Some(pc.page), detail: pc.detail.clone() },
+            None if e.kind() == io::ErrorKind::InvalidData => {
+                QueryError::Corrupt { page: None, detail: e.to_string() }
+            }
             None => QueryError::Io(e),
         }
     }
@@ -148,5 +154,19 @@ mod tests {
         let e = QueryError::from(std::io::Error::other("disk gone"));
         assert!(matches!(e, QueryError::Io(_)));
         assert!(e.to_string().contains("disk gone"));
+    }
+
+    #[test]
+    fn invalid_data_lifts_to_pageless_corruption() {
+        let e = QueryError::from(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "vertex 3: non-canonical varint",
+        ));
+        match &e {
+            QueryError::Corrupt { page: None, detail } => {
+                assert!(detail.contains("non-canonical varint"))
+            }
+            other => panic!("expected pageless corruption, got {other:?}"),
+        }
     }
 }

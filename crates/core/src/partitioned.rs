@@ -238,6 +238,8 @@ impl PartitionedSilcIndex {
             total.read_nanos += s.read_nanos;
             total.retries += s.retries;
             total.faults_seen += s.faults_seen;
+            total.prefetched += s.prefetched;
+            total.prefetch_hits += s.prefetch_hits;
         }
         total
     }

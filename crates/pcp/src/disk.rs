@@ -29,16 +29,20 @@ use std::sync::Arc;
 /// sharded and internally synchronized.
 pub struct DiskDistanceOracle<S: PageStore = FilePageStore> {
     tree: SplitTree,
-    /// Per-node `(first pair index, pair count)` into the pair region.
+    /// Per-node `(start, pair count)` into the pair region — a pair index
+    /// for the fixed-record versions (≤ 3), a byte offset for v4.
     directory: Vec<(u64, u32)>,
     pair_count: u64,
     pairs_base: u64,
+    /// Byte length of the pair region.
+    pairs_len: u64,
     separation: f64,
     stretch: f64,
     /// The guaranteed ε from the header: max per-pair cap (v2), or the
     /// a-priori `4t/s` (v1 files, which carry no caps).
     eps_max: f64,
-    /// Bytes per pair record — 28 for v2 files, 20 for v1.
+    /// Bytes per pair record in the fixed-record versions — 28 for v2/v3
+    /// files, 20 for v1 (unused for v4's variable-length records).
     pair_bytes: usize,
     /// The opened file's format version.
     version: u32,
@@ -99,6 +103,7 @@ impl<S: PageStore> DiskDistanceOracle<S> {
             directory: parsed.directory,
             pair_count: parsed.pair_count,
             pairs_base: parsed.pairs_base,
+            pairs_len: parsed.pairs_len,
             separation: parsed.separation,
             stretch: parsed.stretch,
             eps_max: parsed.eps_max,
@@ -108,9 +113,23 @@ impl<S: PageStore> DiskDistanceOracle<S> {
         })
     }
 
-    /// The opened file's format version (1, 2 or 3; see `crate::format`).
+    /// The opened file's format version (1 to 4; see `crate::format`).
     pub fn format_version(&self) -> u32 {
         self.version
+    }
+
+    /// Byte length of the on-disk pair region — what the v4 compression
+    /// shrinks (the benches record it as bytes-on-disk).
+    pub fn pair_region_bytes(&self) -> u64 {
+        self.pairs_len
+    }
+
+    /// Sets the buffer pool's readahead hint (see
+    /// [`silc_storage::PrefetchPolicy`]): cold sequential runs through the
+    /// pair region are extended by up to `window` pages in the same store
+    /// call. Configure before sharing the oracle across threads.
+    pub fn set_prefetch_policy(&mut self, prefetch: silc_storage::PrefetchPolicy) {
+        self.cached.set_prefetch_policy(prefetch);
     }
 
     /// Sets how the buffer pool retries transient store faults. Configure
@@ -197,27 +216,43 @@ impl<S: PageStore> DiskDistanceOracle<S> {
     }
 
     /// Decodes node `a`'s pair group from its pages through the pool.
-    /// Version-aware: v1 records carry no cap, so the file's global
-    /// a-priori bound is substituted — exactly the ε a v1 oracle promised.
-    /// Structural violations come back as `InvalidData`, which
-    /// [`PcpError::from`] lifts to [`PcpError::Corrupt`].
+    /// Version-aware: v4 records are delta+varint compressed with the
+    /// representatives elided (derived from the pinned split tree); v1
+    /// records carry no cap, so the file's global a-priori bound is
+    /// substituted — exactly the ε a v1 oracle promised. Structural
+    /// violations come back as `InvalidData`, which [`PcpError::from`]
+    /// lifts to [`PcpError::Corrupt`].
     fn decode_group(&self, pool: &BufferPool<S>, a: u32) -> io::Result<Arc<[PairRecord]>> {
         let (start, count) = self.directory[a as usize];
-        let byte_lo = self.pairs_base + start * self.pair_bytes as u64;
-        let byte_hi = byte_lo + count as u64 * self.pair_bytes as u64;
-        let mut raw = Vec::with_capacity((byte_hi - byte_lo) as usize);
+        let (byte_lo, byte_hi) = if self.version >= 4 {
+            // `start` is a byte offset; the group ends where the next one
+            // starts (or the pair region ends).
+            let end = self.directory.get(a as usize + 1).map_or(self.pairs_len, |d| d.0);
+            (self.pairs_base + start, self.pairs_base + end)
+        } else {
+            let lo = self.pairs_base + start * self.pair_bytes as u64;
+            (lo, lo + count as u64 * self.pair_bytes as u64)
+        };
+        let mut raw = Vec::with_capacity((byte_hi.saturating_sub(byte_lo)) as usize);
         pool.read_range(byte_lo, byte_hi, &mut raw)?;
-        let mut r = &raw[..];
-        let mut records = Vec::with_capacity(count as usize);
-        for _ in 0..count {
-            records.push(PairRecord {
-                b: r.get_u32_le(),
-                rep_a: r.get_u32_le(),
-                rep_b: r.get_u32_le(),
-                dist: r.get_f64_le(),
-                max_err: if self.version >= 2 { r.get_f64_le() } else { self.eps_max },
-            });
-        }
+        let records = if self.version >= 4 {
+            self.decode_group_v4(a, &raw, count).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("pair group {a}: {e}"))
+            })?
+        } else {
+            let mut r = &raw[..];
+            let mut records = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                records.push(PairRecord {
+                    b: r.get_u32_le(),
+                    rep_a: r.get_u32_le(),
+                    rep_b: r.get_u32_le(),
+                    dist: r.get_f64_le(),
+                    max_err: if self.version >= 2 { r.get_f64_le() } else { self.eps_max },
+                });
+            }
+            records
+        };
         if !records.windows(2).all(|w| w[0].b < w[1].b) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -234,6 +269,51 @@ impl<S: PageStore> DiskDistanceOracle<S> {
             ));
         }
         Ok(records.into())
+    }
+
+    /// Decodes one v4 compressed group span: per record a varint `b` delta
+    /// (first absolute, later gaps — a zero gap would break the strict
+    /// ordering the binary search relies on and is rejected), the `f64`
+    /// distance and cap bits verbatim, and the representatives derived from
+    /// the split tree. Every failure is a typed error, never a panic; the
+    /// span must be consumed exactly.
+    fn decode_group_v4(&self, a: u32, raw: &[u8], count: u32) -> io::Result<Vec<PairRecord>> {
+        use crate::split_tree::NodeRef;
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let node_count = self.directory.len() as u64;
+        let mut r = silc_storage::varint::VarintReader::new(raw);
+        let mut records = Vec::with_capacity(count as usize);
+        let rep_a = self.tree.representative(NodeRef(a)).0;
+        let mut prev_b: Option<u64> = None;
+        for _ in 0..count {
+            let delta = r.u64()?;
+            let b = match prev_b {
+                None => delta,
+                Some(p) => {
+                    if delta == 0 {
+                        return Err(bad("records are not strictly sorted (zero b delta)".into()));
+                    }
+                    p.checked_add(delta).ok_or_else(|| bad("b delta overflows".into()))?
+                }
+            };
+            if b >= node_count {
+                return Err(bad(format!("b-side node id {b} out of range")));
+            }
+            let dist = r.f64_le()?;
+            let max_err = r.f64_le()?;
+            prev_b = Some(b);
+            records.push(PairRecord {
+                b: b as u32,
+                rep_a,
+                rep_b: self.tree.representative(NodeRef(b as u32)).0,
+                dist,
+                max_err,
+            });
+        }
+        if r.remaining() != 0 {
+            return Err(bad(format!("{} unconsumed bytes after the last record", r.remaining())));
+        }
+        Ok(records)
     }
 
     /// Resolves one stored orientation `(a, b)` — the lookup `locate_pair`
@@ -732,9 +812,9 @@ mod tests {
 
     #[test]
     fn checksums_catch_pair_region_bit_flips() {
-        // A bit flip anywhere in the pair region of a v3 file must surface
-        // as a typed Corrupt error naming the page — never a silently wrong
-        // distance.
+        // A bit flip anywhere in the pair region of a current-version file
+        // must surface as a typed Corrupt error naming the page — never a
+        // silently wrong distance.
         let g = network();
         let mem = DistanceOracle::build(&g, 10, 3.0);
         let bytes = encode(&mem);
@@ -747,7 +827,7 @@ mod tests {
         let mut broken = bytes.clone();
         broken[flip_at] ^= 0x04;
         let disk = DiskDistanceOracle::from_store(MemPageStore::new(&broken), 1.0, None).unwrap();
-        assert_eq!(disk.format_version(), 3);
+        assert_eq!(disk.format_version(), crate::format::VERSION);
         let n = g.vertex_count() as u32;
         let mut hit = false;
         'sweep: for u in 0..n {
@@ -801,5 +881,168 @@ mod tests {
         assert_eq!(&on_disk[..encoded.len()], &encoded[..], "file must hold the exact encoding");
         assert!(on_disk[encoded.len()..].iter().all(|&b| b == 0), "padding must be zeros");
         assert_eq!(on_disk.len() % silc_storage::PAGE_SIZE, 0, "file must be page-aligned");
+    }
+
+    #[test]
+    fn v3_file_opens_with_fixed_records_and_checksums() {
+        // Backward compatibility one version back: a v3 file (fixed 28-byte
+        // records with a checksum table) opens, reports its version, and
+        // answers bit-identically including the per-pair ε.
+        let g = network();
+        let mem = DistanceOracle::build(&g, 10, 4.0);
+        let v3 = crate::format::encode_oracle_v3(&mem);
+        let disk = DiskDistanceOracle::from_store(MemPageStore::new(&v3), 0.5, None).unwrap();
+        assert_eq!(disk.format_version(), 3);
+        assert_eq!(disk.pair_count(), mem.pair_count());
+        assert_eq!(disk.epsilon().to_bits(), mem.epsilon().to_bits());
+        let n = g.vertex_count() as u32;
+        for u in (0..n).step_by(3) {
+            for v in (0..n).step_by(7) {
+                let (u, v) = (VertexId(u), VertexId(v));
+                let (md, me) = mem.distance_with_epsilon(u, v);
+                let (dd, de) = disk.distance_with_epsilon(u, v);
+                assert_eq!(md.to_bits(), dd.to_bits());
+                assert_eq!(me.to_bits(), de.to_bits());
+            }
+        }
+        // Its checksum table still guards the metadata.
+        let mut broken = v3.clone();
+        broken[crate::format::HEADER_BYTES_V3 + 40] ^= 0x01;
+        match DiskDistanceOracle::from_store(MemPageStore::new(&broken), 0.5, None) {
+            Err(PcpError::Corrupt(msg)) => assert!(msg.contains("checksum mismatch"), "{msg}"),
+            other => panic!("expected Corrupt, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn v4_pair_region_shrinks_by_at_least_thirty_percent() {
+        let g = network();
+        let mem = DistanceOracle::build(&g, 10, 4.0);
+        let v4 = encode(&mem);
+        let disk = DiskDistanceOracle::from_store(MemPageStore::new(&v4), 0.5, None).unwrap();
+        let fixed = (mem.pair_count() * crate::format::PAIR_BYTES) as f64;
+        let compressed = disk.pair_region_bytes() as f64;
+        assert!(
+            compressed <= 0.7 * fixed,
+            "pair region must shrink ≥30%: {compressed} vs fixed {fixed}"
+        );
+        // The whole file shrinks too (the metadata region is shared).
+        let v3 = crate::format::encode_oracle_v3(&mem);
+        assert!(v4.len() < v3.len(), "v4 file {} must be smaller than v3 {}", v4.len(), v3.len());
+    }
+
+    /// Recomputes the checksum table of a current-version byte image after
+    /// a test tampered with it, so the edit reaches the structural
+    /// validators instead of being caught by a page checksum first.
+    fn retable(bytes: &mut Vec<u8>) {
+        let cksum_base = {
+            let mut h = &bytes[HEADER_BYTES - 24..HEADER_BYTES - 16];
+            h.get_u64_le() as usize
+        };
+        let table = silc_storage::ChecksumTable::compute(&bytes[..cksum_base]);
+        bytes.truncate(cksum_base);
+        bytes.extend_from_slice(&table.to_bytes());
+    }
+
+    /// The pair-region layout of a current-version byte image:
+    /// `(pairs_base, pairs_len, per-node (byte start, count))`.
+    fn v4_layout(bytes: &[u8], node_count: usize) -> (usize, usize, Vec<(usize, u32)>) {
+        let read_u64 = |at: usize| {
+            let mut h = &bytes[at..at + 8];
+            h.get_u64_le() as usize
+        };
+        let pairs_base = read_u64(HEADER_BYTES - 8);
+        let pairs_len = read_u64(HEADER_BYTES - 16);
+        let dir_base = pairs_base - node_count * 12;
+        let dir = (0..node_count)
+            .map(|i| {
+                let mut d = &bytes[dir_base + i * 12..dir_base + (i + 1) * 12];
+                (d.get_u64_le() as usize, d.get_u32_le())
+            })
+            .collect();
+        (pairs_base, pairs_len, dir)
+    }
+
+    #[test]
+    fn corrupt_v4_records_surface_as_typed_corruption_not_panics() {
+        // Every way a compressed record can be malformed — over-long
+        // varint, zero b delta, b past the node table, a record run that
+        // does not consume its directory span exactly — must surface as a
+        // typed Corrupt error naming the group, never a panic or a silent
+        // misread. Each tampered image gets its checksum table recomputed
+        // so the bytes reach the structural validator.
+        let g = network();
+        let mem = DistanceOracle::build(&g, 10, 2.0);
+        let bytes = encode(&mem);
+        let node_count = mem.tree().raw_nodes().len();
+        let (pairs_base, _pairs_len, dir) = v4_layout(&bytes, node_count);
+
+        let sweep_err = |mut broken: Vec<u8>| -> String {
+            retable(&mut broken);
+            let disk =
+                DiskDistanceOracle::from_store(MemPageStore::new(&broken), 1.0, None).unwrap();
+            let n = g.vertex_count() as u32;
+            for u in 0..n {
+                for v in 0..n {
+                    match disk.try_distance(VertexId(u), VertexId(v)) {
+                        Ok(_) => {}
+                        Err(PcpError::Corrupt(msg)) => return msg,
+                        Err(e) => panic!("expected Corrupt, got {e}"),
+                    }
+                }
+            }
+            panic!("no probe decoded the tampered group");
+        };
+
+        // (a) Over-long varint: 11 continuation bytes at a group start.
+        let ga = dir.iter().position(|&(_, c)| c >= 1).expect("some group stores a pair");
+        let mut broken = bytes.clone();
+        for i in 0..11 {
+            broken[pairs_base + dir[ga].0 + i] = 0x80;
+        }
+        let msg = sweep_err(broken);
+        assert!(
+            msg.contains("pair group")
+                && (msg.contains("longer than 10") || msg.contains("overflows")),
+            "{msg}"
+        );
+
+        // (b) Zero b delta: breaks the strict ordering the binary search
+        // relies on. Pick a ≥2-record group whose second delta is a
+        // single-byte varint and zero it.
+        let (_, zero_at) = dir
+            .iter()
+            .filter(|&&(_, c)| c >= 2)
+            .find_map(|&(s, _)| {
+                let (_, used) = silc_storage::varint::decode_u64(&bytes[pairs_base + s..]).unwrap();
+                let at = pairs_base + s + used + 16;
+                (bytes[at] < 0x80).then_some((s, at))
+            })
+            .expect("a multi-record group with a one-byte delta");
+        let mut broken = bytes.clone();
+        broken[zero_at] = 0x00;
+        let msg = sweep_err(broken);
+        assert!(msg.contains("zero b delta"), "{msg}");
+
+        // (c) b-side id past the node table.
+        let mut broken = bytes.clone();
+        let at = pairs_base + dir[ga].0;
+        broken[at] = 0xFF;
+        broken[at + 1] = 0xFF;
+        broken[at + 2] = 0x7F; // varint 2097151 — far past any node id
+        let msg = sweep_err(broken);
+        assert!(msg.contains("out of range"), "{msg}");
+
+        // (d) A record run that leaves its directory span unconsumed: turn
+        // a multi-byte leading varint into the single byte 1 (a valid node
+        // id), shifting every later field and stranding trailing bytes.
+        if let Some(&(s, _)) = dir.iter().find(|&&(s, c)| c >= 1 && bytes[pairs_base + s] >= 0x80) {
+            let mut broken = bytes.clone();
+            broken[pairs_base + s] = 0x01;
+            // The shifted fields can trip any structural check — what
+            // matters is that the misread is caught as typed corruption.
+            let msg = sweep_err(broken);
+            assert!(msg.contains("pair group"), "{msg}");
+        }
     }
 }

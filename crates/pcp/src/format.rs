@@ -6,20 +6,28 @@
 //! the `O(s²n)` pair payload — the part that grows with accuracy — is laid
 //! out in fixed-size pages served through a `silc_storage::BufferPool`.
 //!
-//! ## File layout (version 3, current)
+//! ## File layout (version 4, current)
 //!
 //! ```text
 //! header    magic "SILCPCPD", version u32, n, node count, pair count,
 //!           separation, stretch, guaranteed ε (max per-pair cap),
-//!           checksum-table offset, pair-region offset
+//!           checksum-table offset, pair-region byte length,
+//!           pair-region offset
 //! sorted    n × (u64 code, u32 vertex) — the code-sorted vertex array
 //! nodes     per split-tree node: block base u64 | level u8 | tight rect
 //!           4×f64 | span 2×u32 | child count u8 | children u32×c
-//! directory node count × (u64 first pair index, u32 pair count) — the
-//!           stored pairs grouped by their first (the `a`-side) node
-//! pairs     one 28-byte record per stored pair, groups concatenated in
-//!           node order, each group sorted by the `b`-side node id:
-//!           b u32 | rep_a u32 | rep_b u32 | dist f64 | max_err f64
+//! directory node count × (u64 group byte start, u32 pair count) — the
+//!           stored pairs grouped by their first (the `a`-side) node;
+//!           byte starts are relative to the pair region and strictly
+//!           partition it (variable-length records)
+//! pairs     one compressed record per stored pair, groups concatenated
+//!           in node order, each group sorted by the `b`-side node id:
+//!           varint Δb (first record: `b` absolute; later records: the
+//!           gap to the previous `b`, never 0) | dist f64 | max_err f64.
+//!           The representative vertices are **not stored** — they are
+//!           always the split tree's canonical representatives (the
+//!           smallest-code vertex of each node's span), so the decoder
+//!           derives them from the pinned tree.
 //! (page padding)
 //! checksums one 64-bit digest (8-lane FNV-1a) per payload page — verified on every physical
 //!           page read, so pair-region bit rot surfaces as a typed error
@@ -27,6 +35,16 @@
 //! ```
 //!
 //! ## Versioning
+//!
+//! Version 4 **compressed the pair region**: the `b`-side node ids of a
+//! group are delta+varint coded (canonical LEB128, see
+//! `silc_storage::varint`), the two representative vertex ids are elided
+//! (derivable from the split tree, asserted at encode time), and the
+//! directory switched from pair-index to byte offsets because records are
+//! now variable-length. Distance and cap stay full `f64` bits — answers
+//! remain **bit-identical** to the memory oracle. A record is ~17.5 bytes
+//! against the fixed 28, a ≥30 % pair-region shrink. The new `pairs_len`
+//! header field sits before `pairs_base`.
 //!
 //! Version 3 added the **per-page checksum table**: the metadata region is
 //! verified once at open time and every pair page on its physical read.
@@ -39,8 +57,8 @@
 //! region at open time. Version 1 files (20-byte records, no cap fields)
 //! **remain readable**: the open path substitutes the classic a-priori
 //! `4·stretch/separation` bound for every pair, which is exactly what a v1
-//! oracle guaranteed. Versions 1 and 2 stay readable (without page
-//! verification — they carry no table); new files are always version 3.
+//! oracle guaranteed. Versions 1–3 stay readable (v1/v2 without page
+//! verification — they carry no table); new files are always version 4.
 //!
 //! Representative distances and caps are stored as full `f64` bits, so the
 //! disk oracle's answers are **bit-identical** to the memory oracle it was
@@ -53,23 +71,27 @@ use bytes::{Buf, BufMut};
 use silc_geom::Rect;
 use silc_morton::{MortonBlock, MortonCode};
 use silc_storage::{
-    read_span, read_span_verified, ChecksumTable, FilePageStore, PageStore, PAGE_SIZE,
+    read_span, read_span_verified, varint, ChecksumTable, FilePageStore, PageStore, PAGE_SIZE,
 };
 use std::path::Path;
 use std::sync::Arc;
 
 pub(crate) const MAGIC: &[u8; 8] = b"SILCPCPD";
 /// Current (written) format version.
-pub(crate) const VERSION: u32 = 3;
+pub const VERSION: u32 = 4;
 /// Header size of the current version. The pair-region offset is always
-/// the *last* 8 header bytes; v3 inserted the checksum-table offset right
-/// before it.
-pub(crate) const HEADER_BYTES: usize = HEADER_BYTES_V2 + 8;
-/// Header size of version 2 (no checksum-table offset).
+/// the *last* 8 header bytes; v4 inserted the pair-region byte length
+/// right before it.
+pub(crate) const HEADER_BYTES: usize = HEADER_BYTES_V3 + 8;
+/// Header size of version 3 (no pair-region byte length — records were
+/// fixed-size, so the length was `pair_count × PAIR_BYTES`).
+pub(crate) const HEADER_BYTES_V3: usize = HEADER_BYTES_V2 + 8;
+/// Header size of version 2 (additionally lacks the checksum-table offset).
 pub(crate) const HEADER_BYTES_V2: usize = 8 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 8;
 /// Header size of version 1 (additionally lacks the guaranteed-ε field).
 pub(crate) const HEADER_BYTES_V1: usize = HEADER_BYTES_V2 - 8;
-/// Bytes per serialized pair record in the current version.
+/// Bytes per serialized pair record in the fixed-record versions 2 and 3
+/// (version 4 records are variable-length; see the module docs).
 pub const PAIR_BYTES: usize = 28;
 /// Bytes per pair record in version-1 files (no per-pair cap).
 pub const PAIR_BYTES_V1: usize = 20;
@@ -112,10 +134,17 @@ pub(crate) fn encode_oracle_v2(oracle: &DistanceOracle) -> Vec<u8> {
     encode_with_version(oracle, 2)
 }
 
+/// Version-3 encoder (fixed 28-byte records with checksum table), kept for
+/// the backward-compatibility tests and the compression-ratio benches.
+pub fn encode_oracle_v3(oracle: &DistanceOracle) -> Vec<u8> {
+    encode_with_version(oracle, 3)
+}
+
 pub(crate) fn header_bytes_for(version: u32) -> usize {
     match version {
         1 => HEADER_BYTES_V1,
         2 => HEADER_BYTES_V2,
+        3 => HEADER_BYTES_V3,
         _ => HEADER_BYTES,
     }
 }
@@ -146,11 +175,40 @@ fn encode_with_version(oracle: &DistanceOracle, version: u32) -> Vec<u8> {
     }
     let pair_count: u64 = groups.iter().map(|g| g.len() as u64).sum();
 
+    // v4: serialize the pair region up front — records are variable-length,
+    // so the directory needs the per-group byte starts and the header the
+    // total byte length. The representatives are elided; the build always
+    // stores the split tree's canonical representative of each node, which
+    // the assert pins down so a drift in the build could never write a
+    // lossy file.
+    let mut pair_buf = Vec::new();
+    let mut group_byte_starts = Vec::with_capacity(node_count);
+    if version >= 4 {
+        for (a, g) in groups.iter().enumerate() {
+            group_byte_starts.push(pair_buf.len() as u64);
+            let mut prev_b: Option<u32> = None;
+            for r in g {
+                use crate::split_tree::NodeRef;
+                debug_assert_eq!(r.rep_a, tree.representative(NodeRef(a as u32)).0);
+                debug_assert_eq!(r.rep_b, tree.representative(NodeRef(r.b)).0);
+                let delta = match prev_b {
+                    None => r.b as u64,
+                    Some(p) => (r.b - p) as u64, // strictly sorted: never 0
+                };
+                varint::encode_u64(delta, &mut pair_buf);
+                pair_buf.put_f64_le(r.dist);
+                pair_buf.put_f64_le(r.max_err);
+                prev_b = Some(r.b);
+            }
+        }
+    }
+
     let nodes_bytes: usize =
         nodes.iter().map(|nd| 8 + 1 + 32 + 8 + 1 + 4 * nd.children.len()).sum();
     let meta_len = header_bytes + n * 12 + nodes_bytes + node_count * 12;
-    let payload_len = meta_len + pair_count as usize * pair_bytes;
-    // The checksum table (v3) starts on the page boundary after the payload.
+    let pairs_len = if version >= 4 { pair_buf.len() } else { pair_count as usize * pair_bytes };
+    let payload_len = meta_len + pairs_len;
+    // The checksum table (v3+) starts on the page boundary after the payload.
     let cksum_base = payload_len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
 
     let mut buf = Vec::with_capacity(payload_len);
@@ -166,6 +224,9 @@ fn encode_with_version(oracle: &DistanceOracle, version: u32) -> Vec<u8> {
     }
     if version >= 3 {
         buf.put_u64_le(cksum_base as u64);
+    }
+    if version >= 4 {
+        buf.put_u64_le(pairs_len as u64);
     }
     buf.put_u64_le(meta_len as u64);
     for &(code, v) in sorted {
@@ -186,21 +247,33 @@ fn encode_with_version(oracle: &DistanceOracle, version: u32) -> Vec<u8> {
             buf.put_u32_le(c.0);
         }
     }
-    let mut start = 0u64;
-    for g in &groups {
-        buf.put_u64_le(start);
-        buf.put_u32_le(g.len() as u32);
-        start += g.len() as u64;
+    if version >= 4 {
+        // Directory in byte offsets — records are variable-length.
+        for (g, &start) in groups.iter().zip(&group_byte_starts) {
+            buf.put_u64_le(start);
+            buf.put_u32_le(g.len() as u32);
+        }
+    } else {
+        let mut start = 0u64;
+        for g in &groups {
+            buf.put_u64_le(start);
+            buf.put_u32_le(g.len() as u32);
+            start += g.len() as u64;
+        }
     }
     debug_assert_eq!(buf.len(), meta_len);
-    for g in &groups {
-        for r in g {
-            buf.put_u32_le(r.b);
-            buf.put_u32_le(r.rep_a);
-            buf.put_u32_le(r.rep_b);
-            buf.put_f64_le(r.dist);
-            if version >= 2 {
-                buf.put_f64_le(r.max_err);
+    if version >= 4 {
+        buf.put_slice(&pair_buf);
+    } else {
+        for g in &groups {
+            for r in g {
+                buf.put_u32_le(r.b);
+                buf.put_u32_le(r.rep_a);
+                buf.put_u32_le(r.rep_b);
+                buf.put_f64_le(r.dist);
+                if version >= 2 {
+                    buf.put_f64_le(r.max_err);
+                }
             }
         }
     }
@@ -223,10 +296,15 @@ pub fn write_oracle<P: AsRef<Path>>(oracle: &DistanceOracle, path: P) -> Result<
 /// The pinned metadata of an oracle file, parsed and validated.
 pub(crate) struct Parsed {
     pub(crate) tree: SplitTree,
-    /// Per-node `(first pair index, pair count)` into the pair region.
+    /// Per-node `(start, pair count)` into the pair region. `start` is a
+    /// pair *index* in the fixed-record versions (≤ 3) and a *byte offset*
+    /// in version 4 (variable-length records).
     pub(crate) directory: Vec<(u64, u32)>,
     pub(crate) pair_count: u64,
     pub(crate) pairs_base: u64,
+    /// Byte length of the pair region (v4 header field; derived as
+    /// `pair_count × pair_bytes` for the fixed-record versions).
+    pub(crate) pairs_len: u64,
     pub(crate) separation: f64,
     pub(crate) stretch: f64,
     /// The guaranteed ε: max per-pair cap for v2 files, the a-priori
@@ -241,7 +319,7 @@ pub(crate) struct Parsed {
 }
 
 /// Reads and validates the header + metadata region from a store. Accepts
-/// the current version and version 1 (see the module docs).
+/// every version from 1 to the current (see the module docs).
 pub(crate) fn parse<S: PageStore>(store: &S) -> Result<Parsed, PcpError> {
     let corrupt = |msg: &str| PcpError::Corrupt(msg.to_string());
     let file_bytes = store.page_count() * PAGE_SIZE as u64;
@@ -281,6 +359,8 @@ pub(crate) fn parse<S: PageStore>(store: &S) -> Result<Parsed, PcpError> {
     let stretch = h.get_f64_le();
     let eps_max = if version >= 2 { h.get_f64_le() } else { 4.0 * stretch / separation };
     let cksum_base = if version >= 3 { h.get_u64_le() } else { 0 };
+    let pairs_len =
+        if version >= 4 { h.get_u64_le() } else { pair_count.saturating_mul(pair_bytes as u64) };
     let pairs_base = h.get_u64_le();
     if !separation.is_finite() || separation <= 0.0 || !stretch.is_finite() || stretch < 1.0 {
         return Err(corrupt("separation/stretch out of range"));
@@ -370,10 +450,25 @@ pub(crate) fn parse<S: PageStore>(store: &S) -> Result<Parsed, PcpError> {
     }
     let mut directory = Vec::with_capacity(node_count);
     let mut total = 0u64;
-    for _ in 0..node_count {
+    let mut prev_start = 0u64;
+    for i in 0..node_count {
         let start = m.get_u64_le();
         let count = m.get_u32_le();
-        if start != total {
+        if version >= 4 {
+            // Byte offsets: the groups partition the pair region in order,
+            // but a group's byte length is only known from its successor's
+            // start (checked lazily at decode time by exact consumption).
+            if i == 0 && start != 0 {
+                return Err(corrupt("directory does not start at byte offset 0"));
+            }
+            if start < prev_start {
+                return Err(corrupt("directory byte offsets are not sorted"));
+            }
+            if start > pairs_len {
+                return Err(corrupt("directory byte offset past the pair region"));
+            }
+            prev_start = start;
+        } else if start != total {
             return Err(corrupt("directory groups are not contiguous"));
         }
         total += count as u64;
@@ -382,7 +477,7 @@ pub(crate) fn parse<S: PageStore>(store: &S) -> Result<Parsed, PcpError> {
     if total != pair_count {
         return Err(corrupt("directory pair total does not match header"));
     }
-    if pairs_base + pair_count * pair_bytes as u64 > payload_end {
+    if pairs_base + pairs_len > payload_end {
         return Err(corrupt("pair region extends past end of file"));
     }
 
@@ -391,6 +486,7 @@ pub(crate) fn parse<S: PageStore>(store: &S) -> Result<Parsed, PcpError> {
         directory,
         pair_count,
         pairs_base,
+        pairs_len,
         separation,
         stretch,
         eps_max,

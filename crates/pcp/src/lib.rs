@@ -35,18 +35,22 @@
 //! tighten. The classic first-order `4t/s` stretch bound survives as
 //! [`DistanceOracle::epsilon_apriori`] for comparison.
 //!
-//! ## The page format (version 2)
+//! ## The page format (version 4)
 //!
 //! [`write_oracle`] lays the oracle out the way `DiskSilcIndex` lays out
-//! quadtrees: a versioned header (now including the guaranteed ε), the
+//! quadtrees: a versioned header (including the guaranteed ε), the
 //! split-tree skeleton, and a per-node pair directory form the pinned
-//! metadata, while the `O(s²n)` pair payload — 28 bytes per pair in v2:
-//! `b`-node, both representatives, the `f64` distance bits **and the `f64`
-//! cap bits** — fills fixed-size pages served through the
-//! `silc_storage::BufferPool` with decoded groups in a `ShardedCache`.
-//! Version-1 files (20-byte records, no caps) remain readable; their pairs
-//! answer the file's global a-priori bound. Distances and caps are stored
-//! as full `f64` bits, so [`DiskDistanceOracle::distance`] and
+//! metadata, while the `O(s²n)` pair payload fills fixed-size pages served
+//! through the `silc_storage::BufferPool` with decoded groups in a
+//! `ShardedCache`. Since version 4 the payload is **compressed**: within a
+//! group the sorted `b`-side node ids are delta+varint coded and the
+//! representative vertices are elided (they are always the split tree's
+//! canonical representatives, re-derived at decode time), roughly 17.5
+//! bytes per pair against the fixed 28 of v2/v3 — see [`mod@format`] for the
+//! exact layout and version history. Every earlier version stays readable
+//! (v1's pairs answer the file's global a-priori bound). Distances and
+//! caps are stored as full `f64` bits in every version, so
+//! [`DiskDistanceOracle::distance`] and
 //! [`DiskDistanceOracle::distance_with_epsilon`] are bit-identical to the
 //! memory oracle.
 

@@ -110,7 +110,7 @@ impl<V: Clone> ShardedCache<V> {
     /// used value when full.
     pub fn insert(&self, key: u64, value: V) {
         let mut shard = self.shard(key);
-        if shard.list.insert(key, value) {
+        if shard.list.insert(key, value).is_some() {
             shard.stats.evictions += 1;
         }
     }

@@ -10,7 +10,13 @@
 //! * [`MemPageStore`] — an in-memory store for tests and baselines,
 //! * [`BufferPool`] — a sharded LRU page cache with per-shard locks, store
 //!   reads outside the lock, concurrent-miss dedup, and hit/miss/eviction
-//!   counters with wall-clock accounting of time spent in the store,
+//!   counters with wall-clock accounting of time spent in the store;
+//!   range reads coalesce cold spans into single store calls (at most
+//!   [`MAX_COALESCED_PAGES`] pages) and an opt-in [`PrefetchPolicy`]
+//!   extends them with sequential readahead, accounted exactly
+//!   ([`IoStats::prefetched`] / [`IoStats::prefetch_hits`]),
+//! * [`varint`] — canonical LEB128 varints and zigzag, the shared encoding
+//!   layer of the compressed on-disk formats (`SILCIDX3`, PCP v4),
 //! * [`ShardedCache`] — a generic concurrent LRU for objects *decoded* from
 //!   pages (entry lists, adjacency blocks), sharing the pool's LRU core,
 //! * [`TieredPool`] — a pool paired with a decoded-object cache, the
@@ -31,6 +37,7 @@ pub(crate) mod lru;
 pub mod pool;
 pub mod store;
 pub mod tiered;
+pub mod varint;
 
 pub use cache::{CacheStats, ShardedCache};
 pub use checksum::{
@@ -38,6 +45,6 @@ pub use checksum::{
     PageCorrupt,
 };
 pub use fault::{FaultCounts, FaultInjectingPageStore, FaultKind, FaultRates};
-pub use pool::{BufferPool, IoStats, RetryPolicy};
+pub use pool::{BufferPool, IoStats, PrefetchPolicy, RetryPolicy, MAX_COALESCED_PAGES};
 pub use store::{FilePageStore, MemPageStore, PageId, PageStore, PAGE_SIZE};
 pub use tiered::{default_decoded_capacity, read_span, TieredPool};

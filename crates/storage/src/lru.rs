@@ -94,22 +94,24 @@ impl<V: Clone> LruList<V> {
     }
 
     /// Inserts (or refreshes) `key`, evicting the least recently used entry
-    /// when full. Returns `true` if an eviction happened.
-    pub(crate) fn insert(&mut self, key: u64, value: V) -> bool {
+    /// when full. Returns the evicted entry's key, if an eviction happened —
+    /// callers tracking per-key metadata (the pool's prefetched set) clean
+    /// it up from the return value.
+    pub(crate) fn insert(&mut self, key: u64, value: V) -> Option<u64> {
         if let Some(&idx) = self.map.get(&key) {
             self.slots[idx].value = value;
             self.detach(idx);
             self.push_front(idx);
-            return false;
+            return None;
         }
-        let mut evicted = false;
+        let mut evicted = None;
         let idx = if self.map.len() >= self.capacity {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL);
             self.detach(victim);
             let old = self.slots[victim].key;
             self.map.remove(&old);
-            evicted = true;
+            evicted = Some(old);
             self.slots[victim].key = key;
             self.slots[victim].value = value;
             victim
@@ -145,10 +147,10 @@ mod tests {
     #[test]
     fn lru_order_and_eviction() {
         let mut l = LruList::new(2);
-        assert!(!l.insert(1, "a"));
-        assert!(!l.insert(2, "b"));
+        assert_eq!(l.insert(1, "a"), None);
+        assert_eq!(l.insert(2, "b"), None);
         assert_eq!(l.get(1), Some("a")); // touch 1 -> [1, 2]
-        assert!(l.insert(3, "c"), "inserting into a full list evicts");
+        assert_eq!(l.insert(3, "c"), Some(2), "inserting into a full list evicts the LRU key");
         assert_eq!(l.get(2), None, "LRU entry evicted");
         assert_eq!(l.get(1), Some("a"));
         assert_eq!(l.get(3), Some("c"));
@@ -160,7 +162,7 @@ mod tests {
         let mut l = LruList::new(2);
         l.insert(1, 10);
         l.insert(2, 20);
-        assert!(!l.insert(1, 11), "refreshing a present key never evicts");
+        assert_eq!(l.insert(1, 11), None, "refreshing a present key never evicts");
         assert_eq!(l.get(1), Some(11));
         assert_eq!(l.get(2), Some(20));
     }
@@ -175,7 +177,7 @@ mod tests {
         assert_eq!(l.len(), 0);
         assert_eq!(l.get(0), None);
         for k in 10..13 {
-            assert!(!l.insert(k, k), "slab reuse after clear must not evict");
+            assert_eq!(l.insert(k, k), None, "slab reuse after clear must not evict");
         }
         assert_eq!(l.len(), 3);
     }
@@ -185,7 +187,7 @@ mod tests {
         let mut l = LruList::new(0);
         assert_eq!(l.capacity(), 1);
         l.insert(1, 1);
-        assert!(l.insert(2, 2));
+        assert_eq!(l.insert(2, 2), Some(1));
         assert_eq!(l.get(2), Some(2));
     }
 }

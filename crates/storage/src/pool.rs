@@ -38,6 +38,16 @@ pub struct IoStats {
     /// (short) reads, and checksum mismatches — whether or not a retry
     /// later succeeded.
     pub faults_seen: u64,
+    /// Pages fetched beyond a requested range by the pool's
+    /// [`PrefetchPolicy`]. Not requests: `hits + misses` stays the number
+    /// of pages callers asked for, while `misses + prefetched` is the
+    /// number of pages physically read from the store.
+    pub prefetched: u64,
+    /// Requests served from a page that entered the cache as a prefetch —
+    /// the subset of `hits` the readahead hint paid for. A prefetched page
+    /// is counted here at most once (its first hit); later hits on it are
+    /// ordinary hits.
+    pub prefetch_hits: u64,
 }
 
 impl IoStats {
@@ -70,7 +80,32 @@ impl IoStats {
         self.read_nanos += other.read_nanos;
         self.retries += other.retries;
         self.faults_seen += other.faults_seen;
+        self.prefetched += other.prefetched;
+        self.prefetch_hits += other.prefetch_hits;
     }
+}
+
+/// Readahead hint for [`BufferPool::read_range`].
+///
+/// When a cold run reaches the end of a requested range, the pool may
+/// extend the same single [`PageStore::read_pages`] call by up to `window`
+/// further sequential pages — betting that a scan continues where it left
+/// off (entry regions and pair groups are laid out in scan order). The
+/// extension never exceeds [`MAX_COALESCED_PAGES`] in total, never reads
+/// past the store, and only covers pages that are neither cached nor
+/// already being read.
+///
+/// Accounting is exact (see [`IoStats::prefetched`] /
+/// [`IoStats::prefetch_hits`]), so a benchmark can prove whether the hint
+/// pays. Note that with checksums enabled a corrupt *prefetched* page
+/// fails the whole `read_range`, exactly like a corrupt requested page —
+/// readahead does not widen the set of errors that go unreported.
+///
+/// The default window is 0: readahead off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchPolicy {
+    /// Maximum number of pages to read ahead past a requested range.
+    pub window: usize,
 }
 
 /// How a [`BufferPool`] retries transient store faults.
@@ -139,9 +174,11 @@ struct FaultAcct {
 const DEFAULT_SHARDS: usize = 8;
 
 /// Longest run of pages [`BufferPool::read_range`] reads with one store
-/// call — bounds the transient allocation (256 KiB) while still collapsing
-/// any realistic entry-region scan into a single syscall.
-const COALESCE_MAX_RUN: usize = 64;
+/// call, readahead included — bounds the transient allocation (256 KiB)
+/// while still collapsing any realistic entry-region scan into a single
+/// syscall. A [`PrefetchPolicy`] window is clamped so that the claimed run
+/// plus its extension never exceeds this many pages.
+pub const MAX_COALESCED_PAGES: usize = 64;
 
 /// Outcome of probing a single page under its shard lock.
 enum Probe {
@@ -183,6 +220,11 @@ struct LruState {
     /// Pages currently being read from the store by some thread. A page is
     /// never cached and inflight at the same time.
     inflight: HashSet<u64>,
+    /// Cached pages that entered as readahead and have not been requested
+    /// yet — the first request of such a page counts a `prefetch_hit`.
+    /// Eviction removes a page from here too, so a later ordinary re-read
+    /// is never miscounted as a prefetch payoff.
+    prefetched: HashSet<u64>,
     stats: IoStats,
 }
 
@@ -191,7 +233,26 @@ impl LruState {
         LruState {
             list: LruList::new(capacity),
             inflight: HashSet::new(),
+            prefetched: HashSet::new(),
             stats: IoStats::default(),
+        }
+    }
+
+    /// Counts a cache hit of `page`, classifying the first hit of a
+    /// prefetched page.
+    fn count_hit(&mut self, page: u64) {
+        self.stats.hits += 1;
+        if self.prefetched.remove(&page) {
+            self.stats.prefetch_hits += 1;
+        }
+    }
+
+    /// Inserts `page`, counting an eviction and dropping evicted-page
+    /// metadata.
+    fn insert_page(&mut self, page: u64, data: Arc<[u8]>) {
+        if let Some(victim) = self.list.insert(page, data) {
+            self.stats.evictions += 1;
+            self.prefetched.remove(&victim);
         }
     }
 }
@@ -217,11 +278,17 @@ impl Shard {
 /// pages rarely contend. Store reads run outside the shard lock; concurrent
 /// misses on the same page are deduplicated (one read, everyone else waits
 /// and is then served from memory — counted as a hit).
+///
+/// [`Self::read_range`] coalesces cold contiguous spans into single store
+/// calls of at most [`MAX_COALESCED_PAGES`] pages, and an optional
+/// [`PrefetchPolicy`] extends such a run past the requested range (within
+/// the same cap) when a sequential scan is expected to continue.
 pub struct BufferPool<S: PageStore> {
     store: S,
     capacity: usize,
     shards: Box<[Shard]>,
     retry: RetryPolicy,
+    prefetch: PrefetchPolicy,
     checks: Option<Arc<ChecksumTable>>,
 }
 
@@ -248,7 +315,14 @@ impl<S: PageStore> BufferPool<S> {
                 loaded: Condvar::new(),
             })
             .collect();
-        BufferPool { store, capacity, shards, retry: RetryPolicy::default(), checks: None }
+        BufferPool {
+            store,
+            capacity,
+            shards,
+            retry: RetryPolicy::default(),
+            prefetch: PrefetchPolicy::default(),
+            checks: None,
+        }
     }
 
     /// Creates a pool sized to `fraction` of the store's pages — the paper
@@ -283,6 +357,18 @@ impl<S: PageStore> BufferPool<S> {
     /// The pool's current retry policy.
     pub fn retry_policy(&self) -> RetryPolicy {
         self.retry
+    }
+
+    /// Sets the readahead hint for [`Self::read_range`] (see
+    /// [`PrefetchPolicy`]). Configure before sharing the pool across
+    /// threads.
+    pub fn set_prefetch_policy(&mut self, prefetch: PrefetchPolicy) {
+        self.prefetch = prefetch;
+    }
+
+    /// The pool's current prefetch policy.
+    pub fn prefetch_policy(&self) -> PrefetchPolicy {
+        self.prefetch
     }
 
     /// Verifies every page fetched from the store against `checks` —
@@ -417,7 +503,7 @@ impl<S: PageStore> BufferPool<S> {
         let mut st = shard.lock();
         loop {
             if let Some(data) = st.list.get(page.0) {
-                st.stats.hits += 1;
+                st.count_hit(page.0);
                 return Ok(data);
             }
             if st.inflight.contains(&page.0) {
@@ -471,9 +557,7 @@ impl<S: PageStore> BufferPool<S> {
         st.stats.misses += 1;
         st.stats.bytes_read += data.len() as u64;
         st.stats.read_nanos += nanos;
-        if st.list.insert(page.0, Arc::clone(&data)) {
-            st.stats.evictions += 1;
-        }
+        st.insert_page(page.0, Arc::clone(&data));
         Ok(data)
     }
 
@@ -486,7 +570,7 @@ impl<S: PageStore> BufferPool<S> {
         let shard = self.shard(page);
         let mut st = shard.lock();
         if let Some(data) = st.list.get(page) {
-            st.stats.hits += 1;
+            st.count_hit(page);
             return Probe::Hit(data);
         }
         if st.inflight.contains(&page) {
@@ -512,12 +596,15 @@ impl<S: PageStore> BufferPool<S> {
     /// covered page through the cache — the access pattern of decoding a
     /// variable-length record region that ignores page boundaries.
     ///
-    /// Runs of consecutive uncached pages are claimed together and read
-    /// with a single [`PageStore::read_pages`] call (one syscall instead of
-    /// one per page on a file store), which is what makes cold sequential
-    /// scans of entry regions cheap. The I/O counters stay exact: every
-    /// covered page still counts exactly one hit or one miss, and every
-    /// miss corresponds to exactly one page fetched from the store.
+    /// Runs of consecutive uncached pages are claimed together (at most
+    /// [`MAX_COALESCED_PAGES`] per run) and read with a single
+    /// [`PageStore::read_pages`] call (one syscall instead of one per page
+    /// on a file store), which is what makes cold sequential scans of
+    /// entry regions cheap. When a [`PrefetchPolicy`] is set, a run that
+    /// reaches the end of the range is extended past it by up to `window`
+    /// readahead pages in the same store call. The I/O counters stay
+    /// exact: every covered page still counts exactly one hit or one miss,
+    /// and `misses + prefetched` equals the pages fetched from the store.
     pub fn read_range(&self, byte_lo: u64, byte_hi: u64, out: &mut Vec<u8>) -> io::Result<()> {
         if byte_hi <= byte_lo {
             return Ok(());
@@ -547,10 +634,23 @@ impl<S: PageStore> BufferPool<S> {
                     // Extend the claim over the longest run of consecutive
                     // pages that are neither cached nor inflight, then read
                     // the whole run with one store call.
-                    let cap = COALESCE_MAX_RUN.min((page_hi - page + 1) as usize);
+                    let cap = MAX_COALESCED_PAGES.min((page_hi - page + 1) as usize);
                     let mut count = 1usize;
                     while count < cap && self.try_claim(page + count as u64) {
                         count += 1;
+                    }
+                    // Readahead: a cold run that reaches the end of the
+                    // requested range keeps claiming up to `window` further
+                    // sequential pages — same store call, same cap, never
+                    // past the store's end.
+                    if self.prefetch.window > 0 && page + count as u64 == page_hi + 1 {
+                        let store_pages = self.store.page_count();
+                        let limit = (count + self.prefetch.window)
+                            .min(MAX_COALESCED_PAGES)
+                            .min(store_pages.saturating_sub(page) as usize);
+                        while count < limit && self.try_claim(page + count as u64) {
+                            count += 1;
+                        }
                     }
                     // The guard covers a panicking or failing store: the
                     // claimed inflight entries must be released either way,
@@ -573,7 +673,14 @@ impl<S: PageStore> BufferPool<S> {
                         let shard = self.shard(p);
                         let mut st = shard.lock();
                         st.inflight.remove(&p);
-                        st.stats.misses += 1;
+                        if p <= page_hi {
+                            st.stats.misses += 1;
+                        } else {
+                            // A readahead page: physically read, but not a
+                            // request — its first hit proves the bet paid.
+                            st.stats.prefetched += 1;
+                            st.prefetched.insert(p);
+                        }
                         st.stats.bytes_read += data.len() as u64;
                         if i == 0 {
                             // The run's wall-clock is one store call; it is
@@ -581,12 +688,12 @@ impl<S: PageStore> BufferPool<S> {
                             // the aggregate stays exact.
                             st.stats.read_nanos += nanos;
                         }
-                        if st.list.insert(p, Arc::clone(data)) {
-                            st.stats.evictions += 1;
-                        }
+                        st.insert_page(p, Arc::clone(data));
                         drop(st);
                         shard.loaded.notify_all();
-                        slice_of(data, p, out);
+                        if p <= page_hi {
+                            slice_of(data, p, out);
+                        }
                     }
                     guard.armed = false;
                     page += count as u64;
@@ -621,7 +728,9 @@ impl<S: PageStore> BufferPool<S> {
     /// experiment repetitions.
     pub fn clear(&self) {
         for shard in self.shards.iter() {
-            shard.lock().list.clear();
+            let mut st = shard.lock();
+            st.list.clear();
+            st.prefetched.clear();
         }
     }
 }
@@ -1076,6 +1185,122 @@ mod tests {
         out.clear();
         pool.read_range(0, 2 * PAGE_SIZE as u64, &mut out).unwrap();
         assert_eq!(out.len(), 2 * PAGE_SIZE);
+    }
+
+    fn counting_pool(pages: usize, capacity: usize) -> BufferPool<CountingStore> {
+        let store = CountingStore {
+            inner: store_with(pages),
+            reads: AtomicU64::new(0),
+            calls: AtomicU64::new(0),
+            delay: std::time::Duration::ZERO,
+        };
+        BufferPool::new(store, capacity)
+    }
+
+    #[test]
+    fn prefetch_extends_cold_runs_with_exact_accounting() {
+        const PAGES: usize = 16;
+        let mut pool = counting_pool(PAGES, PAGES);
+        pool.set_prefetch_policy(PrefetchPolicy { window: 4 });
+        assert_eq!(pool.prefetch_policy(), PrefetchPolicy { window: 4 });
+        // Cold read of pages 0..=3 prefetches 4..=7 in the same store call.
+        let mut out = Vec::new();
+        pool.read_range(0, 4 * PAGE_SIZE as u64, &mut out).unwrap();
+        assert_eq!(out.len(), 4 * PAGE_SIZE, "readahead bytes never leak into the result");
+        assert_eq!(pool.store().calls.load(Ordering::Relaxed), 1, "run + readahead is one call");
+        assert_eq!(pool.store().reads.load(Ordering::Relaxed), 8);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.prefetched, s.prefetch_hits), (0, 4, 4, 0));
+        assert_eq!(s.requests(), 4, "prefetched pages are not requests");
+        assert_eq!(s.misses + s.prefetched, pool.store().reads.load(Ordering::Relaxed));
+        assert_eq!(s.bytes_read, 8 * PAGE_SIZE as u64);
+        // The continuation scan is served entirely from readahead pages.
+        out.clear();
+        pool.read_range(4 * PAGE_SIZE as u64, 8 * PAGE_SIZE as u64, &mut out).unwrap();
+        assert_eq!(out.len(), 4 * PAGE_SIZE);
+        assert_eq!(pool.store().calls.load(Ordering::Relaxed), 1, "no further store traffic");
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.prefetched, s.prefetch_hits), (4, 4, 4, 4));
+        // A second touch of a prefetched page is an ordinary hit.
+        pool.get(PageId(5)).unwrap();
+        let s = pool.stats();
+        assert_eq!((s.hits, s.prefetch_hits), (5, 4), "prefetch payoff is counted once per page");
+    }
+
+    #[test]
+    fn prefetch_stops_at_store_end_and_coalescing_cap() {
+        // A huge window is clamped by the store's size...
+        let mut pool = counting_pool(4, 4);
+        pool.set_prefetch_policy(PrefetchPolicy { window: 100 });
+        let mut out = Vec::new();
+        pool.read_range(0, 2 * PAGE_SIZE as u64, &mut out).unwrap();
+        let s = pool.stats();
+        assert_eq!((s.misses, s.prefetched), (2, 2), "readahead never reads past the store");
+        assert_eq!(pool.store().calls.load(Ordering::Relaxed), 1);
+        // ...and by MAX_COALESCED_PAGES for a larger store.
+        let mut pool = counting_pool(MAX_COALESCED_PAGES + 16, MAX_COALESCED_PAGES + 16);
+        pool.set_prefetch_policy(PrefetchPolicy { window: 100 });
+        out.clear();
+        pool.read_range(0, PAGE_SIZE as u64, &mut out).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.prefetched, (MAX_COALESCED_PAGES - 1) as u64, "run + readahead ≤ cap");
+        assert_eq!(pool.store().calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn prefetch_hint_cuts_store_calls_on_sequential_scans() {
+        // The acceptance experiment in miniature: the same chunked
+        // sequential scan, with and without the hint.
+        const PAGES: usize = 8;
+        let plain = counting_pool(PAGES, PAGES);
+        let mut hinted = counting_pool(PAGES, PAGES);
+        hinted.set_prefetch_policy(PrefetchPolicy { window: PAGES });
+        for pool in [&plain, &hinted] {
+            let mut out = Vec::new();
+            for chunk in 0..PAGES / 2 {
+                out.clear();
+                let lo = (chunk * 2 * PAGE_SIZE) as u64;
+                pool.read_range(lo, lo + 2 * PAGE_SIZE as u64, &mut out).unwrap();
+                assert_eq!(out.len(), 2 * PAGE_SIZE);
+            }
+        }
+        assert_eq!(plain.store().calls.load(Ordering::Relaxed), (PAGES / 2) as u64);
+        assert_eq!(hinted.store().calls.load(Ordering::Relaxed), 1, "the hint collapses the scan");
+        let s = hinted.stats();
+        assert_eq!((s.hits, s.misses, s.prefetched), (6, 2, 6));
+        assert_eq!(s.prefetch_hits, 6, "every later chunk is served from readahead");
+    }
+
+    #[test]
+    fn evicted_prefetch_pages_lose_their_payoff_marker() {
+        // Capacity 1: the readahead page evicts nothing at insert, then is
+        // itself evicted by an ordinary miss. Re-reading it later must not
+        // count a prefetch hit.
+        let mut pool = counting_pool(4, 1);
+        pool.set_prefetch_policy(PrefetchPolicy { window: 1 });
+        let mut out = Vec::new();
+        pool.read_range(0, PAGE_SIZE as u64, &mut out).unwrap(); // reads 0, prefetches 1
+        assert_eq!(pool.stats().prefetched, 1);
+        pool.get(PageId(2)).unwrap(); // evicts page 1
+        pool.get(PageId(1)).unwrap(); // ordinary miss
+        pool.get(PageId(1)).unwrap(); // ordinary hit
+        let s = pool.stats();
+        assert_eq!(s.prefetch_hits, 0, "an evicted readahead page is no longer a payoff");
+        assert_eq!((s.hits, s.misses), (1, 3));
+    }
+
+    #[test]
+    fn clear_drops_prefetch_markers() {
+        let mut pool = counting_pool(4, 4);
+        pool.set_prefetch_policy(PrefetchPolicy { window: 2 });
+        let mut out = Vec::new();
+        pool.read_range(0, PAGE_SIZE as u64, &mut out).unwrap();
+        assert_eq!(pool.stats().prefetched, 2);
+        pool.clear();
+        pool.get(PageId(1)).unwrap(); // cold again: a miss, not a stale payoff
+        let s = pool.stats();
+        assert_eq!((s.prefetch_hits, s.misses), (0, 2));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::cache::{CacheStats, ShardedCache};
 use crate::checksum::ChecksumTable;
-use crate::pool::{BufferPool, IoStats, RetryPolicy};
+use crate::pool::{BufferPool, IoStats, PrefetchPolicy, RetryPolicy};
 use crate::store::{PageId, PageStore, PAGE_SIZE};
 use std::io;
 use std::sync::Arc;
@@ -84,6 +84,22 @@ impl<S: PageStore, V: Clone> TieredPool<S, V> {
     /// Drops checksum verification (see [`BufferPool::clear_checksums`]).
     pub fn clear_checksums(&mut self) {
         self.pool.clear_checksums();
+    }
+
+    /// Sets the pool's readahead hint (see [`PrefetchPolicy`]). Configure
+    /// before sharing.
+    pub fn set_prefetch_policy(&mut self, prefetch: PrefetchPolicy) {
+        self.pool.set_prefetch_policy(prefetch);
+    }
+
+    /// Reads `len` bytes starting at byte offset `from` *through the pool*
+    /// — cached pages are served from memory, cold runs are coalesced, and
+    /// the pool's [`PrefetchPolicy`] applies. The pooled counterpart of the
+    /// free [`read_span`] used for one-shot metadata loads.
+    pub fn read_span(&self, from: usize, len: usize) -> io::Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(len);
+        self.pool.read_range(from as u64, (from + len) as u64, &mut out)?;
+        Ok(out)
     }
 
     /// The underlying page store.
@@ -180,6 +196,22 @@ mod tests {
         assert_eq!(&bytes[..4], &[0u8; 4]);
         assert_eq!(&bytes[4..], &[1u8; 4]);
         assert!(read_span(&store, 3 * PAGE_SIZE - 1, 2).is_err(), "past EOF must fail");
+    }
+
+    #[test]
+    fn pooled_read_span_is_cached_and_prefetch_aware() {
+        let mut tiered: TieredPool<MemPageStore, u8> = TieredPool::new(store_with(4), 1.0, 4);
+        tiered.set_prefetch_policy(PrefetchPolicy { window: 2 });
+        let bytes = tiered.read_span(PAGE_SIZE - 2, 4).unwrap();
+        assert_eq!(bytes, &[0, 0, 1, 1]);
+        let s = tiered.io_stats();
+        assert_eq!((s.misses, s.prefetched), (2, 2), "readahead past the requested span");
+        // The same span again is all pool hits — no further store reads.
+        let again = tiered.read_span(PAGE_SIZE - 2, 4).unwrap();
+        assert_eq!(again, bytes);
+        let s = tiered.io_stats();
+        assert_eq!((s.hits, s.misses, s.prefetched), (2, 2, 2));
+        assert_eq!(tiered.read_span(0, 0).unwrap(), Vec::<u8>::new());
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Proptest law: every on-disk format version answers bit-identically.
+//!
+//! Version 3 of the SILC page format and version 4 of the PCP page format
+//! compress their payloads (delta+varint block lists and pair groups,
+//! elided representatives); the older fixed-width encodings stay writable
+//! and readable. Compression must be a *pure* representation change — no
+//! query may be able to tell which encoding served it. On random road
+//! networks this locks, per case:
+//!
+//! * **SILC**: an index encoded at every supported format version
+//!   (1..=CURRENT_VERSION) and reopened through an in-memory page store
+//!   answers `network_distance` bit-identically to the in-memory index it
+//!   was encoded from — which pins every version bit-identical to every
+//!   other;
+//! * **PCP**: the compressed (v4) and fixed-width (v3) encodings of one
+//!   oracle answer `distance_with_epsilon` — distance *and* per-pair cap —
+//!   bit-identically to the memory oracle;
+//! * **compression actually engages**: the v4 pair region is strictly
+//!   smaller than v3's fixed records whenever the oracle stores any pairs
+//!   (the format's reason to exist, checked here so a silent fallback to
+//!   fixed-width encoding cannot hide behind the identity law).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use silc::disk::{encode_index_with_version, DiskSilcIndex, CURRENT_VERSION};
+use silc::path::network_distance;
+use silc::{BuildConfig, SilcIndex};
+use silc_network::generate::{road_network, RoadConfig};
+use silc_network::VertexId;
+use silc_pcp::{DiskDistanceOracle, DistanceOracle};
+use silc_storage::MemPageStore;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn silc_format_versions_answer_bit_identically(
+        seed in 0u64..1_000_000,
+        vertices in 30usize..80,
+    ) {
+        let g = Arc::new(road_network(&RoadConfig { vertices, seed, ..Default::default() }));
+        let idx =
+            SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 8, threads: 1 }).unwrap();
+
+        let mut disks = Vec::new();
+        for version in 1..=CURRENT_VERSION {
+            let bytes = encode_index_with_version(&idx, version);
+            let disk = DiskSilcIndex::from_store(
+                Box::new(MemPageStore::new(&bytes)),
+                g.clone(),
+                0.5,
+                8,
+            )
+            .unwrap();
+            prop_assert_eq!(disk.format_version(), version);
+            disks.push(disk);
+        }
+
+        let n = g.vertex_count() as u32;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF0_F0);
+        for _ in 0..25 {
+            let u = VertexId(rng.gen_range(0..n));
+            let v = VertexId(rng.gen_range(0..n));
+            let want = network_distance(&idx, u, v).unwrap();
+            for disk in &disks {
+                let got = network_distance(disk, u, v).unwrap();
+                prop_assert!(
+                    got.to_bits() == want.to_bits(),
+                    "format v{} diverged at {u}->{v}: {got} vs {want}",
+                    disk.format_version()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn pcp_format_versions_answer_bit_identically(
+        seed in 0u64..1_000_000,
+        vertices in 40usize..90,
+        separation in 6.0f64..12.0,
+    ) {
+        let g = Arc::new(road_network(&RoadConfig { vertices, seed, ..Default::default() }));
+        let mem = DistanceOracle::build_with(
+            &g,
+            &silc_pcp::PcpBuildConfig { grid_exponent: 8, separation, threads: 1 },
+        );
+
+        let v4 = DiskDistanceOracle::from_store(
+            MemPageStore::new(&silc_pcp::encode_oracle(&mem)),
+            0.5,
+            None,
+        )
+        .unwrap();
+        let v3 = DiskDistanceOracle::from_store(
+            MemPageStore::new(&silc_pcp::format::encode_oracle_v3(&mem)),
+            0.5,
+            None,
+        )
+        .unwrap();
+        prop_assert_eq!(v4.format_version(), silc_pcp::format::VERSION);
+        prop_assert_eq!(v3.format_version(), 3);
+        let fixed_bytes = (mem.pair_count() * silc_pcp::PAIR_BYTES) as u64;
+        if mem.pair_count() > 0 {
+            prop_assert!(
+                v4.pair_region_bytes() < fixed_bytes,
+                "v4 pair region ({} B) did not compress below v3's fixed records ({fixed_bytes} B)",
+                v4.pair_region_bytes()
+            );
+        }
+
+        let n = g.vertex_count() as u32;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xACE5);
+        for _ in 0..40 {
+            let u = VertexId(rng.gen_range(0..n));
+            let v = VertexId(rng.gen_range(0..n));
+            let (m, m_cap) = mem.distance_with_epsilon(u, v);
+            for (name, disk) in [("v4", &v4), ("v3", &v3)] {
+                let (d, d_cap) = disk.distance_with_epsilon(u, v);
+                prop_assert!(
+                    d.to_bits() == m.to_bits(),
+                    "{name} distance bits diverged at {u}->{v}: {d} vs {m}"
+                );
+                prop_assert!(
+                    d_cap.to_bits() == m_cap.to_bits(),
+                    "{name} cap bits diverged at {u}->{v}: {d_cap} vs {m_cap}"
+                );
+            }
+        }
+    }
+}
