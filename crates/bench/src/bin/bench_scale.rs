@@ -18,13 +18,14 @@
 //! cargo run -p silc-bench --release --bin bench_scale -- [FLAGS]
 //!
 //! FLAGS
-//!   --sizes A,B,C     comma-separated vertex counts  (default 2000,20000,100000)
+//!   --sizes A,B,C     comma-separated vertex counts  (default 2000,20000,100000,1000000)
 //!   --seed S          master RNG seed                (default 2008)
 //!   --shard-target T  aim for ~T vertices per shard  (default 1000)
 //!   --duration-ms D   measured query window per size (default 2000)
 //!   --out PATH        output file                    (default BENCH_scale.json)
 //!   --smoke           CI smoke mode: sizes 400, 150 ms, write to target/ —
-//!                     only checks the pipeline runs
+//!                     checks the pipeline runs AND that the frontier tier
+//!                     certifies every fault-free query (complete == 1.0)
 //! ```
 //!
 //! Workload constants match `bench_throughput`: `k = 10`, object density
@@ -52,7 +53,7 @@ struct Args {
 
 fn parse_args() -> Args {
     let mut args = Args {
-        sizes: vec![2000, 20000, 100000],
+        sizes: vec![2000, 20000, 100000, 1000000],
         seed: 2008,
         shard_target: 1000,
         duration_ms: 2000,
@@ -127,6 +128,18 @@ struct SizeResult {
     /// arithmetic projection of what the uncompressed format would occupy
     /// (no second build; entry counts come from the opened shards).
     entry_bytes_fixed: u64,
+    /// On-disk size of the frontier-distance tier (exact cross-shard
+    /// routing artifact), reported separately from the shard indexes.
+    frontier_bytes: u64,
+    /// Build wall time split: the per-shard index loop vs. the frontier
+    /// tier SSSP batch (`build_s` is their sum plus partitioning).
+    shard_build_s: f64,
+    frontier_build_s: f64,
+    /// Pool readahead payoff across build, engine bring-up (the cold
+    /// frontier-graph tier scan — the sequential-read case the tier's
+    /// readahead window targets), and warm-up. The measured query window
+    /// itself runs from warm caches and adds ~nothing.
+    prefetch_hits: u64,
     shard_bytes: Vec<u64>,
     engine_s: f64,
     queries: usize,
@@ -180,7 +193,7 @@ fn run_size(
     assert_eq!(network.edge_count(), generated.edge_count(), "fmi round-trip lost edges");
     drop(generated);
 
-    let shards = n.div_ceil(args.shard_target).clamp(2, 256);
+    let shards = n.div_ceil(args.shard_target).clamp(2, 1024);
     let cfg = PartitionedBuildConfig {
         partition: PartitionConfig { shards, ..Default::default() },
         grid_exponent: w.grid_exponent,
@@ -207,12 +220,17 @@ fn run_size(
     let entry_bytes_fixed: u64 = (0..index.shard_count())
         .map(|s| index.shard_index(s).entry_count() * silc::disk::ENTRY_BYTES as u64)
         .sum();
+    let timings = index.build_timings().expect("fresh build records timings");
     eprintln!(
-        "# built {} shards in {build_s:.2}s ({} cut edges, {} bytes, entry regions {} B \
+        "# built {} shards in {build_s:.2}s (shard loop {:.2}s + frontier tier {:.2}s; \
+         {} cut edges, {} bytes + {} tier bytes, entry regions {} B \
          vs {} B fixed-width = {:.1} %); projected single-index build {projected_single_s:.1}s",
         part.shard_count(),
+        timings.shards_s,
+        timings.frontier_s,
         part.cut_edges().len(),
         index.total_bytes(),
+        index.frontier_bytes(),
         entry_bytes,
         entry_bytes_fixed,
         100.0 * entry_bytes as f64 / entry_bytes_fixed.max(1) as f64,
@@ -232,6 +250,7 @@ fn run_size(
     for i in 0..32u64 {
         let _ = session.knn(VertexId(((i * 131 + 17) % nv) as u32), k);
     }
+    let prefetch_hits = index.io_stats().prefetch_hits;
     index.reset_io_stats();
     let duration = Duration::from_millis(args.duration_ms);
     let start = Instant::now();
@@ -263,6 +282,10 @@ fn run_size(
         bytes_total: index.total_bytes(),
         entry_bytes,
         entry_bytes_fixed,
+        frontier_bytes: index.frontier_bytes(),
+        shard_build_s: timings.shards_s,
+        frontier_build_s: timings.frontier_s,
+        prefetch_hits,
         shard_bytes: index.shard_bytes().to_vec(),
         engine_s,
         queries: latencies_us.len(),
@@ -272,9 +295,26 @@ fn run_size(
         complete_fraction: complete as f64 / latencies_us.len().max(1) as f64,
     };
     eprintln!(
-        "# n {}: {:.0} QPS, p50 {:.1}µs, p99 {:.1}µs, complete {:.3}, speedup {:.1}x",
-        n, res.qps, res.p50_us, res.p99_us, res.complete_fraction, res.speedup_vs_projected
+        "# n {}: {:.0} QPS, p50 {:.1}µs, p99 {:.1}µs, complete {:.3}, \
+         prefetch hits {}, speedup {:.1}x",
+        n,
+        res.qps,
+        res.p50_us,
+        res.p99_us,
+        res.complete_fraction,
+        res.prefetch_hits,
+        res.speedup_vs_projected
     );
+    if args.smoke {
+        assert!(
+            engine.exact_routing(),
+            "smoke: fault-free build must come up in exact routing mode"
+        );
+        assert_eq!(
+            res.complete_fraction, 1.0,
+            "smoke: exact routing must certify every fault-free query"
+        );
+    }
     std::fs::remove_dir_all(&idx_dir).ok();
     res
 }
@@ -343,6 +383,8 @@ fn main() {
              \"frontier_vertices\": {}, \"fmi_roundtrip_s\": {:.4}, \"build_s\": {:.4}, \
              \"projected_single_s\": {:.4}, \"speedup_vs_projected\": {:.2}, \
              \"bytes_total\": {}, \"entry_bytes\": {}, \"entry_bytes_fixed\": {}, \
+             \"frontier_bytes\": {}, \"shard_build_s\": {:.4}, \"frontier_build_s\": {:.4}, \
+             \"prefetch_hits\": {}, \
              \"engine_s\": {:.4}, \"queries\": {}, \"qps\": {:.1}, \
              \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"complete_fraction\": {:.4},\n     \
              \"shard_bytes\": [{}]}}{}\n",
@@ -357,6 +399,10 @@ fn main() {
             r.bytes_total,
             r.entry_bytes,
             r.entry_bytes_fixed,
+            r.frontier_bytes,
+            r.shard_build_s,
+            r.frontier_build_s,
+            r.prefetch_hits,
             r.engine_s,
             r.queries,
             r.qps,

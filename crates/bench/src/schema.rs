@@ -344,6 +344,10 @@ pub const SCALE_SCHEMA: Shape = Shape::Obj(&[
             ("bytes_total", Shape::Num),
             ("entry_bytes", Shape::Num),
             ("entry_bytes_fixed", Shape::Num),
+            ("frontier_bytes", Shape::Num),
+            ("shard_build_s", Shape::Num),
+            ("frontier_build_s", Shape::Num),
+            ("prefetch_hits", Shape::Num),
             ("engine_s", Shape::Num),
             ("queries", Shape::Num),
             ("qps", Shape::Num),

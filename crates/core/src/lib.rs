@@ -67,6 +67,7 @@
 pub mod browser;
 pub mod disk;
 pub mod error;
+pub mod frontier;
 pub mod index;
 pub mod interval;
 pub mod mbr_baseline;
@@ -79,6 +80,7 @@ pub mod spmap;
 pub use browser::DistanceBrowser;
 pub use disk::DiskSilcIndex;
 pub use error::{BuildError, QueryError};
+pub use frontier::FrontierTier;
 pub use index::{BuildConfig, IndexStats, SilcIndex};
 pub use interval::DistInterval;
 pub use partitioned::{PartitionedBuildConfig, PartitionedBuildError, PartitionedSilcIndex};

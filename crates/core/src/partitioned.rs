@@ -19,6 +19,7 @@
 
 use crate::disk::{write_index, DiskSilcIndex};
 use crate::error::BuildError;
+use crate::frontier::{self, FrontierTier};
 use crate::index::{BuildConfig, SilcIndex};
 use silc_network::partition::{partition_network, NetworkPartition, PartitionError};
 use silc_network::{PartitionConfig, SpatialNetwork};
@@ -26,6 +27,7 @@ use std::fmt;
 use std::fs;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Configuration for [`PartitionedSilcIndex::build_in_dir`].
 #[derive(Debug, Clone)]
@@ -103,13 +105,29 @@ impl From<std::io::Error> for PartitionedBuildError {
     }
 }
 
+/// Wall-clock split of one [`PartitionedSilcIndex::build_in_dir`] run, so
+/// benchmarks can report the shard-index cost and the frontier-tier
+/// precompute separately.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BuildTimings {
+    /// Seconds spent building, writing and re-opening the shard indexes.
+    pub shards_s: f64,
+    /// Seconds spent on the frontier-tier SSSPs, encode, and write.
+    pub frontier_s: f64,
+}
+
 /// One disk-resident SILC index per spatial shard, plus the partition
-/// that maps between global and shard-local vertex ids.
+/// that maps between global and shard-local vertex ids, plus the
+/// frontier-distance tier (see [`crate::frontier`]) with exact
+/// shard-internal distances from every cut-edge endpoint.
 pub struct PartitionedSilcIndex {
     network: Arc<SpatialNetwork>,
     partition: Arc<NetworkPartition>,
     shards: Vec<Arc<DiskSilcIndex>>,
     shard_bytes: Vec<u64>,
+    tier: Option<Arc<FrontierTier>>,
+    frontier_bytes: u64,
+    timings: Option<BuildTimings>,
 }
 
 /// File name of shard `s` inside the index directory.
@@ -133,6 +151,7 @@ impl PartitionedSilcIndex {
         let build_cfg = BuildConfig { grid_exponent: cfg.grid_exponent, threads: cfg.threads };
         let mut shards = Vec::with_capacity(partition.shard_count());
         let mut shard_bytes = Vec::with_capacity(partition.shard_count());
+        let shards_started = Instant::now();
         for (s, shard) in partition.shards().iter().enumerate() {
             let wrap = |source: BuildError| PartitionedBuildError::Shard { shard: s, source };
             let built =
@@ -146,7 +165,31 @@ impl PartitionedSilcIndex {
             shard_bytes.push(fs::metadata(&path)?.len());
             shards.push(Arc::new(disk));
         }
-        Ok(PartitionedSilcIndex { network, partition, shards, shard_bytes })
+        let shards_s = shards_started.elapsed().as_secs_f64();
+
+        // The frontier-distance tier: |F_s| shard-confined SSSPs per shard
+        // (parallel), persisted alongside the shard files. Shards are
+        // strongly connected here — every shard index build above succeeded.
+        let frontier_started = Instant::now();
+        let tier_bytes = frontier::build_tier(&partition, cfg.threads);
+        let tier_path = dir.join(frontier::FILE_NAME);
+        frontier::write_tier(&tier_bytes, &tier_path)?;
+        let tier =
+            FrontierTier::open(&tier_path, &partition, cfg.cache_fraction).map_err(|source| {
+                PartitionedBuildError::Shard { shard: partition.shard_count(), source }
+            })?;
+        let frontier_bytes = fs::metadata(&tier_path)?.len();
+        let frontier_s = frontier_started.elapsed().as_secs_f64();
+
+        Ok(PartitionedSilcIndex {
+            network,
+            partition,
+            shards,
+            shard_bytes,
+            tier: Some(Arc::new(tier)),
+            frontier_bytes,
+            timings: Some(BuildTimings { shards_s, frontier_s }),
+        })
     }
 
     /// Re-opens an index directory written by
@@ -188,7 +231,43 @@ impl PartitionedSilcIndex {
             shard_bytes.push(fs::metadata(&path)?.len());
             shards.push(Arc::new(disk));
         }
-        Ok(PartitionedSilcIndex { network, partition, shards, shard_bytes })
+
+        // The frontier tier is optional at open time: directories written
+        // before the tier existed (or whose tier file fails validation)
+        // still open, and the query router falls back to its sound
+        // interval-based cross-shard path. `wrap` sees the tier store with
+        // shard number == shard_count — *after* every real shard — so
+        // fault-injection handles indexed by shard number stay stable.
+        let tier_path = dir.join(frontier::FILE_NAME);
+        let mut frontier_bytes = 0;
+        let tier = if tier_path.exists() {
+            silc_storage::FilePageStore::open(&tier_path)
+                .map_err(BuildError::Io)
+                .and_then(|store| {
+                    FrontierTier::from_store(
+                        wrap(partition.shard_count(), store),
+                        &partition,
+                        cfg.cache_fraction,
+                    )
+                })
+                .ok()
+                .map(|t| {
+                    frontier_bytes = fs::metadata(&tier_path).map(|m| m.len()).unwrap_or(0);
+                    Arc::new(t)
+                })
+        } else {
+            None
+        };
+
+        Ok(PartitionedSilcIndex {
+            network,
+            partition,
+            shards,
+            shard_bytes,
+            tier,
+            frontier_bytes,
+            timings: None,
+        })
     }
 
     /// The global network.
@@ -221,16 +300,34 @@ impl PartitionedSilcIndex {
         &self.shard_bytes
     }
 
-    /// Total on-disk bytes across all shard files.
+    /// Total on-disk bytes across all shard files (tier excluded; see
+    /// [`Self::frontier_bytes`]).
     pub fn total_bytes(&self) -> u64 {
         self.shard_bytes.iter().sum()
     }
 
-    /// Page-pool I/O counters summed over all shards.
+    /// The frontier-distance tier, when the directory has a valid one.
+    /// `None` means the router must fall back to interval-based
+    /// cross-shard answers.
+    pub fn frontier_tier(&self) -> Option<&Arc<FrontierTier>> {
+        self.tier.as_ref()
+    }
+
+    /// On-disk bytes of the frontier-tier file (`0` when absent).
+    pub fn frontier_bytes(&self) -> u64 {
+        self.frontier_bytes
+    }
+
+    /// Build-phase wall-clock split; `None` on a re-opened directory.
+    pub fn build_timings(&self) -> Option<BuildTimings> {
+        self.timings
+    }
+
+    /// Page-pool I/O counters summed over all shards and the frontier tier.
     pub fn io_stats(&self) -> silc_storage::IoStats {
         let mut total = silc_storage::IoStats::default();
-        for shard in &self.shards {
-            let s = shard.io_stats();
+        let tier_stats = self.tier.as_ref().map(|t| t.io_stats());
+        for s in self.shards.iter().map(|shard| shard.io_stats()).chain(tier_stats) {
             total.hits += s.hits;
             total.misses += s.misses;
             total.evictions += s.evictions;
@@ -244,17 +341,24 @@ impl PartitionedSilcIndex {
         total
     }
 
-    /// Zeroes the I/O counters of every shard.
+    /// Zeroes the I/O counters of every shard and the frontier tier.
     pub fn reset_io_stats(&self) {
         for shard in &self.shards {
             shard.reset_io_stats();
         }
+        if let Some(t) = &self.tier {
+            t.reset_io_stats();
+        }
     }
 
-    /// Drops every shard's cached pages and decoded entries (cold start).
+    /// Drops every shard's cached pages and decoded entries, and the
+    /// tier's cached rows (cold start).
     pub fn clear_caches(&self) {
         for shard in &self.shards {
             shard.clear_cache();
+        }
+        if let Some(t) = &self.tier {
+            t.clear_cache();
         }
     }
 }
@@ -292,6 +396,10 @@ mod tests {
         assert_eq!(idx.shard_bytes().len(), 4);
         assert!(idx.total_bytes() > 0);
         assert!(idx.shard_bytes().iter().all(|&b| b > 0 && b % 4096 == 0));
+        assert!(idx.frontier_tier().is_some(), "a fresh build carries the frontier tier");
+        assert!(idx.frontier_bytes() > 0 && idx.frontier_bytes() % 4096 == 0);
+        let t = idx.build_timings().expect("fresh builds record timings");
+        assert!(t.shards_s >= 0.0 && t.frontier_s >= 0.0);
 
         // Shard-local intervals must contain the shard-local true distance
         // (which upper-bounds nothing global — it is the induced-subgraph
@@ -320,6 +428,31 @@ mod tests {
         let reopened = PartitionedSilcIndex::open_dir(Arc::clone(&g), &dir, &cfg).unwrap();
         assert_eq!(reopened.shard_count(), idx.shard_count());
         assert_eq!(reopened.shard_bytes(), idx.shard_bytes());
+        assert!(reopened.frontier_tier().is_some(), "re-open finds the tier file");
+        assert_eq!(reopened.frontier_bytes(), idx.frontier_bytes());
+        assert!(reopened.build_timings().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_or_invalid_tier_degrades_open_to_no_tier() {
+        let g =
+            Arc::new(road_network(&RoadConfig { vertices: 140, seed: 17, ..Default::default() }));
+        let dir = tmp_dir("tierless");
+        let cfg = small_cfg(3);
+        let _ = PartitionedSilcIndex::build_in_dir(Arc::clone(&g), &dir, &cfg).unwrap();
+
+        // Deleted tier file: the directory still opens, tier-free.
+        let tier_path = dir.join(crate::frontier::FILE_NAME);
+        std::fs::remove_file(&tier_path).unwrap();
+        let opened = PartitionedSilcIndex::open_dir(Arc::clone(&g), &dir, &cfg).unwrap();
+        assert!(opened.frontier_tier().is_none());
+        assert_eq!(opened.frontier_bytes(), 0);
+
+        // Garbage tier file: validation fails, open degrades the same way.
+        std::fs::write(&tier_path, vec![0u8; 8192]).unwrap();
+        let opened = PartitionedSilcIndex::open_dir(Arc::clone(&g), &dir, &cfg).unwrap();
+        assert!(opened.frontier_tier().is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 

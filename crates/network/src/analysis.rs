@@ -105,6 +105,15 @@ fn bfs_reach_count(g: &SpatialNetwork, start: VertexId, reversed: bool) -> usize
     count
 }
 
+/// Tests whether the network is symmetric: for every directed edge
+/// `(u, v, w)` the reverse edge `(v, u, w)` exists with the same weight.
+/// On symmetric networks a forward SSSP from `v` also yields the
+/// distances *to* `v`, so precompute passes that need both directions
+/// (the frontier-distance tier) can run and store half the work.
+pub fn is_symmetric(g: &SpatialNetwork) -> bool {
+    g.vertices().all(|u| g.out_edges(u).all(|(v, w)| g.edge_weight(v, u) == Some(w)))
+}
+
 /// Extracts the largest weakly-connected component as a new network.
 ///
 /// Returns the subnetwork and, for each new vertex id `i`, the original id

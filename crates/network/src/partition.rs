@@ -35,16 +35,24 @@ use std::sync::Arc;
 /// Configuration for [`partition_network`].
 #[derive(Debug, Clone)]
 pub struct PartitionConfig {
-    /// Number of shards to aim for (clamped to the vertex count).
+    /// Number of shards to aim for (clamped to the vertex count). Shards
+    /// that end up undersized (see `min_shard_fraction`) are merged away,
+    /// so the final count can be lower.
     pub shards: usize,
     /// Grid exponent of the Morton order used to place the k seeds
     /// (clamped to `1..=16`). Only seed placement depends on it.
     pub grid_exponent: u32,
+    /// Minimum shard size as a fraction of the balanced size `n / shards`
+    /// (clamped to `0.0..=1.0`). A region whose frontier is exhausted by
+    /// its neighbors before it reaches this floor is merged into its
+    /// Morton-nearest adjacent region instead of surviving as a straggler
+    /// shard. `0.0` disables merging.
+    pub min_shard_fraction: f64,
 }
 
 impl Default for PartitionConfig {
     fn default() -> Self {
-        PartitionConfig { shards: 8, grid_exponent: 10 }
+        PartitionConfig { shards: 8, grid_exponent: 10, min_shard_fraction: 0.25 }
     }
 }
 
@@ -176,6 +184,26 @@ impl NetworkPartition {
     pub fn cut_edges(&self) -> &[CutEdge] {
         &self.cut_edges
     }
+
+    /// Per shard, the sorted, deduplicated local ids of every cut-edge
+    /// endpoint (sources of outgoing cuts and targets of incoming ones).
+    /// This is the vertex set of the cross-shard frontier graph: every
+    /// path between shards enters and leaves through these vertices, so
+    /// precomputed distances between them (the frontier-distance tier) and
+    /// the per-query frontier Dijkstra both index frontier vertices by
+    /// rank in exactly this order.
+    pub fn frontier_members(&self) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); self.shards.len()];
+        for e in &self.cut_edges {
+            out[self.shard_of(e.source)].push(self.local_of(e.source));
+            out[self.shard_of(e.target)].push(self.local_of(e.target));
+        }
+        for m in &mut out {
+            m.sort_unstable();
+            m.dedup();
+        }
+        out
+    }
 }
 
 /// Splits `g` into `cfg.shards` vertex-disjoint shards (see the module
@@ -251,6 +279,73 @@ pub fn partition_network(
             break;
         }
     }
+
+    // Merge pass: a region whose frontier was exhausted by its neighbors
+    // can finish far below the balanced size, leaving a straggler shard
+    // whose index pays full per-shard overhead for a handful of vertices.
+    // Fold every region below the floor into its Morton-nearest adjacent
+    // region (seed ids are Morton-ordered, so nearest id ≈ nearest seed),
+    // smallest region first, until none remain under the floor.
+    let floor = (cfg.min_shard_fraction.clamp(0.0, 1.0) * (n as f64 / k as f64)).floor() as usize;
+    let k = if floor > 1 && k > 1 {
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for v in 0..n as u32 {
+            members[shard_of[v as usize] as usize].push(v);
+        }
+        // Isolated components can have no neighbor to merge into; freeze
+        // them instead of spinning.
+        let mut frozen = vec![false; k];
+        loop {
+            let mut small: Option<usize> = None;
+            for r in 0..k {
+                let sz = members[r].len();
+                if sz > 0
+                    && sz < floor
+                    && !frozen[r]
+                    && small.is_none_or(|b| (sz, r) < (members[b].len(), b))
+                {
+                    small = Some(r);
+                }
+            }
+            let Some(s) = small else { break };
+            let mut best: Option<usize> = None;
+            for &v in &members[s] {
+                let (out, _) = g.out_edge_slices(VertexId(v));
+                let (inc, _) = g.in_edge_slices(VertexId(v));
+                for &t in out.iter().chain(inc) {
+                    let r = shard_of[t as usize] as usize;
+                    if r != s && best.is_none_or(|b| (r.abs_diff(s), r) < (b.abs_diff(s), b)) {
+                        best = Some(r);
+                    }
+                }
+            }
+            match best {
+                Some(t) => {
+                    for &v in &members[s] {
+                        shard_of[v as usize] = t as u32;
+                    }
+                    let moved = std::mem::take(&mut members[s]);
+                    members[t].extend(moved);
+                }
+                None => frozen[s] = true,
+            }
+        }
+        // Compact shard ids over the surviving regions, preserving order.
+        let mut remap = vec![u32::MAX; k];
+        let mut live = 0u32;
+        for (r, m) in members.iter().enumerate() {
+            if !m.is_empty() {
+                remap[r] = live;
+                live += 1;
+            }
+        }
+        for s in &mut shard_of {
+            *s = remap[*s as usize];
+        }
+        live as usize
+    } else {
+        k
+    };
 
     // Extract the induced subnetworks. Local ids are ascending global ids,
     // so the maps are deterministic and binary-search friendly.
@@ -386,6 +481,50 @@ mod tests {
         let (_, b) = partition(200, 6, 5);
         assert_eq!(a.shard_of, b.shard_of);
         assert_eq!(a.cut_edges().len(), b.cut_edges().len());
+    }
+
+    #[test]
+    fn undersized_shards_are_merged_to_the_floor() {
+        let g = road_network(&RoadConfig { vertices: 400, seed: 11, ..Default::default() });
+        for fraction in [0.25, 0.5, 0.75] {
+            let cfg =
+                PartitionConfig { shards: 8, min_shard_fraction: fraction, ..Default::default() };
+            let p = partition_network(&g, &cfg).unwrap();
+            let floor = (fraction * 400.0 / 8.0).floor() as usize;
+            for (s, shard) in p.shards().iter().enumerate() {
+                assert!(
+                    shard.vertex_count() >= floor,
+                    "shard {s} has {} vertices, floor {floor} (fraction {fraction})",
+                    shard.vertex_count()
+                );
+                assert!(is_strongly_connected(shard.network()), "merged shard {s} stays connected");
+            }
+        }
+        // Disabling the floor keeps every grown region, merged or not.
+        let off = PartitionConfig { shards: 8, min_shard_fraction: 0.0, ..Default::default() };
+        assert_eq!(partition_network(&g, &off).unwrap().shard_count(), 8);
+    }
+
+    #[test]
+    fn frontier_members_are_exactly_the_cut_endpoints() {
+        let (_, p) = partition(250, 4, 3);
+        let members = p.frontier_members();
+        assert_eq!(members.len(), p.shard_count());
+        for (s, m) in members.iter().enumerate() {
+            assert!(m.windows(2).all(|w| w[0] < w[1]), "shard {s} members sorted and unique");
+            for &local in m {
+                let global = p.shard(s).to_global(local);
+                let touches_cut =
+                    p.cut_edges().iter().any(|e| e.source == global || e.target == global);
+                assert!(touches_cut, "shard {s} local {local} must touch a cut edge");
+            }
+        }
+        let listed: usize = members.iter().map(Vec::len).sum();
+        let mut endpoints: Vec<VertexId> =
+            p.cut_edges().iter().flat_map(|e| [e.source, e.target]).collect();
+        endpoints.sort_unstable_by_key(|v| v.0);
+        endpoints.dedup();
+        assert_eq!(listed, endpoints.len(), "every endpoint listed exactly once");
     }
 
     #[test]

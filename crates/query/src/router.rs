@@ -18,43 +18,63 @@
 //!   cheap Euclidean form (`ratio · ‖q − f‖`), then tightens with
 //!   shard-index interval lower bounds (the PR-1 interval machinery) only
 //!   when the cheap bound cannot certify exactness.
-//! * **The frontier graph.** For upper bounds across the cut, the router
-//!   precomputes a small graph over all cut-edge endpoints: cut edges
-//!   keep their exact weights, and frontier vertices of the same shard
-//!   are linked by shard-index interval *upper* bounds. A per-query
-//!   Dijkstra from the home frontier (seeded with interval upper bounds
-//!   from `q`) yields a realizable-cost bound `ub(x)` for every frontier
-//!   vertex, and an object `o` in shard `t` gets
-//!   `hi(o) = ub(x) + interval_t(x, o).hi` for a well-chosen entry `x`.
+//! * **The frontier graph.** The router precomputes a small graph over
+//!   all cut-edge endpoints: cut edges keep their exact weights, and
+//!   frontier vertices of the same shard are linked by their **exact**
+//!   intra-shard distances, read from the frontier-distance tier
+//!   ([`silc::frontier`]) the partitioned build persists. Any global
+//!   path decomposes into within-shard segments between frontier
+//!   vertices joined by cut edges, so a per-query Dijkstra seeded with
+//!   the exact `d_home(q → f)` values (the tier's reverse rows
+//!   evaluated at `q`) settles the **exact global distance** `q → x`
+//!   for every frontier vertex `x`. An object `o` in shard `t` then
+//!   gets its exact global distance as
+//!   `min_x [dist(x) + row_x[o]]` over `t`'s frontier forward rows —
+//!   pure in-memory arithmetic once the rows are cached, with the
+//!   neighbor shard's own index never probed. Home objects fold
+//!   re-entrant paths in the same way, and home objects the INN never
+//!   reported (the overflow) are scanned through the rows too.
+//!
+//! Without a tier (an old directory, or one whose tier failed
+//! validation), the intra-shard edges fall back to shard-index interval
+//! *upper* bounds and the router reverts to the interval routing of
+//! earlier revisions: sound intervals, completeness only when the exit
+//! bound certifies it.
 //!
 //! A neighboring shard is expanded only when its lower bound — the
-//! larger of the exit bound and `ratio ·` its Euclidean rectangle
-//! distance — still collides with the current kth upper bound `Dk`
-//! (ties expand, mirroring the kNN collision rule). Every reported
-//! interval is sound; [`PartitionedKnnResult::complete`] is set exactly
-//! when the reported distance multiset provably equals the true global
-//! kNN multiset (all reported exact, and every un-expanded bound at or
-//! beyond the final `Dk`).
+//! largest of the exit bound, `ratio ·` its Euclidean rectangle
+//! distance, and (exact mode) the cheapest settled entry into the
+//! shard — still collides with the current kth upper bound `Dk` (ties
+//! expand, mirroring the kNN collision rule). Every reported interval
+//! is sound; [`PartitionedKnnResult::complete`] is set exactly when the
+//! reported distance multiset provably equals the true global kNN
+//! multiset. On a fault-free exact-mode run **every** query certifies:
+//! `complete` is `true` and all reported intervals are points.
 //!
 //! ## Graceful degradation
 //!
-//! Every shard-index probe the router makes is fallible (the shards are
-//! disk-resident). When a probe fails — an I/O error or a checksum
-//! mismatch — the router does **not** panic and does not abandon the
-//! query: it marks the shard unavailable for the rest of the session,
-//! keeps serving from the healthy shards, and substitutes each lost
-//! bound with a weaker one that is still sound (the Euclidean lower
-//! bound `ratio · ‖·‖` below, `+∞` above). The answer then reports
+//! Every shard-index probe and every tier-row read the router makes is
+//! fallible (both are disk-resident). When a probe fails — an I/O error
+//! or a checksum mismatch — the router does **not** panic and does not
+//! abandon the query: it marks the shard (or its tier rows) unavailable
+//! for the rest of the session, keeps serving from the healthy stores,
+//! and substitutes each lost bound with a weaker one that is still
+//! sound (the Euclidean lower bound `ratio · ‖·‖` below, `+∞` above;
+//! a failed tier row retires exact routing for that shard and the
+//! interval path takes over). The answer then reports
 //! `complete = false` and lists the offending shards in
 //! [`PartitionedKnnResult::degraded`]; every returned interval still
 //! contains its object's true global distance. A dead shard that the
 //! geometric bounds prune anyway degrades nothing — its objects are
-//! provably too far without touching its index.
+//! provably too far without touching its index. Conversely, a healthy
+//! tier *masks* dead neighbor-shard indexes entirely: exact routing
+//! never probes them.
 
 use crate::knn::{try_inn_into, KnnScratch};
 use crate::objects::{ObjectId, ObjectSet};
+use silc::frontier::Direction;
 use silc::partitioned::PartitionedSilcIndex;
-use silc::{DistInterval, DistanceBrowser};
+use silc::{DistInterval, DistanceBrowser, FrontierTier};
 use silc_network::VertexId;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
@@ -72,11 +92,25 @@ struct FrontierVertex {
 /// The precomputed graph over cut-edge endpoints (see the module docs).
 struct FrontierGraph {
     verts: Vec<FrontierVertex>,
-    /// Frontier indices per shard.
+    /// Frontier indices per shard, sorted by shard-local id — the same
+    /// rank order as the frontier-tier rows, so rank `r` of shard `s` is
+    /// both `of_shard[s][r]` here and row `r` of the tier.
     of_shard: Vec<Vec<u32>>,
-    /// Upper-bound edges: exact cut edges plus intra-shard interval
-    /// upper bounds between frontier vertices of the same shard.
+    /// Edges: exact cut edges plus intra-shard edges between frontier
+    /// vertices of the same shard — exact tier distances when `exact`,
+    /// shard-index interval upper bounds otherwise.
     adj: Vec<Vec<(u32, f64)>>,
+    /// `true` when every intra-shard edge is an exact tier distance, so
+    /// a Dijkstra seeded with exact distances stays exact throughout.
+    exact: bool,
+}
+
+impl FrontierGraph {
+    /// Tier-row rank of shard-local vertex `local` in shard `s`'s
+    /// frontier, if a member.
+    fn rank_of(&self, s: usize, local: u32) -> Option<usize> {
+        self.of_shard[s].binary_search_by_key(&local, |&i| self.verts[i as usize].local).ok()
+    }
 }
 
 /// Per-shard slice of the global object set.
@@ -167,24 +201,49 @@ impl PartitionedEngine {
         for (i, fv) in verts.iter().enumerate() {
             of_shard[fv.shard as usize].push(i as u32);
         }
+        for members in &mut of_shard {
+            // Tier rank order: ascending shard-local id.
+            members.sort_unstable_by_key(|&i| verts[i as usize].local);
+        }
         let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); verts.len()];
         for e in part.cut_edges() {
             adj[fidx[&e.source.0] as usize].push((fidx[&e.target.0], e.weight));
         }
+        // Intra-shard edges between same-shard frontier vertices. With a
+        // frontier tier, one forward row per frontier vertex yields the
+        // *exact* distances to its shard-mates. Without one — or when a
+        // row read fails — shard-index interval upper bounds stand in,
+        // costing exactness but never soundness.
+        let tier = index.frontier_tier().cloned();
+        let mut exact = tier.is_some();
         for (s, members) in of_shard.iter().enumerate() {
             let disk = index.shard_index(s);
-            for &a in members {
+            for (rank, &a) in members.iter().enumerate() {
+                let va_local = verts[a as usize].local;
+                debug_assert!(
+                    tier.as_ref().is_none_or(|t| t.frontier(s)[rank] == va_local),
+                    "frontier-graph rank order must match the tier",
+                );
+                let row = tier
+                    .as_ref()
+                    .and_then(|t| t.try_row(s, rank, silc::frontier::Direction::Forward).ok());
+                if row.is_none() {
+                    exact = false;
+                }
                 for &b in members {
-                    if a == b {
+                    if b == a {
                         continue;
                     }
-                    let (va, vb) = (&verts[a as usize], &verts[b as usize]);
-                    // Frontier edges are optional upper bounds: a probe
-                    // that fails (I/O, checksum) just contributes no edge,
-                    // which weakens later Dijkstra bounds but stays sound.
-                    let hi = match disk.try_interval(VertexId(va.local), VertexId(vb.local)) {
-                        Ok(iv) => iv.hi,
-                        Err(_) => f64::INFINITY,
+                    let vb_local = verts[b as usize].local;
+                    let hi = match &row {
+                        Some(r) => r[vb_local as usize],
+                        // A probe that fails (I/O, checksum) just
+                        // contributes no edge, which weakens later
+                        // Dijkstra bounds but stays sound.
+                        None => match disk.try_interval(VertexId(va_local), VertexId(vb_local)) {
+                            Ok(iv) => iv.hi,
+                            Err(_) => f64::INFINITY,
+                        },
                     };
                     if hi.is_finite() {
                         adj[a as usize].push((b, hi));
@@ -200,9 +259,16 @@ impl PartitionedEngine {
                 objects,
                 min_ratio,
                 shard_objects,
-                frontier: FrontierGraph { verts, of_shard, adj },
+                frontier: FrontierGraph { verts, of_shard, adj, exact },
             }),
         }
+    }
+
+    /// `true` when the frontier graph is built from exact tier distances,
+    /// so fault-free routed queries report exact global distances with
+    /// `complete == true`.
+    pub fn exact_routing(&self) -> bool {
+        self.core.frontier.exact
     }
 
     /// The partitioned index.
@@ -222,11 +288,14 @@ impl PartitionedEngine {
 
     /// Opens a per-thread session owning the reusable workspaces.
     pub fn session(&self) -> PartitionedSession {
+        let shard_count = self.core.index.partition().shard_count();
         PartitionedSession {
-            down: vec![false; self.core.index.partition().shard_count()],
+            down: vec![false; shard_count],
+            tier_down: vec![false; shard_count],
             core: Arc::clone(&self.core),
             knn: KnnScratch::new(),
             dist: Vec::new(),
+            seeds: Vec::new(),
             heap: BinaryHeap::new(),
             cands: Vec::new(),
             his: Vec::new(),
@@ -320,6 +389,22 @@ impl PartialOrd for HeapItem {
     }
 }
 
+/// What the home-shard pass produced, carried to the exact-mode row
+/// fold ([`PartitionedSession::apply_home_rows`]).
+#[derive(Clone, Copy)]
+struct HomePass {
+    /// Candidates the home pass pushed (a prefix of `cands`).
+    served: usize,
+    /// Whether the INN ran, i.e. the prefix `hi`s are exact
+    /// induced-subgraph distances.
+    exact: bool,
+    /// Home objects already turned into candidates (the INN's `kk`, or
+    /// all of them on the fallback path).
+    kk: usize,
+    /// The `kk`-th INN distance — the floor on every unseen home object.
+    d_kk: f64,
+}
+
 /// A candidate during routing; `lo`/`hi` bound the global distance.
 #[derive(Clone, Copy)]
 struct Cand {
@@ -336,6 +421,8 @@ pub struct PartitionedSession {
     core: Arc<EngineCore>,
     knn: KnnScratch,
     dist: Vec<f64>,
+    /// Exact `d_home(q → f)` per home frontier rank (tier reverse rows).
+    seeds: Vec<f64>,
     heap: BinaryHeap<HeapItem>,
     cands: Vec<Cand>,
     his: Vec<f64>,
@@ -345,6 +432,11 @@ pub struct PartitionedSession {
     /// shard is not probed again (its bounds degrade immediately); see
     /// [`Self::restore_shards`] to retry after recovery.
     down: Vec<bool>,
+    /// Shards whose frontier-tier row reads have failed in this session.
+    /// Later queries skip the tier for these shards and run the
+    /// interval-based fallback path, which certifies itself
+    /// independently of the tier.
+    tier_down: Vec<bool>,
 }
 
 impl PartitionedSession {
@@ -392,6 +484,40 @@ impl PartitionedSession {
         // its index; the first failure downgrades every later use to the
         // index-free (geometric) form.
         let mut home_ok = !self.down[s];
+
+        // Exact routing: the engine's frontier graph carries exact
+        // intra-shard distances and the tier serves this home shard. One
+        // reverse row per home frontier vertex gives the *exact*
+        // `d_home(q → f)` seeds, which also yield the tightest exit bound
+        // `min_f [d_home(q, f) + min_cut_w(f)]` — so the interval-based
+        // `tighten` pass below never needs to run.
+        let tier = core.index.frontier_tier().cloned();
+        let mut exact_q = core.frontier.exact && tier.is_some() && !self.tier_down[s];
+        if exact_q {
+            let t = tier.as_ref().expect("exact_q implies a tier");
+            match read_seeds(t, s, q_local, &core.frontier, &mut self.seeds) {
+                Ok(()) => {
+                    let mut exit_exact = f64::INFINITY;
+                    for &(f, w) in home.exit_frontier() {
+                        let r = core
+                            .frontier
+                            .rank_of(s, f)
+                            .expect("every exit vertex is a cut-edge endpoint");
+                        exit_exact = exit_exact.min(self.seeds[r] + w);
+                    }
+                    exit_used = exit_used.max(exit_exact);
+                    tightened = true;
+                }
+                Err(_) => {
+                    // A failed seed read retires the tier for this shard;
+                    // the query continues on the interval path, sound but
+                    // uncertifiable (the shard is reported degraded).
+                    exact_q = false;
+                    self.tier_down[s] = true;
+                    self.result.degraded.push(s as u32);
+                }
+            }
+        }
         let tighten = |exit_used: &mut f64, tightened: &mut bool, home_ok: &mut bool| {
             if !*tightened {
                 // Shard-index interval lower bounds on d_s(q, f) dominate
@@ -422,6 +548,16 @@ impl PartitionedSession {
         // 1. Home shard: exact local distances via INN. If the home index
         // errors, fall back to every home object with only its Euclidean
         // lower bound — sound, never exact, and the query degrades.
+        //
+        // The INN sees the *induced-subgraph* distances; a global path
+        // that leaves the shard and re-enters can be shorter, and home
+        // objects beyond the kk returned are unseen entirely. When the
+        // query later crosses the cut in exact mode, `apply_home_rows`
+        // folds those re-entrant paths in and scans the overflow, so the
+        // numbers recorded here feed that pass.
+        let mut home_served_exact = false;
+        let mut kk_home = 0usize;
+        let mut d_kk = f64::INFINITY;
         if let Some(so) = core.shard_objects[s].as_ref() {
             let mut served_exact = false;
             if home_ok {
@@ -431,7 +567,10 @@ impl PartitionedSession {
                     Err(_) => home_ok = false,
                 }
             }
+            home_served_exact = served_exact;
             if served_exact {
+                kk_home = self.knn.result().neighbors.len();
+                d_kk = self.knn.result().neighbors.last().map_or(f64::INFINITY, |n| n.interval.hi);
                 for nb in &self.knn.result().neighbors {
                     let d = nb.interval.hi; // exact induced-subgraph distance
                     if d > exit_used {
@@ -448,6 +587,9 @@ impl PartitionedSession {
                     self.cands.push(Cand { lo, hi, object: gobj, vertex: gv, shard: s as u32 });
                 }
             } else {
+                // Every home object becomes a candidate, so there is no
+                // overflow to scan later.
+                kk_home = so.globals.len();
                 for (local_oid, &gobj) in so.globals.iter().enumerate() {
                     let lv = so.set.vertex(ObjectId(local_oid as u32));
                     let gv = home.to_global(lv.0);
@@ -462,6 +604,8 @@ impl PartitionedSession {
                 }
             }
         }
+        let home_pass =
+            HomePass { served: self.cands.len(), exact: home_served_exact, kk: kk_home, d_kk };
 
         // 2. Candidate shards, nearest lower bound first.
         self.order.clear();
@@ -477,23 +621,42 @@ impl PartitionedSession {
         let order = std::mem::take(&mut self.order);
         let mut dijkstra_ran = false;
         let mut dijkstra_did_run = false;
+        let mut home_rows_ok = true;
         let mut expanded = vec![false; part.shard_count()];
+        let mut shard_lb = vec![f64::INFINITY; part.shard_count()];
         for &(lb_geo, t) in &order {
             let t = t as usize;
             if self.cands.len() >= k_eff && lb_geo.max(exit_used) > dk {
+                shard_lb[t] = lb_geo.max(exit_used);
                 continue;
             }
             // About to cross the cut: make the exit bound as strong as
-            // the index allows, then re-check.
+            // the index allows, then re-check. (A no-op in exact mode —
+            // the tier seeds already gave the exact exit bound.)
             tighten(&mut exit_used, &mut tightened, &mut home_ok);
-            let lb_t = lb_geo.max(exit_used);
+            let mut lb_t = lb_geo.max(exit_used);
             if self.cands.len() >= k_eff && lb_t > dk {
+                shard_lb[t] = lb_t;
                 continue;
             }
             if !dijkstra_ran {
-                if home_ok {
+                if exact_q {
+                    // Exact seeds, exact intra-shard edges: `dist[x]` is
+                    // the exact global distance q → x for every frontier
+                    // vertex (any global path decomposes into within-
+                    // shard segments between frontier vertices joined by
+                    // cut edges). Then fold the re-entrant paths into the
+                    // home candidates and scan the home overflow.
+                    self.run_frontier_dijkstra_exact(&core, s);
+                    let t_ref = tier.as_ref().expect("exact_q implies a tier");
+                    home_rows_ok = self.apply_home_rows(&core, t_ref, s, home_pass);
+                    if !home_rows_ok {
+                        self.tier_down[s] = true;
+                        self.result.degraded.push(s as u32);
+                    }
+                    dk = dk_of(&self.cands, k_eff, &mut self.his);
+                } else if home_ok {
                     home_ok = self.run_frontier_dijkstra(&core, q_local, s, home_idx);
-                    dijkstra_did_run = true;
                 } else {
                     // No usable seeds from a failed home index: every
                     // frontier upper bound is ∞, cross-shard candidates
@@ -501,7 +664,21 @@ impl PartitionedSession {
                     self.dist.clear();
                     self.dist.resize(core.frontier.verts.len(), f64::INFINITY);
                 }
+                dijkstra_did_run = true;
                 dijkstra_ran = true;
+            }
+            let members = &core.frontier.of_shard[t];
+            if exact_q {
+                // `dist` is exact, so the cheapest entry into `t` is a
+                // genuine lower bound for every object in `t` — often far
+                // tighter than the geometric/exit forms.
+                let lb_entry =
+                    members.iter().map(|&fx| self.dist[fx as usize]).fold(f64::INFINITY, f64::min);
+                lb_t = lb_t.max(lb_entry);
+                if self.cands.len() >= k_eff && lb_t > dk {
+                    shard_lb[t] = lb_t;
+                    continue;
+                }
             }
             expanded[t] = true;
             self.result.stats.shards_expanded += 1;
@@ -509,7 +686,59 @@ impl PartitionedSession {
             let t_shard = part.shard(t);
             let t_idx = core.index.shard_index(t);
             let so = core.shard_objects[t].as_ref().expect("order only lists object shards");
-            let members = &core.frontier.of_shard[t];
+
+            // Exact last mile: `d(q, o) = min_x [dist[x] + row_x[o]]`
+            // over `t`'s frontier — the entry vertex the global shortest
+            // path really uses is among the minimized. One forward row
+            // per frontier vertex (decoded-cache resident after first
+            // touch), then pure in-memory arithmetic per object; the
+            // shard's own index is never probed.
+            let mut t_rows: Vec<Arc<[f64]>> = Vec::new();
+            let mut t_exact = exact_q && !self.tier_down[t];
+            if t_exact {
+                let t_ref = tier.as_ref().expect("exact_q implies a tier");
+                for rank in 0..members.len() {
+                    match t_ref.try_row(t, rank, Direction::Forward) {
+                        Ok(r) => t_rows.push(r),
+                        Err(_) => {
+                            t_exact = false;
+                            self.tier_down[t] = true;
+                            self.result.degraded.push(t as u32);
+                            break;
+                        }
+                    }
+                }
+            }
+            if t_exact {
+                for (local_oid, &gobj) in so.globals.iter().enumerate() {
+                    let o_local = so.set.vertex(ObjectId(local_oid as u32));
+                    let mut d = f64::INFINITY;
+                    for (r, &fx) in members.iter().enumerate() {
+                        let e = self.dist[fx as usize];
+                        if e.is_finite() {
+                            d = d.min(e + t_rows[r][o_local.index()]);
+                        }
+                    }
+                    if self.cands.len() >= k_eff && d > dk {
+                        self.result.stats.pruned += 1;
+                        continue;
+                    }
+                    let o_global = t_shard.to_global(o_local.0);
+                    self.cands.push(Cand {
+                        lo: d,
+                        hi: d,
+                        object: gobj,
+                        vertex: o_global,
+                        shard: t as u32,
+                    });
+                    if self.cands.len() >= k_eff && d < dk {
+                        dk = dk_of(&self.cands, k_eff, &mut self.his);
+                    }
+                }
+                continue;
+            }
+
+            // Interval fallback (no tier, or its rows failed for `t`).
             let mut t_ok = !self.down[t];
             for (local_oid, &gobj) in so.globals.iter().enumerate() {
                 let o_local = so.set.vertex(ObjectId(local_oid as u32));
@@ -561,6 +790,22 @@ impl PartitionedSession {
                 self.result.degraded.push(t as u32);
             }
         }
+        // A fast-path query the exit bound cannot certify — some selected
+        // home candidate sits above it — pays for the frontier Dijkstra
+        // and the home row fold after all, turning every selected
+        // distance exact. Skipped shards stay skipped: their recorded
+        // bounds cleared the pre-fold Dk, and folding only shrinks it.
+        if exact_q && !dijkstra_ran && dk_of(&self.cands, k_eff, &mut self.his) > exit_used {
+            self.run_frontier_dijkstra_exact(&core, s);
+            let t_ref = tier.as_ref().expect("exact_q implies a tier");
+            home_rows_ok = self.apply_home_rows(&core, t_ref, s, home_pass);
+            if !home_rows_ok {
+                self.tier_down[s] = true;
+                self.result.degraded.push(s as u32);
+            }
+            dijkstra_did_run = true;
+        }
+
         if !home_ok {
             self.down[s] = true;
             self.result.degraded.push(s as u32);
@@ -578,10 +823,19 @@ impl PartitionedSession {
         debug_assert_eq!(self.cands.len(), k_eff, "every object lives in some shard");
         let dk_final = self.cands.last().map_or(f64::INFINITY, |c| c.hi);
         let all_exact = self.cands.iter().all(|c| c.hi <= c.lo);
-        let bounds_hold = exit_used >= dk_final
-            && order
-                .iter()
-                .all(|&(lb_geo, t)| expanded[t as usize] || lb_geo.max(exit_used) >= dk_final);
+        let shards_ok = order.iter().all(|&(lb_geo, t)| {
+            expanded[t as usize] || shard_lb[t as usize].max(lb_geo.max(exit_used)) >= dk_final
+        });
+        let bounds_hold = if dijkstra_did_run && exact_q {
+            // Exact path: every selected distance is exact (so
+            // `all_exact` holds on a healthy run), re-entrant home paths
+            // and the home overflow were folded in by `apply_home_rows`,
+            // and each skipped shard's recorded lower bound — entry
+            // distance, exit bound, or geometry — clears the final Dk.
+            home_rows_ok && shards_ok
+        } else {
+            exit_used >= dk_final && shards_ok
+        };
         self.result.complete = all_exact && bounds_hold && self.result.degraded.is_empty();
         self.result.stats.frontier_dijkstra = dijkstra_did_run;
         self.result.stats.exit_lb = exit_used;
@@ -635,6 +889,32 @@ impl PartitionedSession {
                 self.heap.push(HeapItem { d: d0, v: fx });
             }
         }
+        self.relax_frontier(core);
+        ok
+    }
+
+    /// The exact twin of [`Self::run_frontier_dijkstra`]: seeds are the
+    /// tier's exact `d_home(q → f)` values (already in `self.seeds`), and
+    /// with exact intra-shard edges the settled `dist[x]` is the exact
+    /// global distance `q → x` for every frontier vertex.
+    fn run_frontier_dijkstra_exact(&mut self, core: &EngineCore, home: usize) {
+        let nf = core.frontier.verts.len();
+        self.dist.clear();
+        self.dist.resize(nf, f64::INFINITY);
+        self.heap.clear();
+        for (r, &fx) in core.frontier.of_shard[home].iter().enumerate() {
+            let d0 = self.seeds[r];
+            if d0.is_finite() && d0 < self.dist[fx as usize] {
+                self.dist[fx as usize] = d0;
+                self.heap.push(HeapItem { d: d0, v: fx });
+            }
+        }
+        self.relax_frontier(core);
+    }
+
+    /// Dijkstra relaxation over the frontier graph from whatever seeds
+    /// are already in `dist`/`heap`.
+    fn relax_frontier(&mut self, core: &EngineCore) {
         while let Some(HeapItem { d, v }) = self.heap.pop() {
             if d > self.dist[v as usize] {
                 continue;
@@ -647,7 +927,89 @@ impl PartitionedSession {
                 }
             }
         }
-        ok
+    }
+
+    /// After the exact frontier Dijkstra: folds shard-leaving-and-
+    /// re-entering paths into the home candidates — the global distance
+    /// of a home object `o` is `min(d_home(q, o), min_x [dist[x] +
+    /// row_x[o]])` over the home frontier — and scans the home objects
+    /// the INN never reported. An unseen object's local distance is at
+    /// least `d_kk` (the kk-th INN distance), so whenever its row form
+    /// `rf` is at most `d_kk` the global distance is exactly `rf`; when
+    /// `rf > d_kk` the object's distance is at least `d_kk`, which at
+    /// least ties every selected candidate — skipping it preserves the
+    /// reported distance multiset.
+    ///
+    /// Returns `false` when a home forward-row read failed; the caller
+    /// marks the home shard degraded and the remaining candidates keep
+    /// their (sound) pre-fold intervals.
+    fn apply_home_rows(
+        &mut self,
+        core: &EngineCore,
+        tier: &silc::FrontierTier,
+        s: usize,
+        home: HomePass,
+    ) -> bool {
+        let HomePass { served: home_served, exact: served_exact, kk: kk_home, d_kk } = home;
+        let part = core.index.partition();
+        let members = &core.frontier.of_shard[s];
+        let mut rows: Vec<Arc<[f64]>> = Vec::with_capacity(members.len());
+        for rank in 0..members.len() {
+            match tier.try_row(s, rank, Direction::Forward) {
+                Ok(r) => rows.push(r),
+                Err(_) => return false,
+            }
+        }
+        let row_form = |dist: &[f64], o_local: usize| {
+            let mut rf = f64::INFINITY;
+            for (r, &fx) in members.iter().enumerate() {
+                let e = dist[fx as usize];
+                if e.is_finite() {
+                    rf = rf.min(e + rows[r][o_local]);
+                }
+            }
+            rf
+        };
+        for c in &mut self.cands[..home_served] {
+            let o_local = part.local_of(c.vertex) as usize;
+            let d = c.hi.min(row_form(&self.dist, o_local));
+            if served_exact {
+                // `c.hi` was the exact induced-subgraph distance, so the
+                // min is the exact global distance.
+                c.lo = d;
+                c.hi = d;
+            } else {
+                // The INN failed: `d` is only the row-form upper bound.
+                c.lo = c.lo.min(d);
+                c.hi = d;
+            }
+        }
+        if let Some(so) = core.shard_objects[s].as_ref() {
+            if served_exact && kk_home < so.globals.len() {
+                let home = part.shard(s);
+                let mut in_inn = vec![false; so.globals.len()];
+                for nb in &self.knn.result().neighbors {
+                    in_inn[nb.object.index()] = true;
+                }
+                for (local_oid, &gobj) in so.globals.iter().enumerate() {
+                    if in_inn[local_oid] {
+                        continue;
+                    }
+                    let lv = so.set.vertex(ObjectId(local_oid as u32));
+                    let rf = row_form(&self.dist, lv.index());
+                    if rf <= d_kk {
+                        self.cands.push(Cand {
+                            lo: rf,
+                            hi: rf,
+                            object: gobj,
+                            vertex: home.to_global(lv.0),
+                            shard: s as u32,
+                        });
+                    }
+                }
+            }
+        }
+        true
     }
 
     /// Shards this session has marked unavailable after failed probes
@@ -655,14 +1017,37 @@ impl PartitionedSession {
     /// which report them in [`PartitionedKnnResult::degraded`] whenever
     /// their objects could not be ruled out geometrically.
     pub fn unavailable_shards(&self) -> Vec<u32> {
-        (0..self.down.len() as u32).filter(|&s| self.down[s as usize]).collect()
+        (0..self.down.len() as u32)
+            .filter(|&s| self.down[s as usize] || self.tier_down[s as usize])
+            .collect()
     }
 
-    /// Clears the unavailable markings, letting later queries probe every
-    /// shard again — the recovery hook after an operator fixes the disk.
+    /// Clears the unavailable markings (index and tier alike), letting
+    /// later queries probe every shard again — the recovery hook after an
+    /// operator fixes the disk.
     pub fn restore_shards(&mut self) {
         self.down.iter_mut().for_each(|d| *d = false);
+        self.tier_down.iter_mut().for_each(|d| *d = false);
     }
+}
+
+/// Reads the exact seed distances `d_home(q → f)` for every home
+/// frontier vertex from the tier's reverse rows (forward rows when the
+/// shard is symmetric — the tier folds that choice into the slot).
+/// `seeds[r]` pairs with `fg.of_shard[s][r]`.
+fn read_seeds(
+    tier: &FrontierTier,
+    s: usize,
+    q_local: VertexId,
+    fg: &FrontierGraph,
+    seeds: &mut Vec<f64>,
+) -> Result<(), silc::QueryError> {
+    seeds.clear();
+    for rank in 0..fg.of_shard[s].len() {
+        let row = tier.try_row(s, rank, Direction::Reverse)?;
+        seeds.push(row[q_local.index()]);
+    }
+    Ok(())
 }
 
 /// The kth smallest upper bound among the candidates (∞ with fewer than
@@ -784,6 +1169,33 @@ mod tests {
     }
 
     #[test]
+    fn exact_routing_certifies_every_fault_free_query() {
+        let g =
+            Arc::new(road_network(&RoadConfig { vertices: 300, seed: 77, ..Default::default() }));
+        let idx = build(&g, 5, "exact-all");
+        let objects = every_third(&g);
+        let engine = PartitionedEngine::new(Arc::clone(&idx), Arc::clone(&objects));
+        assert!(engine.exact_routing(), "a fresh build must route exactly");
+        let mut session = engine.session();
+        for q in g.vertices().step_by(5) {
+            let res = session.knn(q, 7).clone();
+            assert!(res.complete, "fault-free exact routing must certify q={q:?}");
+            assert!(res.degraded.is_empty());
+            let truth = brute_topk(&g, &objects, q, 7);
+            for (nb, d) in res.neighbors.iter().zip(&truth) {
+                assert!(
+                    (nb.interval.hi - d).abs() < 1e-9,
+                    "q={q:?}: exact distance {} must equal the true {d}",
+                    nb.interval.hi,
+                );
+                assert!(nb.interval.hi <= nb.interval.lo + 1e-12, "complete ⇒ point intervals");
+                let dv = dijkstra::distance(&g, q, nb.vertex).expect("connected");
+                assert!((nb.interval.hi - dv).abs() < 1e-9, "per-object distance is exact");
+            }
+        }
+    }
+
+    #[test]
     fn single_shard_partition_matches_inn_exactly() {
         let g =
             Arc::new(road_network(&RoadConfig { vertices: 150, seed: 72, ..Default::default() }));
@@ -870,20 +1282,29 @@ mod tests {
             .expect("some query must cross the cut");
         let home = idx.partition().shard_of(q);
 
-        // Kill every shard but the home one and drop their warm caches so
-        // the next probes really hit the dead stores.
+        // With a healthy tier, neighbor queries never touch the neighbor
+        // indexes, so killing them changes nothing — queries stay exact.
+        let n_shards = idx.shard_count();
         for (s, h) in handles.iter().enumerate() {
-            if s != home {
+            if s != home && s < n_shards {
                 h.kill();
                 idx.shard_index(s).clear_cache();
             }
         }
+        let mut tiered = engine.session();
+        let masked = tiered.knn(q, 6).clone();
+        assert!(masked.complete, "the tier masks dead neighbor indexes");
+        assert!(masked.degraded.is_empty());
+
+        // Kill the tier too (it is the last wrapped store) and drop its
+        // warm rows: now the router must fall back to the dead indexes.
+        handles[n_shards].kill();
+        idx.frontier_tier().expect("built with a tier").clear_cache();
 
         let mut session = engine.session();
         let res = session.knn(q, 6).clone();
-        assert!(!res.complete, "a dead shard can never yield a certified answer");
-        assert!(!res.degraded.is_empty(), "the dead shard must be reported");
-        assert!(!res.degraded.contains(&(home as u32)), "the home shard stayed healthy");
+        assert!(!res.complete, "dead tier + dead shards can never certify");
+        assert!(!res.degraded.is_empty(), "the failures must be reported");
         assert_eq!(res.neighbors.len(), 6);
         for nb in &res.neighbors {
             let d = dijkstra::distance(&g, q, nb.vertex).expect("connected");
@@ -894,11 +1315,11 @@ mod tests {
                 nb.interval.hi,
             );
         }
-        // The session remembers: the dead shards are skipped (not probed)
-        // and reported again by the next affected query.
-        assert_eq!(session.unavailable_shards(), res.degraded);
+        // The session remembers: the dead stores are skipped (not
+        // re-probed) and the next affected query still cannot certify.
+        assert!(!session.unavailable_shards().is_empty());
         let again = session.knn(q, 6).clone();
-        assert_eq!(again.degraded, res.degraded);
+        assert!(!again.degraded.is_empty());
         assert!(!again.complete);
     }
 

@@ -334,6 +334,92 @@ fn dead_shard_routed_knn_degrades_soundly() {
     assert!(degraded_seen, "some query must be forced through the dead shard");
 }
 
+/// A corrupt frontier-tier page must not break routing — it retires
+/// exact mode and the router falls back to the interval path: answers
+/// stay sound, and self-certified `complete` answers stay exact.
+///
+/// Two corruption sites, two degradation shapes:
+/// * a flipped byte in the *row region* passes the open-time metadata
+///   checks but fails its page checksum at engine init, so the engine
+///   builds interval frontier edges (`exact_routing() == false`);
+/// * a flipped byte in the *metadata* fails validation at open, the
+///   tier is dropped entirely, and the index serves tier-free.
+#[test]
+fn corrupt_frontier_tier_degrades_to_interval_routing() {
+    use silc::partitioned::{PartitionedBuildConfig, PartitionedSilcIndex};
+    use silc_network::partition::PartitionConfig;
+    use silc_storage::PAGE_SIZE;
+
+    let g = Arc::new(road_network(&RoadConfig { vertices: 240, seed: 909, ..Default::default() }));
+    let cfg = PartitionedBuildConfig {
+        partition: PartitionConfig { shards: 4, ..Default::default() },
+        grid_exponent: 9,
+        threads: 1,
+        cache_fraction: 0.5,
+    };
+    let dir = std::env::temp_dir().join("silc-fault-tests").join("tier-corrupt");
+    std::fs::remove_dir_all(&dir).ok();
+    PartitionedSilcIndex::build_in_dir(g.clone(), &dir, &cfg).unwrap();
+    let tier_path = dir.join(silc::frontier::FILE_NAME);
+    let pristine = std::fs::read(&tier_path).unwrap();
+    // rows_base is the last header word (see `silc::frontier` docs).
+    let rows_base = u64::from_le_bytes(pristine[44..52].try_into().unwrap()) as usize;
+
+    let vertices: Vec<VertexId> = g.vertices().filter(|v| v.0 % 3 == 0).collect();
+    let objects = Arc::new(ObjectSet::from_vertices(&g, vertices, 8));
+    let queries: Vec<VertexId> = (0..240).step_by(11).map(VertexId).collect();
+
+    let check_sound = |idx: Arc<PartitionedSilcIndex>| {
+        let engine = PartitionedEngine::new(idx, Arc::clone(&objects));
+        assert!(!engine.exact_routing(), "a corrupt tier must retire exact routing");
+        let mut session = engine.session();
+        for &q in &queries {
+            let res = session.knn(q, 6).clone();
+            assert_eq!(res.neighbors.len(), 6);
+            for nb in &res.neighbors {
+                let d = dijkstra::distance(&g, q, nb.vertex).expect("connected");
+                assert!(
+                    nb.interval.lo <= d + 1e-9 && d <= nb.interval.hi + 1e-9,
+                    "q={q}: fallback interval [{}, {}] must contain {d}",
+                    nb.interval.lo,
+                    nb.interval.hi,
+                );
+            }
+            if res.complete {
+                // Interval-path self-certification stays trustworthy.
+                let mut truth: Vec<f64> = objects
+                    .iter()
+                    .map(|(_, v)| dijkstra::distance(&g, q, v).expect("connected"))
+                    .collect();
+                truth.sort_by(f64::total_cmp);
+                for (nb, d) in res.neighbors.iter().zip(&truth) {
+                    assert!((nb.interval.hi - d).abs() < 1e-6, "q={q}: complete must be exact");
+                }
+            }
+        }
+    };
+
+    // Corruption A: a byte deep in the row region. The tier opens (its
+    // metadata is intact) but the poisoned row page surfaces as a typed
+    // checksum error during the engine's frontier-graph build.
+    let mut bytes = pristine.clone();
+    let target = (rows_base / PAGE_SIZE + 1) * PAGE_SIZE + 12;
+    bytes[target] ^= 0x40;
+    std::fs::write(&tier_path, &bytes).unwrap();
+    let idx = Arc::new(PartitionedSilcIndex::open_dir(g.clone(), &dir, &cfg).unwrap());
+    assert!(idx.frontier_tier().is_some(), "row corruption is lazy — the tier still opens");
+    check_sound(idx);
+
+    // Corruption B: a metadata byte. Open-time validation rejects the
+    // tier and the directory serves tier-free.
+    let mut bytes = pristine.clone();
+    bytes[20] ^= 0x01;
+    std::fs::write(&tier_path, &bytes).unwrap();
+    let idx = Arc::new(PartitionedSilcIndex::open_dir(g.clone(), &dir, &cfg).unwrap());
+    assert!(idx.frontier_tier().is_none(), "metadata corruption drops the tier at open");
+    check_sound(idx);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
     /// The chaos law at fuzz depth: under any seeded fault schedule a

@@ -13,10 +13,15 @@
 //!   the true global network distance of its object, and whenever the
 //!   router claims `complete`, the reported distance multiset equals the
 //!   brute-force kNN distance multiset exactly.
+//! * **Tier exactness**: every frontier-tier row entry equals the
+//!   in-shard Dijkstra distance between its frontier vertex and the row
+//!   position, and on a fault-free build the router runs in exact mode —
+//!   every routed kNN reports `complete == true` with point intervals.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use silc::frontier::Direction;
 use silc::partitioned::{PartitionedBuildConfig, PartitionedSilcIndex};
 use silc_network::generate::{road_network, RoadConfig};
 use silc_network::partition::{partition_network, PartitionConfig};
@@ -103,6 +108,53 @@ fn check_partition(g: &SpatialNetwork, shards: usize, seed: u64) -> Result<(), S
     Ok(())
 }
 
+/// Frontier-tier rows carry the exact in-shard distances: row `rank` of
+/// shard `s` evaluated at frontier vertex `b` must equal the whole-graph
+/// Dijkstra restricted to in-shard paths — i.e. Dijkstra over the
+/// shard's induced subnetwork.
+fn check_tier(index: &PartitionedSilcIndex, seed: u64) -> Result<(), String> {
+    let tier =
+        index.frontier_tier().ok_or_else(|| format!("fresh build has no tier (seed {seed})"))?;
+    let part = index.partition();
+    for (s, shard) in part.shards().iter().enumerate() {
+        let local_g = shard.network();
+        let frontier = tier.frontier(s);
+        for (rank, &f) in frontier.iter().enumerate() {
+            let fwd = tier
+                .try_row(s, rank, Direction::Forward)
+                .map_err(|e| format!("forward row read failed: {e} (seed {seed})"))?;
+            let rev = tier
+                .try_row(s, rank, Direction::Reverse)
+                .map_err(|e| format!("reverse row read failed: {e} (seed {seed})"))?;
+            for &b in frontier {
+                let want = dijkstra::distance(local_g, VertexId(f), VertexId(b));
+                match want {
+                    Some(d) if (fwd[b as usize] - d).abs() < 1e-9 => {}
+                    Some(d) => {
+                        return Err(format!(
+                            "shard {s}: tier {f}->{b} = {}, dijkstra {d} (seed {seed})",
+                            fwd[b as usize]
+                        ));
+                    }
+                    None if fwd[b as usize].is_infinite() => {}
+                    None => {
+                        return Err(format!(
+                            "shard {s}: tier {f}->{b} finite but unreachable (seed {seed})"
+                        ));
+                    }
+                }
+                let want_rev = dijkstra::distance(local_g, VertexId(b), VertexId(f));
+                match want_rev {
+                    Some(d) if (rev[b as usize] - d).abs() < 1e-9 => {}
+                    None if rev[b as usize].is_infinite() => {}
+                    _ => return Err(format!("shard {s}: reverse row off at {b} (seed {seed})")),
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Routed kNN: sound intervals always; exact multiset when `complete`.
 fn check_router(
     g: &Arc<SpatialNetwork>,
@@ -123,12 +175,17 @@ fn check_router(
             .map_err(|e| format!("build failed: {e} (seed {seed})"))?,
     );
 
+    check_tier(&index, seed)?;
+
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5117);
     let n = g.vertex_count() as u32;
     let vertices: Vec<VertexId> =
         (0..(n / 3).max(2)).map(|_| VertexId(rng.gen_range(0..n))).collect();
     let objects = Arc::new(ObjectSet::from_vertices(g, vertices, 4));
     let engine = PartitionedEngine::new(Arc::clone(&index), Arc::clone(&objects));
+    if !engine.exact_routing() {
+        return Err(format!("fault-free engine must route exactly (seed {seed})"));
+    }
     let mut session = engine.session();
 
     for _ in 0..4 {
@@ -150,6 +207,11 @@ fn check_router(
                     nb.object, nb.interval.lo, nb.interval.hi
                 ));
             }
+        }
+        if !res.complete {
+            return Err(format!(
+                "fault-free exact routing must certify every query (q={q:?}, seed {seed})"
+            ));
         }
         if res.complete {
             let mut truth: Vec<f64> = objects
