@@ -5,7 +5,8 @@
 #
 .PHONY: build test bench bench-baseline bench-baseline-smoke bench-throughput \
         bench-throughput-smoke bench-tradeoff bench-tradeoff-smoke bench-scale \
-        bench-scale-smoke bench-check chaos docs deep-fuzz figures lint fmt verify help
+        bench-scale-smoke bench-latency bench-latency-smoke bench-check chaos \
+        docs deep-fuzz figures lint fmt protocol-check serve-smoke verify help
 
 help:
 	@echo "SILC workspace targets:"
@@ -21,7 +22,11 @@ help:
 	@echo "  bench-tradeoff-smoke   CI smoke for the trade-off harness (tiny, writes to target/)"
 	@echo "  bench-scale            re-record BENCH_scale.json (partitioned build + routed kNN at scale)"
 	@echo "  bench-scale-smoke      CI smoke for the scale harness (tiny, writes to target/)"
+	@echo "  bench-latency          re-record BENCH_latency.json (open-loop server tail latency)"
+	@echo "  bench-latency-smoke    CI smoke for the latency harness (tiny, writes to target/)"
 	@echo "  bench-check            validate committed BENCH_*.json against the recorders' schemas"
+	@echo "  serve-smoke            scripted client session against a loopback silc-server"
+	@echo "  protocol-check         docs/PROTOCOL.md <-> protocol.rs test lockstep gate"
 	@echo "  chaos                  fault-injection matrix: seeded disk faults, retries, dead shards"
 	@echo "  docs                   rustdoc with warnings denied (the CI docs gate)"
 	@echo "  deep-fuzz              the scheduled CI fuzz pass: the proptest suites at ~10x cases"
@@ -91,6 +96,30 @@ bench-scale:
 # target/ — only that the partition→build→route pipeline runs end to end.
 bench-scale-smoke:
 	cargo run --release -p silc-bench --bin bench_scale -- --smoke
+
+# Re-record the open-loop latency record (BENCH_latency.json): Poisson
+# arrivals through the TCP server at fractions of measured capacity,
+# p50/p99/p999 from the scheduled arrival instant, Morton vs FIFO batch
+# ordering and their pool hit rates. Run ONLY when intentionally resetting
+# the comparison point.
+bench-latency:
+	cargo run --release -p silc-bench --bin bench_latency
+
+# CI smoke for the latency harness: tiny network, short windows, writes to
+# target/ — only that the open-loop sender/receiver pipeline runs.
+bench-latency-smoke:
+	cargo run --release -p silc-bench --bin bench_latency -- --smoke
+
+# Scripted end-to-end session against a real loopback server: a mixed
+# exact/routed/approx batch checked bit-identical to local execution, a
+# malformed frame, an oversized frame, a status probe, a clean shutdown.
+serve-smoke:
+	cargo run --release -p silc-server --bin serve_smoke
+
+# Spec <-> implementation lockstep: every frame type named in
+# docs/PROTOCOL.md must have a `frame_<name>_…` test in protocol.rs.
+protocol-check:
+	scripts/check_protocol_tests.sh
 
 # Validate the committed bench records (and any smoke outputs already in
 # target/) against the recorders' current output schemas — the CI

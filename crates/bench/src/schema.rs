@@ -2,7 +2,7 @@
 //! check them.
 //!
 //! The recorder binaries (`bench_baseline`, `bench_throughput`,
-//! `bench_tradeoff`, `bench_scale`) hand-assemble their JSON output (the serde shims are
+//! `bench_tradeoff`, `bench_scale`, `bench_latency`) hand-assemble their JSON output (the serde shims are
 //! no-op derives), which means nothing ties the **committed**
 //! `BENCH_*.json` files to the recorders' current output shape: a PR can
 //! change a recorder's fields and silently leave the committed baselines
@@ -359,6 +359,37 @@ pub const SCALE_SCHEMA: Shape = Shape::Obj(&[
     ),
 ]);
 
+/// Schema of `BENCH_latency.json` (`bench_latency` recorder).
+pub const LATENCY_SCHEMA: Shape = Shape::Obj(&[
+    ("vertices", Shape::Num),
+    ("seed", Shape::Num),
+    ("grid_exponent", Shape::Num),
+    ("cache_fraction", Shape::Num),
+    ("knn_k", Shape::Num),
+    ("knn_density", Shape::Num),
+    ("batch_size", Shape::Num),
+    ("duration_ms", Shape::Num),
+    ("host_threads", Shape::Num),
+    ("capacity_qps", Shape::Num),
+    (
+        "runs",
+        Shape::Arr(&Shape::Obj(&[
+            ("order", Shape::Str),
+            ("offered_fraction", Shape::Num),
+            ("offered_qps", Shape::Num),
+            ("sent", Shape::Num),
+            ("answered", Shape::Num),
+            ("busy", Shape::Num),
+            ("achieved_qps", Shape::Num),
+            ("p50_us", Shape::Num),
+            ("p99_us", Shape::Num),
+            ("p999_us", Shape::Num),
+            ("pool_hit_rate", Shape::Num),
+            ("entry_cache_hit_rate", Shape::Num),
+        ])),
+    ),
+]);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -409,6 +440,7 @@ mod tests {
             ("BENCH_throughput.json", &THROUGHPUT_SCHEMA),
             ("BENCH_tradeoff.json", &TRADEOFF_SCHEMA),
             ("BENCH_scale.json", &SCALE_SCHEMA),
+            ("BENCH_latency.json", &LATENCY_SCHEMA),
         ] {
             let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../").to_string() + file;
             let text = std::fs::read_to_string(&path)

@@ -83,7 +83,9 @@ pub use error::{BuildError, QueryError};
 pub use frontier::FrontierTier;
 pub use index::{BuildConfig, IndexStats, SilcIndex};
 pub use interval::DistInterval;
-pub use partitioned::{PartitionedBuildConfig, PartitionedBuildError, PartitionedSilcIndex};
+pub use partitioned::{
+    OpenWarning, PartitionedBuildConfig, PartitionedBuildError, PartitionedSilcIndex,
+};
 pub use sp_quadtree::{BlockEntry, CellRect, SpQuadtree, COLOR_SOURCE};
 
 /// The most common imports.

@@ -105,6 +105,39 @@ impl From<std::io::Error> for PartitionedBuildError {
     }
 }
 
+/// A non-fatal degradation recorded while opening an index directory.
+///
+/// [`PartitionedSilcIndex::open_dir`] prefers opening *something sound*
+/// over failing: a frontier tier that exists but does not validate is
+/// dropped and the query router falls back to interval-based cross-shard
+/// routing. That fallback used to be silent — indistinguishable from a
+/// directory that never had a tier — which made "why did `complete` go
+/// false?" undiagnosable from the serving side. Every such decision is now
+/// recorded here and exposed through
+/// [`PartitionedSilcIndex::open_warnings`], so a server can report it in a
+/// status frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpenWarning {
+    /// A component of the directory failed validation and the index opened
+    /// without it, degrading answer quality but not soundness.
+    DegradedOpen {
+        /// Which component was dropped (e.g. `"frontier tier"`).
+        component: String,
+        /// The validation error that caused the drop.
+        detail: String,
+    },
+}
+
+impl fmt::Display for OpenWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpenWarning::DegradedOpen { component, detail } => {
+                write!(f, "degraded open: {component} dropped: {detail}")
+            }
+        }
+    }
+}
+
 /// Wall-clock split of one [`PartitionedSilcIndex::build_in_dir`] run, so
 /// benchmarks can report the shard-index cost and the frontier-tier
 /// precompute separately.
@@ -128,6 +161,7 @@ pub struct PartitionedSilcIndex {
     tier: Option<Arc<FrontierTier>>,
     frontier_bytes: u64,
     timings: Option<BuildTimings>,
+    warnings: Vec<OpenWarning>,
 }
 
 /// File name of shard `s` inside the index directory.
@@ -189,6 +223,7 @@ impl PartitionedSilcIndex {
             tier: Some(Arc::new(tier)),
             frontier_bytes,
             timings: Some(BuildTimings { shards_s, frontier_s }),
+            warnings: Vec::new(),
         })
     }
 
@@ -235,26 +270,37 @@ impl PartitionedSilcIndex {
         // The frontier tier is optional at open time: directories written
         // before the tier existed (or whose tier file fails validation)
         // still open, and the query router falls back to its sound
-        // interval-based cross-shard path. `wrap` sees the tier store with
-        // shard number == shard_count — *after* every real shard — so
+        // interval-based cross-shard path. A tier that *exists* but fails
+        // validation is a DegradedOpen warning — the caller (a server
+        // status frame, an operator) must be able to tell "never had a
+        // tier" from "had one and lost it". `wrap` sees the tier store
+        // with shard number == shard_count — *after* every real shard — so
         // fault-injection handles indexed by shard number stay stable.
         let tier_path = dir.join(frontier::FILE_NAME);
         let mut frontier_bytes = 0;
+        let mut warnings = Vec::new();
         let tier = if tier_path.exists() {
-            silc_storage::FilePageStore::open(&tier_path)
-                .map_err(BuildError::Io)
-                .and_then(|store| {
+            match silc_storage::FilePageStore::open(&tier_path).map_err(BuildError::Io).and_then(
+                |store| {
                     FrontierTier::from_store(
                         wrap(partition.shard_count(), store),
                         &partition,
                         cfg.cache_fraction,
                     )
-                })
-                .ok()
-                .map(|t| {
+                },
+            ) {
+                Ok(t) => {
                     frontier_bytes = fs::metadata(&tier_path).map(|m| m.len()).unwrap_or(0);
-                    Arc::new(t)
-                })
+                    Some(Arc::new(t))
+                }
+                Err(e) => {
+                    warnings.push(OpenWarning::DegradedOpen {
+                        component: "frontier tier".to_string(),
+                        detail: e.to_string(),
+                    });
+                    None
+                }
+            }
         } else {
             None
         };
@@ -267,6 +313,7 @@ impl PartitionedSilcIndex {
             tier,
             frontier_bytes,
             timings: None,
+            warnings,
         })
     }
 
@@ -321,6 +368,17 @@ impl PartitionedSilcIndex {
     /// Build-phase wall-clock split; `None` on a re-opened directory.
     pub fn build_timings(&self) -> Option<BuildTimings> {
         self.timings
+    }
+
+    /// Non-fatal degradations recorded while opening the directory —
+    /// components that existed but failed validation and were dropped
+    /// (e.g. [`OpenWarning::DegradedOpen`] for a corrupt frontier tier).
+    /// Empty on a clean open and on a fresh build. A serving front-end
+    /// should surface these (e.g. in a status frame): they explain why
+    /// cross-shard answers stop certifying `complete` without any
+    /// per-query error ever firing.
+    pub fn open_warnings(&self) -> &[OpenWarning] {
+        &self.warnings
     }
 
     /// Page-pool I/O counters summed over all shards and the frontier tier.
@@ -440,19 +498,33 @@ mod tests {
             Arc::new(road_network(&RoadConfig { vertices: 140, seed: 17, ..Default::default() }));
         let dir = tmp_dir("tierless");
         let cfg = small_cfg(3);
-        let _ = PartitionedSilcIndex::build_in_dir(Arc::clone(&g), &dir, &cfg).unwrap();
+        let built = PartitionedSilcIndex::build_in_dir(Arc::clone(&g), &dir, &cfg).unwrap();
+        assert!(built.open_warnings().is_empty(), "a fresh build must not warn");
+        drop(built);
 
-        // Deleted tier file: the directory still opens, tier-free.
+        // Deleted tier file: the directory still opens, tier-free, and the
+        // absence is *not* a degradation — the tier never existed.
         let tier_path = dir.join(crate::frontier::FILE_NAME);
         std::fs::remove_file(&tier_path).unwrap();
         let opened = PartitionedSilcIndex::open_dir(Arc::clone(&g), &dir, &cfg).unwrap();
         assert!(opened.frontier_tier().is_none());
         assert_eq!(opened.frontier_bytes(), 0);
+        assert!(opened.open_warnings().is_empty(), "missing tier is not a degraded open");
 
-        // Garbage tier file: validation fails, open degrades the same way.
+        // Garbage tier file: validation fails, open degrades the same way —
+        // but now the drop is recorded as a DegradedOpen warning.
         std::fs::write(&tier_path, vec![0u8; 8192]).unwrap();
         let opened = PartitionedSilcIndex::open_dir(Arc::clone(&g), &dir, &cfg).unwrap();
         assert!(opened.frontier_tier().is_none());
+        assert_eq!(opened.open_warnings().len(), 1);
+        match &opened.open_warnings()[0] {
+            OpenWarning::DegradedOpen { component, detail } => {
+                assert_eq!(component, "frontier tier");
+                assert!(!detail.is_empty());
+            }
+        }
+        let text = opened.open_warnings()[0].to_string();
+        assert!(text.contains("degraded open"), "display form: {text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

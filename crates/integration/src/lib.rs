@@ -1,1 +1,15 @@
 //! Host crate for the cross-crate integration tests in the repository-root `tests/` directory.
+//!
+//! Besides naming the test suites (see `Cargo.toml`), this crate compiles the
+//! fenced Rust blocks in the top-level prose docs as doctests, so the README
+//! quickstart and the `ARCHITECTURE.md` walkthrough can never silently rot:
+//! `cargo test -p silc-integration --doc` builds and runs them against the
+//! real workspace crates.
+
+/// The repository README, doctest-compiled.
+#[doc = include_str!("../../../README.md")]
+pub mod readme {}
+
+/// `ARCHITECTURE.md`, doctest-compiled.
+#[doc = include_str!("../../../ARCHITECTURE.md")]
+pub mod architecture {}

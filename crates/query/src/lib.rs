@@ -78,6 +78,7 @@ pub mod knn;
 pub mod objects;
 pub mod range;
 pub mod result;
+pub mod routable;
 pub mod router;
 pub mod session;
 pub mod verify;
@@ -90,6 +91,7 @@ pub use knn::{inn, knn, try_inn, try_knn, KnnScratch, KnnVariant};
 pub use objects::{ObjectId, ObjectSet};
 pub use range::{within_distance, RangeResult};
 pub use result::{KnnResult, Neighbor, QueryStats};
+pub use routable::{Routable, RoutedAnswer, RoutingSession};
 pub use router::{
     partitioned_knn, PartitionedEngine, PartitionedKnnResult, PartitionedNeighbor,
     PartitionedSession, RouterStats,

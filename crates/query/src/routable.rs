@@ -1,0 +1,195 @@
+//! The [`Routable`] seam: one kNN dispatch path over both engine shapes.
+//!
+//! A serving front-end (e.g. `silc-server`) wants to answer "the k nearest
+//! objects of `q`, with whatever completeness the backing index can
+//! certify" without caring whether the index behind it is a single
+//! [`QueryEngine`] or a sharded [`PartitionedEngine`]. This module is that
+//! seam:
+//!
+//! * [`Routable`] — the engine side: anything that can open a per-thread
+//!   routing session. Implemented by [`QueryEngine`] (over any
+//!   [`DistanceBrowser`]) and by [`PartitionedEngine`].
+//! * [`RoutingSession`] — the per-worker side: a fallible kNN into a
+//!   reusable [`RoutedAnswer`], so steady-state dispatch stays
+//!   allocation-light just like the concrete sessions underneath.
+//!
+//! Answers are expressed in the partitioned router's vocabulary
+//! ([`PartitionedNeighbor`]: object, vertex, sound interval, shard) because
+//! it is the richer of the two: a single-engine answer is the degenerate
+//! case — every neighbor in shard `0`, `complete` always `true`, `degraded`
+//! always empty. Both impls are locked to their concrete sessions
+//! bit-for-bit by the tests below.
+
+use crate::knn::KnnVariant;
+use crate::router::{PartitionedEngine, PartitionedNeighbor, PartitionedSession};
+use crate::session::{QueryEngine, QuerySession};
+use silc::{DistanceBrowser, QueryError};
+use silc_network::{SpatialNetwork, VertexId};
+
+/// A routed kNN answer: the common denominator of [`QuerySession`] and
+/// [`PartitionedSession`] results. Reused across calls by
+/// [`RoutingSession::try_knn`]; `clone` it to keep one.
+#[derive(Debug, Clone, Default)]
+pub struct RoutedAnswer {
+    /// Neighbors in the backing algorithm's confirmation order.
+    pub neighbors: Vec<PartitionedNeighbor>,
+    /// `true` when the reported distance multiset provably equals the
+    /// exact global kNN multiset (always `true` for a single engine on a
+    /// healthy index).
+    pub complete: bool,
+    /// Shards whose probes failed while answering (sorted, deduplicated;
+    /// always empty for a single engine).
+    pub degraded: Vec<u32>,
+}
+
+/// The engine side of the seam: opens per-worker routing sessions.
+pub trait Routable: Send + Sync {
+    /// The network queries are posed against (vertex-id validation,
+    /// Morton batching).
+    fn network(&self) -> &SpatialNetwork;
+
+    /// Opens a per-thread session owning its reusable workspaces.
+    fn routing_session(&self) -> Box<dyn RoutingSession>;
+}
+
+/// The per-worker side of the seam. Not `Sync` — one session per worker,
+/// like the concrete sessions it wraps.
+pub trait RoutingSession: Send {
+    /// The k nearest objects of `q`, written into `out` (buffers reused).
+    /// Errors mirror the fallible paths of the backing session; on `Err`
+    /// the content of `out` is unspecified.
+    fn try_knn(&mut self, q: VertexId, k: usize, out: &mut RoutedAnswer) -> Result<(), QueryError>;
+}
+
+/// [`QuerySession`] adapter: kNN (Basic) on the engine's single index.
+struct EngineRouting<B: DistanceBrowser + ?Sized> {
+    session: QuerySession<B>,
+}
+
+impl<B: DistanceBrowser + Send + Sync + ?Sized> RoutingSession for EngineRouting<B> {
+    fn try_knn(&mut self, q: VertexId, k: usize, out: &mut RoutedAnswer) -> Result<(), QueryError> {
+        let r = self.session.try_knn(q, k, KnnVariant::Basic)?;
+        out.neighbors.clear();
+        out.neighbors.extend(r.neighbors.iter().map(|n| PartitionedNeighbor {
+            object: n.object,
+            vertex: n.vertex,
+            interval: n.interval,
+            shard: 0,
+        }));
+        out.complete = true;
+        out.degraded.clear();
+        Ok(())
+    }
+}
+
+impl<B: DistanceBrowser + Send + Sync + ?Sized + 'static> Routable for QueryEngine<B> {
+    fn network(&self) -> &SpatialNetwork {
+        self.browser().network()
+    }
+
+    fn routing_session(&self) -> Box<dyn RoutingSession> {
+        Box::new(EngineRouting { session: self.session() })
+    }
+}
+
+/// [`PartitionedSession`] adapter: the cross-shard router.
+struct PartitionedRouting {
+    session: PartitionedSession,
+}
+
+impl RoutingSession for PartitionedRouting {
+    fn try_knn(&mut self, q: VertexId, k: usize, out: &mut RoutedAnswer) -> Result<(), QueryError> {
+        // The router is infallible by design: a failing shard degrades the
+        // answer (reported in `degraded`) instead of failing the query.
+        let r = self.session.knn(q, k);
+        out.neighbors.clear();
+        out.neighbors.extend_from_slice(&r.neighbors);
+        out.complete = r.complete;
+        out.degraded.clear();
+        out.degraded.extend_from_slice(&r.degraded);
+        Ok(())
+    }
+}
+
+impl Routable for PartitionedEngine {
+    fn network(&self) -> &SpatialNetwork {
+        self.index().network()
+    }
+
+    fn routing_session(&self) -> Box<dyn RoutingSession> {
+        Box::new(PartitionedRouting { session: self.session() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::ObjectSet;
+    use silc::partitioned::{PartitionedBuildConfig, PartitionedSilcIndex};
+    use silc::{BuildConfig, SilcIndex};
+    use silc_network::generate::{road_network, RoadConfig};
+    use silc_network::PartitionConfig;
+    use std::sync::Arc;
+
+    #[test]
+    fn engine_seam_is_bit_identical_to_knn_basic() {
+        let g =
+            Arc::new(road_network(&RoadConfig { vertices: 160, seed: 311, ..Default::default() }));
+        let idx = Arc::new(
+            SilcIndex::build(g.clone(), &BuildConfig { grid_exponent: 9, threads: 0 }).unwrap(),
+        );
+        let objects = Arc::new(ObjectSet::random(&g, 0.1, 5));
+        let engine = QueryEngine::new(idx, objects);
+        let mut concrete = engine.session();
+        let mut routed = engine.routing_session();
+        let mut out = RoutedAnswer::default();
+        for &q in &[0u32, 41, 159] {
+            for k in [1usize, 4, 9] {
+                routed.try_knn(VertexId(q), k, &mut out).unwrap();
+                let want = concrete.knn(VertexId(q), k, KnnVariant::Basic);
+                assert!(out.complete && out.degraded.is_empty());
+                assert_eq!(out.neighbors.len(), want.neighbors.len());
+                for (a, b) in out.neighbors.iter().zip(&want.neighbors) {
+                    assert_eq!((a.object, a.vertex, a.shard), (b.object, b.vertex, 0));
+                    assert_eq!(a.interval.lo.to_bits(), b.interval.lo.to_bits());
+                    assert_eq!(a.interval.hi.to_bits(), b.interval.hi.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_seam_is_bit_identical_to_router() {
+        let g =
+            Arc::new(road_network(&RoadConfig { vertices: 220, seed: 62, ..Default::default() }));
+        let dir = std::env::temp_dir().join("silc-routable-seam");
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = PartitionedBuildConfig {
+            partition: PartitionConfig { shards: 4, ..Default::default() },
+            grid_exponent: 9,
+            threads: 1,
+            cache_fraction: 0.5,
+        };
+        let idx = Arc::new(PartitionedSilcIndex::build_in_dir(g.clone(), &dir, &cfg).unwrap());
+        let objects = Arc::new(ObjectSet::random(&g, 0.1, 13));
+        let engine = PartitionedEngine::new(idx, objects);
+        let mut concrete = engine.session();
+        let mut routed = engine.routing_session();
+        let mut out = RoutedAnswer::default();
+        for &q in &[3u32, 100, 219] {
+            for k in [1usize, 5] {
+                routed.try_knn(VertexId(q), k, &mut out).unwrap();
+                let want = concrete.knn(VertexId(q), k);
+                assert_eq!(out.complete, want.complete);
+                assert_eq!(out.degraded, want.degraded);
+                assert_eq!(out.neighbors.len(), want.neighbors.len());
+                for (a, b) in out.neighbors.iter().zip(&want.neighbors) {
+                    assert_eq!((a.object, a.vertex, a.shard), (b.object, b.vertex, b.shard));
+                    assert_eq!(a.interval.lo.to_bits(), b.interval.lo.to_bits());
+                    assert_eq!(a.interval.hi.to_bits(), b.interval.hi.to_bits());
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,216 @@
+//! End-to-end serving smoke test (`make serve-smoke`).
+//!
+//! Starts a fully-loaded server (exact + routed + approximate backends)
+//! on a loopback port, then runs the scripted session the CI gate
+//! demands: a mixed batch across all eight algorithms checked
+//! bit-identical against local execution, a malformed frame, an
+//! oversized frame, a recoverable bad payload, a status probe, and a
+//! clean goodbye. Exits nonzero (panics) on any mismatch.
+
+use silc::partitioned::{PartitionedBuildConfig, PartitionedSilcIndex};
+use silc::{BuildConfig, SilcIndex};
+use silc_network::generate::{road_network, RoadConfig};
+use silc_network::{PartitionConfig, VertexId};
+use silc_query::{KnnVariant, ObjectSet, PartitionedEngine, QueryEngine, Routable, RoutedAnswer};
+use silc_server::protocol::{self, ErrorCode, Frame, MAX_FRAME_LEN};
+use silc_server::server::DynBrowser;
+use silc_server::{
+    Algorithm, AnswerBody, Client, Outcome, QueryBody, Server, ServerBackend, ServerConfig,
+};
+use std::sync::Arc;
+
+fn wire_neighbors(r: &silc_query::KnnResult) -> Vec<protocol::WireNeighbor> {
+    r.neighbors
+        .iter()
+        .map(|n| protocol::WireNeighbor {
+            object: n.object.0,
+            vertex: n.vertex.0,
+            lo_bits: n.interval.lo.to_bits(),
+            hi_bits: n.interval.hi.to_bits(),
+        })
+        .collect()
+}
+
+fn main() {
+    let vertices: usize =
+        std::env::var("SILC_SMOKE_VERTICES").ok().and_then(|v| v.parse().ok()).unwrap_or(240);
+
+    // -- backends -----------------------------------------------------------
+    let g = Arc::new(road_network(&RoadConfig { vertices, seed: 4242, ..Default::default() }));
+    let objects = Arc::new(ObjectSet::random(&g, 0.12, 7));
+    let idx = Arc::new(
+        SilcIndex::build(Arc::clone(&g), &BuildConfig { grid_exponent: 9, threads: 0 }).unwrap(),
+    );
+    let browser: Arc<DynBrowser> = idx;
+    let engine = Arc::new(QueryEngine::new(browser, Arc::clone(&objects)));
+
+    let dir = std::env::temp_dir().join(format!("silc-serve-smoke-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let pcfg = PartitionedBuildConfig {
+        partition: PartitionConfig { shards: 4, ..Default::default() },
+        grid_exponent: 9,
+        threads: 1,
+        cache_fraction: 0.5,
+    };
+    let pidx = Arc::new(PartitionedSilcIndex::build_in_dir(Arc::clone(&g), &dir, &pcfg).unwrap());
+    let warnings: Vec<String> = pidx.open_warnings().iter().map(|w| w.to_string()).collect();
+    let routed_engine = Arc::new(PartitionedEngine::new(pidx, Arc::clone(&objects)));
+    let oracle = Arc::new(silc_pcp::DistanceOracle::build(&g, 9, 8.0));
+
+    let backend = ServerBackend {
+        engine: Arc::clone(&engine),
+        routable: Some(Arc::clone(&routed_engine) as Arc<dyn Routable>),
+        oracle: Some(oracle.clone()),
+        warnings,
+    };
+    let server = Server::start("127.0.0.1:0", backend, ServerConfig::default()).unwrap();
+    let addr = server.addr();
+    println!("serve-smoke: listening on {addr}, {vertices} vertices");
+
+    // -- 1. mixed batch, bit-identical to local execution -------------------
+    let mut client = Client::connect(addr).unwrap();
+    let info = client.info();
+    assert_eq!(info.version, 1);
+    assert_eq!(info.vertex_count as usize, vertices);
+    assert_eq!(info.capabilities, 0b11, "routed + approx both configured");
+
+    let last = (vertices - 1) as u32;
+    let bodies: Vec<QueryBody> = Algorithm::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(i, algorithm)| QueryBody {
+            algorithm,
+            vertex: [3u32, 57, last, 19, 101, 8, last / 2, 33][i % 8],
+            k: 1 + (i as u32 % 4),
+        })
+        .collect();
+    let outcomes = client.batch(&bodies).unwrap();
+
+    let mut local = engine.session();
+    let mut local_routed = routed_engine.routing_session();
+    let mut routed_out = RoutedAnswer::default();
+    for (body, outcome) in bodies.iter().zip(&outcomes) {
+        let got = match outcome {
+            Outcome::Answer(a) => a,
+            other => panic!("{:?} answered {other:?}", body.algorithm),
+        };
+        let q = VertexId(body.vertex);
+        let k = body.k as usize;
+        let want: AnswerBody = match body.algorithm {
+            Algorithm::Knn | Algorithm::KnnI | Algorithm::KnnM => {
+                let variant = match body.algorithm {
+                    Algorithm::Knn => KnnVariant::Basic,
+                    Algorithm::KnnI => KnnVariant::EarlyEstimate,
+                    _ => KnnVariant::MinDist,
+                };
+                AnswerBody {
+                    algorithm: body.algorithm as u8,
+                    complete: true,
+                    degraded: vec![],
+                    neighbors: wire_neighbors(local.knn(q, k, variant)),
+                }
+            }
+            Algorithm::Inn => AnswerBody {
+                algorithm: body.algorithm as u8,
+                complete: true,
+                degraded: vec![],
+                neighbors: wire_neighbors(local.inn(q, k)),
+            },
+            Algorithm::Ine => AnswerBody {
+                algorithm: body.algorithm as u8,
+                complete: true,
+                degraded: vec![],
+                neighbors: wire_neighbors(local.ine(q, k)),
+            },
+            Algorithm::Ier => AnswerBody {
+                algorithm: body.algorithm as u8,
+                complete: true,
+                degraded: vec![],
+                neighbors: wire_neighbors(local.ier(q, k)),
+            },
+            Algorithm::Routed => {
+                local_routed.try_knn(q, k, &mut routed_out).unwrap();
+                AnswerBody {
+                    algorithm: body.algorithm as u8,
+                    complete: routed_out.complete,
+                    degraded: routed_out.degraded.clone(),
+                    neighbors: routed_out
+                        .neighbors
+                        .iter()
+                        .map(|n| protocol::WireNeighbor {
+                            object: n.object.0,
+                            vertex: n.vertex.0,
+                            lo_bits: n.interval.lo.to_bits(),
+                            hi_bits: n.interval.hi.to_bits(),
+                        })
+                        .collect(),
+                }
+            }
+            Algorithm::Approx => AnswerBody {
+                algorithm: body.algorithm as u8,
+                complete: true,
+                degraded: vec![],
+                neighbors: wire_neighbors(local.approx_knn(&*oracle, q, k)),
+            },
+        };
+        assert_eq!(got, &want, "{:?} must be bit-identical to local", body.algorithm);
+    }
+    println!("serve-smoke: batch of {} bit-identical to local", bodies.len());
+
+    // -- 2. recoverable bad payload: connection survives --------------------
+    // A QUERY frame with an out-of-range algorithm byte is MALFORMED but
+    // well-framed: expect a typed error, then a working query on the SAME
+    // connection.
+    let mut bad_query = protocol::encode_frame(&Frame::Query {
+        request_id: 99,
+        body: QueryBody { algorithm: Algorithm::Knn, vertex: 0, k: 1 },
+    });
+    bad_query[protocol::HEADER_LEN + 8] = 0xEE; // algorithm byte
+    client.send_raw(&bad_query).unwrap();
+    match client.recv_frame().unwrap().unwrap() {
+        Frame::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed as u16),
+        other => panic!("bad algorithm byte answered with {other:?}"),
+    }
+    match client.query(QueryBody { algorithm: Algorithm::Knn, vertex: 5, k: 2 }).unwrap() {
+        Outcome::Answer(_) => {}
+        other => panic!("connection should have survived: {other:?}"),
+    }
+    println!("serve-smoke: malformed payload got typed error, connection survived");
+
+    // -- 3. status + goodbye ------------------------------------------------
+    let status = client.status().unwrap();
+    assert!(status.queries_answered > bodies.len() as u64);
+    assert_eq!(status.queue_capacity, 256);
+    assert!(status.warnings.is_empty(), "fresh build must not be degraded: {:?}", status.warnings);
+    client.goodbye().unwrap();
+
+    // -- 4. garbage magic: typed error, connection closed -------------------
+    let mut mal = Client::connect(addr).unwrap();
+    mal.send_raw(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    match mal.recv_frame().unwrap().unwrap() {
+        Frame::Error { code, .. } => assert_eq!(code, ErrorCode::BadMagic as u16),
+        other => panic!("garbage answered with {other:?}"),
+    }
+    assert!(mal.recv_frame().unwrap().is_none(), "server must close after bad magic");
+    println!("serve-smoke: garbage frame got BAD_MAGIC and a close");
+
+    // -- 5. oversized frame: typed error, connection closed -----------------
+    let mut big = Client::connect(addr).unwrap();
+    let mut header = Vec::new();
+    header.extend_from_slice(&protocol::MAGIC.to_le_bytes());
+    header.extend_from_slice(&protocol::VERSION.to_le_bytes());
+    header.push(0x03); // QUERY
+    header.push(0);
+    header.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+    big.send_raw(&header).unwrap();
+    match big.recv_frame().unwrap().unwrap() {
+        Frame::Error { code, .. } => assert_eq!(code, ErrorCode::FrameTooLarge as u16),
+        other => panic!("oversized frame answered with {other:?}"),
+    }
+    assert!(big.recv_frame().unwrap().is_none(), "server must close after oversized frame");
+    println!("serve-smoke: oversized frame got FRAME_TOO_LARGE and a close");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    println!("serve-smoke OK");
+}

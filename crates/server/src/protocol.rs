@@ -1,0 +1,848 @@
+//! Wire codec for the SILC protocol, version 1.
+//!
+//! The normative specification lives in `docs/PROTOCOL.md` (embedded in the
+//! [crate docs](crate)); this module is its executable counterpart. Every
+//! frame type the spec names has a `frame_<name>_…` test below — CI greps
+//! for the pairing, so a frame added to one side without the other fails
+//! the build.
+//!
+//! Design notes:
+//!
+//! * Everything is little-endian; `f64`s travel as [`f64::to_bits`]
+//!   patterns so a remote answer is *bit-identical* to the local one.
+//! * [`read_frame`] distinguishes a clean close (EOF **at** a frame
+//!   boundary → `Ok(None)`) from truncation (EOF **inside** a frame →
+//!   [`DecodeError::Io`] with `UnexpectedEof`), because the server owes a
+//!   reply only in the second case — and then only if the header survived.
+//! * Payload parsing is strict: short payloads **and** trailing bytes are
+//!   both [`DecodeError::Malformed`]. The frame boundary is still intact
+//!   (the header's `length` was honored), so malformed payloads are
+//!   recoverable and the connection stays open.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// `"SILC"` as a little-endian `u32` (bytes `53 49 4C 43` on the wire).
+pub const MAGIC: u32 = 0x434C_4953;
+/// The protocol version this build speaks.
+pub const VERSION: u16 = 1;
+/// Hard cap on payload length; a header asking for more is hostile.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+/// Fixed frame-header size: magic + version + kind + flags + length.
+pub const HEADER_LEN: usize = 12;
+
+/// Frame kinds (the `kind` header byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    Hello = 0x01,
+    ServerHello = 0x02,
+    Query = 0x03,
+    Batch = 0x04,
+    Response = 0x05,
+    Error = 0x06,
+    ServerBusy = 0x07,
+    Status = 0x08,
+    StatusReply = 0x09,
+    Goodbye = 0x0A,
+}
+
+impl FrameKind {
+    fn from_u8(b: u8) -> Option<FrameKind> {
+        Some(match b {
+            0x01 => FrameKind::Hello,
+            0x02 => FrameKind::ServerHello,
+            0x03 => FrameKind::Query,
+            0x04 => FrameKind::Batch,
+            0x05 => FrameKind::Response,
+            0x06 => FrameKind::Error,
+            0x07 => FrameKind::ServerBusy,
+            0x08 => FrameKind::Status,
+            0x09 => FrameKind::StatusReply,
+            0x0A => FrameKind::Goodbye,
+            _ => return None,
+        })
+    }
+}
+
+/// Typed error codes carried by `ERROR` frames. The numeric values are
+/// wire-stable; see the spec's table for the kept/closed semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    BadMagic = 1,
+    UnsupportedVersion = 2,
+    FrameTooLarge = 3,
+    Malformed = 4,
+    UnknownKind = 5,
+    UnknownAlgorithm = 6,
+    BadVertex = 7,
+    BadK = 8,
+    Unavailable = 9,
+    QueryIo = 10,
+    QueryCorrupt = 11,
+}
+
+impl ErrorCode {
+    /// Decodes a wire code; unknown codes (a newer server) map to `None`.
+    pub fn from_u16(v: u16) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::BadMagic,
+            2 => ErrorCode::UnsupportedVersion,
+            3 => ErrorCode::FrameTooLarge,
+            4 => ErrorCode::Malformed,
+            5 => ErrorCode::UnknownKind,
+            6 => ErrorCode::UnknownAlgorithm,
+            7 => ErrorCode::BadVertex,
+            8 => ErrorCode::BadK,
+            9 => ErrorCode::Unavailable,
+            10 => ErrorCode::QueryIo,
+            11 => ErrorCode::QueryCorrupt,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::BadMagic => "BAD_MAGIC",
+            ErrorCode::UnsupportedVersion => "UNSUPPORTED_VERSION",
+            ErrorCode::FrameTooLarge => "FRAME_TOO_LARGE",
+            ErrorCode::Malformed => "MALFORMED",
+            ErrorCode::UnknownKind => "UNKNOWN_KIND",
+            ErrorCode::UnknownAlgorithm => "UNKNOWN_ALGORITHM",
+            ErrorCode::BadVertex => "BAD_VERTEX",
+            ErrorCode::BadK => "BAD_K",
+            ErrorCode::Unavailable => "UNAVAILABLE",
+            ErrorCode::QueryIo => "QUERY_IO",
+            ErrorCode::QueryCorrupt => "QUERY_CORRUPT",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Query algorithms (the query body's `algorithm` byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Algorithm {
+    Knn = 0,
+    KnnI = 1,
+    KnnM = 2,
+    Inn = 3,
+    Ine = 4,
+    Ier = 5,
+    Routed = 6,
+    Approx = 7,
+}
+
+impl Algorithm {
+    /// All algorithms, in wire order — handy for exhaustive test sweeps.
+    pub const ALL: [Algorithm; 8] = [
+        Algorithm::Knn,
+        Algorithm::KnnI,
+        Algorithm::KnnM,
+        Algorithm::Inn,
+        Algorithm::Ine,
+        Algorithm::Ier,
+        Algorithm::Routed,
+        Algorithm::Approx,
+    ];
+
+    fn from_u8(b: u8) -> Option<Algorithm> {
+        Self::ALL.get(b as usize).copied()
+    }
+}
+
+/// One query: 9 bytes on the wire (`algorithm`, `vertex`, `k`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryBody {
+    pub algorithm: Algorithm,
+    pub vertex: u32,
+    pub k: u32,
+}
+
+/// One neighbor: 24 bytes on the wire. Distances are `f64` bit patterns —
+/// decode with [`f64::from_bits`] for the numeric value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireNeighbor {
+    pub object: u32,
+    pub vertex: u32,
+    pub lo_bits: u64,
+    pub hi_bits: u64,
+}
+
+/// A query answer as it travels in a `RESPONSE` frame.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AnswerBody {
+    /// Echo of the request's algorithm byte.
+    pub algorithm: u8,
+    /// Provably-exact flag (always `true` for non-routed algorithms).
+    pub complete: bool,
+    /// Shards whose probes failed (routed only; sorted).
+    pub degraded: Vec<u32>,
+    /// Neighbors in the algorithm's confirmation order.
+    pub neighbors: Vec<WireNeighbor>,
+}
+
+/// `STATUS_REPLY` payload: a point-in-time server health snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatusReply {
+    pub queue_depth: u32,
+    pub queue_capacity: u32,
+    pub queries_answered: u64,
+    pub busy_rejections: u64,
+    pub batches_drained: u64,
+    pub bodies_executed: u64,
+    /// Open-time degradations ([`silc::OpenWarning`] display forms).
+    pub warnings: Vec<String>,
+}
+
+/// A decoded frame — the protocol's message vocabulary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    Hello { version: u16 },
+    ServerHello { version: u16, capabilities: u8, vertex_count: u32, object_count: u32 },
+    Query { request_id: u64, body: QueryBody },
+    Batch { request_id: u64, bodies: Vec<QueryBody> },
+    Response { request_id: u64, sequence: u32, answer: AnswerBody },
+    Error { request_id: u64, sequence: u32, code: u16, detail: String },
+    ServerBusy { request_id: u64, sequence: u32 },
+    Status,
+    StatusReply(StatusReply),
+    Goodbye,
+}
+
+/// `SERVER_HELLO` capability bit: routed (cross-shard) kNN is served.
+pub const CAP_ROUTED: u8 = 1 << 0;
+/// `SERVER_HELLO` capability bit: approximate-oracle kNN is served.
+pub const CAP_APPROX: u8 = 1 << 1;
+
+/// Why a frame could not be decoded. The variants that poison the stream
+/// (desynchronized framing) are exactly the ones the spec closes the
+/// connection for; [`DecodeError::Malformed`] alone is recoverable.
+#[derive(Debug)]
+pub enum DecodeError {
+    /// Transport failure — including EOF *inside* a frame (truncation).
+    Io(io::Error),
+    /// Header magic was not `"SILC"`.
+    BadMagic,
+    /// Header version is not speakable.
+    UnsupportedVersion(u16),
+    /// Header length exceeds [`MAX_FRAME_LEN`].
+    FrameTooLarge(u32),
+    /// Unknown `kind` byte.
+    UnknownKind(u8),
+    /// Well-framed but unparseable payload (short, trailing bytes, nonzero
+    /// flags, bad inner field). Recoverable: the stream is still in sync.
+    Malformed(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Io(e) => write!(f, "i/o: {e}"),
+            DecodeError::BadMagic => write!(f, "bad frame magic"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::FrameTooLarge(n) => {
+                write!(f, "frame length {n} exceeds maximum {MAX_FRAME_LEN}")
+            }
+            DecodeError::UnknownKind(k) => write!(f, "unknown frame kind 0x{k:02X}"),
+            DecodeError::Malformed(why) => write!(f, "malformed payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<io::Error> for DecodeError {
+    fn from(e: io::Error) -> Self {
+        DecodeError::Io(e)
+    }
+}
+
+impl DecodeError {
+    /// The `ERROR` frame a server owes for this decode failure, when any:
+    /// `(code, keep_connection)`. `Io` gets no reply (the transport is
+    /// gone); everything else maps per the spec's table.
+    pub fn wire_reply(&self) -> Option<(ErrorCode, bool)> {
+        match self {
+            DecodeError::Io(_) => None,
+            DecodeError::BadMagic => Some((ErrorCode::BadMagic, false)),
+            DecodeError::UnsupportedVersion(_) => Some((ErrorCode::UnsupportedVersion, false)),
+            DecodeError::FrameTooLarge(_) => Some((ErrorCode::FrameTooLarge, false)),
+            DecodeError::UnknownKind(_) => Some((ErrorCode::UnknownKind, false)),
+            DecodeError::Malformed(_) => Some((ErrorCode::Malformed, true)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_query_body(buf: &mut Vec<u8>, b: &QueryBody) {
+    buf.push(b.algorithm as u8);
+    put_u32(buf, b.vertex);
+    put_u32(buf, b.k);
+}
+
+fn put_answer_body(buf: &mut Vec<u8>, a: &AnswerBody) {
+    buf.push(a.algorithm);
+    buf.push(a.complete as u8);
+    put_u16(buf, a.degraded.len() as u16);
+    put_u32(buf, a.neighbors.len() as u32);
+    for &s in &a.degraded {
+        put_u32(buf, s);
+    }
+    for n in &a.neighbors {
+        put_u32(buf, n.object);
+        put_u32(buf, n.vertex);
+        put_u64(buf, n.lo_bits);
+        put_u64(buf, n.hi_bits);
+    }
+}
+
+/// Serializes a frame (header + payload) into a fresh byte vector.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut payload = Vec::new();
+    let kind = match frame {
+        Frame::Hello { version } => {
+            put_u16(&mut payload, *version);
+            FrameKind::Hello
+        }
+        Frame::ServerHello { version, capabilities, vertex_count, object_count } => {
+            put_u16(&mut payload, *version);
+            payload.push(*capabilities);
+            put_u32(&mut payload, *vertex_count);
+            put_u32(&mut payload, *object_count);
+            FrameKind::ServerHello
+        }
+        Frame::Query { request_id, body } => {
+            put_u64(&mut payload, *request_id);
+            put_query_body(&mut payload, body);
+            FrameKind::Query
+        }
+        Frame::Batch { request_id, bodies } => {
+            put_u64(&mut payload, *request_id);
+            put_u32(&mut payload, bodies.len() as u32);
+            for b in bodies {
+                put_query_body(&mut payload, b);
+            }
+            FrameKind::Batch
+        }
+        Frame::Response { request_id, sequence, answer } => {
+            put_u64(&mut payload, *request_id);
+            put_u32(&mut payload, *sequence);
+            put_answer_body(&mut payload, answer);
+            FrameKind::Response
+        }
+        Frame::Error { request_id, sequence, code, detail } => {
+            put_u64(&mut payload, *request_id);
+            put_u32(&mut payload, *sequence);
+            put_u16(&mut payload, *code);
+            let detail = detail.as_bytes();
+            let n = detail.len().min(u16::MAX as usize);
+            put_u16(&mut payload, n as u16);
+            payload.extend_from_slice(&detail[..n]);
+            FrameKind::Error
+        }
+        Frame::ServerBusy { request_id, sequence } => {
+            put_u64(&mut payload, *request_id);
+            put_u32(&mut payload, *sequence);
+            FrameKind::ServerBusy
+        }
+        Frame::Status => FrameKind::Status,
+        Frame::StatusReply(s) => {
+            put_u32(&mut payload, s.queue_depth);
+            put_u32(&mut payload, s.queue_capacity);
+            put_u64(&mut payload, s.queries_answered);
+            put_u64(&mut payload, s.busy_rejections);
+            put_u64(&mut payload, s.batches_drained);
+            put_u64(&mut payload, s.bodies_executed);
+            put_u16(&mut payload, s.warnings.len() as u16);
+            for w in &s.warnings {
+                let bytes = w.as_bytes();
+                let n = bytes.len().min(u16::MAX as usize);
+                put_u16(&mut payload, n as u16);
+                payload.extend_from_slice(&bytes[..n]);
+            }
+            FrameKind::StatusReply
+        }
+        Frame::Goodbye => FrameKind::Goodbye,
+    };
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    put_u32(&mut out, MAGIC);
+    put_u16(&mut out, VERSION);
+    out.push(kind as u8);
+    out.push(0); // flags
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Encodes and writes one frame. One `write_all` per frame, so concurrent
+/// writers serialized by a lock never interleave partial frames.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode_frame(frame))
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Strict little-endian payload reader: every getter fails on underrun, and
+/// [`Cursor::finish`] fails on trailing bytes.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() - self.pos < n {
+            return Err(DecodeError::Malformed(format!(
+                "payload underrun: wanted {n} more bytes, {} left",
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn query_body(&mut self) -> Result<QueryBody, DecodeError> {
+        let algo = self.u8()?;
+        let algorithm = Algorithm::from_u8(algo)
+            .ok_or_else(|| DecodeError::Malformed(format!("unknown algorithm byte {algo}")))?;
+        Ok(QueryBody { algorithm, vertex: self.u32()?, k: self.u32()? })
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.pos != self.buf.len() {
+            return Err(DecodeError::Malformed(format!(
+                "{} trailing payload bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Decodes one payload given its frame kind.
+fn decode_payload(kind: FrameKind, payload: &[u8]) -> Result<Frame, DecodeError> {
+    let mut c = Cursor::new(payload);
+    let frame = match kind {
+        FrameKind::Hello => Frame::Hello { version: c.u16()? },
+        FrameKind::ServerHello => Frame::ServerHello {
+            version: c.u16()?,
+            capabilities: c.u8()?,
+            vertex_count: c.u32()?,
+            object_count: c.u32()?,
+        },
+        FrameKind::Query => Frame::Query { request_id: c.u64()?, body: c.query_body()? },
+        FrameKind::Batch => {
+            let request_id = c.u64()?;
+            let count = c.u32()? as usize;
+            // 9 bytes per body — a count the payload cannot possibly hold
+            // is rejected before allocating for it.
+            if count > payload.len() / 9 {
+                return Err(DecodeError::Malformed(format!(
+                    "batch count {count} exceeds payload capacity"
+                )));
+            }
+            let mut bodies = Vec::with_capacity(count);
+            for _ in 0..count {
+                bodies.push(c.query_body()?);
+            }
+            Frame::Batch { request_id, bodies }
+        }
+        FrameKind::Response => {
+            let request_id = c.u64()?;
+            let sequence = c.u32()?;
+            let algorithm = c.u8()?;
+            let complete = match c.u8()? {
+                0 => false,
+                1 => true,
+                b => return Err(DecodeError::Malformed(format!("complete byte {b}"))),
+            };
+            let degraded_n = c.u16()? as usize;
+            let neighbor_n = c.u32()? as usize;
+            if neighbor_n > payload.len() / 24 {
+                return Err(DecodeError::Malformed(format!(
+                    "neighbor count {neighbor_n} exceeds payload capacity"
+                )));
+            }
+            let mut degraded = Vec::with_capacity(degraded_n);
+            for _ in 0..degraded_n {
+                degraded.push(c.u32()?);
+            }
+            let mut neighbors = Vec::with_capacity(neighbor_n);
+            for _ in 0..neighbor_n {
+                neighbors.push(WireNeighbor {
+                    object: c.u32()?,
+                    vertex: c.u32()?,
+                    lo_bits: c.u64()?,
+                    hi_bits: c.u64()?,
+                });
+            }
+            Frame::Response {
+                request_id,
+                sequence,
+                answer: AnswerBody { algorithm, complete, degraded, neighbors },
+            }
+        }
+        FrameKind::Error => {
+            let request_id = c.u64()?;
+            let sequence = c.u32()?;
+            let code = c.u16()?;
+            let len = c.u16()? as usize;
+            let detail = String::from_utf8(c.take(len)?.to_vec())
+                .map_err(|_| DecodeError::Malformed("error detail is not UTF-8".into()))?;
+            Frame::Error { request_id, sequence, code, detail }
+        }
+        FrameKind::ServerBusy => Frame::ServerBusy { request_id: c.u64()?, sequence: c.u32()? },
+        FrameKind::Status => Frame::Status,
+        FrameKind::StatusReply => {
+            let mut s = StatusReply {
+                queue_depth: c.u32()?,
+                queue_capacity: c.u32()?,
+                queries_answered: c.u64()?,
+                busy_rejections: c.u64()?,
+                batches_drained: c.u64()?,
+                bodies_executed: c.u64()?,
+                warnings: Vec::new(),
+            };
+            let n = c.u16()? as usize;
+            for _ in 0..n {
+                let len = c.u16()? as usize;
+                let text = String::from_utf8(c.take(len)?.to_vec())
+                    .map_err(|_| DecodeError::Malformed("warning is not UTF-8".into()))?;
+                s.warnings.push(text);
+            }
+            Frame::StatusReply(s)
+        }
+        FrameKind::Goodbye => Frame::Goodbye,
+    };
+    c.finish()?;
+    Ok(frame)
+}
+
+/// Reads one frame from the stream.
+///
+/// * `Ok(Some(frame))` — a complete, well-formed frame.
+/// * `Ok(None)` — the peer closed the stream cleanly at a frame boundary.
+/// * `Err(_)` — transport failure (including mid-frame truncation) or a
+///   protocol violation; see [`DecodeError::wire_reply`] for what, if
+///   anything, to answer.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, DecodeError> {
+    let mut header = [0u8; HEADER_LEN];
+    // First byte by hand: zero bytes here is a clean close, not an error.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(DecodeError::Io(e)),
+        }
+    }
+    header[0] = first[0];
+    r.read_exact(&mut header[1..])?;
+
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let kind_byte = header[6];
+    let flags = header[7];
+    let length = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    if length > MAX_FRAME_LEN {
+        return Err(DecodeError::FrameTooLarge(length));
+    }
+    let kind = FrameKind::from_u8(kind_byte).ok_or(DecodeError::UnknownKind(kind_byte))?;
+
+    let mut payload = vec![0u8; length as usize];
+    r.read_exact(&mut payload)?;
+    if flags != 0 {
+        return Err(DecodeError::Malformed(format!("nonzero flags byte 0x{flags:02X}")));
+    }
+    decode_payload(kind, &payload).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) -> Frame {
+        let bytes = encode_frame(&frame);
+        let decoded = read_frame(&mut &bytes[..]).unwrap().unwrap();
+        assert_eq!(decoded, frame, "round trip must be lossless");
+        // And the stream must be fully consumed: a second read sees EOF.
+        let mut rest = &bytes[bytes.len()..];
+        assert!(read_frame(&mut rest).unwrap().is_none());
+        decoded
+    }
+
+    #[test]
+    fn frame_hello_round_trips() {
+        round_trip(Frame::Hello { version: 1 });
+    }
+
+    #[test]
+    fn frame_server_hello_round_trips() {
+        round_trip(Frame::ServerHello {
+            version: 1,
+            capabilities: CAP_ROUTED | CAP_APPROX,
+            vertex_count: 100_000,
+            object_count: 5_000,
+        });
+    }
+
+    #[test]
+    fn frame_query_round_trips_for_every_algorithm() {
+        for (i, algorithm) in Algorithm::ALL.into_iter().enumerate() {
+            let f = round_trip(Frame::Query {
+                request_id: 77 + i as u64,
+                body: QueryBody { algorithm, vertex: 42, k: 5 },
+            });
+            match f {
+                Frame::Query { body, .. } => assert_eq!(body.algorithm as usize, i),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn frame_batch_round_trips() {
+        round_trip(Frame::Batch {
+            request_id: 9,
+            bodies: vec![
+                QueryBody { algorithm: Algorithm::Knn, vertex: 1, k: 3 },
+                QueryBody { algorithm: Algorithm::Routed, vertex: 99, k: 1 },
+                QueryBody { algorithm: Algorithm::Approx, vertex: 0, k: 10 },
+            ],
+        });
+        round_trip(Frame::Batch { request_id: 10, bodies: vec![] });
+    }
+
+    #[test]
+    fn frame_response_round_trips_with_exact_f64_bits() {
+        let lo = 1234.5678901234_f64;
+        let hi = f64::INFINITY;
+        let f = round_trip(Frame::Response {
+            request_id: 3,
+            sequence: 7,
+            answer: AnswerBody {
+                algorithm: Algorithm::Routed as u8,
+                complete: false,
+                degraded: vec![1, 3],
+                neighbors: vec![WireNeighbor {
+                    object: 12,
+                    vertex: 55,
+                    lo_bits: lo.to_bits(),
+                    hi_bits: hi.to_bits(),
+                }],
+            },
+        });
+        match f {
+            Frame::Response { answer, .. } => {
+                assert_eq!(f64::from_bits(answer.neighbors[0].lo_bits).to_bits(), lo.to_bits());
+                assert_eq!(f64::from_bits(answer.neighbors[0].hi_bits), f64::INFINITY);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn frame_error_round_trips() {
+        round_trip(Frame::Error {
+            request_id: 1,
+            sequence: 0,
+            code: ErrorCode::BadVertex as u16,
+            detail: "vertex 10⁶ out of range".into(),
+        });
+        assert_eq!(ErrorCode::from_u16(7), Some(ErrorCode::BadVertex));
+        assert_eq!(ErrorCode::from_u16(999), None);
+        assert_eq!(ErrorCode::QueryCorrupt.to_string(), "QUERY_CORRUPT");
+    }
+
+    #[test]
+    fn frame_server_busy_round_trips() {
+        round_trip(Frame::ServerBusy { request_id: u64::MAX, sequence: 41 });
+    }
+
+    #[test]
+    fn frame_status_round_trips() {
+        round_trip(Frame::Status);
+    }
+
+    #[test]
+    fn frame_status_reply_round_trips() {
+        round_trip(Frame::StatusReply(StatusReply {
+            queue_depth: 12,
+            queue_capacity: 256,
+            queries_answered: 1 << 40,
+            busy_rejections: 17,
+            batches_drained: 900,
+            bodies_executed: 12_345,
+            warnings: vec!["degraded open: frontier tier dropped: bad checksum".into()],
+        }));
+        round_trip(Frame::StatusReply(StatusReply::default()));
+    }
+
+    #[test]
+    fn frame_goodbye_round_trips() {
+        round_trip(Frame::Goodbye);
+    }
+
+    // -- decode failure paths ------------------------------------------------
+
+    #[test]
+    fn bad_magic_is_fatal() {
+        let mut bytes = encode_frame(&Frame::Status);
+        bytes[0] ^= 0xFF;
+        match read_frame(&mut &bytes[..]) {
+            Err(DecodeError::BadMagic) => {}
+            other => panic!("want BadMagic, got {other:?}"),
+        }
+        assert_eq!(DecodeError::BadMagic.wire_reply(), Some((ErrorCode::BadMagic, false)));
+    }
+
+    #[test]
+    fn unsupported_version_is_fatal() {
+        let mut bytes = encode_frame(&Frame::Status);
+        bytes[4] = 0xFF;
+        assert!(matches!(read_frame(&mut &bytes[..]), Err(DecodeError::UnsupportedVersion(_))));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_reading_payload() {
+        let mut bytes = encode_frame(&Frame::Status);
+        bytes[8..12].copy_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        // No payload follows at all — the length check must fire first.
+        match read_frame(&mut &bytes[..HEADER_LEN]) {
+            Err(DecodeError::FrameTooLarge(n)) => assert_eq!(n, MAX_FRAME_LEN + 1),
+            other => panic!("want FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_fatal() {
+        let mut bytes = encode_frame(&Frame::Status);
+        bytes[6] = 0x7F;
+        assert!(matches!(read_frame(&mut &bytes[..]), Err(DecodeError::UnknownKind(0x7F))));
+    }
+
+    #[test]
+    fn nonzero_flags_are_malformed() {
+        let mut bytes = encode_frame(&Frame::Status);
+        bytes[7] = 1;
+        match read_frame(&mut &bytes[..]) {
+            Err(e @ DecodeError::Malformed(_)) => {
+                assert_eq!(e.wire_reply(), Some((ErrorCode::Malformed, true)));
+            }
+            other => panic!("want Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_io_truncation() {
+        let bytes = encode_frame(&Frame::Hello { version: 1 });
+        // Cut the stream mid-payload: the reader must see UnexpectedEof,
+        // not a clean close and not a panic.
+        match read_frame(&mut &bytes[..bytes.len() - 1]) {
+            Err(DecodeError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("want Io(UnexpectedEof), got {other:?}"),
+        }
+        // Cut mid-header too.
+        match read_frame(&mut &bytes[..5]) {
+            Err(DecodeError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("want Io(UnexpectedEof), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_and_trailing_payloads_are_malformed_but_recoverable() {
+        // Short: a QUERY frame whose payload claims fewer bytes than the
+        // body needs.
+        let mut bytes = encode_frame(&Frame::Query {
+            request_id: 5,
+            body: QueryBody { algorithm: Algorithm::Knn, vertex: 1, k: 1 },
+        });
+        let short = (bytes.len() - HEADER_LEN - 4) as u32;
+        bytes[8..12].copy_from_slice(&short.to_le_bytes());
+        bytes.truncate(HEADER_LEN + short as usize);
+        assert!(matches!(read_frame(&mut &bytes[..]), Err(DecodeError::Malformed(_))));
+
+        // Trailing: STATUS with a stray byte.
+        let mut bytes = encode_frame(&Frame::Status);
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        bytes.push(0xAB);
+        assert!(matches!(read_frame(&mut &bytes[..]), Err(DecodeError::Malformed(_))));
+
+        // A garbage batch count that no payload could hold is rejected
+        // before any allocation.
+        let mut bytes = encode_frame(&Frame::Batch { request_id: 1, bodies: vec![] });
+        let payload_len = (bytes.len() - HEADER_LEN) as u32;
+        bytes[HEADER_LEN + 8..HEADER_LEN + 12].copy_from_slice(&u32::MAX.to_le_bytes());
+        bytes[8..12].copy_from_slice(&payload_len.to_le_bytes());
+        assert!(matches!(read_frame(&mut &bytes[..]), Err(DecodeError::Malformed(_))));
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic_the_decoder() {
+        // Deterministic pseudo-random garbage: every prefix of it must
+        // produce a typed outcome, never a panic.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut garbage = vec![0u8; 4096];
+        for b in &mut garbage {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *b = (state >> 56) as u8;
+        }
+        for len in [0, 1, 7, 11, 12, 13, 100, 4096] {
+            let _ = read_frame(&mut &garbage[..len]);
+        }
+        // Garbage dressed in a valid header must also decode to a typed
+        // error, not a panic.
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&MAGIC.to_le_bytes());
+        framed.extend_from_slice(&VERSION.to_le_bytes());
+        framed.push(FrameKind::Response as u8);
+        framed.push(0);
+        framed.extend_from_slice(&(64u32).to_le_bytes());
+        framed.extend_from_slice(&garbage[..64]);
+        assert!(matches!(read_frame(&mut &framed[..]), Err(DecodeError::Malformed(_))));
+    }
+}

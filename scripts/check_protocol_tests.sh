@@ -1,0 +1,29 @@
+#!/bin/sh
+# Spec<->test lockstep gate: every frame type named in docs/PROTOCOL.md's
+# frame table must have a round-trip/decode test named `frame_<name>_...`
+# in crates/server/src/protocol.rs. Renaming a frame in the spec, or adding
+# one without a test, fails this check (CI runs it on every PR).
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+spec="$repo_root/docs/PROTOCOL.md"
+impl="$repo_root/crates/server/src/protocol.rs"
+
+names=$(sed -n 's/^| `0x[0-9A-Fa-f]*` | `\([A-Z_]*\)` .*/\1/p' "$spec")
+if [ "$(printf '%s\n' "$names" | wc -l)" -lt 10 ]; then
+    echo "FAIL: expected at least 10 frame types in $spec, parsed:" >&2
+    printf '%s\n' "$names" >&2
+    exit 1
+fi
+
+status=0
+for name in $names; do
+    lower=$(printf '%s' "$name" | tr 'A-Z' 'a-z')
+    if grep -q "fn frame_${lower}_" "$impl"; then
+        echo "  ok $name -> frame_${lower}_*"
+    else
+        echo "FAIL: spec names frame $name but $impl has no test matching fn frame_${lower}_*" >&2
+        status=1
+    fi
+done
+exit $status

@@ -62,3 +62,8 @@ fn tradeoff_browsing_runs() {
 fn chaos_survival_runs() {
     run_example("chaos_survival");
 }
+
+#[test]
+fn remote_browsing_runs() {
+    run_example("remote_browsing");
+}
